@@ -1,0 +1,51 @@
+//! End-to-end NORA pipeline costs: calibration, plan construction, and
+//! analog deployment of a small transformer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nora_cim::TileConfig;
+use nora_core::{calibrate, RescalePlan, SmoothingConfig};
+use nora_nn::zoo::{inject_outliers, ModelFamily};
+use nora_nn::{ModelConfig, TransformerLm};
+use nora_tensor::rng::Rng;
+
+fn pipeline(c: &mut Criterion) {
+    let cfg = ModelConfig {
+        vocab: 32,
+        max_seq: 32,
+        d_model: 64,
+        heads: 4,
+        d_ff: 256,
+        layers: 2,
+    };
+    let mut model = TransformerLm::new(cfg, &mut Rng::seed_from(1));
+    inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), 1);
+    let seqs: Vec<Vec<usize>> = (0..4)
+        .map(|i| (0..32).map(|t| 2 + (t * 7 + i) % 30).collect())
+        .collect();
+
+    c.bench_function("calibrate_2layer_d64", |b| {
+        b.iter(|| calibrate(&model, &seqs));
+    });
+
+    let calib = calibrate(&model, &seqs);
+    c.bench_function("build_rescale_plan", |b| {
+        b.iter(|| RescalePlan::nora(&model, &calib, SmoothingConfig::default()));
+    });
+
+    let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+    c.bench_function("deploy_analog_2layer_d64", |b| {
+        b.iter(|| plan.deploy(&model, TileConfig::paper_default(), 2));
+    });
+
+    let mut analog = plan.deploy(&model, TileConfig::paper_default(), 2);
+    let tokens: Vec<usize> = (0..32).map(|t| 2 + (t * 5) % 30).collect();
+    c.bench_function("analog_forward_32tokens", |b| {
+        b.iter(|| analog.forward(&tokens));
+    });
+    c.bench_function("digital_forward_32tokens", |b| {
+        b.iter(|| model.forward(&tokens));
+    });
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

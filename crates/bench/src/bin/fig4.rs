@@ -1,0 +1,25 @@
+//! Regenerates Fig. 4: kernel density estimate and kurtosis of the
+//! activation vs query-weight distribution of an early layer in the
+//! Mistral-like model.
+//!
+//! Expected shape (paper Fig. 4): activation kurtosis orders of magnitude
+//! above weight kurtosis (113.61 vs 1.25 in the paper), with a long
+//! activation tail from fixed outlier channels.
+
+use nora_bench::prepare_cached;
+use nora_eval::runner::kde_report;
+use nora_nn::zoo::other_presets;
+
+fn main() {
+    let mistral = &other_presets()[2];
+    let prepared = prepare_cached(mistral);
+    let report = kde_report(&prepared, None);
+    println!("{}", report.table().render());
+    println!("normalised KDE (log-scaled bars):");
+    println!("{}", report.sparkline(25));
+    println!(
+        "paper reference: activation kurtosis 113.61 vs weight kurtosis 1.25 \
+         (Mistral-7B layer 2); the ratio — activations vastly heavier-tailed \
+         than weights — is the reproduced quantity."
+    );
+}

@@ -1,0 +1,379 @@
+//! Tile configuration.
+
+use crate::management::{BoundManagement, NoiseManagement};
+use nora_device::{NvmModel, PcmModel, ReramModel};
+
+/// Resolution of an A/D or D/A converter.
+///
+/// `Ideal` disables quantization entirely (infinite resolution, used for the
+/// per-non-ideality sensitivity study where only one noise source is active
+/// at a time). `Steps(n)` models an `n`-level uniform converter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Infinite resolution — no quantization applied.
+    Ideal,
+    /// Finite uniform resolution with the given number of steps.
+    Steps(u32),
+}
+
+impl Resolution {
+    /// A `bits`-bit converter (`2^bits` steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24.
+    pub fn bits(bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "bits must be in 1..=24");
+        Resolution::Steps(1 << bits)
+    }
+
+    /// Number of steps, or `None` when ideal.
+    pub fn steps(self) -> Option<u32> {
+        match self {
+            Resolution::Ideal => None,
+            Resolution::Steps(n) => Some(n),
+        }
+    }
+}
+
+/// How input vectors are driven onto the wordlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputEncoding {
+    /// One multi-level analog conversion per input (the `dac` resolution
+    /// applies). The paper's setting.
+    Analog,
+    /// Bit-serial drive: the input is quantized to `bits` signed levels and
+    /// streamed as binary ±1/0 wordline planes, one analog MAC + A/D
+    /// conversion per plane, combined by digital shift-add (ISAAC-style).
+    /// Binary drivers are immune to the S-shape driver nonlinearity (their
+    /// single drive level is trivially calibrated) at the cost of one
+    /// conversion round per bit plane.
+    BitSerial {
+        /// Signed input resolution in bits (2..=16); `b` bits stream
+        /// `b − 1` magnitude planes.
+        bits: u32,
+    },
+}
+
+/// How tile weights acquire their programming-time non-idealities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightSource {
+    /// Weights are stored exactly as mapped (no programming error). Used as
+    /// the ideal reference and when studying IO non-idealities in isolation.
+    Ideal,
+    /// Weights pass through the full PCM device model of [`nora_device`]:
+    /// programming noise at `program()` time and, via
+    /// [`crate::AnalogTile::apply_drift`], conductance drift + accumulated
+    /// 1/f read noise. The `f32` is a multiplier on the published
+    /// programming-noise polynomial (1.0 = Table II defaults).
+    Pcm(f32),
+    /// Weights pass through the ReRAM device model (log-normal programming
+    /// noise, no inference-scale drift) — the paper's §VII cross-device
+    /// extension. The `f32` is the log-conductance programming-noise std.
+    Reram(f32),
+}
+
+/// Complete configuration of an analog tile.
+///
+/// [`TileConfig::paper_default`] reproduces the paper's Table II settings;
+/// [`TileConfig::ideal`] turns every non-ideality off (the tile then computes
+/// an exact GEMV, which the tests rely on).
+///
+/// Noise magnitudes are expressed in the tile's normalised units: inputs are
+/// scaled into `[-1, 1]` before the DAC, weights into `[-1, 1]` before
+/// mapping, so `out_noise = 0.04` means a Gaussian with 4% of the DAC
+/// full-scale per accumulated output, matching AIHWKIT's convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileConfig {
+    /// Tile rows (input channels per tile). Table II: 512.
+    pub tile_rows: usize,
+    /// Tile columns (output channels per tile). Table II: 512.
+    pub tile_cols: usize,
+    /// DAC resolution. Table II: 7 bit (128 steps).
+    pub dac: Resolution,
+    /// ADC resolution. Table II: 7 bit (128 steps).
+    pub adc: Resolution,
+    /// DAC full-scale bound in normalised input units (AIHWKIT `inp_bound`).
+    pub dac_bound: f32,
+    /// ADC full-scale bound in normalised accumulation units (AIHWKIT
+    /// `out_bound`). Outputs beyond this saturate.
+    pub adc_bound: f32,
+    /// Additive Gaussian noise std at the output (before the ADC), in
+    /// normalised units. Table II: 0.04.
+    pub out_noise: f32,
+    /// Additive Gaussian noise std at the input (after the DAC), in
+    /// normalised units. Default 0 (scaled up by the sensitivity study).
+    pub in_noise: f32,
+    /// Short-term (cycle-to-cycle) weight read-noise std in normalised
+    /// weight units. Table II: 0.0175.
+    pub w_noise: f32,
+    /// IR-drop scale (1.0 = nominal wire resistance, 0 = off). Table II: 1.0.
+    pub ir_drop: f32,
+    /// S-shape nonlinearity strength (0 = perfectly linear DAC transfer).
+    pub s_shape: f32,
+    /// Weight programming path.
+    pub weight_source: WeightSource,
+    /// Digital quantization of the mapped weights (`Ideal` = continuous
+    /// analog conductances). Finite values model digital weight-quantized
+    /// execution (e.g. W8A8) or multi-cell NVM encodings with discrete
+    /// levels.
+    pub weight_quant: Resolution,
+    /// Number of significance slices (cell pairs) storing each weight, with
+    /// closed-loop residual correction between slices (paper §VII:
+    /// "over 8-bit weight precision by using multiple memory cells").
+    /// 1 = single-pair storage.
+    pub weight_slices: u32,
+    /// Significance radix between consecutive weight slices.
+    pub slice_radix: f32,
+    /// Maximum cell conductance in µS (used by the device model).
+    pub g_max: f32,
+    /// Wordline drive scheme.
+    pub input_encoding: InputEncoding,
+    /// Write–verify iterations used when programming weights onto the
+    /// device (1 = single-shot; the paper's §II "write-verify memory
+    /// programming process" uses several).
+    pub write_verify_iters: u32,
+    /// Number of repeated analog conversions averaged per MVM (≥ 1).
+    /// Averaging suppresses the *stochastic* per-cycle noises (short-term
+    /// read noise, additive input/output noise) by `1/√n` at `n×` the
+    /// conversion energy/latency; quantization and deterministic errors are
+    /// untouched.
+    pub read_averaging: u32,
+    /// Dynamic input-range policy (the paper's "noise management").
+    pub noise_management: NoiseManagement,
+    /// ADC saturation recovery policy (the paper's "bound management").
+    pub bound_management: BoundManagement,
+}
+
+impl TileConfig {
+    /// The paper's Table II configuration.
+    ///
+    /// 7-bit converters, `out_noise` 0.04, `w_noise` 0.0175, `ir_drop` 1.0,
+    /// 512×512 tiles, PCM programming noise at the published level, AbsMax
+    /// noise management and iterative bound management (the AIHWKIT
+    /// defaults the paper inherits).
+    pub fn paper_default() -> Self {
+        Self {
+            tile_rows: 512,
+            tile_cols: 512,
+            dac: Resolution::bits(7),
+            adc: Resolution::bits(7),
+            dac_bound: 1.0,
+            adc_bound: 12.0,
+            out_noise: 0.04,
+            in_noise: 0.0,
+            w_noise: 0.0175,
+            ir_drop: 1.0,
+            s_shape: 0.0,
+            weight_source: WeightSource::Pcm(1.0),
+            weight_quant: Resolution::Ideal,
+            weight_slices: 1,
+            slice_radix: 8.0,
+            g_max: 25.0,
+            input_encoding: InputEncoding::Analog,
+            read_averaging: 1,
+            write_verify_iters: 1,
+            noise_management: NoiseManagement::AbsMax,
+            bound_management: BoundManagement::Iterative { max_rounds: 3 },
+        }
+    }
+
+    /// A tile with every non-ideality disabled: computes exact GEMV.
+    pub fn ideal() -> Self {
+        Self {
+            tile_rows: 512,
+            tile_cols: 512,
+            dac: Resolution::Ideal,
+            adc: Resolution::Ideal,
+            dac_bound: 1.0,
+            adc_bound: f32::INFINITY,
+            out_noise: 0.0,
+            in_noise: 0.0,
+            w_noise: 0.0,
+            ir_drop: 0.0,
+            s_shape: 0.0,
+            weight_source: WeightSource::Ideal,
+            weight_quant: Resolution::Ideal,
+            weight_slices: 1,
+            slice_radix: 8.0,
+            g_max: 25.0,
+            input_encoding: InputEncoding::Analog,
+            read_averaging: 1,
+            write_verify_iters: 1,
+            noise_management: NoiseManagement::AbsMax,
+            bound_management: BoundManagement::None,
+        }
+    }
+
+    /// A *digital* weight/activation-quantized execution baseline
+    /// (default: W8A8 — 8-bit per-column weights, 8-bit dynamically scaled
+    /// activations, no analog noise). With a NORA/SmoothQuant smoothing
+    /// vector installed this reproduces digital SmoothQuant; without one it
+    /// is plain dynamic W8A8 quantization.
+    pub fn digital_quant(bits: u32) -> Self {
+        Self {
+            dac: Resolution::bits(bits),
+            adc: Resolution::Ideal,
+            adc_bound: f32::INFINITY,
+            weight_quant: Resolution::bits(bits),
+            ..Self::ideal()
+        }
+    }
+
+    /// Returns `paper_default` with the tile size overridden (tests and the
+    /// MSE-matching harness use smaller tiles).
+    pub fn with_tile_size(mut self, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "tile size must be positive");
+        self.tile_rows = rows;
+        self.tile_cols = cols;
+        self
+    }
+
+    /// Builds the NVM device model implied by this config, if any.
+    pub fn device_model(&self) -> Option<Box<dyn NvmModel>> {
+        match self.weight_source {
+            WeightSource::Ideal => None,
+            WeightSource::Pcm(scale) => Some(Box::new(PcmModel {
+                g_max: self.g_max,
+                prog_noise_scale: scale,
+                ..PcmModel::default()
+            })),
+            WeightSource::Reram(sigma_ln) => Some(Box::new(ReramModel {
+                g_max: self.g_max,
+                sigma_ln,
+                read_sigma_rel: 0.0, // white read noise is covered by w_noise
+            })),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tile_rows == 0 || self.tile_cols == 0 {
+            return Err("tile size must be positive".into());
+        }
+        if self.dac_bound.is_nan() || self.dac_bound <= 0.0 {
+            return Err("dac_bound must be positive".into());
+        }
+        if self.adc_bound.is_nan() || self.adc_bound <= 0.0 {
+            return Err("adc_bound must be positive".into());
+        }
+        for (name, v) in [
+            ("out_noise", self.out_noise),
+            ("in_noise", self.in_noise),
+            ("w_noise", self.w_noise),
+            ("ir_drop", self.ir_drop),
+            ("s_shape", self.s_shape),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0"));
+            }
+        }
+        match self.weight_source {
+            WeightSource::Pcm(s) | WeightSource::Reram(s) => {
+                if !s.is_finite() || s < 0.0 {
+                    return Err("programming-noise scale must be finite and >= 0".into());
+                }
+            }
+            WeightSource::Ideal => {}
+        }
+        if self.weight_slices == 0 {
+            return Err("weight_slices must be at least 1".into());
+        }
+        if self.weight_slices > 1 && (self.slice_radix.is_nan() || self.slice_radix <= 1.0) {
+            return Err("slice_radix must exceed 1 when slicing".into());
+        }
+        if let InputEncoding::BitSerial { bits } = self.input_encoding {
+            if !(2..=16).contains(&bits) {
+                return Err("bit-serial input bits must be in 2..=16".into());
+            }
+        }
+        if self.read_averaging == 0 {
+            return Err("read_averaging must be at least 1".into());
+        }
+        if self.write_verify_iters == 0 {
+            return Err("write_verify_iters must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_ii() {
+        let c = TileConfig::paper_default();
+        assert_eq!(c.dac.steps(), Some(128));
+        assert_eq!(c.adc.steps(), Some(128));
+        assert_eq!(c.out_noise, 0.04);
+        assert_eq!(c.w_noise, 0.0175);
+        assert_eq!(c.ir_drop, 1.0);
+        assert_eq!((c.tile_rows, c.tile_cols), (512, 512));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn ideal_config_has_everything_off() {
+        let c = TileConfig::ideal();
+        assert_eq!(c.dac, Resolution::Ideal);
+        assert_eq!(c.adc, Resolution::Ideal);
+        assert_eq!(c.out_noise, 0.0);
+        assert_eq!(c.w_noise, 0.0);
+        assert_eq!(c.weight_source, WeightSource::Ideal);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn resolution_bits() {
+        assert_eq!(Resolution::bits(7).steps(), Some(128));
+        assert_eq!(Resolution::Ideal.steps(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn resolution_zero_bits_panics() {
+        Resolution::bits(0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut c = TileConfig::paper_default();
+        c.out_noise = -1.0;
+        assert!(c.validate().is_err());
+        let mut c2 = TileConfig::paper_default();
+        c2.tile_rows = 0;
+        assert!(c2.validate().is_err());
+        let mut c3 = TileConfig::paper_default();
+        c3.weight_source = WeightSource::Pcm(f32::NAN);
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn device_model_propagates_settings() {
+        let mut c = TileConfig::paper_default();
+        c.weight_source = WeightSource::Pcm(2.5);
+        let m = c.device_model().unwrap();
+        assert_eq!(m.g_max(), c.g_max);
+        c.weight_source = WeightSource::Ideal;
+        assert!(c.device_model().is_none());
+        c.weight_source = WeightSource::Reram(0.1);
+        assert!(c.device_model().is_some());
+    }
+
+    #[test]
+    fn with_tile_size_overrides() {
+        let c = TileConfig::paper_default().with_tile_size(64, 32);
+        assert_eq!((c.tile_rows, c.tile_cols), (64, 32));
+    }
+}

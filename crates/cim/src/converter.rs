@@ -1,0 +1,196 @@
+//! DAC and ADC models.
+//!
+//! Both converters are symmetric uniform quantizers from
+//! [`nora_tensor::quant`]; the ADC additionally *saturates* (hard-clips) at
+//! its full-scale bound and reports how often it did, which feeds the
+//! iterative bound-management policy.
+
+use crate::config::Resolution;
+use nora_tensor::quant::Quantizer;
+
+/// Digital-to-analog converter at the tile input.
+///
+/// Values are expected pre-scaled into `[-bound, bound]`; anything outside
+/// clips (that clipping is the "input outlier" loss the paper discusses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac {
+    quantizer: Option<Quantizer>,
+    bound: f32,
+}
+
+impl Dac {
+    /// Creates a DAC with the given resolution over `[-bound, bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is not strictly positive and finite.
+    pub fn new(resolution: Resolution, bound: f32) -> Self {
+        assert!(
+            bound.is_finite() && bound > 0.0,
+            "DAC bound must be positive and finite"
+        );
+        Self {
+            quantizer: resolution.steps().map(|n| Quantizer::new(n, bound)),
+            bound,
+        }
+    }
+
+    /// Full-scale bound.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Converts one value (clip + quantize).
+    pub fn convert(&self, x: f32) -> f32 {
+        let clipped = if x.is_nan() {
+            0.0
+        } else {
+            x.clamp(-self.bound, self.bound)
+        };
+        match &self.quantizer {
+            Some(q) => q.quantize(clipped),
+            None => clipped,
+        }
+    }
+
+    /// Converts a slice in place, returning the number of clipped entries.
+    pub fn convert_slice(&self, xs: &mut [f32]) -> usize {
+        let mut clipped = 0;
+        for v in xs {
+            if v.abs() > self.bound {
+                clipped += 1;
+            }
+            *v = self.convert(*v);
+        }
+        clipped
+    }
+}
+
+/// Analog-to-digital converter at the tile output.
+///
+/// Saturates at `±bound` and counts saturation events so bound management
+/// can react.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    quantizer: Option<Quantizer>,
+    bound: f32,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution over `[-bound, bound]`.
+    ///
+    /// An infinite `bound` is allowed only with [`Resolution::Ideal`]
+    /// (a pass-through converter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound <= 0`, or if `bound` is non-finite with a finite
+    /// resolution.
+    pub fn new(resolution: Resolution, bound: f32) -> Self {
+        assert!(bound > 0.0, "ADC bound must be positive");
+        let quantizer = match resolution.steps() {
+            Some(n) => {
+                assert!(
+                    bound.is_finite(),
+                    "finite ADC resolution requires a finite bound"
+                );
+                Some(Quantizer::new(n, bound))
+            }
+            None => None,
+        };
+        Self { quantizer, bound }
+    }
+
+    /// Full-scale bound.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Converts a slice in place, returning the number of saturated entries.
+    pub fn convert_slice(&self, xs: &mut [f32]) -> usize {
+        let mut saturated = 0;
+        for v in xs.iter_mut() {
+            if v.abs() >= self.bound {
+                saturated += 1;
+            }
+            let clipped = if v.is_nan() {
+                0.0
+            } else {
+                v.clamp(-self.bound, self.bound)
+            };
+            *v = match &self.quantizer {
+                Some(q) => q.quantize(clipped),
+                None => clipped,
+            };
+        }
+        saturated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_dac_is_identity_in_range() {
+        let dac = Dac::new(Resolution::Ideal, 1.0);
+        assert_eq!(dac.convert(0.123), 0.123);
+        assert_eq!(dac.convert(5.0), 1.0);
+        assert_eq!(dac.convert(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn quantizing_dac_snaps_to_levels() {
+        let dac = Dac::new(Resolution::bits(3), 1.0);
+        let y = dac.convert(0.3);
+        assert!((y - 0.3).abs() <= 2.0 / 8.0 / 2.0 + 1e-6);
+        // idempotent
+        assert_eq!(dac.convert(y), y);
+    }
+
+    #[test]
+    fn dac_counts_clipping() {
+        let dac = Dac::new(Resolution::bits(7), 1.0);
+        let mut xs = [0.5f32, 2.0, -3.0, 0.9];
+        let clipped = dac.convert_slice(&mut xs);
+        assert_eq!(clipped, 2);
+        assert_eq!(xs[1], 1.0);
+        assert_eq!(xs[2], -1.0);
+    }
+
+    #[test]
+    fn adc_counts_saturation() {
+        let adc = Adc::new(Resolution::bits(7), 12.0);
+        let mut xs = [3.0f32, 12.0, -20.0, 11.9];
+        let sat = adc.convert_slice(&mut xs);
+        assert_eq!(sat, 2);
+        assert!(xs.iter().all(|v| v.abs() <= 12.0));
+    }
+
+    #[test]
+    fn ideal_adc_with_infinite_bound_passes_through() {
+        let adc = Adc::new(Resolution::Ideal, f32::INFINITY);
+        let mut xs = [1e20f32, -1e20];
+        let sat = adc.convert_slice(&mut xs);
+        assert_eq!(sat, 0);
+        assert_eq!(xs, [1e20, -1e20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ADC resolution requires")]
+    fn finite_adc_with_infinite_bound_panics() {
+        Adc::new(Resolution::bits(7), f32::INFINITY);
+    }
+
+    #[test]
+    fn adc_quantization_error_bounded() {
+        let adc = Adc::new(Resolution::bits(7), 12.0);
+        let step = 2.0 * 12.0 / 128.0;
+        for i in -100..=100 {
+            let x = i as f32 * 0.1;
+            let mut xs = [x];
+            adc.convert_slice(&mut xs);
+            assert!((xs[0] - x).abs() <= step / 2.0 + 1e-5);
+        }
+    }
+}

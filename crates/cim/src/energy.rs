@@ -1,0 +1,251 @@
+//! First-order energy and latency estimation for analog CIM execution.
+//!
+//! The paper's §VII lists "the evaluation of power, area, and latency" as
+//! future work; this module implements the standard first-order estimate
+//! used by array-level CIM studies (ISAAC, NeuroSim, and the AIHWKIT
+//! papers): per-MVM costs decompose into DAC conversions (one per active
+//! row), the analog array read (cell read energy proportional to programmed
+//! conductance and integration time), ADC conversions (one per column,
+//! dominated by the Walden figure-of-merit × 2^bits), and digital
+//! accumulation of tile partial sums.
+//!
+//! The default constants are representative published ballparks (documented
+//! per field); they parameterise *relative* comparisons — e.g. how much
+//! energy bound-management retries cost a naive deployment vs NORA — rather
+//! than absolute silicon numbers.
+
+use crate::tile::ForwardStats;
+
+/// First-order per-operation energy/latency constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per DAC conversion, picojoules (7-bit current-steering DACs
+    /// land near 0.1–0.5 pJ).
+    pub dac_pj: f64,
+    /// ADC Walden figure-of-merit, picojoules per conversion *step*
+    /// (50 fJ/step ⇒ 0.05; energy per conversion = `fom × steps`).
+    pub adc_fom_pj_per_step: f64,
+    /// ADC resolution steps (Table II: 128).
+    pub adc_steps: u32,
+    /// Read energy of one cell at full conductance over one integration
+    /// window, picojoules (`V² · g_max · t_int` ≈ 0.2² × 25 µS × 40 ns
+    /// ≈ 0.04 pJ).
+    pub cell_read_pj: f64,
+    /// Energy per digital partial-sum accumulation, picojoules.
+    pub digital_acc_pj: f64,
+    /// DAC settling + array integration time per conversion round, ns.
+    pub integration_ns: f64,
+    /// ADC conversion time per sample, ns (shared-ADC column multiplexing
+    /// is folded into `adc_share`).
+    pub adc_ns: f64,
+    /// Columns sharing one ADC (time-multiplexing factor).
+    pub adc_share: u32,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            dac_pj: 0.2,
+            adc_fom_pj_per_step: 0.05,
+            adc_steps: 128,
+            cell_read_pj: 0.04,
+            digital_acc_pj: 0.05,
+            integration_ns: 40.0,
+            adc_ns: 10.0,
+            adc_share: 8,
+        }
+    }
+}
+
+/// Energy/latency breakdown of a batch of tile executions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// DAC conversion energy, pJ.
+    pub dac_pj: f64,
+    /// Analog array read energy, pJ.
+    pub array_pj: f64,
+    /// ADC conversion energy, pJ.
+    pub adc_pj: f64,
+    /// Digital accumulation energy, pJ.
+    pub digital_pj: f64,
+    /// Total conversion rounds executed (including bound-management
+    /// retries).
+    pub rounds: u64,
+    /// Total latency of the (sequential) execution, ns.
+    pub latency_ns: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.dac_pj + self.array_pj + self.adc_pj + self.digital_pj
+    }
+
+    /// Accumulates another report.
+    pub fn merge(&mut self, other: &EnergyReport) {
+        self.dac_pj += other.dac_pj;
+        self.array_pj += other.array_pj;
+        self.adc_pj += other.adc_pj;
+        self.digital_pj += other.digital_pj;
+        self.rounds += other.rounds;
+        self.latency_ns += other.latency_ns;
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy/latency of the executions recorded in `stats`
+    /// on a tile of `rows × cols` whose mean relative programmed
+    /// conductance is `mean_rel_g` (mean of `|ŵ|`, in `[0, 1]`).
+    ///
+    /// Every bound-management retry repeats the full DAC→array→ADC chain,
+    /// so outlier-ridden naive deployments pay for their saturation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nora_cim::{EnergyModel, ForwardStats};
+    /// let stats = ForwardStats { samples: 100, ..ForwardStats::default() };
+    /// let report = EnergyModel::default().estimate(&stats, 512, 512, 0.3);
+    /// assert!(report.adc_pj > report.dac_pj); // converters dominate
+    /// ```
+    pub fn estimate(&self, stats: &ForwardStats, rows: usize, cols: usize, mean_rel_g: f32) -> EnergyReport {
+        // One "round" = one complete conversion of one input vector.
+        let rounds = stats.samples + stats.bound_mgmt_retries;
+        let r = rounds as f64;
+        let dac_pj = r * rows as f64 * self.dac_pj;
+        let array_pj = r * (rows * cols) as f64 * self.cell_read_pj * mean_rel_g.max(0.0) as f64;
+        let adc_pj =
+            r * cols as f64 * self.adc_fom_pj_per_step * self.adc_steps as f64;
+        let digital_pj = stats.samples as f64 * cols as f64 * self.digital_acc_pj;
+        let adc_rounds_ns = (cols as f64 / self.adc_share as f64).ceil() * self.adc_ns;
+        let latency_ns = r * (self.integration_ns + adc_rounds_ns);
+        EnergyReport {
+            dac_pj,
+            array_pj,
+            adc_pj,
+            digital_pj,
+            rounds,
+            latency_ns,
+        }
+    }
+}
+
+/// First-order silicon-area constants for a CIM macro.
+///
+/// Complements [`EnergyModel`] for the paper's §VII "power, area, and
+/// latency" future work. Defaults are representative published ballparks:
+/// NVM cell pitch of a 1T1R bitcell at a 40 nm-class node, SAR-ADC and
+/// DAC macros from ISAAC-style floorplans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Area of one NVM cell pair (differential bitcell), µm².
+    pub cell_pair_um2: f64,
+    /// Area of one ADC macro, µm².
+    pub adc_um2: f64,
+    /// Area of one DAC/driver, µm².
+    pub dac_um2: f64,
+    /// Columns sharing one ADC.
+    pub adc_share: u32,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            cell_pair_um2: 0.3,
+            adc_um2: 1500.0,
+            dac_um2: 50.0,
+            adc_share: 8,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Estimated macro area (µm²) of a `rows × cols` tile storing
+    /// `slices` significance slices per weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices == 0`.
+    pub fn tile_area_um2(&self, rows: usize, cols: usize, slices: u32) -> f64 {
+        assert!(slices >= 1, "need at least one slice");
+        let cells = (rows * cols) as f64 * slices as f64 * self.cell_pair_um2;
+        let adcs = (cols as f64 / self.adc_share as f64).ceil() * self.adc_um2;
+        let dacs = rows as f64 * self.dac_um2;
+        cells + adcs + dacs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: u64, retries: u64) -> ForwardStats {
+        ForwardStats {
+            samples,
+            bound_mgmt_retries: retries,
+            ..ForwardStats::default()
+        }
+    }
+
+    #[test]
+    fn adc_dominates_at_paper_resolution() {
+        // With a 7-bit ADC and the default constants, ADC energy should be
+        // the largest component for a 512-row tile — the motivation for
+        // low-resolution converters in the first place.
+        let m = EnergyModel::default();
+        let r = m.estimate(&stats(100, 0), 512, 512, 0.3);
+        assert!(r.adc_pj > r.dac_pj);
+        assert!(r.adc_pj > r.array_pj);
+        assert!(r.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn retries_cost_analog_energy_but_not_digital() {
+        let m = EnergyModel::default();
+        let clean = m.estimate(&stats(100, 0), 128, 128, 0.3);
+        let retried = m.estimate(&stats(100, 50), 128, 128, 0.3);
+        assert!(retried.adc_pj > clean.adc_pj);
+        assert!(retried.latency_ns > clean.latency_ns);
+        assert_eq!(retried.digital_pj, clean.digital_pj);
+        assert_eq!(retried.rounds, 150);
+    }
+
+    #[test]
+    fn energy_scales_with_array_size_and_conductance() {
+        let m = EnergyModel::default();
+        let small = m.estimate(&stats(10, 0), 64, 64, 0.3);
+        let big = m.estimate(&stats(10, 0), 256, 256, 0.3);
+        assert!(big.total_pj() > small.total_pj());
+        let dense = m.estimate(&stats(10, 0), 64, 64, 0.9);
+        assert!(dense.array_pj > small.array_pj);
+    }
+
+    #[test]
+    fn area_scales_with_cells_and_slices() {
+        let a = AreaModel::default();
+        let single = a.tile_area_um2(512, 512, 1);
+        let double = a.tile_area_um2(512, 512, 2);
+        assert!(double > single);
+        // Cell array dominates a 512×512 macro; slicing doubles only the
+        // cell part, so the total grows by less than 2×.
+        assert!(double < 2.0 * single);
+        let small = a.tile_area_um2(64, 64, 1);
+        assert!(small < single / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_panics() {
+        AreaModel::default().tile_area_um2(8, 8, 0);
+    }
+
+    #[test]
+    fn merge_adds_components() {
+        let m = EnergyModel::default();
+        let a = m.estimate(&stats(10, 0), 64, 64, 0.5);
+        let mut acc = a;
+        acc.merge(&a);
+        assert!((acc.total_pj() - 2.0 * a.total_pj()).abs() < 1e-9);
+        assert_eq!(acc.rounds, 20);
+    }
+}

@@ -1,0 +1,67 @@
+//! Analog compute-in-memory (CIM) tile simulator.
+//!
+//! This crate is the workspace's stand-in for the IBM analog in-memory
+//! hardware acceleration kit (AIHWKIT) that the NORA paper uses for its
+//! evaluation. It simulates GEMV execution on NVM crossbar tiles with the
+//! full non-ideality inventory of the paper's Table I:
+//!
+//! | Category | Non-ideality | Module |
+//! |---|---|---|
+//! | IO | ADC quantization noise | [`converter`] |
+//! | IO | DAC quantization noise | [`converter`] |
+//! | IO | Additive output noise | `tile` (config `out_noise`) |
+//! | IO | Additive input noise | `tile` (config `in_noise`) |
+//! | IO | S-shape nonlinearity | [`nonlinearity`] |
+//! | Tile | Programming noise | via [`nora_device`] |
+//! | Tile | Short-term read noise | `tile` (config `w_noise`) |
+//! | Tile | IR-drop | [`ir_drop`] |
+//!
+//! The tile implements the paper's Eq. (3)–(5) (and, with a smoothing vector
+//! installed, the NORA-rescaled Eq. (6)–(8)):
+//!
+//! ```text
+//! y_ij = α_i γ_j f_adc( Σ_k (w̃_kj · x̃_ik) + σ_out ξ )
+//! w̃_kj = f_map(w_kj s_k / γ_j) + σ_w ξ     γ_j = max|w_j ⊙ s| / g_max
+//! x̃_ik = f_dac(x_ik / (α_i s_k)) + σ_in ξ  α_i = max|x_i ⊘ s|
+//! ```
+//!
+//! [`AnalogLinear`] partitions arbitrarily large weight matrices into a grid
+//! of [`AnalogTile`]s (512×512 by default, per Table II), each with its own
+//! converters and noise streams, and accumulates partial sums digitally —
+//! mirroring the hybrid analog/digital mapping of the paper's Fig. 2.
+//!
+//! # Example
+//!
+//! ```
+//! use nora_cim::{AnalogLinear, TileConfig};
+//! use nora_tensor::{Matrix, rng::Rng};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let w = Matrix::random_normal(64, 32, 0.0, 0.1, &mut rng);
+//! let mut layer = AnalogLinear::new(w.clone(), None, TileConfig::paper_default(), 7);
+//! let x = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
+//! let y = layer.forward(&x);
+//! let y_ref = x.matmul(&w);
+//! assert!(y.mse(&y_ref) < 0.05); // noisy, but in the right ballpark
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod converter;
+pub mod energy;
+pub mod ir_drop;
+pub mod management;
+pub mod noise;
+pub mod nonlinearity;
+
+mod config;
+mod linear;
+mod tile;
+
+pub use config::{InputEncoding, Resolution, TileConfig, WeightSource};
+pub use energy::{AreaModel, EnergyModel, EnergyReport};
+pub use linear::AnalogLinear;
+pub use management::{BoundManagement, NoiseManagement};
+pub use noise::NonIdeality;
+pub use tile::{AnalogTile, DriftCompensation, ForwardStats};

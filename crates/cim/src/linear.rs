@@ -1,0 +1,318 @@
+//! Tiled analog linear layer.
+
+use crate::config::TileConfig;
+use crate::tile::{AnalogTile, DriftCompensation, ForwardStats};
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// A linear layer (`y = x · W + b`) executed on a grid of analog tiles.
+///
+/// Weight matrices larger than one tile are partitioned: rows (input
+/// channels) split across tile rows, columns (output channels) across tile
+/// columns. Each tile converts its partial sum through its own ADC — as on
+/// real hardware — and the partial sums are accumulated **digitally**, as is
+/// the bias. This mirrors the hybrid mapping of the paper's Fig. 2, where
+/// only the GEMV itself is analog.
+///
+/// An optional per-input-channel smoothing vector `s` (length `d_in`)
+/// implements the NORA rescaling; each tile receives its row-slice of `s`.
+///
+/// # Example
+///
+/// ```
+/// use nora_cim::{AnalogLinear, TileConfig};
+/// use nora_tensor::{Matrix, rng::Rng};
+///
+/// let mut rng = Rng::seed_from(9);
+/// let w = Matrix::random_normal(100, 40, 0.0, 0.2, &mut rng);
+/// let cfg = TileConfig::ideal().with_tile_size(32, 32); // forces a 4x2 grid
+/// let mut layer = AnalogLinear::new(w.clone(), None, cfg, 1);
+/// let x = Matrix::random_normal(3, 100, 0.0, 1.0, &mut rng);
+/// assert!(layer.forward(&x).mse(&x.matmul(&w)) < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalogLinear {
+    d_in: usize,
+    d_out: usize,
+    bias: Option<Vec<f32>>,
+    /// `(row_offset, col_offset, tile)` in row-major grid order.
+    tiles: Vec<(usize, usize, AnalogTile)>,
+    smoothing: Option<Vec<f32>>,
+}
+
+impl AnalogLinear {
+    /// Maps `weights` (`d_in × d_out`) onto analog tiles.
+    ///
+    /// `seed` derives the per-tile noise streams, so two layers built with
+    /// the same arguments behave identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, `bias` has the wrong length, or the
+    /// config is invalid.
+    pub fn new(weights: Matrix, bias: Option<Vec<f32>>, config: TileConfig, seed: u64) -> Self {
+        Self::with_smoothing(weights, bias, None, config, seed)
+    }
+
+    /// Like [`AnalogLinear::new`] with a NORA smoothing vector of length
+    /// `d_in` applied to the mapping (Eq. 6–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as `new`, or if `smoothing` has the
+    /// wrong length or non-positive entries.
+    pub fn with_smoothing(
+        weights: Matrix,
+        bias: Option<Vec<f32>>,
+        smoothing: Option<&[f32]>,
+        config: TileConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!weights.is_empty(), "empty weight matrix");
+        let (d_in, d_out) = weights.shape();
+        if let Some(b) = &bias {
+            assert_eq!(b.len(), d_out, "bias length mismatch");
+        }
+        if let Some(s) = smoothing {
+            assert_eq!(s.len(), d_in, "smoothing vector length mismatch");
+        }
+        let mut root_rng = Rng::seed_from(seed ^ 0x6e6f_7261); // "nora"
+        let mut tiles = Vec::new();
+        let tr = config.tile_rows;
+        let tc = config.tile_cols;
+        let mut r0 = 0;
+        while r0 < d_in {
+            let r1 = (r0 + tr).min(d_in);
+            let mut c0 = 0;
+            while c0 < d_out {
+                let c1 = (c0 + tc).min(d_out);
+                let block = weights.submatrix(r0, r1, c0, c1);
+                let s_slice = smoothing.map(|s| &s[r0..r1]);
+                let tile_rng = root_rng.fork((r0 as u64) << 32 | c0 as u64);
+                tiles.push((r0, c0, AnalogTile::new(block, s_slice, config.clone(), tile_rng)));
+                c0 = c1;
+            }
+            r0 = r1;
+        }
+        Self {
+            d_in,
+            d_out,
+            bias,
+            tiles,
+            smoothing: smoothing.map(|s| s.to_vec()),
+        }
+    }
+
+    /// Input dimension.
+    pub fn d_in(&self) -> usize {
+        self.d_in
+    }
+
+    /// Output dimension.
+    pub fn d_out(&self) -> usize {
+        self.d_out
+    }
+
+    /// Number of tiles in the grid.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The smoothing vector installed at construction, if any.
+    pub fn smoothing(&self) -> Option<&[f32]> {
+        self.smoothing.as_deref()
+    }
+
+    /// Executes the layer on a batch: `x` is `batch × d_in`, result is
+    /// `batch × d_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != d_in`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.d_in, "input width mismatch");
+        let batch = x.rows();
+        let mut y = Matrix::zeros(batch, self.d_out);
+        for (r0, c0, tile) in &mut self.tiles {
+            let x_slice = x.submatrix(0, batch, *r0, *r0 + tile.rows());
+            let part = tile.forward(&x_slice);
+            // Digital accumulation of tile partial sums.
+            for i in 0..batch {
+                let dst = &mut y.row_mut(i)[*c0..*c0 + part.cols()];
+                for (d, &p) in dst.iter_mut().zip(part.row(i)) {
+                    *d += p;
+                }
+            }
+        }
+        if let Some(b) = &self.bias {
+            for i in 0..batch {
+                for (v, &bv) in y.row_mut(i).iter_mut().zip(b) {
+                    *v += bv;
+                }
+            }
+        }
+        y
+    }
+
+    /// Aggregated forward statistics across all tiles.
+    pub fn stats(&self) -> ForwardStats {
+        let mut total = ForwardStats::default();
+        for (_, _, tile) in &self.tiles {
+            total.merge(tile.stats());
+        }
+        total
+    }
+
+    /// Resets the statistics of every tile.
+    pub fn reset_stats(&mut self) {
+        for (_, _, tile) in &mut self.tiles {
+            tile.reset_stats();
+        }
+    }
+
+    /// Applies conductance drift at `t_seconds` to every tile.
+    pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
+        for (_, _, tile) in &mut self.tiles {
+            tile.apply_drift(t_seconds, compensation);
+        }
+    }
+
+    /// First-order energy/latency estimate summed over all tiles (see
+    /// [`crate::energy`]).
+    pub fn energy(&self, model: &crate::energy::EnergyModel) -> crate::energy::EnergyReport {
+        let mut total = crate::energy::EnergyReport::default();
+        for (_, _, tile) in &self.tiles {
+            total.merge(&tile.energy(model));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nora_tensor::stats;
+
+    #[test]
+    fn single_tile_when_weights_fit() {
+        let w = Matrix::zeros(100, 50);
+        let layer = AnalogLinear::new(w, None, TileConfig::ideal(), 0);
+        assert_eq!(layer.tile_count(), 1);
+    }
+
+    #[test]
+    fn grid_partitioning_counts() {
+        let w = Matrix::zeros(100, 50);
+        let cfg = TileConfig::ideal().with_tile_size(32, 20);
+        let layer = AnalogLinear::new(w, None, cfg, 0);
+        // rows: ceil(100/32)=4, cols: ceil(50/20)=3
+        assert_eq!(layer.tile_count(), 12);
+        assert_eq!(layer.d_in(), 100);
+        assert_eq!(layer.d_out(), 50);
+    }
+
+    #[test]
+    fn tiled_ideal_forward_matches_matmul() {
+        let mut rng = Rng::seed_from(1);
+        let w = Matrix::random_normal(70, 45, 0.0, 0.5, &mut rng);
+        let x = Matrix::random_normal(6, 70, 0.0, 1.0, &mut rng);
+        let cfg = TileConfig::ideal().with_tile_size(16, 16);
+        let mut layer = AnalogLinear::new(w.clone(), None, cfg, 2);
+        let y = layer.forward(&x);
+        assert!(y.mse(&x.matmul(&w)) < 1e-9);
+    }
+
+    #[test]
+    fn bias_is_added_digitally() {
+        let w = Matrix::identity(3);
+        let bias = vec![1.0f32, -2.0, 0.5];
+        let mut layer = AnalogLinear::new(w, Some(bias), TileConfig::ideal(), 3);
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[2.0, -1.0, 1.5]);
+    }
+
+    #[test]
+    fn smoothing_vector_is_exact_when_ideal() {
+        let mut rng = Rng::seed_from(4);
+        let w = Matrix::random_normal(40, 30, 0.0, 0.3, &mut rng);
+        let x = Matrix::random_normal(5, 40, 0.0, 1.0, &mut rng);
+        let s: Vec<f32> = (0..40).map(|i| 0.1 + (i as f32 % 5.0)).collect();
+        let cfg = TileConfig::ideal().with_tile_size(16, 16);
+        let mut layer = AnalogLinear::with_smoothing(w.clone(), None, Some(&s), cfg, 5);
+        let y = layer.forward(&x);
+        assert!(y.mse(&x.matmul(&w)) < 1e-8);
+        assert_eq!(layer.smoothing().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn noisy_tiled_layer_stays_reasonable() {
+        let mut rng = Rng::seed_from(6);
+        let w = Matrix::random_normal(96, 64, 0.0, 0.2, &mut rng);
+        let x = Matrix::random_normal(8, 96, 0.0, 1.0, &mut rng);
+        let cfg = TileConfig::paper_default().with_tile_size(48, 32);
+        let mut layer = AnalogLinear::new(w.clone(), None, cfg, 7);
+        let y = layer.forward(&x);
+        let rel = y.mse(&x.matmul(&w)) / stats::variance(x.matmul(&w).as_slice());
+        assert!(rel < 0.25, "relative mse {rel}");
+    }
+
+    #[test]
+    fn stats_aggregate_across_tiles() {
+        let mut rng = Rng::seed_from(8);
+        let w = Matrix::random_normal(64, 64, 0.0, 0.2, &mut rng);
+        let x = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
+        let cfg = TileConfig::paper_default().with_tile_size(32, 32);
+        let mut layer = AnalogLinear::new(w, None, cfg, 9);
+        layer.forward(&x);
+        let st = layer.stats();
+        // 4 tiles × 4 samples each
+        assert_eq!(st.samples, 16);
+        assert!(st.mean_rescale() > 0.0);
+        layer.reset_stats();
+        assert_eq!(layer.stats().samples, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = Rng::seed_from(10);
+        let w = Matrix::random_normal(32, 32, 0.0, 0.2, &mut rng);
+        let x = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng);
+        let cfg = TileConfig::paper_default().with_tile_size(16, 16);
+        let mut a = AnalogLinear::new(w.clone(), None, cfg.clone(), 11);
+        let mut b = AnalogLinear::new(w, None, cfg, 11);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn energy_report_scales_with_work() {
+        let mut rng = Rng::seed_from(12);
+        let w = Matrix::random_normal(64, 64, 0.0, 0.2, &mut rng);
+        let x = Matrix::random_normal(4, 64, 0.0, 1.0, &mut rng);
+        let cfg = TileConfig::paper_default().with_tile_size(32, 32);
+        let mut layer = AnalogLinear::new(w, None, cfg, 13);
+        let model = crate::energy::EnergyModel::default();
+        let before = layer.energy(&model);
+        assert_eq!(before.rounds, 0);
+        layer.forward(&x);
+        let once = layer.energy(&model);
+        layer.forward(&x);
+        let twice = layer.energy(&model);
+        assert!(once.total_pj() > 0.0);
+        assert!(twice.total_pj() >= once.total_pj() * 1.9);
+        assert!(twice.latency_ns > once.latency_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn wrong_bias_length_panics() {
+        AnalogLinear::new(Matrix::zeros(4, 4), Some(vec![0.0; 3]), TileConfig::ideal(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn wrong_input_width_panics() {
+        let mut layer = AnalogLinear::new(Matrix::zeros(4, 4), None, TileConfig::ideal(), 0);
+        layer.forward(&Matrix::zeros(1, 5));
+    }
+}

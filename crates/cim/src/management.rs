@@ -1,0 +1,158 @@
+//! Input-range ("noise") and saturation ("bound") management policies.
+//!
+//! Before a vector is streamed into the DACs it is divided by a linear
+//! factor `α` (paper §II-A). Choosing `α` trades input clipping against
+//! quantization resolution and SNR:
+//!
+//! * **Noise management** picks the initial `α` per input vector.
+//! * **Bound management** reacts to ADC saturation by enlarging `α` and
+//!   re-running the conversion.
+//!
+//! These are the dynamic techniques of Gokmen et al. and AIHWKIT that the
+//! paper shows become *less effective* on LLMs: with extreme activation
+//! outliers, every choice of `α` either clips the outliers or starves the
+//! bulk of the distribution of resolution. NORA attacks the distribution
+//! itself instead.
+
+/// Policy for the initial per-vector input scaling factor `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseManagement {
+    /// No dynamic scaling: `α = 1` (inputs are assumed pre-scaled).
+    None,
+    /// `α = max|x|` — guarantees no input clipping (AIHWKIT `ABS_MAX`,
+    /// the paper's setting).
+    AbsMax,
+    /// `α = c · mean|x|` — better resolution for heavy-tailed inputs at the
+    /// cost of clipping the tail (AIHWKIT `AVG_ABS_MAX`-style). The factor
+    /// `c` multiplies the mean absolute value.
+    AvgAbsMax(f32),
+    /// `α` = the `p`-th percentile of `|x|` (`p ∈ (0, 100]`) — clips exactly
+    /// the top `100−p`% of inputs (AIHWKIT `ABS_MAX_NP_SUM`-style
+    /// percentile management).
+    Percentile(f32),
+    /// Fixed constant `α`.
+    Constant(f32),
+}
+
+impl NoiseManagement {
+    /// Computes `α` for one input vector (already divided by the smoothing
+    /// vector when NORA is active).
+    ///
+    /// Returns 0 when the vector is all-zero under `AbsMax`/`AvgAbsMax`
+    /// (callers short-circuit to a zero output row).
+    pub fn alpha(&self, x: &[f32]) -> f32 {
+        match *self {
+            NoiseManagement::None => 1.0,
+            NoiseManagement::AbsMax => x.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
+            NoiseManagement::AvgAbsMax(c) => {
+                if x.is_empty() {
+                    return 0.0;
+                }
+                let mean_abs: f32 =
+                    x.iter().map(|v| v.abs()).sum::<f32>() / x.len() as f32;
+                c * mean_abs
+            }
+            NoiseManagement::Percentile(p) => {
+                assert!(
+                    p > 0.0 && p <= 100.0,
+                    "percentile must be in (0, 100], got {p}"
+                );
+                if x.is_empty() {
+                    return 0.0;
+                }
+                let abs: Vec<f32> = x.iter().map(|v| v.abs()).collect();
+                nora_tensor::stats::percentile(&abs, p as f64)
+            }
+            NoiseManagement::Constant(a) => a,
+        }
+    }
+}
+
+/// Policy for recovering from ADC saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundManagement {
+    /// Accept saturated outputs as-is.
+    None,
+    /// On saturation, double `α` and redo the conversion, up to `max_rounds`
+    /// extra attempts (AIHWKIT `ITERATIVE`).
+    Iterative {
+        /// Maximum number of α-doubling retries.
+        max_rounds: u32,
+    },
+}
+
+impl BoundManagement {
+    /// Maximum retries allowed by the policy.
+    pub fn max_rounds(&self) -> u32 {
+        match *self {
+            BoundManagement::None => 0,
+            BoundManagement::Iterative { max_rounds } => max_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_max_is_the_max() {
+        let nm = NoiseManagement::AbsMax;
+        assert_eq!(nm.alpha(&[0.5, -2.0, 1.0]), 2.0);
+        assert_eq!(nm.alpha(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn avg_abs_max_scales_mean() {
+        let nm = NoiseManagement::AvgAbsMax(3.0);
+        assert!((nm.alpha(&[1.0, -1.0, 4.0]) - 6.0).abs() < 1e-6);
+        assert_eq!(nm.alpha(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_clips_exactly_the_tail() {
+        let nm = NoiseManagement::Percentile(99.0);
+        let mut x: Vec<f32> = (0..99).map(|i| (i + 1) as f32 / 100.0).collect();
+        x.push(50.0); // one outlier
+        let alpha = nm.alpha(&x);
+        // 99th percentile of |x| sits between the bulk max and the outlier.
+        assert!((0.99..50.0).contains(&alpha), "alpha {alpha}");
+        assert_eq!(nm.alpha(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn bad_percentile_panics() {
+        NoiseManagement::Percentile(0.0).alpha(&[1.0]);
+    }
+
+    #[test]
+    fn none_and_constant() {
+        assert_eq!(NoiseManagement::None.alpha(&[9.0]), 1.0);
+        assert_eq!(NoiseManagement::Constant(2.5).alpha(&[9.0]), 2.5);
+    }
+
+    #[test]
+    fn avg_abs_max_clips_outliers_abs_max_does_not() {
+        // The motivating trade-off: for outlier-heavy inputs AvgAbsMax gives
+        // a much smaller α (better bulk resolution, clipped outlier).
+        let x: Vec<f32> = {
+            let mut v = vec![0.01f32; 999];
+            v.push(100.0);
+            v
+        };
+        let a_absmax = NoiseManagement::AbsMax.alpha(&x);
+        let a_avg = NoiseManagement::AvgAbsMax(3.0).alpha(&x);
+        assert_eq!(a_absmax, 100.0);
+        assert!(a_avg < 1.0, "avg α {a_avg}");
+    }
+
+    #[test]
+    fn bound_rounds() {
+        assert_eq!(BoundManagement::None.max_rounds(), 0);
+        assert_eq!(
+            BoundManagement::Iterative { max_rounds: 3 }.max_rounds(),
+            3
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The non-ideality inventory of the paper's Table I.
+//!
+//! [`NonIdeality`] enumerates every modelled noise source, classified into
+//! IO non-idealities (at the analog/digital interface; the ones LLMs are
+//! sensitive to) and tile non-idealities (on the array; the ones LLMs
+//! tolerate). The sensitivity study (Fig. 3) activates them one at a time at
+//! a continuous *severity level* via [`NonIdeality::configure`].
+
+use crate::config::{Resolution, TileConfig, WeightSource};
+use std::fmt;
+
+/// Category of a non-ideality (Table I's left column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Appears at the input/output interface (A/D converters, mixed-signal
+    /// components).
+    Io,
+    /// Appears on the analog tile itself (cells, wires).
+    Tile,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Io => write!(f, "IO"),
+            Category::Tile => write!(f, "Tile"),
+        }
+    }
+}
+
+/// One of the eight modelled non-idealities (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NonIdeality {
+    /// ADC quantization noise.
+    AdcQuantization,
+    /// DAC quantization noise.
+    DacQuantization,
+    /// Additive system Gaussian noise at the output (before the ADC).
+    AdditiveOutputNoise,
+    /// Additive system Gaussian noise at the input (after the DAC).
+    AdditiveInputNoise,
+    /// S-shape device nonlinearity on the input transfer.
+    SShapeNonlinearity,
+    /// Weight-programming (fabrication) noise.
+    ProgrammingNoise,
+    /// Short-term cycle-by-cycle weight read noise.
+    ShortTermReadNoise,
+    /// Wire-resistance IR-drop.
+    IrDrop,
+}
+
+impl NonIdeality {
+    /// All eight non-idealities, in the paper's Fig. 3 panel order.
+    pub const ALL: [NonIdeality; 8] = [
+        NonIdeality::DacQuantization,
+        NonIdeality::AdcQuantization,
+        NonIdeality::AdditiveInputNoise,
+        NonIdeality::AdditiveOutputNoise,
+        NonIdeality::IrDrop,
+        NonIdeality::ShortTermReadNoise,
+        NonIdeality::SShapeNonlinearity,
+        NonIdeality::ProgrammingNoise,
+    ];
+
+    /// Table I category.
+    pub fn category(self) -> Category {
+        match self {
+            NonIdeality::AdcQuantization
+            | NonIdeality::DacQuantization
+            | NonIdeality::AdditiveOutputNoise
+            | NonIdeality::AdditiveInputNoise
+            | NonIdeality::SShapeNonlinearity => Category::Io,
+            NonIdeality::ProgrammingNoise
+            | NonIdeality::ShortTermReadNoise
+            | NonIdeality::IrDrop => Category::Tile,
+        }
+    }
+
+    /// Table I noise-type description.
+    pub fn kind(self) -> &'static str {
+        match self {
+            NonIdeality::AdcQuantization | NonIdeality::DacQuantization => "Quantization noise",
+            NonIdeality::AdditiveOutputNoise | NonIdeality::AdditiveInputNoise => {
+                "System Gaussian noise"
+            }
+            NonIdeality::SShapeNonlinearity => "Device Nonlinearity",
+            NonIdeality::ProgrammingNoise => "Weight fabrication non-ideality",
+            NonIdeality::ShortTermReadNoise => "Cycle-by-cycle read variance",
+            NonIdeality::IrDrop => "Wire resistance non-ideality",
+        }
+    }
+
+    /// Short identifier for tables and plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            NonIdeality::AdcQuantization => "adc_quant",
+            NonIdeality::DacQuantization => "dac_quant",
+            NonIdeality::AdditiveOutputNoise => "out_noise",
+            NonIdeality::AdditiveInputNoise => "in_noise",
+            NonIdeality::SShapeNonlinearity => "s_shape",
+            NonIdeality::ProgrammingNoise => "prog_noise",
+            NonIdeality::ShortTermReadNoise => "read_noise",
+            NonIdeality::IrDrop => "ir_drop",
+        }
+    }
+
+    /// Installs *only* this non-ideality at the given severity into an
+    /// otherwise-ideal tile configuration.
+    ///
+    /// The severity `level >= 0` is continuous for every type:
+    ///
+    /// * quantization: `level` is the relative step width, i.e. the
+    ///   converter gets `max(2, round(1/level))` steps (`level → 0` is
+    ///   ideal);
+    /// * additive noises: Gaussian std in normalised units;
+    /// * S-shape: curvature `k`;
+    /// * programming noise: multiplier on the published PCM polynomial;
+    /// * read noise: std in normalised weight units;
+    /// * IR-drop: wire-resistance scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is negative or non-finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nora_cim::NonIdeality;
+    /// let cfg = NonIdeality::AdditiveOutputNoise.configure(0.04);
+    /// assert_eq!(cfg.out_noise, 0.04);
+    /// assert_eq!(cfg.w_noise, 0.0); // everything else ideal
+    /// ```
+    pub fn configure(self, level: f32) -> TileConfig {
+        let mut cfg = TileConfig::ideal();
+        self.apply(&mut cfg, level);
+        cfg
+    }
+
+    /// Sets this non-ideality's knob to the given severity in an existing
+    /// configuration (leaving all other knobs untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is negative or non-finite.
+    pub fn apply(self, cfg: &mut TileConfig, level: f32) {
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "severity level must be finite and >= 0"
+        );
+        match self {
+            NonIdeality::AdcQuantization => {
+                cfg.adc = if level == 0.0 {
+                    Resolution::Ideal
+                } else {
+                    Resolution::Steps(((1.0 / level).round() as u32).max(2))
+                };
+                if !cfg.adc_bound.is_finite() {
+                    cfg.adc_bound = 12.0;
+                }
+            }
+            NonIdeality::DacQuantization => {
+                cfg.dac = if level == 0.0 {
+                    Resolution::Ideal
+                } else {
+                    Resolution::Steps(((1.0 / level).round() as u32).max(2))
+                };
+            }
+            NonIdeality::AdditiveOutputNoise => cfg.out_noise = level,
+            NonIdeality::AdditiveInputNoise => cfg.in_noise = level,
+            NonIdeality::SShapeNonlinearity => cfg.s_shape = level,
+            NonIdeality::ProgrammingNoise => {
+                cfg.weight_source = if level == 0.0 {
+                    WeightSource::Ideal
+                } else {
+                    WeightSource::Pcm(level)
+                };
+            }
+            NonIdeality::ShortTermReadNoise => cfg.w_noise = level,
+            NonIdeality::IrDrop => cfg.ir_drop = level,
+        }
+    }
+}
+
+impl fmt::Display for NonIdeality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_eight_distinct_entries() {
+        let mut names: Vec<&str> = NonIdeality::ALL.iter().map(|n| n.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn categories_match_table_i() {
+        use NonIdeality::*;
+        assert_eq!(AdcQuantization.category(), Category::Io);
+        assert_eq!(DacQuantization.category(), Category::Io);
+        assert_eq!(AdditiveOutputNoise.category(), Category::Io);
+        assert_eq!(AdditiveInputNoise.category(), Category::Io);
+        assert_eq!(SShapeNonlinearity.category(), Category::Io);
+        assert_eq!(ProgrammingNoise.category(), Category::Tile);
+        assert_eq!(ShortTermReadNoise.category(), Category::Tile);
+        assert_eq!(IrDrop.category(), Category::Tile);
+    }
+
+    #[test]
+    fn configure_sets_only_one_knob() {
+        let cfg = NonIdeality::AdditiveOutputNoise.configure(0.1);
+        assert_eq!(cfg.out_noise, 0.1);
+        assert_eq!(cfg.in_noise, 0.0);
+        assert_eq!(cfg.w_noise, 0.0);
+        assert_eq!(cfg.dac, Resolution::Ideal);
+        assert_eq!(cfg.weight_source, WeightSource::Ideal);
+    }
+
+    #[test]
+    fn quantization_level_maps_to_steps() {
+        let cfg = NonIdeality::AdcQuantization.configure(1.0 / 128.0);
+        assert_eq!(cfg.adc.steps(), Some(128));
+        assert!(cfg.adc_bound.is_finite());
+        let dac = NonIdeality::DacQuantization.configure(0.5);
+        assert_eq!(dac.dac.steps(), Some(2));
+        let ideal = NonIdeality::DacQuantization.configure(0.0);
+        assert_eq!(ideal.dac, Resolution::Ideal);
+    }
+
+    #[test]
+    fn programming_noise_level_zero_is_ideal() {
+        let cfg = NonIdeality::ProgrammingNoise.configure(0.0);
+        assert_eq!(cfg.weight_source, WeightSource::Ideal);
+        let cfg2 = NonIdeality::ProgrammingNoise.configure(2.0);
+        assert_eq!(cfg2.weight_source, WeightSource::Pcm(2.0));
+    }
+
+    #[test]
+    fn apply_preserves_other_settings() {
+        let mut cfg = TileConfig::paper_default();
+        NonIdeality::IrDrop.apply(&mut cfg, 5.0);
+        assert_eq!(cfg.ir_drop, 5.0);
+        assert_eq!(cfg.out_noise, 0.04); // untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "severity level")]
+    fn negative_level_panics() {
+        NonIdeality::IrDrop.configure(-1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NonIdeality::AdcQuantization.to_string(), "adc_quant");
+        assert_eq!(Category::Io.to_string(), "IO");
+    }
+}

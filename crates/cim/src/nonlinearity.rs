@@ -1,0 +1,95 @@
+//! S-shape device nonlinearity.
+//!
+//! Real DAC output drivers and cell I–V characteristics compress large
+//! excursions, bending the ideally linear input transfer into an "S" shape.
+//! We model the transfer as an odd, saturating, slope-normalised tanh:
+//!
+//! ```text
+//! f(x) = tanh(k·x) / k,   k > 0
+//! ```
+//!
+//! `f` has unit slope at the origin (small signals are untouched) and
+//! progressively compresses towards `±1/k`. `k = 0` degenerates to the
+//! identity. The sensitivity study (paper Fig. 3g) sweeps `k` until the
+//! induced MSE matches the other non-idealities.
+
+/// S-shape transfer with curvature `k` applied to one value.
+///
+/// `k <= 0` returns `x` unchanged.
+pub fn s_shape(x: f32, k: f32) -> f32 {
+    if k <= 0.0 {
+        return x;
+    }
+    (k * x).tanh() / k
+}
+
+/// Applies the S-shape transfer to a slice in place.
+pub fn s_shape_slice(xs: &mut [f32], k: f32) {
+    if k <= 0.0 {
+        return;
+    }
+    for v in xs {
+        *v = (k * *v).tanh() / k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_curvature_is_identity() {
+        assert_eq!(s_shape(0.7, 0.0), 0.7);
+        assert_eq!(s_shape(-0.3, -1.0), -0.3);
+    }
+
+    #[test]
+    fn odd_symmetry() {
+        for i in 0..20 {
+            let x = i as f32 / 10.0;
+            assert!((s_shape(x, 2.0) + s_shape(-x, 2.0)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn unit_slope_at_origin() {
+        let eps = 1e-4f32;
+        let slope = (s_shape(eps, 3.0) - s_shape(-eps, 3.0)) / (2.0 * eps);
+        assert!((slope - 1.0).abs() < 1e-3, "slope {slope}");
+    }
+
+    #[test]
+    fn compresses_large_values() {
+        let k = 2.0;
+        assert!(s_shape(10.0, k) < 10.0);
+        assert!(s_shape(10.0, k) <= 1.0 / k + 1e-6);
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let k = 1.5;
+        let mut prev = f32::NEG_INFINITY;
+        for i in -50..=50 {
+            let y = s_shape(i as f32 / 10.0, k);
+            assert!(y > prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn stronger_curvature_larger_distortion() {
+        let x = 0.8f32;
+        let weak = (s_shape(x, 0.5) - x).abs();
+        let strong = (s_shape(x, 3.0) - x).abs();
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn slice_matches_scalar() {
+        let mut xs = [0.1f32, -0.9, 2.0];
+        s_shape_slice(&mut xs, 1.2);
+        for (v, orig) in xs.iter().zip([0.1f32, -0.9, 2.0]) {
+            assert_eq!(*v, s_shape(orig, 1.2));
+        }
+    }
+}

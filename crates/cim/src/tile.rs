@@ -1,0 +1,1069 @@
+//! A single analog crossbar tile.
+
+use crate::config::TileConfig;
+use crate::converter::{Adc, Dac};
+use crate::ir_drop::IrDropModel;
+use crate::management::BoundManagement;
+use nora_device::{
+    program_matrix_sliced, program_matrix_verified, read_matrix, read_matrix_mean, read_sliced,
+    ProgrammedMatrix, SlicedMatrix,
+};
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// Time (seconds after programming) at which a tile's reference weights are
+/// established — the PCM drift model's calibration point `t_c`.
+const REFERENCE_READ_TIME: f64 = 20.0;
+
+/// How to correct for conductance drift when re-reading a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftCompensation {
+    /// Use the drifted conductances as-is.
+    None,
+    /// Rescale the whole tile by a single factor estimated from the ratio of
+    /// summed absolute conductance before and after drift — the simple
+    /// global compensation the paper refers to ("drift could be simply
+    /// compensated").
+    GlobalScale,
+}
+
+/// Accumulated observability counters of tile forwards.
+///
+/// The experiment harness uses these for the input-clipping, ADC-saturation
+/// and output-current analyses (Fig. 6c plots `mean_rescale`, the average
+/// `α_i · γ_j · g_max` factor — smaller means more bitline current and
+/// better SNR).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ForwardStats {
+    /// Number of sample vectors processed.
+    pub samples: u64,
+    /// DAC inputs that clipped at the rails (final bound-management round).
+    pub clipped_inputs: u64,
+    /// Total DAC inputs presented.
+    pub total_inputs: u64,
+    /// ADC outputs that saturated (final round).
+    pub saturated_outputs: u64,
+    /// Total ADC outputs produced.
+    pub total_outputs: u64,
+    /// Extra conversion rounds forced by bound management.
+    pub bound_mgmt_retries: u64,
+    /// Sum over all outputs of the rescale factor `α_i · γ_j`.
+    pub rescale_sum: f64,
+    /// Number of rescale factors accumulated.
+    pub rescale_count: u64,
+}
+
+impl ForwardStats {
+    /// Fraction of DAC inputs that clipped.
+    pub fn input_clip_rate(&self) -> f64 {
+        if self.total_inputs == 0 {
+            0.0
+        } else {
+            self.clipped_inputs as f64 / self.total_inputs as f64
+        }
+    }
+
+    /// Fraction of ADC outputs that saturated.
+    pub fn adc_saturation_rate(&self) -> f64 {
+        if self.total_outputs == 0 {
+            0.0
+        } else {
+            self.saturated_outputs as f64 / self.total_outputs as f64
+        }
+    }
+
+    /// Mean output rescale factor `α_i · γ_j` (the paper's
+    /// `α_i γ_j · g_max` in normalised units).
+    pub fn mean_rescale(&self) -> f64 {
+        if self.rescale_count == 0 {
+            0.0
+        } else {
+            self.rescale_sum / self.rescale_count as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ForwardStats) {
+        self.samples += other.samples;
+        self.clipped_inputs += other.clipped_inputs;
+        self.total_inputs += other.total_inputs;
+        self.saturated_outputs += other.saturated_outputs;
+        self.total_outputs += other.total_outputs;
+        self.bound_mgmt_retries += other.bound_mgmt_retries;
+        self.rescale_sum += other.rescale_sum;
+        self.rescale_count += other.rescale_count;
+    }
+}
+
+/// Device-accurate programmed weight state (single pair per weight, or
+/// multi-cell significance slices).
+#[derive(Debug, Clone)]
+enum ProgrammedWeights {
+    Plain(ProgrammedMatrix),
+    Sliced(SlicedMatrix),
+}
+
+/// One analog crossbar tile holding a (≤ `tile_rows` × ≤ `tile_cols`) weight
+/// block and executing noisy GEMV batches against it.
+///
+/// The tile owns its converters, noise streams, and per-column scaling
+/// factors `γ_j`; an optional per-row smoothing vector `s` implements the
+/// NORA rescaling of Eq. (6)–(8).
+///
+/// # Example
+///
+/// ```
+/// use nora_cim::{AnalogTile, TileConfig};
+/// use nora_tensor::{Matrix, rng::Rng};
+///
+/// let w = Matrix::from_rows(&[&[0.5, -0.25], &[0.1, 0.8]]);
+/// let mut tile = AnalogTile::new(w, None, TileConfig::ideal(), Rng::seed_from(1));
+/// let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let y = tile.forward(&x);
+/// assert!((y[(0, 0)] - 0.7).abs() < 1e-4); // exact GEMV when ideal
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalogTile {
+    config: TileConfig,
+    dac: Dac,
+    adc: Adc,
+    ir: IrDropModel,
+    /// Per-column normalised scale `γ_j = max_k |w_kj · s_k|`.
+    gamma: Vec<f32>,
+    /// Per-row smoothing factors (all 1 when NORA is off).
+    s: Vec<f32>,
+    /// Effective normalised weights in `[-1, 1]` including programming
+    /// error (and drift after [`AnalogTile::apply_drift`]).
+    w_eff: Matrix,
+    /// Device-accurate programmed state, kept for drift re-reads.
+    programmed: Option<ProgrammedWeights>,
+    /// Reference Σ|ŵ| right after programming (for drift compensation).
+    prog_abs_sum: f64,
+    /// Per-column IR-drop factors (cached; depend only on weights).
+    ir_factors: Vec<f32>,
+    rng: Rng,
+    stats: ForwardStats,
+}
+
+impl AnalogTile {
+    /// Programs `weights` (shape `rows × cols`, arbitrary real values) onto
+    /// a tile, optionally with a NORA smoothing vector `s` of length `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight block exceeds the configured tile size, if `s`
+    /// has the wrong length or non-positive entries, or if the config is
+    /// invalid.
+    pub fn new(weights: Matrix, s: Option<&[f32]>, config: TileConfig, mut rng: Rng) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
+        assert!(
+            weights.rows() <= config.tile_rows && weights.cols() <= config.tile_cols,
+            "weight block {}x{} exceeds tile size {}x{}",
+            weights.rows(),
+            weights.cols(),
+            config.tile_rows,
+            config.tile_cols
+        );
+        let rows = weights.rows();
+        let s: Vec<f32> = match s {
+            Some(s) => {
+                assert_eq!(s.len(), rows, "smoothing vector length mismatch");
+                assert!(
+                    s.iter().all(|&v| v.is_finite() && v > 0.0),
+                    "smoothing factors must be finite and positive"
+                );
+                s.to_vec()
+            }
+            None => vec![1.0; rows],
+        };
+
+        // Scale rows by s, then normalise each column by γ_j.
+        let mut w_scaled = weights;
+        w_scaled.scale_rows(&s);
+        let gamma = w_scaled.col_abs_max();
+        let mut w_hat = w_scaled;
+        for (j, &g) in gamma.iter().enumerate() {
+            if g > 0.0 {
+                w_hat.scale_col(j, 1.0 / g);
+            }
+            // all-zero column stays zero
+        }
+
+        // Digital weight quantization (if configured) snaps the normalised
+        // mapping to discrete levels before any device effects.
+        if let Some(steps) = config.weight_quant.steps() {
+            let q = nora_tensor::quant::Quantizer::new(steps, 1.0);
+            q.quantize_slice(w_hat.as_mut_slice());
+        }
+
+        // Pass through the device model if requested.
+        let (w_eff, programmed) = match config.device_model() {
+            None => (w_hat, None),
+            Some(device) => {
+                let mut dev_rng = rng.fork(0x9d0e);
+                // Effective weights are taken at the reference read time,
+                // without the stochastic read-noise part (short-term read
+                // noise is injected separately per forward).
+                if config.weight_slices > 1 {
+                    let prog = program_matrix_sliced(
+                        &w_hat,
+                        device.as_ref(),
+                        config.weight_slices,
+                        config.slice_radix,
+                        &mut dev_rng,
+                    );
+                    let eff = nora_device::read_sliced_mean(
+                        &prog,
+                        device.as_ref(),
+                        REFERENCE_READ_TIME,
+                    );
+                    (eff, Some(ProgrammedWeights::Sliced(prog)))
+                } else {
+                    let prog = program_matrix_verified(
+                        &w_hat,
+                        device.as_ref(),
+                        config.write_verify_iters,
+                        &mut dev_rng,
+                    );
+                    let eff =
+                        read_matrix_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
+                    (eff, Some(ProgrammedWeights::Plain(prog)))
+                }
+            }
+        };
+
+        let prog_abs_sum = w_eff.as_slice().iter().map(|&v| v.abs() as f64).sum();
+        let ir = IrDropModel::new(config.ir_drop);
+        let col_mean_rel_g: Vec<f32> = (0..w_eff.cols())
+            .map(|j| {
+                let col = w_eff.col(j);
+                col.iter().map(|v| v.abs()).sum::<f32>() / col.len().max(1) as f32
+            })
+            .collect();
+        let ir_factors = ir.column_factors(&col_mean_rel_g, rows);
+
+        let dac = Dac::new(config.dac, config.dac_bound);
+        let adc = Adc::new(config.adc, config.adc_bound);
+        Self {
+            dac,
+            adc,
+            ir,
+            gamma,
+            s,
+            w_eff,
+            programmed,
+            prog_abs_sum,
+            ir_factors,
+            rng,
+            stats: ForwardStats::default(),
+            config,
+        }
+    }
+
+    /// Number of input channels (rows) of the programmed block.
+    pub fn rows(&self) -> usize {
+        self.w_eff.rows()
+    }
+
+    /// Number of output channels (columns) of the programmed block.
+    pub fn cols(&self) -> usize {
+        self.w_eff.cols()
+    }
+
+    /// Per-column scale factors `γ_j`.
+    pub fn gamma(&self) -> &[f32] {
+        &self.gamma
+    }
+
+    /// Effective normalised weights currently on the tile.
+    pub fn effective_weights(&self) -> &Matrix {
+        &self.w_eff
+    }
+
+    /// Accumulated forward statistics.
+    pub fn stats(&self) -> &ForwardStats {
+        &self.stats
+    }
+
+    /// Resets the forward statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = ForwardStats::default();
+    }
+
+    /// Executes a noisy GEMV batch: `x` is `batch × rows`, the result is
+    /// `batch × cols`, approximating `x · W` under the configured
+    /// non-idealities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.rows()`.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.rows(),
+            "input width {} vs tile rows {}",
+            x.cols(),
+            self.rows()
+        );
+        let batch = x.rows();
+        let cols = self.cols();
+        let mut y = Matrix::zeros(batch, cols);
+        let max_retries = match self.config.bound_management {
+            BoundManagement::None => 0,
+            BoundManagement::Iterative { max_rounds } => max_rounds,
+        };
+
+        let mut x_s = vec![0.0f32; self.rows()];
+        for i in 0..batch {
+            // Divide by the smoothing vector (Eq. 7: x / (α' s)).
+            for (k, (&xv, &sv)) in x.row(i).iter().zip(&self.s).enumerate() {
+                x_s[k] = xv / sv;
+            }
+            let mut alpha = self.config.noise_management.alpha(&x_s);
+            self.stats.samples += 1;
+            if alpha.is_nan() || alpha <= 0.0 {
+                // All-zero input (or degenerate policy): output row is zero.
+                continue;
+            }
+
+            let mut round = 0u32;
+            loop {
+                let (z, clipped, saturated) = self.convert_once(&x_s, alpha);
+                let final_round = saturated == 0 || round >= max_retries;
+                if final_round {
+                    self.stats.clipped_inputs += clipped as u64;
+                    self.stats.total_inputs += self.rows() as u64;
+                    self.stats.saturated_outputs += saturated as u64;
+                    self.stats.total_outputs += cols as u64;
+                    // Rescale back: y_ij = α_i γ_j ẑ_ij (Eq. 3 / Eq. 8).
+                    let out = y.row_mut(i);
+                    for (j, (&zv, &g)) in z.iter().zip(&self.gamma).enumerate() {
+                        out[j] = zv * alpha * g;
+                        self.stats.rescale_sum += (alpha * g) as f64;
+                    }
+                    self.stats.rescale_count += cols as u64;
+                    break;
+                }
+                // Bound management: widen the input range and redo.
+                alpha *= 2.0;
+                round += 1;
+                self.stats.bound_mgmt_retries += 1;
+            }
+        }
+        y
+    }
+
+    /// One DAC→MAC→ADC pass at a fixed `α`, returning the normalised
+    /// outputs plus the clip/saturation counts.
+    /// One conversion, averaged over `read_averaging` repeats.
+    fn convert_once(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
+        let repeats = self.config.read_averaging.max(1);
+        if repeats == 1 {
+            return self.convert_single(x_s, alpha);
+        }
+        let (mut z, clipped, mut saturated) = self.convert_single(x_s, alpha);
+        for _ in 1..repeats {
+            let (zr, _, sat) = self.convert_single(x_s, alpha);
+            for (a, &b) in z.iter_mut().zip(&zr) {
+                *a += b;
+            }
+            saturated += sat;
+        }
+        let inv = 1.0 / repeats as f32;
+        for v in &mut z {
+            *v *= inv;
+        }
+        (z, clipped, saturated / repeats as usize)
+    }
+
+    /// A single unaveraged conversion round.
+    fn convert_single(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
+        match self.config.input_encoding {
+            crate::config::InputEncoding::Analog => self.convert_analog(x_s, alpha),
+            crate::config::InputEncoding::BitSerial { bits } => {
+                self.convert_bit_serial(x_s, alpha, bits)
+            }
+        }
+    }
+
+    /// Multi-level analog input drive: one DAC conversion per input.
+    fn convert_analog(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
+        let cfg = &self.config;
+        // DAC stage.
+        let mut x_hat: Vec<f32> = x_s.iter().map(|&v| v / alpha).collect();
+        let clipped = self.dac.convert_slice(&mut x_hat);
+        // Additive input noise (mixed-signal components after the DAC).
+        if cfg.in_noise > 0.0 {
+            for v in &mut x_hat {
+                *v += self.rng.normal(0.0, cfg.in_noise);
+            }
+        }
+        // S-shape transfer of the input drivers.
+        crate::nonlinearity::s_shape_slice(&mut x_hat, cfg.s_shape);
+
+        // Analog MAC over the effective weights.
+        let mut z = self.w_eff.vecmat(&x_hat);
+
+        // Short-term read noise: each cell's conductance jitters per cycle,
+        // so output j picks up Σ_k ξ_kj · x̂_k, a Gaussian with std
+        // σ_w · ‖x̂‖₂. Sampling that aggregate directly is statistically
+        // exact and O(cols) instead of O(rows × cols).
+        if cfg.w_noise > 0.0 {
+            let x_l2 = x_hat
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt() as f32;
+            if x_l2 > 0.0 {
+                let sigma = cfg.w_noise * x_l2;
+                for v in &mut z {
+                    *v += self.rng.normal(0.0, sigma);
+                }
+            }
+        }
+
+        // IR-drop droop.
+        if !self.ir.is_off() {
+            let u: f32 =
+                x_hat.iter().map(|v| v.abs()).sum::<f32>() / x_hat.len().max(1) as f32;
+            self.ir.apply(&mut z, &self.ir_factors, u);
+        }
+
+        // Additive output noise (ADC front-end), then the ADC itself.
+        if cfg.out_noise > 0.0 {
+            for v in &mut z {
+                *v += self.rng.normal(0.0, cfg.out_noise);
+            }
+        }
+        let saturated = self.adc.convert_slice(&mut z);
+        (z, clipped, saturated)
+    }
+
+    /// Bit-serial input drive (ISAAC-style): the scaled input is quantized
+    /// to `bits` signed levels and streamed as `bits − 1` binary ±1/0
+    /// wordline planes; each plane runs the full analog chain (read noise,
+    /// IR-drop, output noise, ADC) and the planes are combined by a digital
+    /// shift-add. Binary drivers see the S-shape nonlinearity only as a
+    /// single calibrated gain, so it cancels exactly.
+    fn convert_bit_serial(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        bits: u32,
+    ) -> (Vec<f32>, usize, usize) {
+        let planes = bits - 1;
+        let full_scale = ((1u32 << planes) - 1) as f32;
+        // Quantize the scaled input to signed integers in [-full_scale,
+        // full_scale]; values beyond the DAC bound clip, as in the analog
+        // path.
+        let bound = self.config.dac_bound;
+        let mut clipped = 0usize;
+        let levels: Vec<i32> = x_s
+            .iter()
+            .map(|&v| {
+                let scaled = v / alpha;
+                if scaled.abs() > bound {
+                    clipped += 1;
+                }
+                let c = if scaled.is_nan() {
+                    0.0
+                } else {
+                    scaled.clamp(-bound, bound)
+                };
+                (c / bound * full_scale).round() as i32
+            })
+            .collect();
+
+        // The calibrated gain of a binary driver under the S-shape transfer.
+        let drive_gain = crate::nonlinearity::s_shape(1.0, self.config.s_shape);
+
+        let cols = self.cols();
+        let mut z = vec![0.0f32; cols];
+        let mut saturated = 0usize;
+        let mut plane: Vec<f32> = vec![0.0; levels.len()];
+        for k in 0..planes {
+            let mask = 1i32 << k;
+            for (p, &m) in plane.iter_mut().zip(&levels) {
+                *p = if m.abs() & mask != 0 {
+                    m.signum() as f32 * drive_gain
+                } else {
+                    0.0
+                };
+                // Additive input noise perturbs every driven wordline phase.
+                if self.config.in_noise > 0.0 {
+                    *p += self.rng.normal(0.0, self.config.in_noise);
+                }
+            }
+            let mut zk = self.w_eff.vecmat(&plane);
+            if self.config.w_noise > 0.0 {
+                let l2 = plane
+                    .iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt() as f32;
+                if l2 > 0.0 {
+                    let sigma = self.config.w_noise * l2;
+                    for v in &mut zk {
+                        *v += self.rng.normal(0.0, sigma);
+                    }
+                }
+            }
+            if !self.ir.is_off() {
+                let u: f32 =
+                    plane.iter().map(|v| v.abs()).sum::<f32>() / plane.len().max(1) as f32;
+                self.ir.apply(&mut zk, &self.ir_factors, u);
+            }
+            if self.config.out_noise > 0.0 {
+                for v in &mut zk {
+                    *v += self.rng.normal(0.0, self.config.out_noise);
+                }
+            }
+            saturated += self.adc.convert_slice(&mut zk);
+            // Digital shift-add, undoing the calibrated binary drive gain.
+            let weight = (mask as f32) / full_scale * bound / drive_gain;
+            for (acc, &v) in z.iter_mut().zip(&zk) {
+                *acc += v * weight;
+            }
+        }
+        (z, clipped, saturated)
+    }
+
+    /// Mean relative programmed conductance `mean(|ŵ|)` — drives array
+    /// read energy and IR-drop.
+    pub fn mean_rel_conductance(&self) -> f32 {
+        if self.w_eff.is_empty() {
+            return 0.0;
+        }
+        self.w_eff.as_slice().iter().map(|v| v.abs()).sum::<f32>()
+            / self.w_eff.len() as f32
+    }
+
+    /// First-order energy/latency estimate of all executions recorded in
+    /// this tile's statistics (see [`crate::energy`]).
+    pub fn energy(&self, model: &crate::energy::EnergyModel) -> crate::energy::EnergyReport {
+        model.estimate(
+            &self.stats,
+            self.rows(),
+            self.cols(),
+            self.mean_rel_conductance(),
+        )
+    }
+
+    /// Re-reads the tile's conductances `t_seconds` after programming,
+    /// replacing the effective weights with their drifted values (PCM
+    /// weight source only; a no-op for ideal weights).
+    ///
+    /// With [`DriftCompensation::GlobalScale`] the drifted weights are
+    /// rescaled by one global factor so that the summed absolute weight
+    /// matches its value at programming time.
+    pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
+        let Some(prog) = &self.programmed else {
+            return;
+        };
+        let device = self
+            .config
+            .device_model()
+            .expect("programmed tile implies a device model");
+        let mut dev_rng = self.rng.fork(0xd21f);
+        self.w_eff = match prog {
+            ProgrammedWeights::Plain(p) => {
+                read_matrix(p, device.as_ref(), t_seconds, &mut dev_rng)
+            }
+            ProgrammedWeights::Sliced(s) => {
+                read_sliced(s, device.as_ref(), t_seconds, &mut dev_rng)
+            }
+        };
+        if compensation == DriftCompensation::GlobalScale {
+            let now: f64 = self
+                .w_eff
+                .as_slice()
+                .iter()
+                .map(|&v| v.abs() as f64)
+                .sum();
+            if now > 0.0 && self.prog_abs_sum > 0.0 {
+                self.w_eff.scale_assign((self.prog_abs_sum / now) as f32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Resolution, WeightSource};
+    use crate::management::NoiseManagement;
+    use nora_tensor::stats;
+
+    fn random_setup(seed: u64, rows: usize, cols: usize) -> (Matrix, Matrix) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Matrix::random_normal(rows, cols, 0.0, 0.3, &mut rng);
+        let x = Matrix::random_normal(8, rows, 0.0, 1.0, &mut rng);
+        (w, x)
+    }
+
+    #[test]
+    fn ideal_tile_computes_exact_gemv() {
+        let (w, x) = random_setup(1, 32, 16);
+        let mut tile = AnalogTile::new(w.clone(), None, TileConfig::ideal(), Rng::seed_from(2));
+        let y = tile.forward(&x);
+        let y_ref = x.matmul(&w);
+        assert!(y.mse(&y_ref) < 1e-10, "mse {}", y.mse(&y_ref));
+    }
+
+    #[test]
+    fn ideal_tile_with_smoothing_is_still_exact() {
+        // NORA rescaling is mathematically exact absent non-idealities.
+        let (w, x) = random_setup(3, 32, 16);
+        let s: Vec<f32> = (0..32).map(|i| 0.25 + (i % 7) as f32 * 0.5).collect();
+        let mut tile =
+            AnalogTile::new(w.clone(), Some(&s), TileConfig::ideal(), Rng::seed_from(4));
+        let y = tile.forward(&x);
+        let y_ref = x.matmul(&w);
+        assert!(y.mse(&y_ref) < 1e-9, "mse {}", y.mse(&y_ref));
+    }
+
+    #[test]
+    fn paper_default_tile_is_noisy_but_close() {
+        let (w, x) = random_setup(5, 64, 32);
+        let mut cfg = TileConfig::paper_default();
+        cfg.tile_rows = 64;
+        cfg.tile_cols = 32;
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(6));
+        let y = tile.forward(&x);
+        let y_ref = x.matmul(&w);
+        let rel = y.mse(&y_ref) / stats::variance(y_ref.as_slice());
+        assert!(rel > 1e-6, "should not be exact, rel {rel}");
+        assert!(rel < 0.2, "should be within 20% relative MSE, rel {rel}");
+    }
+
+    #[test]
+    fn zero_input_row_gives_zero_output() {
+        let (w, _) = random_setup(7, 16, 8);
+        let mut tile =
+            AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(8));
+        let x = Matrix::zeros(2, 16);
+        let y = tile.forward(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gamma_is_column_abs_max_of_scaled_weights() {
+        let w = Matrix::from_rows(&[&[1.0, -4.0], &[-2.0, 3.0]]);
+        let s = [2.0f32, 1.0];
+        let tile = AnalogTile::new(w, Some(&s), TileConfig::ideal(), Rng::seed_from(0));
+        // col 0: |1*2| vs |-2*1| → 2 ; col 1: |-4*2| vs |3*1| → 8
+        assert_eq!(tile.gamma(), &[2.0, 8.0]);
+    }
+
+    #[test]
+    fn effective_weights_are_normalised() {
+        let (w, _) = random_setup(9, 20, 10);
+        let tile = AnalogTile::new(w, None, TileConfig::ideal(), Rng::seed_from(1));
+        assert!(tile.effective_weights().abs_max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn all_zero_column_stays_zero() {
+        let mut w = Matrix::zeros(4, 3);
+        w[(0, 0)] = 1.0;
+        w[(2, 2)] = -1.0;
+        let mut tile = AnalogTile::new(w, None, TileConfig::ideal(), Rng::seed_from(2));
+        let x = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        let y = tile.forward(&x);
+        assert_eq!(y[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_resolution() {
+        let (w, x) = random_setup(11, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_at_bits = |bits: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.dac = Resolution::bits(bits);
+            cfg.adc = Resolution::bits(bits);
+            cfg.adc_bound = 12.0;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(12));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let coarse = mse_at_bits(4);
+        let fine = mse_at_bits(9);
+        assert!(
+            fine < coarse / 10.0,
+            "fine {fine} should be well below coarse {coarse}"
+        );
+    }
+
+    #[test]
+    fn output_noise_scales_mse() {
+        let (w, x) = random_setup(13, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_at = |sigma: f32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.out_noise = sigma;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(14));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let low = mse_at(0.01);
+        let high = mse_at(0.1);
+        // MSE should scale roughly with σ² (×100)
+        let ratio = high / low;
+        assert!((30.0..300.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_noise_aggregate_matches_statistics() {
+        // Per-output read-noise std should be σ_w · ‖x̂‖₂ · α · γ.
+        let rows = 64;
+        let w = Matrix::full(rows, 1, 0.5);
+        let mut cfg = TileConfig::ideal();
+        cfg.w_noise = 0.02;
+        cfg.noise_management = NoiseManagement::AbsMax;
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(15));
+        let x = Matrix::full(1, rows, 1.0);
+        let y_ref = x.matmul(&w)[(0, 0)];
+        let n = 4000;
+        let mut sum2 = 0.0f64;
+        for _ in 0..n {
+            let y = tile.forward(&x)[(0, 0)];
+            sum2 += ((y - y_ref) as f64).powi(2);
+        }
+        let measured = (sum2 / n as f64).sqrt();
+        // x̂ = 1 (α=1 per AbsMax? α = max|x| = 1). ‖x̂‖₂ = 8. γ = 0.5.
+        let expect = 0.02 * (rows as f32).sqrt() * 1.0 * 0.5;
+        assert!(
+            (measured / expect as f64 - 1.0).abs() < 0.1,
+            "measured {measured} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn bound_management_recovers_saturation() {
+        // Force heavy ADC saturation with a tiny bound; iterative BM should
+        // recover most of the accuracy.
+        let (w, x) = random_setup(17, 64, 16);
+        let y_ref = x.matmul(&w);
+        let run = |bm: BoundManagement| {
+            let mut cfg = TileConfig::ideal();
+            cfg.adc = Resolution::bits(9);
+            cfg.adc_bound = 1.0; // far too small: outputs saturate
+            cfg.bound_management = bm;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(18));
+            let y = tile.forward(&x);
+            (y.mse(&y_ref), tile.stats().bound_mgmt_retries)
+        };
+        let (mse_none, retries_none) = run(BoundManagement::None);
+        let (mse_bm, retries_bm) = run(BoundManagement::Iterative { max_rounds: 6 });
+        assert_eq!(retries_none, 0);
+        assert!(retries_bm > 0);
+        assert!(
+            mse_bm < mse_none / 5.0,
+            "bm {mse_bm} should beat none {mse_none}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let (w, x) = random_setup(19, 16, 8);
+        let mut tile =
+            AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(20));
+        tile.forward(&x);
+        assert_eq!(tile.stats().samples, 8);
+        assert!(tile.stats().mean_rescale() > 0.0);
+        tile.reset_stats();
+        assert_eq!(tile.stats(), &ForwardStats::default());
+    }
+
+    #[test]
+    fn pcm_weights_add_programming_error() {
+        let (w, x) = random_setup(21, 32, 16);
+        let y_ref = x.matmul(&w);
+        let mut cfg = TileConfig::ideal();
+        cfg.weight_source = WeightSource::Pcm(1.0);
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(22));
+        let y = tile.forward(&x);
+        let mse = y.mse(&y_ref);
+        assert!(mse > 1e-8, "programming noise should perturb output");
+        assert!(mse < 0.5, "but not catastrophically: {mse}");
+    }
+
+    #[test]
+    fn drift_degrades_then_compensation_recovers() {
+        let (w, x) = random_setup(23, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mut cfg = TileConfig::ideal();
+        cfg.weight_source = WeightSource::Pcm(0.2);
+        let make = || AnalogTile::new(w.clone(), None, cfg.clone(), Rng::seed_from(24));
+
+        let mut fresh = make();
+        let mse_fresh = fresh.forward(&x).mse(&y_ref);
+
+        let mut drifted = make();
+        drifted.apply_drift(86_400.0, DriftCompensation::None);
+        let mse_drift = drifted.forward(&x).mse(&y_ref);
+
+        let mut comp = make();
+        comp.apply_drift(86_400.0, DriftCompensation::GlobalScale);
+        let mse_comp = comp.forward(&x).mse(&y_ref);
+
+        assert!(
+            mse_drift > mse_fresh * 2.0,
+            "drift should hurt: fresh {mse_fresh} drifted {mse_drift}"
+        );
+        assert!(
+            mse_comp < mse_drift,
+            "compensation should help: comp {mse_comp} drifted {mse_drift}"
+        );
+    }
+
+    #[test]
+    fn weight_quantization_snaps_levels_and_coarser_hurts_more() {
+        let (w, x) = random_setup(41, 32, 16);
+        let y_ref = x.matmul(&w);
+        let mse_at_bits = |bits: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.weight_quant = Resolution::bits(bits);
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(42));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let coarse = mse_at_bits(3);
+        let fine = mse_at_bits(8);
+        assert!(fine < coarse / 10.0, "fine {fine} coarse {coarse}");
+
+        // Levels are actually discrete: with b bits, at most 2^b + 1 values.
+        let mut cfg = TileConfig::ideal();
+        cfg.weight_quant = Resolution::bits(3);
+        let tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(43));
+        let mut distinct: Vec<i64> = tile
+            .effective_weights()
+            .as_slice()
+            .iter()
+            .map(|&v| (v * 1e6).round() as i64)
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 9, "{} distinct levels", distinct.len());
+    }
+
+    #[test]
+    fn bit_serial_matches_analog_quantization_accuracy() {
+        use crate::config::InputEncoding;
+        let (w, x) = random_setup(61, 48, 24);
+        let y_ref = x.matmul(&w);
+        // 7-bit analog DAC vs 7-bit bit-serial: same information per input,
+        // so the quantization error should be comparable.
+        let mut analog_cfg = TileConfig::ideal();
+        analog_cfg.dac = Resolution::bits(7);
+        let mut analog = AnalogTile::new(w.clone(), None, analog_cfg, Rng::seed_from(62));
+        let mse_analog = analog.forward(&x).mse(&y_ref);
+
+        let mut serial_cfg = TileConfig::ideal();
+        serial_cfg.input_encoding = InputEncoding::BitSerial { bits: 7 };
+        let mut serial = AnalogTile::new(w.clone(), None, serial_cfg, Rng::seed_from(62));
+        let mse_serial = serial.forward(&x).mse(&y_ref);
+        assert!(mse_serial > 0.0, "quantized, not exact");
+        assert!(
+            (mse_serial / mse_analog).log10().abs() < 1.0,
+            "analog {mse_analog} vs bit-serial {mse_serial}"
+        );
+    }
+
+    #[test]
+    fn bit_serial_is_immune_to_s_shape_nonlinearity() {
+        use crate::config::InputEncoding;
+        let (w, x) = random_setup(63, 48, 24);
+        let y_ref = x.matmul(&w);
+        let curvature = 2.0; // strong driver compression
+        let mut analog_cfg = TileConfig::ideal();
+        analog_cfg.dac = Resolution::bits(8);
+        analog_cfg.s_shape = curvature;
+        let mut analog = AnalogTile::new(w.clone(), None, analog_cfg, Rng::seed_from(64));
+        let mse_analog = analog.forward(&x).mse(&y_ref);
+
+        let mut serial_cfg = TileConfig::ideal();
+        serial_cfg.input_encoding = InputEncoding::BitSerial { bits: 8 };
+        serial_cfg.s_shape = curvature;
+        let mut serial = AnalogTile::new(w.clone(), None, serial_cfg, Rng::seed_from(64));
+        let mse_serial = serial.forward(&x).mse(&y_ref);
+        assert!(
+            mse_serial < mse_analog / 20.0,
+            "binary drive should cancel the S-shape: analog {mse_analog} vs serial {mse_serial}"
+        );
+    }
+
+    #[test]
+    fn bit_serial_attenuates_output_noise_via_shift_add() {
+        use crate::config::InputEncoding;
+        // Each plane picks up its own σ_out, but the digital shift-add
+        // scales plane k's noise by 2^k / full_scale, so the combined noise
+        // std is √(Σ 4^k) / full_scale ≈ 0.58 of a single conversion.
+        let (w, x) = random_setup(65, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mut analog_cfg = TileConfig::ideal();
+        analog_cfg.out_noise = 0.05;
+        let mut analog = AnalogTile::new(w.clone(), None, analog_cfg, Rng::seed_from(66));
+        let mse_analog = analog.forward(&x).mse(&y_ref);
+
+        let mut serial_cfg = TileConfig::ideal();
+        serial_cfg.out_noise = 0.05;
+        serial_cfg.input_encoding = InputEncoding::BitSerial { bits: 8 };
+        let mut serial = AnalogTile::new(w.clone(), None, serial_cfg, Rng::seed_from(66));
+        let mse_serial = serial.forward(&x).mse(&y_ref);
+        // Expect roughly 0.58² ≈ 1/3 of the analog noise MSE (plus the
+        // bit-serial quantization floor).
+        assert!(
+            mse_serial < mse_analog && mse_serial > mse_analog / 10.0,
+            "analog {mse_analog} vs serial {mse_serial}"
+        );
+    }
+
+    #[test]
+    fn write_verify_tightens_programmed_weights() {
+        let (w, x) = random_setup(81, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_with_iters = |iters: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.weight_source = WeightSource::Pcm(1.0);
+            cfg.write_verify_iters = iters;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(82));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let single_shot = mse_with_iters(1);
+        let verified = mse_with_iters(8);
+        assert!(
+            verified < single_shot / 2.0,
+            "single-shot {single_shot} vs verified {verified}"
+        );
+    }
+
+    #[test]
+    fn read_averaging_suppresses_stochastic_noise_by_sqrt_n() {
+        let (w, x) = random_setup(71, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_with_reads = |n: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.out_noise = 0.05;
+            cfg.w_noise = 0.02;
+            cfg.read_averaging = n;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(72));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let single = mse_with_reads(1);
+        let averaged = mse_with_reads(8);
+        // Variance should drop ≈ 8×; allow Monte-Carlo slack.
+        let ratio = single / averaged;
+        assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_averaging_does_not_help_quantization() {
+        let (w, x) = random_setup(73, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_with_reads = |n: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.dac = Resolution::bits(5);
+            cfg.read_averaging = n;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(74));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let single = mse_with_reads(1);
+        let averaged = mse_with_reads(8);
+        // Deterministic quantization error: averaging identical rounds is
+        // a no-op.
+        assert!((averaged / single - 1.0).abs() < 1e-6, "{single} vs {averaged}");
+    }
+
+    #[test]
+    fn weight_slicing_cuts_programming_error_on_tile() {
+        let (w, x) = random_setup(51, 48, 24);
+        let y_ref = x.matmul(&w);
+        let mse_with_slices = |slices: u32| {
+            let mut cfg = TileConfig::ideal();
+            cfg.weight_source = WeightSource::Pcm(1.0);
+            cfg.weight_slices = slices;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(52));
+            tile.forward(&x).mse(&y_ref)
+        };
+        let single = mse_with_slices(1);
+        let sliced = mse_with_slices(2);
+        assert!(
+            sliced < single / 5.0,
+            "1 slice {single} vs 2 slices {sliced}"
+        );
+    }
+
+    #[test]
+    fn sliced_tile_supports_drift() {
+        let (w, x) = random_setup(53, 32, 16);
+        let y_ref = x.matmul(&w);
+        let mut cfg = TileConfig::ideal();
+        cfg.weight_source = WeightSource::Pcm(1.0);
+        cfg.weight_slices = 2;
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(54));
+        let fresh = tile.forward(&x).mse(&y_ref);
+        tile.apply_drift(86_400.0, DriftCompensation::None);
+        let drifted = tile.forward(&x).mse(&y_ref);
+        assert!(drifted > fresh, "drift should still degrade: {fresh} vs {drifted}");
+    }
+
+    #[test]
+    fn digital_quant_config_has_no_analog_noise() {
+        let cfg = TileConfig::digital_quant(8);
+        assert_eq!(cfg.out_noise, 0.0);
+        assert_eq!(cfg.w_noise, 0.0);
+        assert_eq!(cfg.weight_source, WeightSource::Ideal);
+        assert_eq!(cfg.weight_quant.steps(), Some(256));
+        assert_eq!(cfg.dac.steps(), Some(256));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn reram_weights_program_with_lognormal_error_and_do_not_drift() {
+        let (w, x) = random_setup(31, 32, 16);
+        let y_ref = x.matmul(&w);
+        let mut cfg = TileConfig::ideal();
+        cfg.weight_source = WeightSource::Reram(0.05);
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(32));
+        let mse_fresh = tile.forward(&x).mse(&y_ref);
+        assert!(mse_fresh > 1e-9, "programming error expected");
+        // ReRAM has no inference-scale drift: a year changes nothing
+        // deterministic (read noise off in the tile's device model).
+        tile.apply_drift(3.15e7, DriftCompensation::None);
+        let mse_year = tile.forward(&x).mse(&y_ref);
+        assert!(
+            (mse_year / mse_fresh).log10().abs() < 1.0,
+            "fresh {mse_fresh} vs year {mse_year}"
+        );
+    }
+
+    #[test]
+    fn drift_is_noop_for_ideal_weights() {
+        let (w, x) = random_setup(25, 16, 8);
+        let mut tile = AnalogTile::new(w.clone(), None, TileConfig::ideal(), Rng::seed_from(26));
+        tile.apply_drift(1e6, DriftCompensation::None);
+        let y = tile.forward(&x);
+        assert!(y.mse(&x.matmul(&w)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tile size")]
+    fn oversized_block_panics() {
+        let w = Matrix::zeros(600, 10);
+        AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing vector length")]
+    fn wrong_smoothing_length_panics() {
+        let w = Matrix::zeros(4, 4);
+        AnalogTile::new(w, Some(&[1.0, 2.0]), TileConfig::ideal(), Rng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_smoothing_panics() {
+        let w = Matrix::zeros(2, 2);
+        AnalogTile::new(w, Some(&[1.0, 0.0]), TileConfig::ideal(), Rng::seed_from(0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline activation calibration.
+//!
+//! NORA's smoothing factors need per-input-channel activation maxima
+//! `max|x_k|` for every analog-mapped linear. The paper estimates them on a
+//! small slice of the Pile; here any stream of token sequences works. The
+//! estimate transfers across inputs because LLM outliers sit in *fixed*
+//! channels ("outliers in LLM activation tend to appear in some specific
+//! channels regardless of the input data", paper §IV).
+
+use nora_nn::{LinearId, TransformerLm};
+use std::collections::HashMap;
+
+/// Per-layer, per-channel activation statistics from a calibration pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// `max|x_k|` per input channel, keyed by linear id.
+    act_abs_max: HashMap<LinearId, Vec<f32>>,
+    /// Number of token positions observed.
+    positions: usize,
+}
+
+impl Calibration {
+    /// Per-channel absolute maxima for one linear, if observed.
+    pub fn act_abs_max(&self, id: LinearId) -> Option<&[f32]> {
+        self.act_abs_max.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Ids covered by this calibration.
+    pub fn ids(&self) -> impl Iterator<Item = LinearId> + '_ {
+        self.act_abs_max.keys().copied()
+    }
+
+    /// Number of token positions that contributed.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Merges another calibration (elementwise max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two calibrations cover different layers or channel
+    /// counts.
+    pub fn merge(&mut self, other: &Calibration) {
+        for (id, their) in &other.act_abs_max {
+            let mine = self
+                .act_abs_max
+                .get_mut(id)
+                .expect("merging calibrations of different models");
+            assert_eq!(mine.len(), their.len(), "channel count mismatch");
+            for (m, &t) in mine.iter_mut().zip(their) {
+                *m = m.max(t);
+            }
+        }
+        self.positions += other.positions;
+    }
+}
+
+/// Runs `sequences` through the FP model and records, for every
+/// analog-mappable linear, the per-channel absolute maximum of its input.
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty or contains an empty sequence.
+pub fn calibrate(model: &TransformerLm, sequences: &[Vec<usize>]) -> Calibration {
+    assert!(!sequences.is_empty(), "calibration needs at least one sequence");
+    let mut act_abs_max: HashMap<LinearId, Vec<f32>> = HashMap::new();
+    let mut positions = 0usize;
+    for seq in sequences {
+        assert!(!seq.is_empty(), "empty calibration sequence");
+        positions += seq.len();
+        model.forward_observed(seq, &mut |id, x| {
+            let maxima = act_abs_max
+                .entry(id)
+                .or_insert_with(|| vec![0.0f32; x.cols()]);
+            for row in x.iter_rows() {
+                for (m, &v) in maxima.iter_mut().zip(row) {
+                    *m = m.max(v.abs());
+                }
+            }
+        });
+    }
+    Calibration {
+        act_abs_max,
+        positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nora_nn::{LinearKind, ModelConfig};
+    use nora_tensor::rng::Rng;
+
+    fn model() -> TransformerLm {
+        TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(1))
+    }
+
+    #[test]
+    fn covers_every_linear_with_right_widths() {
+        let m = model();
+        let calib = calibrate(&m, &[vec![1, 2, 3, 4], vec![5, 6, 7]]);
+        assert_eq!(calib.ids().count(), 6);
+        let q = calib.act_abs_max(LinearId::new(0, LinearKind::Q)).unwrap();
+        assert_eq!(q.len(), 16); // d_model
+        let fc2 = calib.act_abs_max(LinearId::new(0, LinearKind::Fc2)).unwrap();
+        assert_eq!(fc2.len(), 32); // d_ff
+        assert_eq!(calib.positions(), 7);
+    }
+
+    #[test]
+    fn maxima_are_nonnegative_and_mostly_positive() {
+        let m = model();
+        let calib = calibrate(&m, &[vec![1, 2, 3, 4, 5, 6, 7, 8]]);
+        for id in m.linear_ids() {
+            let maxima = calib.act_abs_max(id).unwrap();
+            assert!(maxima.iter().all(|&v| v >= 0.0));
+            let positive = maxima.iter().filter(|&&v| v > 0.0).count();
+            assert!(positive > maxima.len() / 2, "{id:?}: too many zero channels");
+        }
+    }
+
+    #[test]
+    fn more_data_never_shrinks_maxima() {
+        let m = model();
+        let small = calibrate(&m, &[vec![1, 2, 3]]);
+        let big = calibrate(&m, &[vec![1, 2, 3], vec![9, 8, 7, 6]]);
+        for id in m.linear_ids() {
+            for (s, b) in small
+                .act_abs_max(id)
+                .unwrap()
+                .iter()
+                .zip(big.act_abs_max(id).unwrap())
+            {
+                assert!(b >= s);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_takes_elementwise_max() {
+        let m = model();
+        let mut a = calibrate(&m, &[vec![1, 2, 3]]);
+        let b = calibrate(&m, &[vec![9, 8, 7, 6]]);
+        let combined = calibrate(&m, &[vec![1, 2, 3], vec![9, 8, 7, 6]]);
+        a.merge(&b);
+        for id in m.linear_ids() {
+            assert_eq!(a.act_abs_max(id), combined.act_abs_max(id));
+        }
+        assert_eq!(a.positions(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn empty_calibration_panics() {
+        calibrate(&model(), &[]);
+    }
+}

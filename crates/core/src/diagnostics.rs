@@ -1,0 +1,214 @@
+//! Distribution and output-current diagnostics (paper Fig. 4 and Fig. 6).
+//!
+//! * [`layer_distributions`] — per-layer kurtosis of the *effective* analog
+//!   inputs `x ⊘ s` and weights `w ⊙ s`; with the naive plan this is the raw
+//!   model, with a NORA plan it shows the burden transfer (Fig. 6a/b).
+//! * [`rescale_factors`] — the mean output rescale factor `α_i γ_j g_max`
+//!   per layer; NORA shrinking it means more bitline current and a higher
+//!   SNR (Fig. 6c).
+
+use crate::plan::RescalePlan;
+use nora_cim::TileConfig;
+use nora_nn::{LinearId, TransformerLm};
+use nora_tensor::stats;
+
+/// Kurtosis of the effective input/weight distributions of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerDistribution {
+    /// The layer.
+    pub id: LinearId,
+    /// Pearson kurtosis of the effective analog input `x ⊘ s`.
+    pub input_kurtosis: f64,
+    /// Pearson kurtosis of the effective analog weight `w ⊙ s`.
+    pub weight_kurtosis: f64,
+    /// Largest absolute effective input value (outlier magnitude).
+    pub input_abs_max: f32,
+    /// Standard deviation of the effective input (bulk scale — the ratio
+    /// `input_abs_max / input_std` is the dynamic-range burden the DAC
+    /// carries).
+    pub input_std: f64,
+}
+
+/// Computes effective input/weight kurtosis for every analog-mapped linear
+/// under `plan`, using `sequences` as the probe stream.
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty.
+pub fn layer_distributions(
+    model: &TransformerLm,
+    sequences: &[Vec<usize>],
+    plan: &RescalePlan,
+) -> Vec<LayerDistribution> {
+    assert!(!sequences.is_empty(), "need at least one probe sequence");
+    use std::collections::HashMap;
+    let mut inputs: HashMap<LinearId, Vec<f32>> = HashMap::new();
+    for seq in sequences {
+        model.forward_observed(seq, &mut |id, x| {
+            let store = inputs.entry(id).or_default();
+            match plan.smoothing_for(id) {
+                Some(s) => {
+                    for row in x.iter_rows() {
+                        store.extend(row.iter().zip(s).map(|(&v, &sv)| v / sv));
+                    }
+                }
+                None => store.extend_from_slice(x.as_slice()),
+            }
+        });
+    }
+    model
+        .linear_ids()
+        .into_iter()
+        .map(|id| {
+            let xs = &inputs[&id];
+            let mut w = model.linear(id).weight.value.clone();
+            if let Some(s) = plan.smoothing_for(id) {
+                w.scale_rows(s);
+            }
+            let mut running = stats::RunningStats::new();
+            running.extend(xs);
+            LayerDistribution {
+                id,
+                input_kurtosis: stats::kurtosis(xs),
+                weight_kurtosis: stats::kurtosis(w.as_slice()),
+                input_abs_max: running.max().abs().max(running.min().abs()),
+                input_std: running.std_dev(),
+            }
+        })
+        .collect()
+}
+
+/// Runs `sequences` through an analog deployment under `plan` and reports
+/// the per-layer mean rescale factor `α_i γ_j` (normalised units — the
+/// paper's `α_i γ_j · g_max`).
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty.
+pub fn rescale_factors(
+    model: &TransformerLm,
+    sequences: &[Vec<usize>],
+    plan: &RescalePlan,
+    tile_config: TileConfig,
+    seed: u64,
+) -> Vec<(LinearId, f64)> {
+    assert!(!sequences.is_empty(), "need at least one probe sequence");
+    let mut analog = plan.deploy(model, tile_config, seed);
+    for seq in sequences {
+        analog.forward(seq);
+    }
+    analog
+        .per_layer_stats()
+        .into_iter()
+        .map(|(id, st)| (id, st.mean_rescale()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use crate::smoothing::SmoothingConfig;
+    use nora_nn::zoo::{inject_outliers, ModelFamily};
+    use nora_nn::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    fn setup() -> (TransformerLm, Vec<Vec<usize>>) {
+        let mut model = TransformerLm::new(
+            ModelConfig {
+                d_model: 32,
+                d_ff: 64,
+                ..ModelConfig::tiny_for_tests()
+            },
+            &mut Rng::seed_from(7),
+        );
+        inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), 7);
+        let seqs = (0..4)
+            .map(|i| (0..14).map(|t| 2 + (t * 5 + i) % 14).collect())
+            .collect();
+        (model, seqs)
+    }
+
+    #[test]
+    fn nora_reduces_input_kurtosis_and_raises_weight_kurtosis() {
+        let (model, seqs) = setup();
+        let calib = calibrate(&model, &seqs);
+        let naive = layer_distributions(&model, &seqs, &RescalePlan::naive());
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        let nora = layer_distributions(&model, &seqs, &plan);
+
+        let mean_in = |d: &[LayerDistribution]| {
+            d.iter().map(|l| l.input_kurtosis).sum::<f64>() / d.len() as f64
+        };
+        let mean_w = |d: &[LayerDistribution]| {
+            d.iter().map(|l| l.weight_kurtosis).sum::<f64>() / d.len() as f64
+        };
+        assert!(
+            mean_in(&nora) < mean_in(&naive) * 0.6,
+            "input kurtosis {} → {}",
+            mean_in(&naive),
+            mean_in(&nora)
+        );
+        // Weight kurtosis moves only mildly (the burden lands on weights,
+        // which tolerate it). Fidelity note: the paper reports a *slight
+        // increase*; with function-preserving outlier injection the consumer
+        // weight rows carry the exact inverse factors, so `w ⊙ s` re-balances
+        // them and the kurtosis stays flat or dips instead — see
+        // EXPERIMENTS.md. Either way it must stay far below the naive input
+        // kurtosis: the weights never become the new bottleneck.
+        assert!(
+            mean_w(&nora) < mean_in(&naive),
+            "weight kurtosis {} must stay below naive input kurtosis {}",
+            mean_w(&nora),
+            mean_in(&naive)
+        );
+        assert!(
+            mean_w(&nora) > 0.5 * mean_w(&naive) && mean_w(&nora) < 3.0 * mean_w(&naive),
+            "weight kurtosis should move mildly: {} → {}",
+            mean_w(&naive),
+            mean_w(&nora)
+        );
+    }
+
+    #[test]
+    fn nora_shrinks_rescale_factors() {
+        let (model, seqs) = setup();
+        let calib = calibrate(&model, &seqs);
+        let tile = TileConfig::paper_default().with_tile_size(64, 64);
+        let naive = rescale_factors(&model, &seqs, &RescalePlan::naive(), tile.clone(), 1);
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        let nora = rescale_factors(&model, &seqs, &plan, tile, 1);
+        let sum = |v: &[(LinearId, f64)]| v.iter().map(|(_, r)| r).sum::<f64>();
+        assert!(
+            sum(&nora) < sum(&naive),
+            "rescale {} → {}",
+            sum(&naive),
+            sum(&nora)
+        );
+    }
+
+    #[test]
+    fn outlier_magnitude_shrinks_under_nora() {
+        let (model, seqs) = setup();
+        let calib = calibrate(&model, &seqs);
+        let naive = layer_distributions(&model, &seqs, &RescalePlan::naive());
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        let nora = layer_distributions(&model, &seqs, &plan);
+        let max_naive: f32 = naive.iter().map(|l| l.input_abs_max).fold(0.0, f32::max);
+        let max_nora: f32 = nora.iter().map(|l| l.input_abs_max).fold(0.0, f32::max);
+        assert!(max_nora < max_naive, "{max_naive} → {max_nora}");
+        // NORA shrinks the dynamic-range burden max/std, not just the max.
+        let burden = |d: &[LayerDistribution]| {
+            d.iter()
+                .map(|l| l.input_abs_max as f64 / l.input_std.max(1e-9))
+                .sum::<f64>()
+                / d.len() as f64
+        };
+        assert!(
+            burden(&nora) < burden(&naive),
+            "dynamic-range burden {} → {}",
+            burden(&naive),
+            burden(&nora)
+        );
+    }
+}

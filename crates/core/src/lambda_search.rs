@@ -1,0 +1,163 @@
+//! Per-layer migration-strength (λ) search.
+//!
+//! The paper fixes λ = 0.5 (SmoothQuant's default) and lists per-layer
+//! tuning as future work ("we plan to … add more ablation studies, such as
+//! per-layer evaluation"). This module implements that ablation: each
+//! analog-mapped linear independently grid-searches the λ that minimises its
+//! *analog-vs-digital layer output MSE* on calibration data, evaluated on a
+//! real noisy tile.
+//!
+//! The search is layer-local (inputs are taken from the FP model), so its
+//! cost is linear in `layers × |grid|` instead of exponential.
+
+use crate::calibrate::Calibration;
+use crate::plan::RescalePlan;
+use crate::smoothing::SmoothingConfig;
+use nora_cim::{AnalogLinear, TileConfig};
+use nora_nn::{LinearId, TransformerLm};
+use nora_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Outcome of a per-layer λ search.
+#[derive(Debug, Clone)]
+pub struct LambdaSearchResult {
+    /// Winning λ per layer.
+    pub per_layer: HashMap<LinearId, f32>,
+    /// Layer-output MSE achieved by the winning λ, per layer.
+    pub per_layer_mse: HashMap<LinearId, f64>,
+    /// The rescale plan built from the winners.
+    pub plan: RescalePlan,
+}
+
+/// Grid-searches λ per layer.
+///
+/// For every analog-mapped linear, its calibration-time inputs are captured
+/// from the FP model, then each candidate λ is scored by programming the
+/// layer on a tile with `tile_config` and measuring the output MSE against
+/// the digital layer. Ties break toward the smaller λ.
+///
+/// # Panics
+///
+/// Panics if `sequences` or `lambdas` is empty, or any λ is outside
+/// `[0, 1]`.
+pub fn per_layer_search(
+    model: &TransformerLm,
+    calibration: &Calibration,
+    sequences: &[Vec<usize>],
+    tile_config: &TileConfig,
+    lambdas: &[f32],
+    seed: u64,
+) -> LambdaSearchResult {
+    assert!(!sequences.is_empty(), "need probe sequences");
+    assert!(!lambdas.is_empty(), "need candidate lambdas");
+    assert!(
+        lambdas.iter().all(|l| (0.0..=1.0).contains(l)),
+        "lambdas must lie in [0, 1]"
+    );
+
+    // Capture each layer's FP inputs once.
+    let mut inputs: HashMap<LinearId, Vec<Matrix>> = HashMap::new();
+    for seq in sequences {
+        model.forward_observed(seq, &mut |id, x| {
+            inputs.entry(id).or_default().push(x.clone());
+        });
+    }
+
+    let mut per_layer = HashMap::new();
+    let mut per_layer_mse = HashMap::new();
+    let mut configs = HashMap::new();
+    for id in model.linear_ids() {
+        let x = Matrix::vstack(&inputs[&id]);
+        let lin = model.linear(id);
+        let digital = lin.forward(&x);
+        let weight_row_max = lin.weight.value.row_abs_max();
+        let act_max = calibration
+            .act_abs_max(id)
+            .expect("calibration covers the model");
+
+        let mut best = (f64::INFINITY, lambdas[0]);
+        for &lambda in lambdas {
+            let cfg = SmoothingConfig::with_lambda(lambda);
+            let s = crate::smoothing::smoothing_vector(act_max, &weight_row_max, cfg);
+            let bias = lin.bias.value.row(0).to_vec();
+            let mut analog = AnalogLinear::with_smoothing(
+                lin.weight.value.clone(),
+                Some(bias),
+                Some(&s),
+                tile_config.clone(),
+                seed ^ (id.block as u64) << 8,
+            );
+            let mse = analog.forward(&x).mse(&digital);
+            if mse < best.0 {
+                best = (mse, lambda);
+            }
+        }
+        per_layer.insert(id, best.1);
+        per_layer_mse.insert(id, best.0);
+        configs.insert(id, SmoothingConfig::with_lambda(best.1));
+    }
+
+    let plan = RescalePlan::nora_per_layer(model, calibration, &configs);
+    LambdaSearchResult {
+        per_layer,
+        per_layer_mse,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use nora_nn::zoo::{inject_outliers, ModelFamily};
+    use nora_nn::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    #[test]
+    fn search_picks_interior_lambda_for_outlier_models() {
+        let mut model = TransformerLm::new(
+            ModelConfig {
+                d_model: 32,
+                d_ff: 64,
+                ..ModelConfig::tiny_for_tests()
+            },
+            &mut Rng::seed_from(3),
+        );
+        inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), 3);
+        let seqs: Vec<Vec<usize>> = (0..3)
+            .map(|i| (0..12).map(|t| 2 + (t * 7 + i) % 14).collect())
+            .collect();
+        let calib = calibrate(&model, &seqs);
+        let tile = TileConfig::paper_default().with_tile_size(64, 64);
+        let result = per_layer_search(
+            &model,
+            &calib,
+            &seqs,
+            &tile,
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+            9,
+        );
+        assert_eq!(result.per_layer.len(), model.linear_ids().len());
+        // At least one layer should prefer a non-trivial λ, and the plan
+        // should cover every layer.
+        assert!(result.per_layer.values().any(|&l| l > 0.0));
+        assert!(!result.plan.is_naive());
+        assert!(result.per_layer_mse.values().all(|&m| m.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate lambdas")]
+    fn empty_grid_panics() {
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(0));
+        let seqs = vec![vec![1usize, 2, 3]];
+        let calib = calibrate(&model, &seqs);
+        per_layer_search(
+            &model,
+            &calib,
+            &seqs,
+            &TileConfig::ideal(),
+            &[],
+            0,
+        );
+    }
+}

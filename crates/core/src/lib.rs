@@ -1,0 +1,57 @@
+//! NORA: noise-optimized rescaling of LLM weights and activations for
+//! analog compute-in-memory accelerators.
+//!
+//! This crate implements the paper's contribution. The observation driving
+//! it: LLMs on analog CIM are **sensitive to IO non-idealities** (DAC/ADC
+//! quantization, additive Gaussian noise at the converters) but **resilient
+//! to tile non-idealities** (programming noise, read noise, IR-drop). NORA
+//! therefore shifts the "non-ideality burden" from the dynamically streamed
+//! activations to the statically mapped weights by folding a per-channel
+//! smoothing component `s_k` into the analog scaling factors:
+//!
+//! ```text
+//! s_k = max|x_k|^λ / max|w_k|^(1-λ)                        (λ ∈ [0,1])
+//! weights:      w_kj → w_kj · s_k     (before programming, Eq. 6)
+//! activations:  x_ik → x_ik / s_k     (before the DAC, Eq. 7)
+//! output scale: α'_i γ'_j = max|x_i ⊘ s| · max|w_j ⊙ s| / g_max   (Eq. 8)
+//! ```
+//!
+//! The activation maxima come from a small offline calibration pass
+//! ([`calibrate`]) — outliers live in fixed channels, so calibration
+//! transfers across inputs. The rescaling is mathematically exact (the two
+//! `s` factors cancel); its effect appears only under non-idealities:
+//! activation distributions tighten (less DAC clipping, finer resolution),
+//! and the combined rescale factor `α'γ'` shrinks (more bitline current,
+//! higher SNR against additive output noise).
+//!
+//! # Pipeline
+//!
+//! ```
+//! use nora_core::{calibrate, RescalePlan, SmoothingConfig};
+//! use nora_cim::TileConfig;
+//! use nora_nn::zoo::{tiny_spec, ModelFamily};
+//!
+//! // 1. A trained, outlier-injected model (any TransformerLm works).
+//! let mut zoo = tiny_spec(ModelFamily::OptLike, 1).build();
+//! // 2. Calibrate per-channel activation maxima on a few sequences.
+//! let seqs: Vec<Vec<usize>> = (0..4).map(|_| zoo.corpus.episode().tokens).collect();
+//! let calib = calibrate(&zoo.model, &seqs);
+//! // 3. Build the rescale plan and deploy onto analog tiles.
+//! let plan = RescalePlan::nora(&zoo.model, &calib, SmoothingConfig::default());
+//! let mut analog = plan.deploy(&zoo.model, TileConfig::paper_default(), 7);
+//! let _logits = analog.forward(&seqs[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod plan;
+mod smoothing;
+
+pub mod diagnostics;
+pub mod lambda_search;
+
+pub use calibrate::{calibrate, Calibration};
+pub use plan::RescalePlan;
+pub use smoothing::{smoothing_vector, SmoothingConfig};

@@ -1,0 +1,178 @@
+//! Rescale plans: from calibration to analog deployment.
+
+use crate::calibrate::Calibration;
+use crate::smoothing::{smoothing_vector, SmoothingConfig};
+use nora_cim::TileConfig;
+use nora_nn::deploy::{AnalogTransformerLm, SmoothingMap};
+use nora_nn::{LinearId, TransformerLm};
+use std::collections::HashMap;
+
+/// A complete per-layer rescale plan for deploying a model on analog tiles.
+///
+/// [`RescalePlan::naive`] deploys the paper's baseline (no rescaling);
+/// [`RescalePlan::nora`] builds the NORA smoothing vectors from a
+/// calibration. Plans with heterogeneous per-layer `λ` come from
+/// [`crate::lambda_search`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RescalePlan {
+    smoothing: SmoothingMap,
+}
+
+impl RescalePlan {
+    /// The baseline plan: no rescaling anywhere.
+    pub fn naive() -> Self {
+        Self::default()
+    }
+
+    /// Builds the NORA plan: one smoothing vector per analog-mapped linear,
+    /// `s_k = max|x_k|^λ / max|w_k|^{1-λ}` with the calibrated activation
+    /// maxima and the model's weight-row maxima.
+    ///
+    /// Layers missing from the calibration deploy naively.
+    pub fn nora(model: &TransformerLm, calibration: &Calibration, config: SmoothingConfig) -> Self {
+        let mut lambdas = HashMap::new();
+        for id in model.linear_ids() {
+            lambdas.insert(id, config);
+        }
+        Self::nora_per_layer(model, calibration, &lambdas)
+    }
+
+    /// Like [`RescalePlan::nora`] with a per-layer smoothing config (used by
+    /// the λ ablation). Layers absent from `configs` deploy naively.
+    pub fn nora_per_layer(
+        model: &TransformerLm,
+        calibration: &Calibration,
+        configs: &HashMap<LinearId, SmoothingConfig>,
+    ) -> Self {
+        let mut smoothing = SmoothingMap::new();
+        for id in model.linear_ids() {
+            let Some(cfg) = configs.get(&id) else {
+                continue;
+            };
+            let Some(act_max) = calibration.act_abs_max(id) else {
+                continue;
+            };
+            let weight_row_max = model.linear(id).weight.value.row_abs_max();
+            smoothing.insert(id, smoothing_vector(act_max, &weight_row_max, *cfg));
+        }
+        Self { smoothing }
+    }
+
+    /// The per-layer smoothing vectors.
+    pub fn smoothing_map(&self) -> &SmoothingMap {
+        &self.smoothing
+    }
+
+    /// Whether this plan rescales anything.
+    pub fn is_naive(&self) -> bool {
+        self.smoothing.is_empty()
+    }
+
+    /// Smoothing vector for one layer, if planned.
+    pub fn smoothing_for(&self, id: LinearId) -> Option<&[f32]> {
+        self.smoothing.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Deploys `model` onto analog tiles under this plan.
+    pub fn deploy(
+        &self,
+        model: &TransformerLm,
+        tile_config: TileConfig,
+        seed: u64,
+    ) -> AnalogTransformerLm {
+        AnalogTransformerLm::new(model, tile_config, &self.smoothing, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use nora_nn::zoo::{inject_outliers, ModelFamily};
+    use nora_nn::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    fn outlier_model(seed: u64) -> TransformerLm {
+        let mut model =
+            TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(seed));
+        inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), seed);
+        model
+    }
+
+    fn sequences() -> Vec<Vec<usize>> {
+        (0..4)
+            .map(|i| (0..12).map(|t| 2 + (t * 3 + i) % 14).collect())
+            .collect()
+    }
+
+    #[test]
+    fn naive_plan_is_empty() {
+        let plan = RescalePlan::naive();
+        assert!(plan.is_naive());
+        assert!(plan.smoothing_map().is_empty());
+    }
+
+    #[test]
+    fn nora_plan_covers_all_layers() {
+        let model = outlier_model(1);
+        let calib = calibrate(&model, &sequences());
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        assert!(!plan.is_naive());
+        for id in model.linear_ids() {
+            let s = plan.smoothing_for(id).unwrap();
+            assert_eq!(s.len(), model.linear(id).d_in());
+            assert!(s.iter().all(|&v| v > 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn nora_deployment_is_exact_on_ideal_tiles() {
+        let model = outlier_model(2);
+        let calib = calibrate(&model, &sequences());
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        let mut analog = plan.deploy(&model, TileConfig::ideal(), 3);
+        let tokens = &sequences()[0];
+        let d = model.forward(tokens);
+        let a = analog.forward(tokens);
+        let rel = a.mse(&d) / nora_tensor::stats::variance(d.as_slice()).max(1e-12);
+        assert!(rel < 1e-7, "relative mse {rel}");
+    }
+
+    #[test]
+    fn nora_tightens_activations_under_quantization() {
+        // On an outlier-injected model with paper-default noise, NORA should
+        // yield logits closer to digital than the naive mapping.
+        let model = outlier_model(3);
+        let seqs = sequences();
+        let calib = calibrate(&model, &seqs);
+        let tile = TileConfig::paper_default().with_tile_size(64, 64);
+
+        let mut naive = RescalePlan::naive().deploy(&model, tile.clone(), 4);
+        let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
+        let mut nora = plan.deploy(&model, tile, 4);
+
+        let mut mse_naive = 0.0;
+        let mut mse_nora = 0.0;
+        for seq in &seqs {
+            let d = model.forward(seq);
+            mse_naive += naive.forward(seq).mse(&d);
+            mse_nora += nora.forward(seq).mse(&d);
+        }
+        assert!(
+            mse_nora < mse_naive,
+            "nora {mse_nora} should beat naive {mse_naive}"
+        );
+    }
+
+    #[test]
+    fn per_layer_plan_respects_partial_coverage() {
+        let model = outlier_model(5);
+        let calib = calibrate(&model, &sequences());
+        let mut configs = HashMap::new();
+        let only = model.linear_ids()[0];
+        configs.insert(only, SmoothingConfig::default());
+        let plan = RescalePlan::nora_per_layer(&model, &calib, &configs);
+        assert!(plan.smoothing_for(only).is_some());
+        assert_eq!(plan.smoothing_map().len(), 1);
+    }
+}

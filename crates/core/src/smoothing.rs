@@ -1,0 +1,163 @@
+//! The smoothing vector `s`.
+
+/// Parameters of the smoothing computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothingConfig {
+    /// Migration strength `λ ∈ [0, 1]`: 0 leaves activations untouched,
+    /// 1 moves the entire burden onto the weights. The paper follows
+    /// SmoothQuant's default of 0.5.
+    pub lambda: f32,
+    /// Floor applied to both maxima before the power computation, guarding
+    /// dead channels.
+    pub eps: f32,
+}
+
+impl Default for SmoothingConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.5,
+            eps: 1e-5,
+        }
+    }
+}
+
+impl SmoothingConfig {
+    /// Config with a specific migration strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `[0, 1]`.
+    pub fn with_lambda(lambda: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&lambda),
+            "lambda must be in [0, 1], got {lambda}"
+        );
+        Self {
+            lambda,
+            ..Self::default()
+        }
+    }
+}
+
+/// Computes the per-input-channel smoothing vector
+/// `s_k = max|x_k|^λ / max|w_k|^{1-λ}` (paper §IV).
+///
+/// `act_abs_max[k]` is the calibrated activation maximum of channel `k`;
+/// `weight_row_abs_max[k]` is `max_j |w_kj|`, the largest weight on row `k`.
+/// Channels whose activation maximum is zero (never active during
+/// calibration) get `s_k = 1` — rescaling a dead channel is pointless and a
+/// zero factor would be ill-defined.
+///
+/// The returned factors are always finite and strictly positive.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or `lambda` is
+/// outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use nora_core::{smoothing_vector, SmoothingConfig};
+/// // An outlier channel (100.0) gets a large factor: its activations shrink
+/// // by ~10x while its weights grow by ~10x.
+/// let s = smoothing_vector(&[100.0, 1.0], &[1.0, 1.0], SmoothingConfig::default());
+/// assert!((s[0] - 10.0).abs() < 1e-4);
+/// assert!((s[1] - 1.0).abs() < 1e-6);
+/// ```
+pub fn smoothing_vector(
+    act_abs_max: &[f32],
+    weight_row_abs_max: &[f32],
+    config: SmoothingConfig,
+) -> Vec<f32> {
+    assert_eq!(
+        act_abs_max.len(),
+        weight_row_abs_max.len(),
+        "channel count mismatch"
+    );
+    assert!(!act_abs_max.is_empty(), "empty channel set");
+    assert!(
+        (0.0..=1.0).contains(&config.lambda),
+        "lambda must be in [0, 1]"
+    );
+    let lambda = config.lambda;
+    act_abs_max
+        .iter()
+        .zip(weight_row_abs_max)
+        .map(|(&a, &w)| {
+            if a <= 0.0 {
+                return 1.0;
+            }
+            let a = a.max(config.eps);
+            let w = w.max(config.eps);
+            let s = a.powf(lambda) / w.powf(1.0 - lambda);
+            if s.is_finite() && s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_zero_depends_only_on_weights() {
+        let s = smoothing_vector(&[10.0, 100.0], &[2.0, 2.0], SmoothingConfig::with_lambda(0.0));
+        // s_k = 1 / max|w_k|
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        assert!((s[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_one_is_activation_max() {
+        let s = smoothing_vector(&[10.0, 4.0], &[2.0, 8.0], SmoothingConfig::with_lambda(1.0));
+        assert!((s[0] - 10.0).abs() < 1e-5);
+        assert!((s[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn balanced_lambda_is_geometric_mean_ratio() {
+        let s = smoothing_vector(&[16.0], &[4.0], SmoothingConfig::default());
+        // sqrt(16)/sqrt(4) = 2
+        assert!((s[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn outlier_channels_get_large_factors() {
+        let act = [1.0f32, 1.0, 80.0, 1.0];
+        let w = [0.5f32; 4];
+        let s = smoothing_vector(&act, &w, SmoothingConfig::default());
+        assert!(s[2] > 5.0 * s[0], "outlier factor {} bulk {}", s[2], s[0]);
+    }
+
+    #[test]
+    fn dead_channels_get_identity() {
+        let s = smoothing_vector(&[0.0, 5.0], &[1.0, 1.0], SmoothingConfig::default());
+        assert_eq!(s[0], 1.0);
+        assert!(s[1] > 1.0);
+    }
+
+    #[test]
+    fn factors_always_positive_finite() {
+        let act = [0.0f32, 1e-30, 1e30, 1.0];
+        let w = [0.0f32, 1e30, 1e-30, 1.0];
+        let s = smoothing_vector(&act, &w, SmoothingConfig::default());
+        assert!(s.iter().all(|&v| v.is_finite() && v > 0.0), "{s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in")]
+    fn bad_lambda_panics() {
+        SmoothingConfig::with_lambda(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn length_mismatch_panics() {
+        smoothing_vector(&[1.0], &[1.0, 2.0], SmoothingConfig::default());
+    }
+}

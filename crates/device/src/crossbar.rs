@@ -1,0 +1,242 @@
+//! Array-level programming and read-back.
+//!
+//! `nora-cim` tiles and the drift experiments need device effects applied to
+//! whole weight blocks at once. [`program_matrix`] programs a matrix of
+//! *normalised* weights (`|w| ≤ 1`, i.e. already divided by the per-column
+//! `γ_j`) into differential pairs, and [`read_matrix`] reads the array back
+//! at a given time after programming, returning the effective normalised
+//! weight matrix including programming error, drift, and 1/f read noise.
+
+use crate::pair::ConductancePair;
+use crate::pcm::ProgrammedCell;
+use crate::NvmModel;
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// A weight matrix programmed onto differential NVM cell pairs.
+///
+/// Holds one [`ProgrammedCell`] per pair side so that drift and read noise
+/// can be re-evaluated at arbitrary times without re-programming.
+#[derive(Debug, Clone)]
+pub struct ProgrammedMatrix {
+    rows: usize,
+    cols: usize,
+    plus: Vec<ProgrammedCell>,
+    minus: Vec<ProgrammedCell>,
+    g_max: f32,
+}
+
+impl ProgrammedMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Full-scale conductance used at programming time.
+    pub fn g_max(&self) -> f32 {
+        self.g_max
+    }
+
+    /// Total programmed conductance per column (µS) — the quantity that
+    /// drives IR-drop.
+    pub fn col_total_conductance(&self) -> Vec<f32> {
+        let mut totals = vec![0.0f32; self.cols];
+        for (i, (p, m)) in self.plus.iter().zip(&self.minus).enumerate() {
+            totals[i % self.cols] += p.g_prog + m.g_prog;
+        }
+        totals
+    }
+}
+
+/// Programs normalised weights into an NVM array through `model`.
+///
+/// Weights must already be normalised to `[-1, 1]`; values outside clamp
+/// (see [`ConductancePair::encode`]).
+pub fn program_matrix(
+    weights: &Matrix,
+    model: &dyn NvmModel,
+    rng: &mut Rng,
+) -> ProgrammedMatrix {
+    program_matrix_verified(weights, model, 1, rng)
+}
+
+/// Like [`program_matrix`] with up to `verify_iters` write–verify
+/// iterations per cell (1 = single-shot).
+///
+/// # Panics
+///
+/// Panics if `verify_iters == 0`.
+pub fn program_matrix_verified(
+    weights: &Matrix,
+    model: &dyn NvmModel,
+    verify_iters: u32,
+    rng: &mut Rng,
+) -> ProgrammedMatrix {
+    assert!(verify_iters >= 1, "need at least one programming iteration");
+    let g_max = model.g_max();
+    let n = weights.rows() * weights.cols();
+    let mut plus = Vec::with_capacity(n);
+    let mut minus = Vec::with_capacity(n);
+    for &w in weights.as_slice() {
+        let pair = ConductancePair::encode(w, g_max);
+        if verify_iters == 1 {
+            plus.push(model.program(pair.g_plus, rng));
+            minus.push(model.program(pair.g_minus, rng));
+        } else {
+            plus.push(model.program_verified(pair.g_plus, verify_iters, rng));
+            minus.push(model.program_verified(pair.g_minus, verify_iters, rng));
+        }
+    }
+    ProgrammedMatrix {
+        rows: weights.rows(),
+        cols: weights.cols(),
+        plus,
+        minus,
+        g_max,
+    }
+}
+
+/// Reads a programmed array back `t_seconds` after programming.
+///
+/// Returns the effective normalised weight matrix
+/// `(g⁺(t) − g⁻(t)) / g_max`, including programming error, drift, and
+/// accumulated 1/f read noise.
+pub fn read_matrix(
+    programmed: &ProgrammedMatrix,
+    model: &dyn NvmModel,
+    t_seconds: f64,
+    rng: &mut Rng,
+) -> Matrix {
+    let mut out = Matrix::zeros(programmed.rows, programmed.cols);
+    for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+        let gp = model.read_cell(&programmed.plus[i], t_seconds, rng);
+        let gm = model.read_cell(&programmed.minus[i], t_seconds, rng);
+        *v = (gp - gm) / programmed.g_max;
+    }
+    out
+}
+
+/// Deterministic counterpart of [`read_matrix`]: the *expected* normalised
+/// weights at `t_seconds` (drift applied, stochastic read noise excluded).
+///
+/// Tiles use this to establish their reference weights; cycle-by-cycle read
+/// noise is injected separately per MVM.
+pub fn read_matrix_mean(
+    programmed: &ProgrammedMatrix,
+    model: &dyn NvmModel,
+    t_seconds: f64,
+) -> Matrix {
+    let mut out = Matrix::zeros(programmed.rows, programmed.cols);
+    for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+        let gp = model.read_mean(&programmed.plus[i], t_seconds);
+        let gm = model.read_mean(&programmed.minus[i], t_seconds);
+        *v = (gp - gm) / programmed.g_max;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PcmModel, ReramModel};
+    use nora_tensor::stats;
+
+    fn weight_block(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn program_read_round_trip_is_close() {
+        let w = weight_block(16, 16, 1);
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(2);
+        let prog = program_matrix(&w, &pcm, &mut rng);
+        let back = read_matrix(&prog, &pcm, 20.0, &mut rng);
+        let rmse = stats::rmse(w.as_slice(), back.as_slice());
+        // Programming noise σ ≈ 1 µS on g_max = 25 µS → ~0.04 normalised.
+        assert!(rmse < 0.08, "rmse {rmse}");
+        assert!(rmse > 0.005, "suspiciously perfect rmse {rmse}");
+    }
+
+    #[test]
+    fn drift_shrinks_weights_over_time() {
+        let w = weight_block(24, 24, 3);
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(4);
+        let prog = program_matrix(&w, &pcm, &mut rng);
+        let fresh = read_matrix(&prog, &pcm, 20.0, &mut rng);
+        let day = read_matrix(&prog, &pcm, 86_400.0, &mut rng);
+        let norm_fresh = fresh.frobenius_norm();
+        let norm_day = day.frobenius_norm();
+        assert!(
+            norm_day < norm_fresh,
+            "day {norm_day} should be below fresh {norm_fresh}"
+        );
+    }
+
+    #[test]
+    fn reram_read_is_time_invariant_in_expectation() {
+        let w = weight_block(8, 8, 5);
+        let reram = ReramModel {
+            read_sigma_rel: 0.0,
+            ..ReramModel::default()
+        };
+        let mut rng = Rng::seed_from(6);
+        let prog = program_matrix(&w, &reram, &mut rng);
+        let a = read_matrix(&prog, &reram, 0.0, &mut rng);
+        let b = read_matrix(&prog, &reram, 1e6, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn col_total_conductance_reflects_weight_mass() {
+        let mut w = Matrix::zeros(4, 2);
+        w[(0, 1)] = 1.0;
+        w[(1, 1)] = -1.0;
+        let pcm = PcmModel {
+            prog_noise_scale: 0.0,
+            ..PcmModel::default()
+        };
+        let mut rng = Rng::seed_from(7);
+        let prog = program_matrix(&w, &pcm, &mut rng);
+        let totals = prog.col_total_conductance();
+        assert_eq!(totals[0], 0.0);
+        assert!((totals[1] - 50.0).abs() < 1e-4); // two cells at g_max = 25
+    }
+
+    #[test]
+    fn read_matrix_mean_is_deterministic_and_centers_reads() {
+        let w = weight_block(12, 12, 10);
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(11);
+        let prog = program_matrix(&w, &pcm, &mut rng);
+        let mean_a = read_matrix_mean(&prog, &pcm, 3600.0);
+        let mean_b = read_matrix_mean(&prog, &pcm, 3600.0);
+        assert_eq!(mean_a, mean_b);
+        // Average many stochastic reads: should approach the mean read.
+        let mut acc = Matrix::zeros(12, 12);
+        let n = 400;
+        for _ in 0..n {
+            acc.add_assign(&read_matrix(&prog, &pcm, 3600.0, &mut rng));
+        }
+        acc.scale_assign(1.0 / n as f32);
+        assert!(acc.mse(&mean_a) < 1e-4, "mse {}", acc.mse(&mean_a));
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let w = weight_block(5, 9, 8);
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(9);
+        let prog = program_matrix(&w, &pcm, &mut rng);
+        assert_eq!((prog.rows(), prog.cols()), (5, 9));
+        let back = read_matrix(&prog, &pcm, 20.0, &mut rng);
+        assert_eq!(back.shape(), (5, 9));
+    }
+}

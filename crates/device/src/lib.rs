@@ -1,0 +1,108 @@
+//! Non-volatile-memory device models for analog compute-in-memory.
+//!
+//! Analog CIM stores each weight as the conductance of one or two NVM cells.
+//! The paper's experiments use the phase-change-memory (PCM) statistical
+//! model popularised by the IBM analog-AI stack; this crate implements that
+//! model from scratch:
+//!
+//! * [`PcmModel`] — programming noise, power-law conductance **drift**, and
+//!   long-term **1/f read noise**, with the published coefficient set
+//!   (Nandakumar et al., IEDM 2020; Joshi et al., Nat. Comm. 2020) as
+//!   [`PcmModel::default`].
+//! * [`ReramModel`] — a simpler log-normal programming-noise model, standing
+//!   in for resistive RAM (the paper's §VII notes NORA extends to ReRAM).
+//! * [`ConductancePair`] — differential `(g⁺, g⁻)` encoding of signed
+//!   weights.
+//! * [`program_matrix`] / [`read_matrix`] — array-level helpers that program
+//!   a whole weight block and read it back after an arbitrary drift time,
+//!   used by `nora-cim` tiles and by the drift study
+//!   (`cargo run -p nora-bench --bin drift_study`).
+//!
+//! Conductances are expressed in microsiemens (µS) throughout.
+//!
+//! # Example
+//!
+//! ```
+//! use nora_device::{PcmModel, NvmModel};
+//! use nora_tensor::rng::Rng;
+//!
+//! let pcm = PcmModel::default();
+//! let mut rng = Rng::seed_from(1);
+//! let cell = pcm.program(20.0, &mut rng);
+//! let g_now = cell.read(&pcm, 1.0, &mut rng);      // 1 s after programming
+//! let g_hour = cell.read(&pcm, 3600.0, &mut rng);  // 1 h later: drifted lower
+//! assert!(g_now.is_finite() && g_hour.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossbar;
+mod pair;
+mod pcm;
+mod reram;
+mod sliced;
+
+pub use crossbar::{
+    program_matrix, program_matrix_verified, read_matrix, read_matrix_mean, ProgrammedMatrix,
+};
+pub use pair::ConductancePair;
+pub use pcm::{DriftModel, PcmModel, ProgrammedCell, ReadNoiseModel, WriteVerifyOutcome};
+pub use reram::ReramModel;
+pub use sliced::{program_matrix_sliced, read_sliced, read_sliced_mean, SlicedMatrix};
+
+use nora_tensor::rng::Rng;
+
+/// Common interface of NVM conductance models.
+///
+/// A model turns a target conductance into a programmed cell
+/// ([`NvmModel::program`]) and evaluates what a read returns `t` seconds
+/// later ([`NvmModel::read_cell`]), including every time-dependent
+/// non-ideality the device exhibits.
+pub trait NvmModel {
+    /// Maximum programmable conductance in µS.
+    fn g_max(&self) -> f32;
+
+    /// Programs a cell towards `g_target` (µS), returning the achieved state.
+    ///
+    /// `g_target` is clamped into `[0, g_max]` before programming.
+    fn program(&self, g_target: f32, rng: &mut Rng) -> ProgrammedCell;
+
+    /// Programs a cell with up to `iters` write–verify iterations (the
+    /// closed-loop tuning of the paper's §II "write-verify memory
+    /// programming process"). Devices without an iterative write model
+    /// fall back to single-shot programming.
+    fn program_verified(&self, g_target: f32, iters: u32, rng: &mut Rng) -> ProgrammedCell {
+        let _ = iters;
+        self.program(g_target, rng)
+    }
+
+    /// Reads a programmed cell `t_seconds` after programming.
+    fn read_cell(&self, cell: &ProgrammedCell, t_seconds: f64, rng: &mut Rng) -> f32;
+
+    /// The *expected* (noise-free) read value at `t_seconds` — deterministic
+    /// drift for PCM, the programmed value for drift-free devices. Used to
+    /// establish a tile's reference weights; stochastic read effects are
+    /// injected separately per cycle.
+    fn read_mean(&self, cell: &ProgrammedCell, t_seconds: f64) -> f32 {
+        let _ = t_seconds;
+        cell.g_prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let models: Vec<Box<dyn NvmModel>> =
+            vec![Box::new(PcmModel::default()), Box::new(ReramModel::default())];
+        let mut rng = Rng::seed_from(0);
+        for m in &models {
+            let cell = m.program(10.0, &mut rng);
+            let g = m.read_cell(&cell, 1.0, &mut rng);
+            assert!(g.is_finite());
+        }
+    }
+}

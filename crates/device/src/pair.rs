@@ -1,0 +1,108 @@
+//! Differential conductance encoding of signed weights.
+
+/// A differential conductance pair `(g⁺, g⁻)` representing a signed weight.
+///
+/// Conductances are physically non-negative, so analog arrays represent a
+/// signed weight `w` as the difference of two cells on paired bitlines:
+/// `w ∝ g⁺ − g⁻`. The standard mapping programs only one of the pair
+/// (`g⁺ = w·g_max, g⁻ = 0` for positive `w` and vice versa), which maximises
+/// the usable conductance range.
+///
+/// # Example
+///
+/// ```
+/// use nora_device::ConductancePair;
+/// let pair = ConductancePair::encode(-0.5, 25.0);
+/// assert_eq!(pair.g_plus, 0.0);
+/// assert_eq!(pair.g_minus, 12.5);
+/// assert_eq!(pair.decode(25.0), -0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConductancePair {
+    /// Positive-bitline conductance, µS.
+    pub g_plus: f32,
+    /// Negative-bitline conductance, µS.
+    pub g_minus: f32,
+}
+
+impl ConductancePair {
+    /// Encodes a normalised weight `w ∈ [-1, 1]` with full-scale `g_max`.
+    ///
+    /// Weights outside `[-1, 1]` are clamped; this is the weight-clipping
+    /// that the per-column `γ_j` scaling of the tile exists to avoid.
+    pub fn encode(w: f32, g_max: f32) -> Self {
+        let w = if w.is_nan() { 0.0 } else { w.clamp(-1.0, 1.0) };
+        if w >= 0.0 {
+            Self {
+                g_plus: w * g_max,
+                g_minus: 0.0,
+            }
+        } else {
+            Self {
+                g_plus: 0.0,
+                g_minus: -w * g_max,
+            }
+        }
+    }
+
+    /// Decodes back to a normalised weight.
+    pub fn decode(&self, g_max: f32) -> f32 {
+        (self.g_plus - self.g_minus) / g_max
+    }
+
+    /// Effective signed conductance `g⁺ − g⁻` in µS.
+    pub fn net(&self) -> f32 {
+        self.g_plus - self.g_minus
+    }
+
+    /// Total programmed conductance `g⁺ + g⁻` (drives IR-drop and power).
+    pub fn total(&self) -> f32 {
+        self.g_plus + self.g_minus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in -10..=10 {
+            let w = i as f32 / 10.0;
+            let p = ConductancePair::encode(w, 25.0);
+            assert!((p.decode(25.0) - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn one_side_is_always_zero() {
+        let p = ConductancePair::encode(0.7, 25.0);
+        assert_eq!(p.g_minus, 0.0);
+        let n = ConductancePair::encode(-0.7, 25.0);
+        assert_eq!(n.g_plus, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let p = ConductancePair::encode(3.0, 25.0);
+        assert_eq!(p.g_plus, 25.0);
+        let n = ConductancePair::encode(-3.0, 25.0);
+        assert_eq!(n.g_minus, 25.0);
+    }
+
+    #[test]
+    fn nan_encodes_to_zero() {
+        let p = ConductancePair::encode(f32::NAN, 25.0);
+        assert_eq!(p.net(), 0.0);
+    }
+
+    #[test]
+    fn net_and_total() {
+        let p = ConductancePair {
+            g_plus: 10.0,
+            g_minus: 4.0,
+        };
+        assert_eq!(p.net(), 6.0);
+        assert_eq!(p.total(), 14.0);
+    }
+}

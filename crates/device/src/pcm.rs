@@ -1,0 +1,464 @@
+//! Phase-change-memory statistical model.
+//!
+//! A PCM cell stores a conductance between the fully amorphous (high
+//! resistance) and fully crystalline (low resistance) states. Three
+//! non-idealities matter for inference workloads:
+//!
+//! 1. **Programming noise** — the iterative write achieves the target only up
+//!    to a conductance-dependent error `σ_prog(g)`.
+//! 2. **Drift** — amorphous-phase structural relaxation shrinks conductance
+//!    over time with a power law `g(t) = g_prog · (t/t_c)^(-ν)`.
+//! 3. **1/f read noise** — low-frequency noise whose accumulated variance
+//!    grows logarithmically with time since programming.
+//!
+//! The default coefficients follow the published IBM PCM characterisation
+//! used by the paper's simulator (AIHWKIT's `PCMLikeNoiseModel`).
+
+use crate::NvmModel;
+use nora_tensor::rng::Rng;
+
+/// Conductance drift parameters.
+///
+/// The drift exponent `ν` is itself stochastic and conductance dependent:
+/// `ν ~ N(µ_ν(ĝ), σ_ν(ĝ))` clamped to `[nu_min, nu_max]`, where `ĝ = g/g_max`
+/// and both statistics are affine in `ln ĝ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Reference time between programming and the first read, in seconds.
+    pub t_c: f64,
+    /// Slope of `µ_ν` in `ln ĝ`.
+    pub mu_slope: f32,
+    /// Intercept of `µ_ν`.
+    pub mu_intercept: f32,
+    /// Lower clamp of `µ_ν`.
+    pub mu_min: f32,
+    /// Upper clamp of `µ_ν`.
+    pub mu_max: f32,
+    /// Slope of `σ_ν` in `ln ĝ`.
+    pub sig_slope: f32,
+    /// Intercept of `σ_ν`.
+    pub sig_intercept: f32,
+    /// Lower clamp of `σ_ν`.
+    pub sig_min: f32,
+    /// Upper clamp of `σ_ν`.
+    pub sig_max: f32,
+    /// Hard bounds on the sampled exponent.
+    pub nu_min: f32,
+    /// Upper hard bound on the sampled exponent.
+    pub nu_max: f32,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self {
+            t_c: 20.0,
+            mu_slope: -0.0155,
+            mu_intercept: 0.0244,
+            mu_min: 0.049,
+            mu_max: 0.1,
+            sig_slope: -0.0125,
+            sig_intercept: -0.0059,
+            sig_min: 0.008,
+            sig_max: 0.045,
+            nu_min: 0.0,
+            nu_max: 0.3,
+        }
+    }
+}
+
+impl DriftModel {
+    /// Samples a drift exponent for a cell programmed to relative
+    /// conductance `g_rel = g/g_max`.
+    pub fn sample_nu(&self, g_rel: f32, rng: &mut Rng) -> f32 {
+        // Fully-reset cells (g ≈ 0) drift the most; clamp ln at a small floor.
+        let ln_g = g_rel.max(1e-4).ln();
+        let mu = (self.mu_slope * ln_g + self.mu_intercept).clamp(self.mu_min, self.mu_max);
+        let sig = (self.sig_slope * ln_g + self.sig_intercept).clamp(self.sig_min, self.sig_max);
+        rng.normal(mu, sig).clamp(self.nu_min, self.nu_max)
+    }
+
+    /// Deterministic drift factor `(t/t_c)^(-ν)` for a given exponent.
+    ///
+    /// Times earlier than `t_c` are clamped to `t_c` (the model is calibrated
+    /// from the first read onwards).
+    pub fn factor(&self, nu: f32, t_seconds: f64) -> f32 {
+        let t = t_seconds.max(self.t_c);
+        ((t / self.t_c).powf(-(nu as f64))) as f32
+    }
+}
+
+/// Long-term (1/f) read-noise parameters.
+///
+/// The accumulated read-noise standard deviation at time `t` is
+/// `σ_read(t) = g · q(ĝ) · sqrt(ln((t + t_read) / (2·t_read)))`,
+/// with `q(ĝ) = min(q_scale · ĝ^q_exp, q_max)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadNoiseModel {
+    /// Read duration in seconds.
+    pub t_read: f64,
+    /// Scale of the `q` coefficient.
+    pub q_scale: f32,
+    /// Exponent of the `q` coefficient (negative: small g is noisier
+    /// relative to its magnitude).
+    pub q_exp: f32,
+    /// Upper clamp on `q`.
+    pub q_max: f32,
+}
+
+impl Default for ReadNoiseModel {
+    fn default() -> Self {
+        Self {
+            t_read: 250e-9,
+            q_scale: 0.0088,
+            q_exp: -0.65,
+            q_max: 0.2,
+        }
+    }
+}
+
+impl ReadNoiseModel {
+    /// Standard deviation (µS) of the accumulated read noise at `t_seconds`
+    /// for a cell whose current conductance is `g` µS (relative `g_rel`).
+    pub fn sigma(&self, g: f32, g_rel: f32, t_seconds: f64) -> f32 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        let q = (self.q_scale * g_rel.max(1e-4).powf(self.q_exp)).min(self.q_max);
+        let log_term = (((t_seconds + self.t_read) / (2.0 * self.t_read)).ln()).max(0.0);
+        g * q * (log_term as f32).sqrt()
+    }
+}
+
+/// IBM-style PCM statistical model.
+///
+/// # Example
+///
+/// ```
+/// use nora_device::{PcmModel, NvmModel};
+/// use nora_tensor::rng::Rng;
+///
+/// let pcm = PcmModel::default();
+/// let mut rng = Rng::seed_from(7);
+/// let outcome = pcm.program_with_verify(12.5, 5, &mut rng);
+/// assert!(outcome.achieved_error.abs() < 1.0); // µS
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmModel {
+    /// Maximum conductance in µS.
+    pub g_max: f32,
+    /// Programming-noise polynomial `σ_prog(ĝ) = c0 + c1·ĝ + c2·ĝ²` (µS),
+    /// clamped at zero, with `ĝ = g_target/g_max`.
+    pub prog_coeffs: [f32; 3],
+    /// Global multiplier on the programming noise (1.0 = published model).
+    pub prog_noise_scale: f32,
+    /// Drift model.
+    pub drift: DriftModel,
+    /// 1/f read-noise model.
+    pub read_noise: ReadNoiseModel,
+}
+
+impl Default for PcmModel {
+    fn default() -> Self {
+        Self {
+            g_max: 25.0,
+            prog_coeffs: [0.26348, 1.9650, -1.1731],
+            prog_noise_scale: 1.0,
+            drift: DriftModel::default(),
+            read_noise: ReadNoiseModel::default(),
+        }
+    }
+}
+
+/// State of one programmed PCM cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgrammedCell {
+    /// Conductance achieved right after programming, in µS.
+    pub g_prog: f32,
+    /// Conductance the write loop aimed for, in µS.
+    pub g_target: f32,
+    /// Drift exponent sampled for this cell.
+    pub nu: f32,
+}
+
+impl ProgrammedCell {
+    /// Reads the cell through `model` at `t_seconds` after programming.
+    ///
+    /// Equivalent to [`NvmModel::read_cell`] with the receiver flipped; kept
+    /// as a method because reads are cell-centric in calling code.
+    pub fn read(&self, model: &PcmModel, t_seconds: f64, rng: &mut Rng) -> f32 {
+        model.read_cell(self, t_seconds, rng)
+    }
+
+    /// Noise-free drifted conductance at `t_seconds` (no read noise).
+    pub fn drifted(&self, model: &PcmModel, t_seconds: f64) -> f32 {
+        self.g_prog * model.drift.factor(self.nu, t_seconds)
+    }
+}
+
+/// Result of an iterative write–verify programming sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteVerifyOutcome {
+    /// Final programmed cell.
+    pub cell: ProgrammedCell,
+    /// Signed error `g_prog - g_target` after the final iteration, in µS.
+    pub achieved_error: f32,
+    /// Number of write pulses issued.
+    pub iterations: u32,
+}
+
+impl PcmModel {
+    /// Programming-noise standard deviation (µS) for a target conductance.
+    pub fn prog_sigma(&self, g_target: f32) -> f32 {
+        let g_rel = (g_target / self.g_max).clamp(0.0, 1.0);
+        let [c0, c1, c2] = self.prog_coeffs;
+        (c0 + c1 * g_rel + c2 * g_rel * g_rel).max(0.0) * self.prog_noise_scale
+    }
+
+    /// Single-shot programming (one pulse train, no verification).
+    pub fn program_single_shot(&self, g_target: f32, rng: &mut Rng) -> ProgrammedCell {
+        let g_target = g_target.clamp(0.0, self.g_max);
+        let sigma = self.prog_sigma(g_target);
+        let g_prog = (g_target + rng.normal(0.0, sigma)).clamp(0.0, self.g_max);
+        let nu = self.drift.sample_nu(g_target / self.g_max, rng);
+        ProgrammedCell {
+            g_prog,
+            g_target,
+            nu,
+        }
+    }
+
+    /// Iterative write–verify programming.
+    ///
+    /// Each iteration issues a corrective pulse whose effect lands within the
+    /// single-shot noise of the *remaining error*, modelling the closed-loop
+    /// tuning used on real arrays. More iterations tighten the final error
+    /// until device stochasticity dominates. Stops early once the error is
+    /// below a tenth of the single-shot sigma.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iters` is zero.
+    pub fn program_with_verify(
+        &self,
+        g_target: f32,
+        max_iters: u32,
+        rng: &mut Rng,
+    ) -> WriteVerifyOutcome {
+        assert!(max_iters > 0, "write-verify needs at least one iteration");
+        let g_target = g_target.clamp(0.0, self.g_max);
+        let mut cell = self.program_single_shot(g_target, rng);
+        let mut iters = 1;
+        let tol = 0.1 * self.prog_sigma(g_target).max(1e-3);
+        while iters < max_iters {
+            let err = cell.g_prog - g_target;
+            if err.abs() <= tol {
+                break;
+            }
+            // Corrective pulse: removes the measured error, adds fresh noise
+            // proportional to the (smaller) correction magnitude.
+            let pulse_sigma = self.prog_sigma(err.abs().min(self.g_max)) * 0.5;
+            let g_new = (cell.g_prog - err + rng.normal(0.0, pulse_sigma)).clamp(0.0, self.g_max);
+            cell.g_prog = g_new;
+            iters += 1;
+        }
+        WriteVerifyOutcome {
+            achieved_error: cell.g_prog - g_target,
+            cell,
+            iterations: iters,
+        }
+    }
+}
+
+impl NvmModel for PcmModel {
+    fn g_max(&self) -> f32 {
+        self.g_max
+    }
+
+    fn program(&self, g_target: f32, rng: &mut Rng) -> ProgrammedCell {
+        self.program_single_shot(g_target, rng)
+    }
+
+    fn program_verified(&self, g_target: f32, iters: u32, rng: &mut Rng) -> ProgrammedCell {
+        self.program_with_verify(g_target, iters.max(1), rng).cell
+    }
+
+    fn read_cell(&self, cell: &ProgrammedCell, t_seconds: f64, rng: &mut Rng) -> f32 {
+        let g_drifted = cell.drifted(self, t_seconds);
+        let sigma = self
+            .read_noise
+            .sigma(g_drifted, g_drifted / self.g_max, t_seconds);
+        (g_drifted + rng.normal(0.0, sigma)).max(0.0)
+    }
+
+    fn read_mean(&self, cell: &ProgrammedCell, t_seconds: f64) -> f32 {
+        cell.drifted(self, t_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prog_sigma_matches_polynomial() {
+        let pcm = PcmModel::default();
+        // ĝ = 0.5: 0.26348 + 1.9650*0.5 - 1.1731*0.25
+        let expect = 0.26348 + 1.9650 * 0.5 - 1.1731 * 0.25;
+        assert!((pcm.prog_sigma(12.5) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn prog_sigma_never_negative() {
+        let pcm = PcmModel {
+            prog_coeffs: [-5.0, 0.0, 0.0],
+            ..PcmModel::default()
+        };
+        assert_eq!(pcm.prog_sigma(10.0), 0.0);
+    }
+
+    #[test]
+    fn programming_error_statistics_match_sigma() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(2);
+        let target = 15.0f32;
+        let n = 20_000;
+        let mut sum2 = 0.0f64;
+        for _ in 0..n {
+            let cell = pcm.program_single_shot(target, &mut rng);
+            sum2 += ((cell.g_prog - target) as f64).powi(2);
+        }
+        let measured = (sum2 / n as f64).sqrt();
+        let expect = pcm.prog_sigma(target) as f64;
+        assert!(
+            (measured / expect - 1.0).abs() < 0.05,
+            "measured {measured} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn programming_clamps_to_range() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..1000 {
+            let c = pcm.program_single_shot(25.0, &mut rng);
+            assert!((0.0..=25.0).contains(&c.g_prog));
+            let c0 = pcm.program_single_shot(-4.0, &mut rng);
+            assert_eq!(c0.g_target, 0.0);
+            assert!(c0.g_prog >= 0.0);
+        }
+    }
+
+    #[test]
+    fn write_verify_reduces_error() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(4);
+        let target = 10.0f32;
+        let n = 4_000;
+        let rms = |iters: u32, rng: &mut Rng| -> f64 {
+            let mut sum2 = 0.0f64;
+            for _ in 0..n {
+                let out = pcm.program_with_verify(target, iters, rng);
+                sum2 += (out.achieved_error as f64).powi(2);
+            }
+            (sum2 / n as f64).sqrt()
+        };
+        let single = rms(1, &mut rng);
+        let verified = rms(8, &mut rng);
+        assert!(
+            verified < single * 0.6,
+            "single {single} verified {verified}"
+        );
+    }
+
+    #[test]
+    fn write_verify_stops_early_when_converged() {
+        let pcm = PcmModel {
+            prog_noise_scale: 0.0, // perfect writes
+            ..PcmModel::default()
+        };
+        let mut rng = Rng::seed_from(5);
+        let out = pcm.program_with_verify(10.0, 20, &mut rng);
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.achieved_error, 0.0);
+    }
+
+    #[test]
+    fn drift_reduces_conductance_over_time() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(6);
+        let cell = pcm.program_single_shot(20.0, &mut rng);
+        let g_t0 = cell.drifted(&pcm, 20.0);
+        let g_hour = cell.drifted(&pcm, 3600.0);
+        let g_day = cell.drifted(&pcm, 86_400.0);
+        assert!(g_t0 >= g_hour);
+        assert!(g_hour > g_day);
+        assert!(g_day > 0.0);
+    }
+
+    #[test]
+    fn drift_factor_is_one_at_tc_and_monotone() {
+        let d = DriftModel::default();
+        assert_eq!(d.factor(0.06, 20.0), 1.0);
+        assert_eq!(d.factor(0.06, 1.0), 1.0); // clamped below t_c
+        assert!(d.factor(0.06, 200.0) < 1.0);
+        assert!(d.factor(0.0, 1e6) == 1.0); // ν = 0: no drift
+    }
+
+    #[test]
+    fn drift_exponent_larger_for_low_conductance() {
+        let d = DriftModel::default();
+        let mut rng = Rng::seed_from(7);
+        let avg_nu = |g_rel: f32, rng: &mut Rng| -> f64 {
+            (0..5_000)
+                .map(|_| d.sample_nu(g_rel, rng) as f64)
+                .sum::<f64>()
+                / 5_000.0
+        };
+        let low = avg_nu(0.05, &mut rng);
+        let high = avg_nu(0.9, &mut rng);
+        assert!(low > high, "low-g ν {low} should exceed high-g ν {high}");
+    }
+
+    #[test]
+    fn read_noise_grows_with_time() {
+        let rn = ReadNoiseModel::default();
+        let s_short = rn.sigma(20.0, 0.8, 1e-3);
+        let s_long = rn.sigma(20.0, 0.8, 3600.0);
+        assert!(s_long > s_short);
+        assert_eq!(rn.sigma(0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn read_includes_drift_and_noise() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(8);
+        let cell = pcm.program_single_shot(20.0, &mut rng);
+        let n = 10_000;
+        let mean_read: f64 = (0..n)
+            .map(|_| cell.read(&pcm, 3600.0, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let expect = cell.drifted(&pcm, 3600.0) as f64;
+        assert!(
+            (mean_read - expect).abs() < 0.1,
+            "mean {mean_read} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn reads_never_negative() {
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(9);
+        let cell = pcm.program_single_shot(0.5, &mut rng);
+        for _ in 0..1000 {
+            assert!(cell.read(&pcm, 10.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let pcm = PcmModel::default();
+        pcm.program_with_verify(5.0, 0, &mut Rng::seed_from(0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Resistive-RAM (ReRAM) device model.
+//!
+//! ReRAM cells switch a conductive filament rather than a phase, so their
+//! dominant inference-time non-ideality is programming variability (commonly
+//! characterised as log-normal), while drift is negligible on inference time
+//! scales. The paper's §VII notes NORA "can also be extended to other NVM
+//! devices such as ReRAM" — this model backs that extension and the
+//! cross-device tests.
+
+use crate::pcm::ProgrammedCell;
+use crate::NvmModel;
+use nora_tensor::rng::Rng;
+
+/// Log-normal programming-noise ReRAM model with optional white read noise.
+///
+/// Programming multiplies the target by `exp(N(0, σ_ln²))`; reads add white
+/// Gaussian noise of `read_sigma_rel · g_max`.
+///
+/// # Example
+///
+/// ```
+/// use nora_device::{ReramModel, NvmModel};
+/// use nora_tensor::rng::Rng;
+///
+/// let reram = ReramModel::default();
+/// let mut rng = Rng::seed_from(3);
+/// let cell = reram.program(30.0, &mut rng);
+/// assert!(cell.g_prog >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReramModel {
+    /// Maximum conductance in µS.
+    pub g_max: f32,
+    /// Standard deviation of the log-conductance programming error.
+    pub sigma_ln: f32,
+    /// White read-noise std relative to `g_max`.
+    pub read_sigma_rel: f32,
+}
+
+impl Default for ReramModel {
+    fn default() -> Self {
+        Self {
+            g_max: 100.0,
+            sigma_ln: 0.05,
+            read_sigma_rel: 0.002,
+        }
+    }
+}
+
+impl NvmModel for ReramModel {
+    fn g_max(&self) -> f32 {
+        self.g_max
+    }
+
+    fn program(&self, g_target: f32, rng: &mut Rng) -> ProgrammedCell {
+        let g_target = g_target.clamp(0.0, self.g_max);
+        let g_prog = if g_target == 0.0 {
+            0.0
+        } else {
+            (g_target * rng.normal(0.0, self.sigma_ln).exp()).clamp(0.0, self.g_max)
+        };
+        ProgrammedCell {
+            g_prog,
+            g_target,
+            nu: 0.0, // filamentary ReRAM: no inference-scale drift
+        }
+    }
+
+    fn read_cell(&self, cell: &ProgrammedCell, _t_seconds: f64, rng: &mut Rng) -> f32 {
+        (cell.g_prog + rng.normal(0.0, self.read_sigma_rel * self.g_max)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programming_is_multiplicative() {
+        let reram = ReramModel::default();
+        let mut rng = Rng::seed_from(1);
+        let n = 50_000;
+        let target = 40.0f32;
+        let mut log_sum = 0.0f64;
+        let mut log_sum2 = 0.0f64;
+        for _ in 0..n {
+            let cell = reram.program(target, &mut rng);
+            let l = (cell.g_prog as f64 / target as f64).ln();
+            log_sum += l;
+            log_sum2 += l * l;
+        }
+        let mean = log_sum / n as f64;
+        let std = (log_sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.01, "log mean {mean}");
+        assert!((std - 0.05).abs() < 0.005, "log std {std}");
+    }
+
+    #[test]
+    fn zero_target_stays_zero() {
+        let reram = ReramModel::default();
+        let mut rng = Rng::seed_from(2);
+        let cell = reram.program(0.0, &mut rng);
+        assert_eq!(cell.g_prog, 0.0);
+    }
+
+    #[test]
+    fn no_drift_in_reads() {
+        let reram = ReramModel {
+            read_sigma_rel: 0.0,
+            ..ReramModel::default()
+        };
+        let mut rng = Rng::seed_from(3);
+        let cell = reram.program(50.0, &mut rng);
+        let g_now = reram.read_cell(&cell, 0.0, &mut rng);
+        let g_year = reram.read_cell(&cell, 3.15e7, &mut rng);
+        assert_eq!(g_now, g_year);
+    }
+
+    #[test]
+    fn reads_clamped_non_negative() {
+        let reram = ReramModel {
+            read_sigma_rel: 1.0, // absurdly noisy reads
+            ..ReramModel::default()
+        };
+        let mut rng = Rng::seed_from(4);
+        let cell = reram.program(1.0, &mut rng);
+        for _ in 0..1000 {
+            assert!(reram.read_cell(&cell, 0.0, &mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Evaluation harness for the NORA paper's experiments.
+//!
+//! This crate turns the substrates (`nora-tensor` … `nora-core`) into the
+//! paper's evaluation section:
+//!
+//! * [`noise_level`] — reproduces Fig. 3's x-axis normalisation: binary-search
+//!   the severity of each non-ideality until it causes a target MSE on a
+//!   reference GEMV feature map.
+//! * [`tasks`] — Lambada-style last-token accuracy for digital and analog
+//!   deployments.
+//! * [`runner`] — one driver per table/figure: sensitivity sweeps (Fig. 3),
+//!   overall accuracy (Fig. 5a, Table III), per-noise mitigation (Fig. 5b/c),
+//!   distribution diagnostics (Fig. 4, Fig. 6a/b), rescale factors (Fig. 6c),
+//!   and the drift study (§VII).
+//! * [`report`] — plain-text table rendering shared by the `nora-bench`
+//!   binaries and `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod noise_level;
+pub mod report;
+pub mod runner;
+pub mod tasks;

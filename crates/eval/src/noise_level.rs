@@ -1,0 +1,203 @@
+//! MSE-matched non-ideality severity calibration.
+//!
+//! The paper's Fig. 3 compares non-idealities of completely different
+//! physical natures (quantizer step widths, Gaussian σ, wire resistance, …)
+//! by normalising each to the **mean squared error it causes on an ideal
+//! feature map**: "Each noise scale on the x-axis starts with a level
+//! causing 0.0001∼0.0002 MSE and ends with causing 0.0027∼0.0028 MSE
+//! compared with ideal situation on a 4096×4096 feature map."
+//!
+//! [`severity_for_mse`] inverts that mapping by bisection on a reference
+//! GEMV workload (unit-variance Gaussian activations and
+//! variance-normalised weights, so MSE values are directly comparable to
+//! the paper's). The paper's tile is 4096×4096; we default to a smaller
+//! reference (256×256, 64 samples) that preserves the per-element error
+//! statistics at a fraction of the cost.
+
+use nora_cim::{AnalogTile, NonIdeality};
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// Reference GEMV workload for severity calibration.
+#[derive(Debug, Clone)]
+pub struct RefWorkload {
+    x: Matrix,
+    w: Matrix,
+    ideal: Matrix,
+    seed: u64,
+}
+
+impl RefWorkload {
+    /// Builds a reference workload: `batch` unit-variance Gaussian input
+    /// rows against a `k × m` weight matrix with `N(0, 1/√k)` entries
+    /// (unit-variance outputs).
+    pub fn new(batch: usize, k: usize, m: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let x = Matrix::random_normal(batch, k, 0.0, 1.0, &mut rng);
+        let w = Matrix::random_normal(k, m, 0.0, 1.0 / (k as f32).sqrt(), &mut rng);
+        let ideal = x.matmul(&w);
+        Self { x, w, ideal, seed }
+    }
+
+    /// The default calibration workload (64 × 256 inputs on a 256×256
+    /// weight block).
+    pub fn default_reference(seed: u64) -> Self {
+        Self::new(64, 256, 256, seed)
+    }
+
+    /// Measures the MSE a single non-ideality causes at `level` on this
+    /// workload.
+    pub fn mse_at(&self, noise: NonIdeality, level: f32) -> f64 {
+        let mut cfg = noise.configure(level);
+        cfg.tile_rows = self.x.cols();
+        cfg.tile_cols = self.w.cols();
+        let mut tile = AnalogTile::new(
+            self.w.clone(),
+            None,
+            cfg,
+            Rng::seed_from(self.seed ^ 0xfeed),
+        );
+        tile.forward(&self.x).mse(&self.ideal)
+    }
+}
+
+/// The eight-point MSE grid of the paper's Fig. 3 x-axis
+/// (1.5·10⁻⁴ … 2.75·10⁻³).
+pub fn paper_mse_grid(points: usize) -> Vec<f64> {
+    assert!(points >= 2, "grid needs at least two points");
+    let lo = 1.5e-4;
+    let hi = 2.75e-3;
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// The single matched level used by the paper's Fig. 5b/c
+/// ("the noise could cause a mean square error between 0.0015 and 0.0016").
+pub const MITIGATION_MSE: f64 = 1.55e-3;
+
+/// Finds the severity level at which `noise` causes `target_mse` on the
+/// workload, by bisection.
+///
+/// The MSE is monotone (stochastically) in the severity for every
+/// [`NonIdeality`], so bisection converges; residual Monte-Carlo noise in
+/// the estimate leaves a few percent of slack, which is far below the
+/// factor-steps of the Fig. 3 grid.
+///
+/// # Panics
+///
+/// Panics if `target_mse` is not strictly positive, or unreachable within
+/// the bracket (pathological configurations only).
+///
+/// # Example
+///
+/// ```
+/// use nora_cim::NonIdeality;
+/// use nora_eval::noise_level::{severity_for_mse, RefWorkload};
+///
+/// let workload = RefWorkload::new(8, 32, 32, 1);
+/// let sigma = severity_for_mse(NonIdeality::AdditiveOutputNoise, 1e-3, &workload);
+/// let achieved = workload.mse_at(NonIdeality::AdditiveOutputNoise, sigma);
+/// assert!((achieved / 1e-3 - 1.0).abs() < 0.5);
+/// ```
+pub fn severity_for_mse(noise: NonIdeality, target_mse: f64, workload: &RefWorkload) -> f32 {
+    assert!(target_mse > 0.0, "target MSE must be positive");
+    // Bracket: find an upper bound whose MSE exceeds the target.
+    let mut lo = 0.0f32;
+    let mut hi = 1e-4f32;
+    let mut hi_mse = workload.mse_at(noise, hi);
+    let mut guard = 0;
+    while hi_mse < target_mse {
+        hi *= 2.0;
+        hi_mse = workload.mse_at(noise, hi);
+        guard += 1;
+        assert!(guard < 40, "target MSE {target_mse} unreachable for {noise}");
+    }
+    // Bisection.
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if workload.mse_at(noise, mid) < target_mse {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workload() -> RefWorkload {
+        RefWorkload::new(16, 64, 64, 3)
+    }
+
+    #[test]
+    fn grid_is_increasing_and_spans_paper_range() {
+        let g = paper_mse_grid(8);
+        assert_eq!(g.len(), 8);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+        assert!(g[0] >= 1e-4 && g[0] <= 2e-4);
+        assert!(g[7] >= 2.7e-3 && g[7] <= 2.8e-3);
+    }
+
+    #[test]
+    fn mse_grows_with_severity_for_every_noise() {
+        let w = small_workload();
+        for noise in NonIdeality::ALL {
+            let low = w.mse_at(noise, 0.02);
+            let high = w.mse_at(noise, 0.4);
+            assert!(
+                high > low,
+                "{noise}: mse({:.2e}) !< mse({:.2e})",
+                low,
+                high
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_severity_hits_target_mse() {
+        let w = small_workload();
+        for noise in [
+            NonIdeality::AdditiveOutputNoise,
+            NonIdeality::AdcQuantization,
+            NonIdeality::ShortTermReadNoise,
+        ] {
+            let target = 1e-3;
+            let level = severity_for_mse(noise, target, &w);
+            let achieved = w.mse_at(noise, level);
+            assert!(
+                (achieved / target - 1.0).abs() < 0.3,
+                "{noise}: target {target} achieved {achieved} at level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_noises_need_different_levels() {
+        let w = small_workload();
+        let out = severity_for_mse(NonIdeality::AdditiveOutputNoise, 1e-3, &w);
+        let read = severity_for_mse(NonIdeality::ShortTermReadNoise, 1e-3, &w);
+        assert!(out > 0.0 && read > 0.0);
+        assert_ne!(out, read);
+    }
+
+    #[test]
+    fn ideal_workload_mse_is_zero_at_zero_severity() {
+        let w = small_workload();
+        let mse = w.mse_at(NonIdeality::AdditiveOutputNoise, 0.0);
+        assert!(mse < 1e-10, "mse {mse}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target MSE must be positive")]
+    fn zero_target_panics() {
+        severity_for_mse(
+            NonIdeality::AdditiveOutputNoise,
+            0.0,
+            &small_workload(),
+        );
+    }
+}

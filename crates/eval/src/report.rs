@@ -1,0 +1,154 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A simple aligned-column text table.
+///
+/// # Example
+///
+/// ```
+/// use nora_eval::report::Table;
+/// let mut t = Table::new(&["model", "acc"]);
+/// t.row(&["opt-6.7b-sim", "87.2"]);
+/// let s = t.render();
+/// assert!(s.contains("opt-6.7b-sim"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn with_title(mut self, title: &str) -> Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[c];
+                line.push_str(cell);
+                line.push_str(&" ".repeat(widths[c] - cell.len()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a probability as a percentage with two decimals, e.g. `"87.99"`.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}", 100.0 * p)
+}
+
+/// Formats a float in compact scientific notation, e.g. `"1.55e-3"`.
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["a", "bb"]).with_title("T");
+        t.row(&["xxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("a"));
+        // all data lines align the second column
+        let col = lines[3].find('1').unwrap();
+        assert_eq!(lines[4].find("22").unwrap(), col);
+    }
+
+    #[test]
+    fn pct_and_sci_formats() {
+        assert_eq!(pct(0.8799), "87.99");
+        assert_eq!(sci(0.00155), "1.55e-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_row_width_panics() {
+        Table::new(&["a"]).row(&["1", "2"]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

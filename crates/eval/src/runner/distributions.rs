@@ -1,0 +1,283 @@
+//! Fig. 4 and Fig. 6: distribution and output-current diagnostics.
+
+use crate::report::Table;
+use crate::runner::PreparedModel;
+use nora_cim::TileConfig;
+use nora_core::{diagnostics, RescalePlan};
+use nora_nn::{LinearId, LinearKind};
+use nora_tensor::stats;
+
+/// Fig. 4: KDE + kurtosis of one layer's activation vs query-weight
+/// distribution (both normalised to unit absolute maximum, as in the
+/// paper's plot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KdeReport {
+    /// Model name.
+    pub model: String,
+    /// The probed layer.
+    pub layer: LinearId,
+    /// KDE grid (shared by both densities).
+    pub grid: Vec<f32>,
+    /// Density of the normalised activations.
+    pub act_density: Vec<f64>,
+    /// Density of the normalised query weights.
+    pub weight_density: Vec<f64>,
+    /// Kurtosis of the activations.
+    pub act_kurtosis: f64,
+    /// Kurtosis of the query weights.
+    pub weight_kurtosis: f64,
+}
+
+impl KdeReport {
+    /// Renders the headline numbers (the paper quotes the two kurtoses).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&["model", "layer", "act_kurtosis", "weight_kurtosis"])
+            .with_title("Fig. 4 — activation vs weight distribution (KDE kurtosis)");
+        t.row_owned(vec![
+            self.model.clone(),
+            format!("block{} {}", self.layer.block, self.layer.kind.name()),
+            format!("{:.2}", self.act_kurtosis),
+            format!("{:.2}", self.weight_kurtosis),
+        ]);
+        t
+    }
+
+    /// A coarse text rendering of both densities (log-scaled bars), one row
+    /// per grid point — enough to see the long tail in a terminal.
+    pub fn sparkline(&self, rows: usize) -> String {
+        let stride = (self.grid.len() / rows.max(1)).max(1);
+        let mut out = String::new();
+        let bar = |d: f64| {
+            let n = ((1.0 + d).ln() * 8.0).round().clamp(0.0, 40.0) as usize;
+            "#".repeat(n)
+        };
+        for i in (0..self.grid.len()).step_by(stride) {
+            out.push_str(&format!(
+                "{:>7.3} | act {:<40} | w {:<40}\n",
+                self.grid[i],
+                bar(self.act_density[i]),
+                bar(self.weight_density[i]),
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the Fig. 4 report for one model: activations entering `layer`
+/// (default: block-1 query, mirroring "layer 2 … query weight" in the
+/// paper) against that layer's weights.
+pub fn kde_report(p: &PreparedModel, layer: Option<LinearId>) -> KdeReport {
+    let layer = layer.unwrap_or_else(|| {
+        let block = 1.min(p.zoo.model.blocks.len() - 1);
+        LinearId::new(block, LinearKind::Q)
+    });
+    let mut acts: Vec<f32> = Vec::new();
+    for seq in &p.calib_seqs {
+        p.zoo.model.forward_observed(seq, &mut |id, x| {
+            if id == layer {
+                acts.extend_from_slice(x.as_slice());
+            }
+        });
+    }
+    let weights = p.zoo.model.linear(layer).weight.value.as_slice().to_vec();
+    // Normalise both to unit abs-max, as in the paper's figure.
+    let norm = |xs: &[f32]| -> Vec<f32> {
+        let m = xs.iter().fold(0.0f32, |a, &v| a.max(v.abs())).max(1e-12);
+        xs.iter().map(|&v| v / m).collect()
+    };
+    let acts_n = norm(&acts);
+    let weights_n = norm(&weights);
+    let (grid, act_density) = stats::kde(&acts_n, -1.0, 1.0, 201, None);
+    let (_, weight_density) = stats::kde(&weights_n, -1.0, 1.0, 201, None);
+    KdeReport {
+        model: p.zoo.name.clone(),
+        layer,
+        grid,
+        act_density,
+        weight_density,
+        act_kurtosis: stats::kurtosis(&acts_n),
+        weight_kurtosis: stats::kurtosis(&weights_n),
+    }
+}
+
+/// Fig. 6a/b: per-layer input & weight kurtosis, naive vs NORA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KurtosisRow {
+    /// Model name.
+    pub model: String,
+    /// The layer.
+    pub id: LinearId,
+    /// Input kurtosis, naive mapping.
+    pub input_naive: f64,
+    /// Input kurtosis under NORA.
+    pub input_nora: f64,
+    /// Weight kurtosis, naive mapping.
+    pub weight_naive: f64,
+    /// Weight kurtosis under NORA.
+    pub weight_nora: f64,
+}
+
+impl KurtosisRow {
+    /// Renders rows as the Fig. 6a/b table.
+    pub fn table(rows: &[KurtosisRow]) -> Table {
+        let mut t = Table::new(&[
+            "model", "layer", "in_naive", "in_nora", "w_naive", "w_nora",
+        ])
+        .with_title("Fig. 6a/b — per-layer input/weight kurtosis, naive vs NORA");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("b{}.{}", r.id.block, r.id.kind.name()),
+                format!("{:.1}", r.input_naive),
+                format!("{:.1}", r.input_nora),
+                format!("{:.2}", r.weight_naive),
+                format!("{:.2}", r.weight_nora),
+            ]);
+        }
+        t
+    }
+}
+
+/// Computes Fig. 6a/b rows for one model.
+pub fn kurtosis_report(p: &PreparedModel) -> Vec<KurtosisRow> {
+    let naive = diagnostics::layer_distributions(
+        &p.zoo.model,
+        &p.calib_seqs,
+        &RescalePlan::naive(),
+    );
+    let nora = diagnostics::layer_distributions(&p.zoo.model, &p.calib_seqs, &p.nora_plan);
+    naive
+        .iter()
+        .zip(&nora)
+        .map(|(a, b)| {
+            debug_assert_eq!(a.id, b.id);
+            KurtosisRow {
+                model: p.zoo.name.clone(),
+                id: a.id,
+                input_naive: a.input_kurtosis,
+                input_nora: b.input_kurtosis,
+                weight_naive: a.weight_kurtosis,
+                weight_nora: b.weight_kurtosis,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 6c: per-layer mean rescale factor `α_i γ_j g_max`, naive vs NORA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescaleRow {
+    /// Model name.
+    pub model: String,
+    /// The layer.
+    pub id: LinearId,
+    /// Mean rescale factor under the naive mapping.
+    pub naive: f64,
+    /// Mean rescale factor under NORA.
+    pub nora: f64,
+}
+
+impl RescaleRow {
+    /// Ratio `nora / naive` (< 1 means more output current, higher SNR).
+    pub fn ratio(&self) -> f64 {
+        if self.naive == 0.0 {
+            1.0
+        } else {
+            self.nora / self.naive
+        }
+    }
+
+    /// Renders rows as the Fig. 6c table.
+    pub fn table(rows: &[RescaleRow]) -> Table {
+        let mut t = Table::new(&["model", "layer", "naive", "nora", "ratio"])
+            .with_title("Fig. 6c — mean rescale factor α·γ·g_max (smaller ⇒ more output current)");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("b{}.{}", r.id.block, r.id.kind.name()),
+                format!("{:.3}", r.naive),
+                format!("{:.3}", r.nora),
+                format!("{:.2}", r.ratio()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Computes Fig. 6c rows for one model under `tile`.
+pub fn rescale_report(p: &PreparedModel, tile: TileConfig, seed: u64) -> Vec<RescaleRow> {
+    let naive = diagnostics::rescale_factors(
+        &p.zoo.model,
+        &p.calib_seqs,
+        &RescalePlan::naive(),
+        tile.clone(),
+        seed,
+    );
+    let nora =
+        diagnostics::rescale_factors(&p.zoo.model, &p.calib_seqs, &p.nora_plan, tile, seed);
+    naive
+        .iter()
+        .zip(&nora)
+        .map(|((id_a, a), (id_b, b))| {
+            debug_assert_eq!(id_a, id_b);
+            RescaleRow {
+                model: p.zoo.name.clone(),
+                id: *id_a,
+                naive: *a,
+                nora: *b,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    fn prepared() -> PreparedModel {
+        prepare(&tiny_spec(ModelFamily::OptLike, 123), 30, 5)
+    }
+
+    #[test]
+    fn kde_report_shows_heavy_tailed_activations() {
+        let p = prepared();
+        let report = kde_report(&p, None);
+        assert!(
+            report.act_kurtosis > report.weight_kurtosis * 3.0,
+            "act {} weight {}",
+            report.act_kurtosis,
+            report.weight_kurtosis
+        );
+        assert_eq!(report.grid.len(), 201);
+        assert!(!report.sparkline(20).is_empty());
+        assert!(report.table().render().contains("q"));
+    }
+
+    #[test]
+    fn kurtosis_report_shows_burden_transfer() {
+        let p = prepared();
+        let rows = kurtosis_report(&p);
+        assert_eq!(rows.len(), p.zoo.model.linear_ids().len());
+        let mean_in_naive: f64 =
+            rows.iter().map(|r| r.input_naive).sum::<f64>() / rows.len() as f64;
+        let mean_in_nora: f64 =
+            rows.iter().map(|r| r.input_nora).sum::<f64>() / rows.len() as f64;
+        assert!(
+            mean_in_nora < mean_in_naive,
+            "{mean_in_naive} → {mean_in_nora}"
+        );
+        assert!(!KurtosisRow::table(&rows).is_empty());
+    }
+
+    #[test]
+    fn rescale_report_shows_shrink() {
+        let p = prepared();
+        let tile = TileConfig::paper_default().with_tile_size(64, 64);
+        let rows = rescale_report(&p, tile, 4);
+        let mean_ratio: f64 =
+            rows.iter().map(|r| r.ratio()).sum::<f64>() / rows.len() as f64;
+        assert!(mean_ratio < 1.0, "mean ratio {mean_ratio}");
+        assert!(!RescaleRow::table(&rows).is_empty());
+    }
+}

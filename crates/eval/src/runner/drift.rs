@@ -1,0 +1,126 @@
+//! §VII limitation study: NORA under PCM conductance drift.
+//!
+//! The paper's limitations section reports that after one hour of drift the
+//! method "becomes less significant in some models" and that simple
+//! compensation exists. This driver reproduces that: it deploys under the
+//! Table II configuration, lets the conductances drift for a range of
+//! times, and measures accuracy with and without global drift compensation.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::{DriftCompensation, TileConfig};
+use nora_core::RescalePlan;
+
+/// Configuration of the drift study.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Drift times in seconds (default: fresh read, 1 min, 10 min, 1 h).
+    pub times: Vec<f64>,
+    /// Tile configuration (default: Table II).
+    pub tile: TileConfig,
+    /// Deployment seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            times: vec![20.0, 60.0, 600.0, 3600.0],
+            tile: TileConfig::paper_default(),
+            seed: 0xd41f,
+        }
+    }
+}
+
+/// One (model, time, plan, compensation) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// Model name.
+    pub model: String,
+    /// Seconds since programming.
+    pub t_seconds: f64,
+    /// `"naive"` or `"nora"`.
+    pub plan: &'static str,
+    /// Whether global drift compensation was applied.
+    pub compensated: bool,
+    /// Accuracy after drift.
+    pub accuracy: f64,
+    /// Digital baseline.
+    pub digital: f64,
+}
+
+impl DriftRow {
+    /// Renders rows as the drift-study table.
+    pub fn table(rows: &[DriftRow]) -> Table {
+        let mut t = Table::new(&["model", "t_sec", "plan", "comp", "acc%", "loss_pp"])
+            .with_title("§VII — accuracy under PCM conductance drift");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("{:.0}", r.t_seconds),
+                r.plan.to_string(),
+                if r.compensated { "yes" } else { "no" }.to_string(),
+                pct(r.accuracy),
+                format!("{:+.1}", 100.0 * (r.digital - r.accuracy)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the drift study on every prepared model.
+pub fn drift_study(prepared: &[PreparedModel], cfg: &DriftConfig) -> Vec<DriftRow> {
+    let mut rows = Vec::new();
+    for p in prepared {
+        for (plan_name, plan) in [
+            ("naive", RescalePlan::naive()),
+            ("nora", p.nora_plan.clone()),
+        ] {
+            for &comp in &[false, true] {
+                let compensation = if comp {
+                    DriftCompensation::GlobalScale
+                } else {
+                    DriftCompensation::None
+                };
+                for &t in &cfg.times {
+                    let mut analog =
+                        plan.deploy(&p.zoo.model, cfg.tile.clone(), cfg.seed ^ 0x33);
+                    analog.apply_drift(t, compensation);
+                    let accuracy = analog_accuracy(&mut analog, &p.episodes);
+                    rows.push(DriftRow {
+                        model: p.zoo.name.clone(),
+                        t_seconds: t,
+                        plan: plan_name,
+                        compensated: comp,
+                        accuracy,
+                        digital: p.digital_acc,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn drift_study_produces_full_grid() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 111), 50, 4)];
+        let cfg = DriftConfig {
+            times: vec![20.0, 3600.0],
+            tile: TileConfig::paper_default().with_tile_size(64, 64),
+            seed: 3,
+        };
+        let rows = drift_study(&prepared, &cfg);
+        // 1 model × 2 plans × 2 comp × 2 times
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
+        assert!(DriftRow::table(&rows).render().contains("3600"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Extension experiments beyond the paper's evaluation section, covering
+//! its §VII future-work items: the ReRAM cross-device claim and the
+//! energy/latency estimate.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::{EnergyModel, TileConfig, WeightSource};
+use nora_core::RescalePlan;
+
+/// One (model, device) cross-device measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossDeviceRow {
+    /// Model name.
+    pub model: String,
+    /// Device name (`"pcm"` or `"reram"`).
+    pub device: &'static str,
+    /// Digital baseline accuracy.
+    pub digital: f64,
+    /// Naive analog accuracy.
+    pub naive: f64,
+    /// NORA accuracy.
+    pub nora: f64,
+}
+
+impl CrossDeviceRow {
+    /// Renders rows as a table.
+    pub fn table(rows: &[CrossDeviceRow]) -> Table {
+        let mut t = Table::new(&["model", "device", "digital%", "naive%", "nora%"])
+            .with_title("§VII extension — NORA across NVM device types (Table II noise)");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.device.to_string(),
+                pct(r.digital),
+                pct(r.naive),
+                pct(r.nora),
+            ]);
+        }
+        t
+    }
+}
+
+/// Evaluates every prepared model on PCM and ReRAM tiles (everything else
+/// per Table II) under naive and NORA deployment — the paper's "this method
+/// can also be extended to other NVM devices such as ReRAM".
+pub fn cross_device(prepared: &[PreparedModel], seed: u64) -> Vec<CrossDeviceRow> {
+    let devices = [
+        ("pcm", WeightSource::Pcm(1.0)),
+        ("reram", WeightSource::Reram(0.05)),
+    ];
+    let mut rows = Vec::new();
+    for p in prepared {
+        for (name, source) in devices {
+            let mut tile = TileConfig::paper_default();
+            tile.weight_source = source;
+            let mut naive = RescalePlan::naive().deploy(&p.zoo.model, tile.clone(), seed);
+            let naive_acc = analog_accuracy(&mut naive, &p.episodes);
+            let mut nora = p.nora_plan.deploy(&p.zoo.model, tile, seed);
+            let nora_acc = analog_accuracy(&mut nora, &p.episodes);
+            rows.push(CrossDeviceRow {
+                model: p.zoo.name.clone(),
+                device: name,
+                digital: p.digital_acc,
+                naive: naive_acc,
+                nora: nora_acc,
+            });
+        }
+    }
+    rows
+}
+
+/// One (model, plan) energy measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Model name.
+    pub model: String,
+    /// `"naive"` or `"nora"`.
+    pub plan: &'static str,
+    /// Accuracy achieved alongside the energy.
+    pub accuracy: f64,
+    /// Total analog energy per processed token, picojoules.
+    pub pj_per_token: f64,
+    /// Analog latency per processed token, nanoseconds.
+    pub ns_per_token: f64,
+    /// Bound-management retries per thousand MVMs.
+    pub retries_per_kmvm: f64,
+}
+
+impl EnergyRow {
+    /// Renders rows as a table.
+    pub fn table(rows: &[EnergyRow]) -> Table {
+        let mut t = Table::new(&[
+            "model",
+            "plan",
+            "acc%",
+            "pJ/token",
+            "ns/token",
+            "BM retries/kMVM",
+        ])
+        .with_title("§VII extension — first-order analog energy & latency per token");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.plan.to_string(),
+                pct(r.accuracy),
+                format!("{:.0}", r.pj_per_token),
+                format!("{:.0}", r.ns_per_token),
+                format!("{:.1}", r.retries_per_kmvm),
+            ]);
+        }
+        t
+    }
+}
+
+/// Measures analog energy/latency per token for naive vs NORA deployments
+/// under Table II noise.
+pub fn energy_study(prepared: &[PreparedModel], seed: u64) -> Vec<EnergyRow> {
+    let energy_model = EnergyModel::default();
+    let mut rows = Vec::new();
+    for p in prepared {
+        let tokens_total: usize = p
+            .episodes
+            .iter()
+            .map(|e| e.tokens.len() - 1)
+            .sum();
+        for (plan_name, plan) in [
+            ("naive", RescalePlan::naive()),
+            ("nora", p.nora_plan.clone()),
+        ] {
+            let mut analog = plan.deploy(&p.zoo.model, TileConfig::paper_default(), seed);
+            let accuracy = analog_accuracy(&mut analog, &p.episodes);
+            let report = analog.energy(&energy_model);
+            let stats = analog.stats();
+            rows.push(EnergyRow {
+                model: p.zoo.name.clone(),
+                plan: plan_name,
+                accuracy,
+                pj_per_token: report.total_pj() / tokens_total.max(1) as f64,
+                ns_per_token: report.latency_ns / tokens_total.max(1) as f64,
+                retries_per_kmvm: 1000.0 * stats.bound_mgmt_retries as f64
+                    / stats.samples.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// One (model, scheme) digital-quantization baseline measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantBaselineRow {
+    /// Model name.
+    pub model: String,
+    /// Scheme description, e.g. `"digital W8A8"`.
+    pub scheme: String,
+    /// Whether the SmoothQuant/NORA smoothing was installed.
+    pub smoothed: bool,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// Digital FP baseline.
+    pub digital: f64,
+}
+
+impl QuantBaselineRow {
+    /// Renders rows as a table.
+    pub fn table(rows: &[QuantBaselineRow]) -> Table {
+        let mut t = Table::new(&["model", "scheme", "smoothed", "acc%", "loss_pp"])
+            .with_title("Related-work baseline — digital weight/activation quantization");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.scheme.clone(),
+                if r.smoothed { "yes" } else { "no" }.to_string(),
+                pct(r.accuracy),
+                format!("{:+.1}", 100.0 * (r.digital - r.accuracy)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Digital quantized-execution baselines (the related-work context:
+/// SmoothQuant on GPUs): WxAx with and without the smoothing vector, at the
+/// given bit widths.
+pub fn digital_quant_baseline(
+    prepared: &[PreparedModel],
+    bits: &[u32],
+    seed: u64,
+) -> Vec<QuantBaselineRow> {
+    let mut rows = Vec::new();
+    for p in prepared {
+        for &b in bits {
+            let tile = TileConfig::digital_quant(b);
+            for (smoothed, plan) in [
+                (false, RescalePlan::naive()),
+                (true, p.nora_plan.clone()),
+            ] {
+                let mut deploy = plan.deploy(&p.zoo.model, tile.clone(), seed);
+                rows.push(QuantBaselineRow {
+                    model: p.zoo.name.clone(),
+                    scheme: format!("digital W{b}A{b}"),
+                    smoothed,
+                    accuracy: analog_accuracy(&mut deploy, &p.episodes),
+                    digital: p.digital_acc,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn cross_device_nora_wins_on_both_devices() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 321), 60, 5)];
+        let rows = cross_device(&prepared, 3);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.nora >= r.naive,
+                "{}: nora {} < naive {}",
+                r.device,
+                r.nora,
+                r.naive
+            );
+        }
+        assert!(CrossDeviceRow::table(&rows).render().contains("reram"));
+    }
+
+    #[test]
+    fn smoothing_rescues_low_bit_digital_quantization() {
+        // SmoothQuant's original result, reproduced on our substrate: plain
+        // W8A8 on an outlier model is fine, low-bit breaks, smoothing helps.
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 323), 60, 5)];
+        let rows = digital_quant_baseline(&prepared, &[8, 4], 6);
+        assert_eq!(rows.len(), 4);
+        let find = |bits: u32, smoothed: bool| {
+            rows.iter()
+                .find(|r| r.scheme.contains(&format!("W{bits}")) && r.smoothed == smoothed)
+                .unwrap()
+                .accuracy
+        };
+        assert!(
+            find(4, true) >= find(4, false),
+            "smoothed W4A4 {} should beat plain {}",
+            find(4, true),
+            find(4, false)
+        );
+        assert!(QuantBaselineRow::table(&rows).render().contains("W8A8"));
+    }
+
+    #[test]
+    fn energy_study_produces_positive_costs() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 322), 40, 4)];
+        let rows = energy_study(&prepared, 4);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.pj_per_token > 0.0);
+            assert!(r.ns_per_token > 0.0);
+        }
+        assert!(!EnergyRow::table(&rows).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-layer analog sensitivity (paper §VII future work: "per-layer
+//! evaluation").
+//!
+//! Deploys exactly one linear at a time onto noisy analog tiles (everything
+//! else digital) and measures the accuracy drop: which layers can tolerate
+//! the analog non-idealities, and which are the bottleneck? The complement
+//! — everything analog *except* one layer — measures how much rescuing a
+//! single layer buys.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::TileConfig;
+use nora_core::RescalePlan;
+use nora_nn::deploy::AnalogTransformerLm;
+use nora_nn::LinearId;
+
+/// Direction of the per-layer study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerStudyMode {
+    /// Only the probed layer is analog.
+    OnlyThisAnalog,
+    /// Every layer except the probed one is analog.
+    AllButThisAnalog,
+}
+
+/// One per-layer measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSensitivityRow {
+    /// Model name.
+    pub model: String,
+    /// The probed layer.
+    pub id: LinearId,
+    /// Study direction.
+    pub mode: LayerStudyMode,
+    /// Whether NORA smoothing was installed on the analog layers.
+    pub with_nora: bool,
+    /// Accuracy.
+    pub accuracy: f64,
+    /// Digital baseline.
+    pub digital: f64,
+}
+
+impl LayerSensitivityRow {
+    /// Renders rows as a table.
+    pub fn table(rows: &[LayerSensitivityRow]) -> Table {
+        let mut t = Table::new(&["model", "layer", "mode", "nora", "acc%", "drop_pp"])
+            .with_title("§VII extension — per-layer analog sensitivity (Table II noise)");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("b{}.{}", r.id.block, r.id.kind.name()),
+                match r.mode {
+                    LayerStudyMode::OnlyThisAnalog => "only-this",
+                    LayerStudyMode::AllButThisAnalog => "all-but-this",
+                }
+                .to_string(),
+                if r.with_nora { "yes" } else { "no" }.to_string(),
+                pct(r.accuracy),
+                format!("{:+.1}", 100.0 * (r.digital - r.accuracy)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the per-layer study on one prepared model.
+pub fn layer_sensitivity(
+    p: &PreparedModel,
+    mode: LayerStudyMode,
+    with_nora: bool,
+    tile: &TileConfig,
+    seed: u64,
+) -> Vec<LayerSensitivityRow> {
+    let plan = if with_nora {
+        p.nora_plan.clone()
+    } else {
+        RescalePlan::naive()
+    };
+    p.zoo
+        .model
+        .linear_ids()
+        .into_iter()
+        .map(|probe| {
+            let mut analog = AnalogTransformerLm::with_layer_filter(
+                &p.zoo.model,
+                tile.clone(),
+                plan.smoothing_map(),
+                seed,
+                |id| match mode {
+                    LayerStudyMode::OnlyThisAnalog => id == probe,
+                    LayerStudyMode::AllButThisAnalog => id != probe,
+                },
+            );
+            LayerSensitivityRow {
+                model: p.zoo.name.clone(),
+                id: probe,
+                mode,
+                with_nora,
+                accuracy: analog_accuracy(&mut analog, &p.episodes),
+                digital: p.digital_acc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn single_analog_layer_hurts_less_than_full_deployment() {
+        let p = prepare(&tiny_spec(ModelFamily::OptLike, 777), 60, 5);
+        let tile = TileConfig::paper_default();
+        let rows = layer_sensitivity(&p, LayerStudyMode::OnlyThisAnalog, false, &tile, 7);
+        assert_eq!(rows.len(), p.zoo.model.linear_ids().len());
+        // Full naive deployment for comparison.
+        let mut full = RescalePlan::naive().deploy(&p.zoo.model, tile, 7);
+        let full_acc = analog_accuracy(&mut full, &p.episodes);
+        let best_single = rows
+            .iter()
+            .map(|r| r.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best_single >= full_acc,
+            "one analog layer {best_single} should never be worse than all {full_acc}"
+        );
+        assert!(LayerSensitivityRow::table(&rows).render().contains("only-this"));
+    }
+}

@@ -1,0 +1,128 @@
+//! "Challenge 2" motivation study (paper Fig. 1 and §II-A): the dynamic
+//! noise-management and bound-management techniques that rescue
+//! conventional DNNs on analog CIM become ineffective on LLMs, because with
+//! heavy-tailed activations *every* choice of the linear factor `α` either
+//! clips the outliers or starves the bulk of resolution — while NORA fixes
+//! the distribution itself.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::{BoundManagement, NoiseManagement, TileConfig};
+use nora_core::RescalePlan;
+
+/// One (model, policy) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagementRow {
+    /// Model name.
+    pub model: String,
+    /// Human-readable policy description.
+    pub policy: String,
+    /// Whether the NORA smoothing was also installed.
+    pub with_nora: bool,
+    /// Accuracy under Table II noise with this policy.
+    pub accuracy: f64,
+    /// Digital baseline.
+    pub digital: f64,
+}
+
+impl ManagementRow {
+    /// Renders rows as a table.
+    pub fn table(rows: &[ManagementRow]) -> Table {
+        let mut t = Table::new(&["model", "policy", "nora", "acc%", "loss_pp"]).with_title(
+            "Fig. 1 'Challenge 2' — noise/bound management vs NORA on LLM-like data",
+        );
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.policy.clone(),
+                if r.with_nora { "yes" } else { "no" }.to_string(),
+                pct(r.accuracy),
+                format!("{:+.1}", 100.0 * (r.digital - r.accuracy)),
+            ]);
+        }
+        t
+    }
+}
+
+/// The policy grid: every noise-management flavour with and without
+/// iterative bound management.
+fn policies() -> Vec<(String, NoiseManagement, BoundManagement)> {
+    let nms = [
+        ("nm=abs_max", NoiseManagement::AbsMax),
+        ("nm=avg_abs_max(3)", NoiseManagement::AvgAbsMax(3.0)),
+        ("nm=avg_abs_max(10)", NoiseManagement::AvgAbsMax(10.0)),
+        ("nm=percentile(99)", NoiseManagement::Percentile(99.0)),
+        ("nm=percentile(95)", NoiseManagement::Percentile(95.0)),
+    ];
+    let bms = [
+        ("bm=none", BoundManagement::None),
+        ("bm=iter", BoundManagement::Iterative { max_rounds: 6 }),
+    ];
+    let mut out = Vec::new();
+    for (nn, nm) in nms {
+        for (bn, bm) in bms {
+            out.push((format!("{nn},{bn}"), nm, bm));
+        }
+    }
+    out
+}
+
+/// Runs the management ablation: every dynamic-range policy, naive, plus
+/// the best policy combined with NORA.
+pub fn management_ablation(prepared: &[PreparedModel], seed: u64) -> Vec<ManagementRow> {
+    let mut rows = Vec::new();
+    for p in prepared {
+        for (name, nm, bm) in policies() {
+            let mut tile = TileConfig::paper_default();
+            tile.noise_management = nm;
+            tile.bound_management = bm;
+            let mut naive = RescalePlan::naive().deploy(&p.zoo.model, tile.clone(), seed);
+            rows.push(ManagementRow {
+                model: p.zoo.name.clone(),
+                policy: name.clone(),
+                with_nora: false,
+                accuracy: analog_accuracy(&mut naive, &p.episodes),
+                digital: p.digital_acc,
+            });
+        }
+        // NORA with the paper-default policy, for contrast.
+        let mut nora = p
+            .nora_plan
+            .deploy(&p.zoo.model, TileConfig::paper_default(), seed);
+        rows.push(ManagementRow {
+            model: p.zoo.name.clone(),
+            policy: "nm=abs_max,bm=iter (default)".to_string(),
+            with_nora: true,
+            accuracy: analog_accuracy(&mut nora, &p.episodes),
+            digital: p.digital_acc,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn no_management_policy_matches_nora_on_outlier_model() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 555), 60, 5)];
+        let rows = management_ablation(&prepared, 5);
+        // 10 policies + 1 NORA row.
+        assert_eq!(rows.len(), 11);
+        let best_mgmt = rows
+            .iter()
+            .filter(|r| !r.with_nora)
+            .map(|r| r.accuracy)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let nora = rows.iter().find(|r| r.with_nora).unwrap().accuracy;
+        assert!(
+            nora >= best_mgmt,
+            "nora {nora} should be at least the best management policy {best_mgmt}"
+        );
+        assert!(ManagementRow::table(&rows).render().contains("avg_abs_max"));
+    }
+}

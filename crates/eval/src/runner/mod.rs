@@ -1,0 +1,27 @@
+//! Experiment drivers, one per paper table/figure.
+
+mod distributions;
+mod drift;
+mod extensions;
+mod layers;
+mod management;
+mod mitigation;
+mod overall;
+mod prepare;
+mod sensitivity;
+
+pub use extensions::{
+    cross_device, digital_quant_baseline, energy_study, CrossDeviceRow, EnergyRow,
+    QuantBaselineRow,
+};
+pub use layers::{layer_sensitivity, LayerSensitivityRow, LayerStudyMode};
+pub use management::{management_ablation, ManagementRow};
+
+pub use distributions::{
+    kde_report, kurtosis_report, rescale_report, KdeReport, KurtosisRow, RescaleRow,
+};
+pub use drift::{drift_study, DriftConfig, DriftRow};
+pub use mitigation::{mitigation, MitigationConfig, MitigationRow};
+pub use overall::{overall, OverallConfig, OverallRow};
+pub use prepare::{prepare, prepare_built, PreparedModel};
+pub use sensitivity::{sensitivity, SensitivityConfig, SensitivityPoint};

@@ -1,0 +1,125 @@
+//! Fig. 5a / Table III: overall accuracy under the full Table II
+//! configuration — digital vs naive analog vs NORA.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::TileConfig;
+use nora_core::RescalePlan;
+
+/// Configuration of the overall-accuracy experiment.
+#[derive(Debug, Clone)]
+pub struct OverallConfig {
+    /// The tile configuration (default: the paper's Table II).
+    pub tile: TileConfig,
+    /// Deployment seed.
+    pub seed: u64,
+}
+
+impl Default for OverallConfig {
+    fn default() -> Self {
+        Self {
+            tile: TileConfig::paper_default(),
+            seed: 0xa11,
+        }
+    }
+}
+
+/// Per-model result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverallRow {
+    /// Model name.
+    pub model: String,
+    /// FP32 digital accuracy.
+    pub digital: f64,
+    /// Naive analog accuracy (no rescaling).
+    pub naive: f64,
+    /// NORA accuracy.
+    pub nora: f64,
+}
+
+impl OverallRow {
+    /// Accuracy loss of NORA vs digital, percentage points.
+    pub fn nora_loss_pp(&self) -> f64 {
+        100.0 * (self.digital - self.nora)
+    }
+
+    /// Accuracy loss of the naive deployment vs digital, percentage points.
+    pub fn naive_loss_pp(&self) -> f64 {
+        100.0 * (self.digital - self.naive)
+    }
+
+    /// Renders rows as the Fig. 5a / Table III table.
+    pub fn table(rows: &[OverallRow], title: &str) -> Table {
+        let mut t = Table::new(&[
+            "model",
+            "digital%",
+            "naive%",
+            "nora%",
+            "naive_loss_pp",
+            "nora_loss_pp",
+        ])
+        .with_title(title);
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                pct(r.digital),
+                pct(r.naive),
+                pct(r.nora),
+                format!("{:+.1}", r.naive_loss_pp()),
+                format!("{:+.1}", r.nora_loss_pp()),
+            ]);
+        }
+        t
+    }
+}
+
+/// Evaluates every prepared model under digital / naive analog / NORA.
+pub fn overall(prepared: &[PreparedModel], cfg: &OverallConfig) -> Vec<OverallRow> {
+    prepared
+        .iter()
+        .map(|p| {
+            let mut naive =
+                RescalePlan::naive().deploy(&p.zoo.model, cfg.tile.clone(), cfg.seed);
+            let naive_acc = analog_accuracy(&mut naive, &p.episodes);
+            let mut nora = p
+                .nora_plan
+                .deploy(&p.zoo.model, cfg.tile.clone(), cfg.seed);
+            let nora_acc = analog_accuracy(&mut nora, &p.episodes);
+            OverallRow {
+                model: p.zoo.name.clone(),
+                digital: p.digital_acc,
+                naive: naive_acc,
+                nora: nora_acc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn nora_beats_naive_on_outlier_model() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 88), 80, 6)];
+        let cfg = OverallConfig {
+            tile: TileConfig::paper_default().with_tile_size(64, 64),
+            seed: 5,
+        };
+        let rows = overall(&prepared, &cfg);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(
+            r.nora >= r.naive,
+            "nora {} should be >= naive {}",
+            r.nora,
+            r.naive
+        );
+        assert!(r.digital > 0.5);
+        let table = OverallRow::table(&rows, "t").render();
+        assert!(table.contains("opt-like-tiny"));
+    }
+}

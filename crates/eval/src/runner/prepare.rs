@@ -1,0 +1,71 @@
+//! Shared experiment setup: train, calibrate, and baseline a zoo model.
+
+use nora_core::{calibrate, Calibration, RescalePlan, SmoothingConfig};
+use nora_nn::corpus::Episode;
+use nora_nn::zoo::{ZooModel, ZooSpec};
+
+/// A zoo model plus everything an experiment needs around it: held-out
+/// evaluation episodes, a calibration set and its [`Calibration`], the
+/// digital-baseline accuracy, and the default NORA plan.
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    /// The trained, outlier-injected model.
+    pub zoo: ZooModel,
+    /// Held-out evaluation episodes (never seen in training/calibration).
+    pub episodes: Vec<Episode>,
+    /// Calibration sequences (the "Pile-like" stream).
+    pub calib_seqs: Vec<Vec<usize>>,
+    /// Per-channel activation maxima from the calibration pass.
+    pub calibration: Calibration,
+    /// FP32 digital accuracy on `episodes`.
+    pub digital_acc: f64,
+    /// The λ = 0.5 NORA plan.
+    pub nora_plan: RescalePlan,
+}
+
+/// Builds a [`PreparedModel`]: trains per the spec, draws `calib_count`
+/// calibration sequences and `episode_count` held-out episodes, calibrates,
+/// and computes the digital baseline and the default NORA plan.
+pub fn prepare(spec: &ZooSpec, episode_count: usize, calib_count: usize) -> PreparedModel {
+    prepare_built(spec.build(), episode_count, calib_count)
+}
+
+/// Like [`prepare`] for a model that is already built (e.g. loaded from the
+/// model cache by the `nora-bench` binaries).
+pub fn prepare_built(zoo: ZooModel, episode_count: usize, calib_count: usize) -> PreparedModel {
+    let mut corpus = zoo.corpus.clone();
+    let calib_seqs: Vec<Vec<usize>> = (0..calib_count)
+        .map(|_| corpus.episode().tokens)
+        .collect();
+    let episodes = corpus.episodes(episode_count);
+    let calibration = calibrate(&zoo.model, &calib_seqs);
+    let digital_acc = crate::tasks::digital_accuracy(&zoo.model, &episodes);
+    let nora_plan = RescalePlan::nora(&zoo.model, &calibration, SmoothingConfig::default());
+    PreparedModel {
+        zoo,
+        episodes,
+        calib_seqs,
+        calibration,
+        digital_acc,
+        nora_plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn prepare_produces_consistent_bundle() {
+        let prepared = prepare(&tiny_spec(ModelFamily::MistralLike, 31), 40, 6);
+        assert_eq!(prepared.episodes.len(), 40);
+        assert_eq!(prepared.calib_seqs.len(), 6);
+        assert!(prepared.digital_acc > 0.5, "digital {}", prepared.digital_acc);
+        assert!(!prepared.nora_plan.is_naive());
+        assert_eq!(
+            prepared.calibration.ids().count(),
+            prepared.zoo.model.linear_ids().len()
+        );
+    }
+}

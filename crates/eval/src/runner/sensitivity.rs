@@ -1,0 +1,140 @@
+//! Fig. 3: sensitivity of LLMs to each non-ideality at matched MSE levels.
+
+use crate::noise_level::{paper_mse_grid, severity_for_mse, RefWorkload};
+use crate::report::{pct, sci, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::{accuracy_drop_pp, analog_accuracy};
+use nora_cim::NonIdeality;
+use nora_core::RescalePlan;
+
+/// Configuration of the sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SensitivityConfig {
+    /// Non-idealities to sweep (default: all eight, Fig. 3a–h).
+    pub noises: Vec<NonIdeality>,
+    /// Number of MSE-matched severity points per noise.
+    pub mse_points: usize,
+    /// Deployment seed.
+    pub seed: u64,
+}
+
+impl Default for SensitivityConfig {
+    fn default() -> Self {
+        Self {
+            noises: NonIdeality::ALL.to_vec(),
+            mse_points: 8,
+            seed: 0x5e5e,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityPoint {
+    /// Model name.
+    pub model: String,
+    /// The active non-ideality (all others ideal).
+    pub noise: NonIdeality,
+    /// The matched reference MSE.
+    pub target_mse: f64,
+    /// The severity level realising that MSE.
+    pub severity: f32,
+    /// Analog accuracy at this point.
+    pub accuracy: f64,
+    /// Accuracy drop vs the digital baseline, percentage points.
+    pub drop_pp: f64,
+}
+
+/// Runs the Fig. 3 sweep: for every model × noise × MSE level, deploy
+/// naively with *only* that noise active and measure the accuracy drop.
+pub fn sensitivity(
+    prepared: &[PreparedModel],
+    cfg: &SensitivityConfig,
+) -> Vec<SensitivityPoint> {
+    let workload = RefWorkload::default_reference(cfg.seed);
+    let grid = paper_mse_grid(cfg.mse_points);
+    // Severity calibration is model-independent: do it once per (noise, mse).
+    let mut points = Vec::new();
+    for &noise in &cfg.noises {
+        let severities: Vec<f32> = grid
+            .iter()
+            .map(|&mse| severity_for_mse(noise, mse, &workload))
+            .collect();
+        for p in prepared {
+            for (&target_mse, &severity) in grid.iter().zip(&severities) {
+                let tile = noise.configure(severity);
+                let mut analog =
+                    RescalePlan::naive().deploy(&p.zoo.model, tile, cfg.seed ^ 0x11);
+                let accuracy = analog_accuracy(&mut analog, &p.episodes);
+                points.push(SensitivityPoint {
+                    model: p.zoo.name.clone(),
+                    noise,
+                    target_mse,
+                    severity,
+                    accuracy,
+                    drop_pp: accuracy_drop_pp(p.digital_acc, accuracy),
+                });
+            }
+        }
+    }
+    points
+}
+
+impl SensitivityPoint {
+    /// Renders a batch of points as the Fig. 3 table.
+    pub fn table(points: &[SensitivityPoint]) -> Table {
+        let mut t = Table::new(&["noise", "model", "ref_mse", "severity", "acc%", "drop_pp"])
+            .with_title("Fig. 3 — accuracy drop per non-ideality at MSE-matched severity");
+        for p in points {
+            t.row_owned(vec![
+                p.noise.name().to_string(),
+                p.model.clone(),
+                sci(p.target_mse),
+                format!("{:.4}", p.severity),
+                pct(p.accuracy),
+                format!("{:+.1}", p.drop_pp),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn sweep_produces_grid_and_io_noises_dominate() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 77), 60, 4)];
+        let cfg = SensitivityConfig {
+            noises: vec![
+                NonIdeality::AdditiveOutputNoise,
+                NonIdeality::ShortTermReadNoise,
+            ],
+            mse_points: 3,
+            seed: 1,
+        };
+        let points = sensitivity(&prepared, &cfg);
+        assert_eq!(points.len(), 6);
+        // At the top severity, output noise should hurt at least as much as
+        // read noise (the paper's key observation).
+        let drop = |n: NonIdeality| {
+            points
+                .iter()
+                .filter(|p| p.noise == n)
+                .map(|p| p.drop_pp)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(
+            drop(NonIdeality::AdditiveOutputNoise)
+                >= drop(NonIdeality::ShortTermReadNoise) - 1e-9,
+            "out {} read {}",
+            drop(NonIdeality::AdditiveOutputNoise),
+            drop(NonIdeality::ShortTermReadNoise)
+        );
+        let table = SensitivityPoint::table(&points).render();
+        assert!(table.contains("out_noise"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Lambada-style last-token accuracy for digital and analog models.
+
+use nora_nn::corpus::Episode;
+use nora_nn::deploy::AnalogTransformerLm;
+use nora_nn::TransformerLm;
+
+/// Accuracy of the FP32 digital model on held-out episodes (the paper's
+/// "Digital Full precision" baseline).
+pub fn digital_accuracy(model: &TransformerLm, episodes: &[Episode]) -> f64 {
+    nora_nn::trainer::eval_accuracy(model, episodes)
+}
+
+/// Accuracy of an analog deployment on held-out episodes.
+///
+/// Stochastic (the tiles are noisy) but deterministic given the
+/// deployment's seed and the episode order.
+pub fn analog_accuracy(analog: &mut AnalogTransformerLm, episodes: &[Episode]) -> f64 {
+    if episodes.is_empty() {
+        return 0.0;
+    }
+    let correct = episodes
+        .iter()
+        .filter(|ep| {
+            let ctx = &ep.tokens[..ep.tokens.len() - 1];
+            analog.predict_next(ctx) == ep.key
+        })
+        .count();
+    correct as f64 / episodes.len() as f64
+}
+
+/// Next-token perplexity of the FP32 digital model over a set of token
+/// sequences (`exp` of the mean cross-entropy over all predicted
+/// positions).
+///
+/// # Panics
+///
+/// Panics if `sequences` is empty or any sequence has fewer than 2 tokens.
+pub fn digital_perplexity(model: &TransformerLm, sequences: &[Vec<usize>]) -> f64 {
+    assert!(!sequences.is_empty(), "perplexity needs sequences");
+    let mut total_nll = 0.0f64;
+    let mut total_positions = 0usize;
+    for seq in sequences {
+        assert!(seq.len() >= 2, "sequence too short for perplexity");
+        let logits = model.forward(seq);
+        let pred = logits.submatrix(0, seq.len() - 1, 0, logits.cols());
+        let (mean_nll, _) = nora_nn::cross_entropy(&pred, &seq[1..]);
+        total_nll += mean_nll * (seq.len() - 1) as f64;
+        total_positions += seq.len() - 1;
+    }
+    (total_nll / total_positions as f64).exp()
+}
+
+/// Accuracy drop in percentage points (paper Fig. 3/5 y-axis):
+/// `100 · (baseline − measured)`.
+pub fn accuracy_drop_pp(baseline: f64, measured: f64) -> f64 {
+    100.0 * (baseline - measured)
+}
+
+/// Fraction of a noise-induced accuracy drop that a mitigation recovers
+/// (paper §V-B: "our method can recover nearly 75% accuracy drop caused by
+/// ADC quantization").
+///
+/// Returns 0 when there was no drop to recover.
+pub fn recovery_fraction(baseline: f64, naive: f64, mitigated: f64) -> f64 {
+    let drop = baseline - naive;
+    if drop <= 0.0 {
+        return 0.0;
+    }
+    ((mitigated - naive) / drop).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nora_cim::TileConfig;
+    use nora_nn::corpus::{Corpus, CorpusConfig};
+    use nora_nn::deploy::SmoothingMap;
+    use nora_nn::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    #[test]
+    fn accuracy_drop_and_recovery_arithmetic() {
+        assert!((accuracy_drop_pp(0.9, 0.6) - 30.0).abs() < 1e-9);
+        assert!((recovery_fraction(0.9, 0.5, 0.8) - 0.75).abs() < 1e-12);
+        assert_eq!(recovery_fraction(0.9, 0.9, 0.95), 0.0);
+        assert_eq!(recovery_fraction(0.9, 0.5, 0.1), -1.0); // clamped
+    }
+
+    #[test]
+    fn analog_accuracy_matches_digital_on_ideal_tiles() {
+        let model = TransformerLm::new(
+            ModelConfig::tiny_for_tests(),
+            &mut Rng::seed_from(1),
+        );
+        let mut corpus = Corpus::new(CorpusConfig::new(16, 16, 2));
+        let eps = corpus.episodes(30);
+        let d = digital_accuracy(&model, &eps);
+        let mut analog =
+            AnalogTransformerLm::new(&model, TileConfig::ideal(), &SmoothingMap::new(), 3);
+        let a = analog_accuracy(&mut analog, &eps);
+        assert!((d - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perplexity_bounded_by_vocab_and_improves_with_training() {
+        use nora_nn::corpus::{Corpus, CorpusConfig};
+        use nora_nn::trainer::{train, TrainConfig};
+        let mut corpus = Corpus::new(CorpusConfig::new(16, 16, 9));
+        let mut model = TransformerLm::new(
+            ModelConfig::tiny_for_tests(),
+            &mut Rng::seed_from(4),
+        );
+        let seqs: Vec<Vec<usize>> = (0..6).map(|_| corpus.episode().tokens).collect();
+        let before = digital_perplexity(&model, &seqs);
+        // An untrained model is near-uniform: ppl ≈ vocab.
+        assert!(before > 8.0 && before < 32.0, "before {before}");
+        train(
+            &mut model,
+            &mut corpus,
+            &TrainConfig {
+                steps: 120,
+                batch_size: 8,
+                lr: 3e-3,
+                grad_clip: 1.0,
+                warmup: 10,
+            },
+        );
+        let after = digital_perplexity(&model, &seqs);
+        assert!(after < before / 1.5, "{before} → {after}");
+    }
+
+    #[test]
+    fn empty_episode_set_gives_zero() {
+        let model = TransformerLm::new(
+            ModelConfig::tiny_for_tests(),
+            &mut Rng::seed_from(1),
+        );
+        let mut analog =
+            AnalogTransformerLm::new(&model, TileConfig::ideal(), &SmoothingMap::new(), 3);
+        assert_eq!(analog_accuracy(&mut analog, &[]), 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Synthetic training/evaluation corpus.
+//!
+//! The paper calibrates on the Pile and evaluates with the Lambada
+//! last-word-prediction task. Both play narrow roles — a stream of
+//! representative text for activation statistics, and a scalar accuracy
+//! whose answer requires broad context — so this module synthesises a
+//! corpus with the same two properties:
+//!
+//! * a **Markov backbone**: content tokens follow a sparse first-order
+//!   Markov chain (learnable local statistics, like ordinary text), and
+//! * **induction episodes**: a `KEY k` pair planted early in the sequence
+//!   must be recalled when the closing `QUERY` marker appears — the final
+//!   token is unpredictable from local context alone, exactly the Lambada
+//!   property ("word prediction requiring a broad discourse context").
+//!
+//! Token `0` is the `KEY` marker and token `1` the `QUERY` marker; content
+//! tokens occupy `2..vocab`.
+
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// The `KEY` marker token.
+pub const KEY_MARK: usize = 0;
+/// The `QUERY` marker token.
+pub const QUERY_MARK: usize = 1;
+/// First content token.
+pub const FIRST_CONTENT: usize = 2;
+
+/// Configuration of the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Vocabulary size (≥ 8; includes the two marker tokens).
+    pub vocab: usize,
+    /// Episode length in tokens.
+    pub seq_len: usize,
+    /// Seed of the Markov backbone (fixes the "language").
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// Default corpus matched to the zoo's model sizes.
+    pub fn new(vocab: usize, seq_len: usize, seed: u64) -> Self {
+        assert!(vocab >= 8, "vocab must be at least 8");
+        assert!(seq_len >= 8, "seq_len must be at least 8");
+        Self {
+            vocab,
+            seq_len,
+            seed,
+        }
+    }
+}
+
+/// Deterministic generator for the synthetic corpus.
+///
+/// # Example
+///
+/// ```
+/// use nora_nn::corpus::{Corpus, CorpusConfig};
+/// let mut corpus = Corpus::new(CorpusConfig::new(32, 16, 7));
+/// let ep = corpus.episode();
+/// assert_eq!(ep.tokens.len(), 16);
+/// assert_eq!(*ep.tokens.last().unwrap(), ep.key);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    config: CorpusConfig,
+    /// Markov transition weights, `(vocab × vocab)` over content tokens.
+    transition: Matrix,
+    rng: Rng,
+}
+
+/// One evaluation episode: a token sequence whose **last token** is the
+/// planted key (the Lambada-style answer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// Full token sequence (length `seq_len`), ending with the answer.
+    pub tokens: Vec<usize>,
+    /// The planted key token (equals `tokens.last()`).
+    pub key: usize,
+}
+
+impl Corpus {
+    /// Builds the corpus "language" from the config seed.
+    pub fn new(config: CorpusConfig) -> Self {
+        let mut lang_rng = Rng::seed_from(config.seed);
+        let v = config.vocab;
+        // Sparse, peaked transition structure: each content token strongly
+        // prefers 3 successors, with a small uniform smoothing floor.
+        let mut transition = Matrix::full(v, v, 0.05);
+        for t in FIRST_CONTENT..v {
+            for _ in 0..3 {
+                let succ = FIRST_CONTENT + lang_rng.below(v - FIRST_CONTENT);
+                transition[(t, succ)] += 2.0 + lang_rng.next_f32() * 2.0;
+            }
+        }
+        // Marker rows: markers are followed by uniform content.
+        let rng = Rng::seed_from(config.seed ^ 0x5eed_0001);
+        Self {
+            config,
+            transition,
+            rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    fn next_content(&mut self, current: usize) -> usize {
+        let row = self.transition.row(current);
+        let idx = self.rng.weighted_index(&row[FIRST_CONTENT..]);
+        FIRST_CONTENT + idx
+    }
+
+    /// Samples `len` tokens of plain Markov text (the "Pile-like"
+    /// calibration stream — no episode structure).
+    pub fn text(&mut self, len: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = FIRST_CONTENT + self.rng.below(self.config.vocab - FIRST_CONTENT);
+        for _ in 0..len {
+            out.push(cur);
+            cur = self.next_content(cur);
+        }
+        out
+    }
+
+    /// Samples one training/evaluation episode.
+    ///
+    /// Layout (for `seq_len = L`):
+    /// `m₀ … KEY k m … m QUERY k` — Markov filler with `KEY k` planted at a
+    /// random position in the first half and `QUERY` as the second-to-last
+    /// token; the last token is the key again.
+    pub fn episode(&mut self) -> Episode {
+        let l = self.config.seq_len;
+        let v = self.config.vocab;
+        let key = FIRST_CONTENT + self.rng.below(v - FIRST_CONTENT);
+        // KEY marker position in the first half (leaving room for the pair).
+        let key_pos = 1 + self.rng.below(l / 2 - 1);
+        let mut tokens = Vec::with_capacity(l);
+        let mut cur = FIRST_CONTENT + self.rng.below(v - FIRST_CONTENT);
+        for t in 0..l {
+            if t == key_pos {
+                tokens.push(KEY_MARK);
+            } else if t == key_pos + 1 {
+                tokens.push(key);
+                cur = key;
+            } else if t == l - 2 {
+                tokens.push(QUERY_MARK);
+            } else if t == l - 1 {
+                tokens.push(key);
+            } else {
+                tokens.push(cur);
+                cur = self.next_content(cur);
+            }
+        }
+        Episode { tokens, key }
+    }
+
+    /// Samples a batch of episodes.
+    pub fn episodes(&mut self, n: usize) -> Vec<Episode> {
+        (0..n).map(|_| self.episode()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_structure_is_well_formed() {
+        let mut corpus = Corpus::new(CorpusConfig::new(32, 24, 1));
+        for _ in 0..50 {
+            let ep = corpus.episode();
+            assert_eq!(ep.tokens.len(), 24);
+            assert_eq!(ep.tokens[22], QUERY_MARK);
+            assert_eq!(ep.tokens[23], ep.key);
+            let key_pos = ep.tokens.iter().position(|&t| t == KEY_MARK).unwrap();
+            assert!(key_pos < 12);
+            assert_eq!(ep.tokens[key_pos + 1], ep.key);
+            assert!(ep.key >= FIRST_CONTENT && ep.key < 32);
+        }
+    }
+
+    #[test]
+    fn text_contains_only_content_tokens() {
+        let mut corpus = Corpus::new(CorpusConfig::new(16, 16, 2));
+        let text = corpus.text(500);
+        assert_eq!(text.len(), 500);
+        assert!(text.iter().all(|&t| (FIRST_CONTENT..16).contains(&t)));
+    }
+
+    #[test]
+    fn markov_structure_is_learnable() {
+        // Successors should be concentrated: the empirical top-1 successor
+        // frequency must beat the uniform baseline by a wide margin.
+        let mut corpus = Corpus::new(CorpusConfig::new(32, 16, 3));
+        let text = corpus.text(20_000);
+        let mut counts = vec![vec![0u32; 32]; 32];
+        for w in text.windows(2) {
+            counts[w[0]][w[1]] += 1;
+        }
+        let mut top1 = 0u32;
+        let mut total = 0u32;
+        for row in &counts {
+            let s: u32 = row.iter().sum();
+            if s > 100 {
+                top1 += *row.iter().max().unwrap();
+                total += s;
+            }
+        }
+        let frac = top1 as f64 / total as f64;
+        assert!(frac > 0.2, "top-1 successor fraction {frac}");
+    }
+
+    #[test]
+    fn same_seed_same_language_different_stream() {
+        let mut a = Corpus::new(CorpusConfig::new(16, 16, 9));
+        let mut b = Corpus::new(CorpusConfig::new(16, 16, 9));
+        assert_eq!(a.episode(), b.episode());
+    }
+
+    #[test]
+    fn keys_are_diverse() {
+        let mut corpus = Corpus::new(CorpusConfig::new(64, 16, 4));
+        let eps = corpus.episodes(200);
+        let mut keys: Vec<usize> = eps.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(keys.len() > 20, "only {} distinct keys", keys.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab must be")]
+    fn tiny_vocab_panics() {
+        CorpusConfig::new(4, 16, 0);
+    }
+}

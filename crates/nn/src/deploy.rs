@@ -1,0 +1,370 @@
+//! Hybrid analog/digital deployment of a transformer LM.
+//!
+//! Mirrors the paper's Fig. 2 mapping: the six linears of every block run on
+//! analog CIM tiles ([`nora_cim::AnalogLinear`]), while LayerNorm, the
+//! attention core (scores/softmax), residuals, embeddings and the LM head
+//! stay digital at full precision ("Normalization, activation functions,
+//! and self-attention are executed on digital units with full precision",
+//! paper §V).
+//!
+//! A per-layer smoothing map (produced by `nora-core`) turns a naive
+//! deployment into a NORA deployment.
+
+use crate::attention::AttnProj;
+use crate::model::{KvCache, LinearId, LinearKind, TransformerLm};
+use nora_cim::{AnalogLinear, DriftCompensation, ForwardStats, TileConfig};
+use nora_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Per-layer NORA smoothing vectors keyed by linear id.
+///
+/// Layers absent from the map deploy naively (`s = 1`).
+pub type SmoothingMap = HashMap<LinearId, Vec<f32>>;
+
+/// A transformer LM whose linears execute on simulated analog CIM tiles.
+///
+/// # Example
+///
+/// ```
+/// use nora_nn::{ModelConfig, TransformerLm};
+/// use nora_nn::deploy::AnalogTransformerLm;
+/// use nora_cim::TileConfig;
+/// use nora_tensor::rng::Rng;
+///
+/// let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(0));
+/// let mut analog = AnalogTransformerLm::new(&model, TileConfig::ideal(), &Default::default(), 1);
+/// let digital = model.forward(&[1, 2, 3]);
+/// let noisy = analog.forward(&[1, 2, 3]);
+/// assert!(noisy.mse(&digital) < 1e-9); // ideal tiles ⇒ exact
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalogTransformerLm {
+    model: TransformerLm,
+    analog: HashMap<LinearId, AnalogLinear>,
+}
+
+impl AnalogTransformerLm {
+    /// Deploys `model` onto analog tiles with the given tile configuration
+    /// and smoothing map.
+    ///
+    /// The digital parts of the model are cloned; the analog linears are
+    /// programmed once at construction (weights × smoothing → conductances).
+    pub fn new(
+        model: &TransformerLm,
+        config: TileConfig,
+        smoothing: &SmoothingMap,
+        seed: u64,
+    ) -> Self {
+        Self::with_layer_filter(model, config, smoothing, seed, |_| true)
+    }
+
+    /// Like [`AnalogTransformerLm::new`], but maps only the linears for
+    /// which `filter` returns `true` onto analog tiles; the rest execute
+    /// digitally at full precision. Used by the per-layer sensitivity study
+    /// (paper §VII: "per-layer evaluation").
+    pub fn with_layer_filter(
+        model: &TransformerLm,
+        config: TileConfig,
+        smoothing: &SmoothingMap,
+        seed: u64,
+        filter: impl Fn(LinearId) -> bool,
+    ) -> Self {
+        let mut analog = HashMap::new();
+        for id in model.linear_ids() {
+            if !filter(id) {
+                continue;
+            }
+            let lin = model.linear(id);
+            let weights = lin.weight.value.clone();
+            let bias = lin.bias.value.row(0).to_vec();
+            let s = smoothing.get(&id).map(|v| v.as_slice());
+            let layer_seed =
+                seed ^ ((id.block as u64 + 1) << 20) ^ ((id.kind as u64 + 1) << 8);
+            analog.insert(
+                id,
+                AnalogLinear::with_smoothing(weights, Some(bias), s, config.clone(), layer_seed),
+            );
+        }
+        Self {
+            model: model.clone(),
+            analog,
+        }
+    }
+
+    /// Number of linears actually mapped to analog tiles.
+    pub fn analog_layer_count(&self) -> usize {
+        self.analog.len()
+    }
+
+    /// The underlying digital model (used for the digital sub-operations).
+    pub fn digital_model(&self) -> &TransformerLm {
+        &self.model
+    }
+
+    /// Forward pass: logits `(seq × vocab)` with analog linears.
+    pub fn forward(&mut self, tokens: &[usize]) -> Matrix {
+        let mut x = self.model.embedding.forward_inference(tokens);
+        // Split borrows: blocks are read from `model`, analog layers mutate.
+        let analog = &mut self.analog;
+        for (b, block) in self.model.blocks.iter().enumerate() {
+            // Run a linear on its analog tiles if mapped, else digitally.
+            let ln1_out = block.ln1.forward_inference(&x);
+            let attn_out = block.attn.forward_inference_with(&ln1_out, |proj, input| {
+                let (kind, digital) = match proj {
+                    AttnProj::Q => (LinearKind::Q, &block.attn.wq),
+                    AttnProj::K => (LinearKind::K, &block.attn.wk),
+                    AttnProj::V => (LinearKind::V, &block.attn.wv),
+                    AttnProj::Out => (LinearKind::Out, &block.attn.wo),
+                };
+                match analog.get_mut(&LinearId::new(b, kind)) {
+                    Some(layer) => layer.forward(input),
+                    None => digital.forward(input),
+                }
+            });
+            let x1 = x.add(&attn_out);
+            let ln2_out = block.ln2.forward_inference(&x1);
+            let h = match analog.get_mut(&LinearId::new(b, LinearKind::Fc1)) {
+                Some(layer) => layer.forward(&ln2_out),
+                None => block.fc1.forward(&ln2_out),
+            }
+            .map(|v| v.max(0.0));
+            let ffn_out = match analog.get_mut(&LinearId::new(b, LinearKind::Fc2)) {
+                Some(layer) => layer.forward(&h),
+                None => block.fc2.forward(&h),
+            };
+            x = x1.add(&ffn_out);
+        }
+        let x = self.model.final_ln.forward_inference(&x);
+        self.model.head.forward(&x)
+    }
+
+    /// One incremental decode step on the analog deployment (see
+    /// [`TransformerLm::decode_step`] for the cache contract). The K/V rows
+    /// appended to the cache are the *analog* projections — the cache holds
+    /// what the hardware actually computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full or mismatched, or `token` is out of
+    /// vocabulary.
+    pub fn decode_step(&mut self, token: usize, cache: &mut KvCache) -> Vec<f32> {
+        use nora_tensor::Matrix as M;
+        assert!(cache.has_capacity(), "kv cache is full");
+        let model = &self.model;
+        let pos = cache.len();
+        let d = model.config().d_model;
+        let mut x = M::zeros(1, d);
+        {
+            assert!(token < model.config().vocab, "token out of vocab");
+            let te = model.embedding.tokens.value.row(token);
+            let pe = model.embedding.positions.value.row(pos);
+            for (o, (&a, &b)) in x.row_mut(0).iter_mut().zip(te.iter().zip(pe)) {
+                *o = a + b;
+            }
+        }
+        let analog = &mut self.analog;
+        let mut run = |b: usize, kind: LinearKind, digital: &crate::DigitalLinear, input: &M| {
+            match analog.get_mut(&LinearId::new(b, kind)) {
+                Some(layer) => layer.forward(input),
+                None => digital.forward(input),
+            }
+        };
+        for (b, block) in model.blocks.iter().enumerate() {
+            let ln1_out = block.ln1.forward_inference(&x);
+            let q = run(b, LinearKind::Q, &block.attn.wq, &ln1_out);
+            let k = run(b, LinearKind::K, &block.attn.wk, &ln1_out);
+            let v = run(b, LinearKind::V, &block.attn.wv, &ln1_out);
+            cache.append(b, k.row(0), v.row(0));
+            let (kc, vc) = cache.block(b);
+
+            let context = block.attn.attend_one(q.row(0), kc, vc);
+            let context = M::from_vec(1, d, context);
+            let attn_out = run(b, LinearKind::Out, &block.attn.wo, &context);
+            let x1 = x.add(&attn_out);
+            let ln2_out = block.ln2.forward_inference(&x1);
+            let h = run(b, LinearKind::Fc1, &block.fc1, &ln2_out).map(|v| v.max(0.0));
+            x = x1.add(&run(b, LinearKind::Fc2, &block.fc2, &h));
+        }
+        cache.advance();
+        let x = model.final_ln.forward_inference(&x);
+        model.head.forward(&x).into_vec()
+    }
+
+    /// Greedy argmax prediction at the last position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn predict_next(&mut self, tokens: &[usize]) -> usize {
+        assert!(!tokens.is_empty(), "empty context");
+        let logits = self.forward(tokens);
+        let last = logits.row(logits.rows() - 1);
+        last.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Aggregated tile statistics over all analog layers.
+    pub fn stats(&self) -> ForwardStats {
+        let mut total = ForwardStats::default();
+        for layer in self.analog.values() {
+            total.merge(&layer.stats());
+        }
+        total
+    }
+
+    /// Per-layer statistics, sorted by (block, kind) order.
+    pub fn per_layer_stats(&self) -> Vec<(LinearId, ForwardStats)> {
+        let mut ids = self.model.linear_ids();
+        ids.retain(|id| self.analog.contains_key(id));
+        ids.into_iter()
+            .map(|id| (id, self.analog[&id].stats()))
+            .collect()
+    }
+
+    /// Resets all tile statistics.
+    pub fn reset_stats(&mut self) {
+        for layer in self.analog.values_mut() {
+            layer.reset_stats();
+        }
+    }
+
+    /// Applies conductance drift at `t_seconds` to every analog layer.
+    pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
+        for layer in self.analog.values_mut() {
+            layer.apply_drift(t_seconds, compensation);
+        }
+    }
+
+    /// First-order analog energy/latency estimate summed over all layers
+    /// (see [`nora_cim::energy`]).
+    pub fn energy(&self, model: &nora_cim::EnergyModel) -> nora_cim::EnergyReport {
+        let mut total = nora_cim::EnergyReport::default();
+        for layer in self.analog.values() {
+            total.merge(&layer.energy(model));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    fn tiny_model(seed: u64) -> TransformerLm {
+        TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(seed))
+    }
+
+    #[test]
+    fn ideal_deployment_matches_digital_exactly() {
+        let model = tiny_model(1);
+        let mut analog =
+            AnalogTransformerLm::new(&model, TileConfig::ideal(), &SmoothingMap::new(), 2);
+        let tokens = [1usize, 4, 9, 2, 2, 7];
+        let d = model.forward(&tokens);
+        let a = analog.forward(&tokens);
+        assert!(a.mse(&d) < 1e-9, "mse {}", a.mse(&d));
+    }
+
+    #[test]
+    fn ideal_deployment_with_smoothing_still_exact() {
+        let model = tiny_model(3);
+        let mut smoothing = SmoothingMap::new();
+        for id in model.linear_ids() {
+            let d_in = model.linear(id).d_in();
+            smoothing.insert(id, (0..d_in).map(|i| 0.5 + (i % 3) as f32).collect());
+        }
+        let mut analog =
+            AnalogTransformerLm::new(&model, TileConfig::ideal(), &smoothing, 4);
+        let tokens = [3usize, 1, 4, 1, 5];
+        let d = model.forward(&tokens);
+        let a = analog.forward(&tokens);
+        assert!(a.mse(&d) < 1e-8, "mse {}", a.mse(&d));
+    }
+
+    #[test]
+    fn noisy_deployment_perturbs_but_tracks() {
+        let model = tiny_model(5);
+        let cfg = TileConfig::paper_default().with_tile_size(64, 64);
+        let mut analog = AnalogTransformerLm::new(&model, cfg, &SmoothingMap::new(), 6);
+        let tokens = [2usize, 8, 3, 3, 1];
+        let d = model.forward(&tokens);
+        let a = analog.forward(&tokens);
+        let mse = a.mse(&d);
+        assert!(mse > 0.0, "noise should perturb logits");
+        let var = nora_tensor::stats::variance(d.as_slice());
+        assert!(mse < var * 5.0, "mse {mse} vs logit var {var}");
+    }
+
+    #[test]
+    fn stats_cover_all_layers() {
+        let model = tiny_model(7);
+        let mut analog = AnalogTransformerLm::new(
+            &model,
+            TileConfig::paper_default().with_tile_size(64, 64),
+            &SmoothingMap::new(),
+            8,
+        );
+        analog.forward(&[1, 2, 3, 4]);
+        let per_layer = analog.per_layer_stats();
+        assert_eq!(per_layer.len(), 6); // 1 block × 6 linears
+        assert!(per_layer.iter().all(|(_, s)| s.samples > 0));
+        let total = analog.stats();
+        assert_eq!(
+            total.samples,
+            per_layer.iter().map(|(_, s)| s.samples).sum::<u64>()
+        );
+        analog.reset_stats();
+        assert_eq!(analog.stats().samples, 0);
+    }
+
+    #[test]
+    fn layer_filter_maps_only_selected_layers() {
+        let model = tiny_model(11);
+        let only = LinearId::new(0, LinearKind::Fc1);
+        let mut partial = AnalogTransformerLm::with_layer_filter(
+            &model,
+            TileConfig::ideal(),
+            &SmoothingMap::new(),
+            12,
+            |id| id == only,
+        );
+        assert_eq!(partial.analog_layer_count(), 1);
+        // Ideal tiles + digital fallback ⇒ still exact.
+        let tokens = [1usize, 5, 9];
+        let d = model.forward(&tokens);
+        assert!(partial.forward(&tokens).mse(&d) < 1e-10);
+        assert_eq!(partial.per_layer_stats().len(), 1);
+        assert_eq!(partial.per_layer_stats()[0].0, only);
+    }
+
+    #[test]
+    fn empty_filter_is_fully_digital() {
+        let model = tiny_model(13);
+        let mut none = AnalogTransformerLm::with_layer_filter(
+            &model,
+            TileConfig::paper_default(),
+            &SmoothingMap::new(),
+            14,
+            |_| false,
+        );
+        assert_eq!(none.analog_layer_count(), 0);
+        let tokens = [3usize, 1, 4];
+        // No analog layer: forward must be bit-exact digital.
+        assert_eq!(none.forward(&tokens), model.forward(&tokens));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = tiny_model(9);
+        let cfg = TileConfig::paper_default().with_tile_size(64, 64);
+        let tokens = [1usize, 2, 3];
+        let mut a = AnalogTransformerLm::new(&model, cfg.clone(), &SmoothingMap::new(), 10);
+        let mut b = AnalogTransformerLm::new(&model, cfg, &SmoothingMap::new(), 10);
+        assert_eq!(a.forward(&tokens), b.forward(&tokens));
+    }
+}

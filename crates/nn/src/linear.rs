@@ -1,0 +1,169 @@
+//! Digital (FP32) linear layer with manual backprop.
+
+use crate::param::Param;
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// A fully-connected layer `y = x · W + b` with weight shape
+/// `(d_in × d_out)` — the activation-side orientation used across the
+/// workspace (and by the analog tiles, where `x` rows stream into the
+/// wordlines).
+#[derive(Debug, Clone)]
+pub struct DigitalLinear {
+    /// Weight parameter, `(d_in × d_out)`.
+    pub weight: Param,
+    /// Bias parameter, `(1 × d_out)`.
+    pub bias: Param,
+}
+
+impl DigitalLinear {
+    /// Creates a layer with scaled-normal init (`std = 1/sqrt(d_in)`).
+    pub fn new(d_in: usize, d_out: usize, rng: &mut Rng) -> Self {
+        let std = 1.0 / (d_in as f32).sqrt();
+        Self {
+            weight: Param::new(Matrix::random_normal(d_in, d_out, 0.0, std, rng)),
+            bias: Param::new(Matrix::zeros(1, d_out)),
+        }
+    }
+
+    /// Input dimension.
+    pub fn d_in(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn d_out(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Forward pass: `x` is `(n × d_in)`, result `(n × d_out)`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight.value);
+        let b = self.bias.value.row(0);
+        for i in 0..y.rows() {
+            for (v, &bv) in y.row_mut(i).iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        y
+    }
+
+    /// Backward pass.
+    ///
+    /// Accumulates `dW = xᵀ · dy` and `db = Σ rows(dy)` into the parameter
+    /// gradients and returns `dx = dy · Wᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes of `x`/`dy` disagree with the layer.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.d_in(), "x width mismatch");
+        assert_eq!(dy.cols(), self.d_out(), "dy width mismatch");
+        assert_eq!(x.rows(), dy.rows(), "batch mismatch");
+        let dw = x.transpose().matmul(dy);
+        self.weight.grad.add_assign(&dw);
+        for i in 0..dy.rows() {
+            for (g, &d) in self.bias.grad.row_mut(0).iter_mut().zip(dy.row(i)) {
+                *g += d;
+            }
+        }
+        dy.matmul(&self.weight.value.transpose())
+    }
+
+    /// Mutable access to both parameters (for the optimizer).
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(seed: u64) {
+        let mut rng = Rng::seed_from(seed);
+        let mut lin = DigitalLinear::new(4, 3, &mut rng);
+        let x = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        // Scalar loss: sum of outputs squared / 2 → dy = y.
+        let y = lin.forward(&x);
+        let dx = lin.backward(&x, &y);
+
+        let loss = |lin: &DigitalLinear, x: &Matrix| -> f64 {
+            lin.forward(x)
+                .as_slice()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64) / 2.0)
+                .sum()
+        };
+        let eps = 1e-3f32;
+
+        // Check dW numerically at a few entries.
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let mut plus = lin.clone();
+            plus.weight.value[(r, c)] += eps;
+            let mut minus = lin.clone();
+            minus.weight.value[(r, c)] -= eps;
+            let num = (loss(&plus, &x) - loss(&minus, &x)) / (2.0 * eps as f64);
+            let ana = lin.weight.grad[(r, c)] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dW[{r},{c}] num {num} ana {ana}"
+            );
+        }
+        // Check dx numerically.
+        for &(r, c) in &[(0usize, 0usize), (1, 3)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            let num = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * eps as f64);
+            let ana = dx[(r, c)] as f64;
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dx[{r},{c}] num {num} ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_applies_bias() {
+        let mut rng = Rng::seed_from(0);
+        let mut lin = DigitalLinear::new(2, 2, &mut rng);
+        lin.weight.value = Matrix::identity(2);
+        lin.bias.value = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let y = lin.forward(&Matrix::from_rows(&[&[3.0, 4.0]]));
+        assert_eq!(y.row(0), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(1);
+        finite_diff_check(2);
+    }
+
+    #[test]
+    fn bias_gradient_sums_rows() {
+        let mut rng = Rng::seed_from(3);
+        let mut lin = DigitalLinear::new(2, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let dy = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        lin.backward(&x, &dy);
+        assert_eq!(lin.bias.grad.row(0), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_cleared() {
+        let mut rng = Rng::seed_from(4);
+        let mut lin = DigitalLinear::new(2, 2, &mut rng);
+        let x = Matrix::identity(2);
+        let dy = Matrix::identity(2);
+        lin.backward(&x, &dy);
+        let once = lin.weight.grad.clone();
+        lin.backward(&x, &dy);
+        assert_eq!(lin.weight.grad, once.scale(2.0));
+        for p in lin.params_mut() {
+            p.zero_grad();
+        }
+        assert_eq!(lin.weight.grad.as_slice().iter().sum::<f32>(), 0.0);
+    }
+}

@@ -1,0 +1,634 @@
+//! The decoder-only transformer language model.
+
+use crate::block::TransformerBlock;
+use crate::embedding::Embedding;
+use crate::layernorm::LayerNorm;
+use crate::linear::DigitalLinear;
+use crate::param::Param;
+use crate::softmax::cross_entropy;
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// Which of the six analog-mappable linears of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinearKind {
+    /// Attention query projection.
+    Q,
+    /// Attention key projection.
+    K,
+    /// Attention value projection.
+    V,
+    /// Attention output projection.
+    Out,
+    /// FFN up-projection.
+    Fc1,
+    /// FFN down-projection.
+    Fc2,
+}
+
+impl LinearKind {
+    /// All six kinds, in forward order.
+    pub const ALL: [LinearKind; 6] = [
+        LinearKind::Q,
+        LinearKind::K,
+        LinearKind::V,
+        LinearKind::Out,
+        LinearKind::Fc1,
+        LinearKind::Fc2,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinearKind::Q => "q",
+            LinearKind::K => "k",
+            LinearKind::V => "v",
+            LinearKind::Out => "out",
+            LinearKind::Fc1 => "fc1",
+            LinearKind::Fc2 => "fc2",
+        }
+    }
+}
+
+/// Identifies one analog-mappable linear in the model: block index + kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinearId {
+    /// Block (layer) index.
+    pub block: usize,
+    /// Which linear within the block.
+    pub kind: LinearKind,
+}
+
+impl LinearId {
+    /// Convenience constructor.
+    pub fn new(block: usize, kind: LinearKind) -> Self {
+        Self { block, kind }
+    }
+}
+
+/// Hyper-parameters of a [`TransformerLm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Number of attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// FFN hidden width.
+    pub d_ff: usize,
+    /// Number of decoder blocks.
+    pub layers: usize,
+}
+
+impl ModelConfig {
+    /// A minimal config for fast unit tests.
+    pub fn tiny_for_tests() -> Self {
+        Self {
+            vocab: 16,
+            max_seq: 16,
+            d_model: 16,
+            heads: 2,
+            d_ff: 32,
+            layers: 1,
+        }
+    }
+
+    /// Total parameter count of a model with this config.
+    pub fn param_count(&self) -> usize {
+        let d = self.d_model;
+        let per_block = 4 * (d * d + d) + 2 * (d * self.d_ff) + self.d_ff + d + 4 * d;
+        self.vocab * d + self.max_seq * d + self.layers * per_block + 2 * d + d * self.vocab
+            + self.vocab
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vocab < 2 {
+            return Err("vocab must be at least 2".into());
+        }
+        if self.heads == 0 || !self.d_model.is_multiple_of(self.heads) {
+            return Err("heads must divide d_model".into());
+        }
+        if self.max_seq == 0 || self.d_model == 0 || self.d_ff == 0 || self.layers == 0 {
+            return Err("all dimensions must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-block key/value cache for incremental (token-by-token) decoding.
+///
+/// Avoids re-running attention over the whole context at every generated
+/// token: each [`TransformerLm::decode_step`] appends one projected K/V row
+/// per block and attends only from the newest query.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    /// `(keys, values)` per block, each `t × d_model`.
+    blocks: Vec<(Matrix, Matrix)>,
+    positions: usize,
+    max_seq: usize,
+}
+
+impl KvCache {
+    /// An empty cache for `model`.
+    pub fn new(model: &TransformerLm) -> Self {
+        let d = model.config().d_model;
+        Self {
+            blocks: (0..model.config().layers)
+                .map(|_| (Matrix::zeros(0, d), Matrix::zeros(0, d)))
+                .collect(),
+            positions: 0,
+            max_seq: model.config().max_seq,
+        }
+    }
+
+    /// Number of tokens currently cached.
+    pub fn len(&self) -> usize {
+        self.positions
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions == 0
+    }
+
+    /// Whether another token still fits under the model's `max_seq`.
+    pub fn has_capacity(&self) -> bool {
+        self.positions < self.max_seq
+    }
+
+    /// Borrow of one block's `(keys, values)` caches.
+    pub(crate) fn block(&self, b: usize) -> (&Matrix, &Matrix) {
+        let (k, v) = &self.blocks[b];
+        (k, v)
+    }
+
+    /// Marks one more position as cached (every block must have been
+    /// appended exactly once since the last advance).
+    pub(crate) fn advance(&mut self) {
+        self.positions += 1;
+        debug_assert!(self
+            .blocks
+            .iter()
+            .all(|(k, _)| k.rows() == self.positions));
+    }
+
+    pub(crate) fn append(&mut self, block: usize, k: &[f32], v: &[f32]) {
+        let (kc, vc) = &mut self.blocks[block];
+        let d = kc.cols();
+        let mut grown_k = Matrix::zeros(kc.rows() + 1, d);
+        grown_k.set_submatrix(0, 0, kc);
+        grown_k.row_mut(kc.rows()).copy_from_slice(k);
+        *kc = grown_k;
+        let mut grown_v = Matrix::zeros(vc.rows() + 1, d);
+        grown_v.set_submatrix(0, 0, vc);
+        grown_v.row_mut(vc.rows()).copy_from_slice(v);
+        *vc = grown_v;
+    }
+}
+
+/// A decoder-only transformer language model with manual backprop.
+///
+/// Operates on one token sequence at a time (training loops accumulate
+/// gradients over a mini-batch of sequences before stepping).
+#[derive(Debug, Clone)]
+pub struct TransformerLm {
+    config: ModelConfig,
+    /// Token + positional embeddings.
+    pub embedding: Embedding,
+    /// Decoder blocks.
+    pub blocks: Vec<TransformerBlock>,
+    /// Final LayerNorm before the head.
+    pub final_ln: LayerNorm,
+    /// LM head (`d_model → vocab`), kept digital at deployment.
+    pub head: DigitalLinear,
+    last_embed: Option<Matrix>,
+}
+
+impl TransformerLm {
+    /// Creates a randomly initialised model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid.
+    pub fn new(config: ModelConfig, rng: &mut Rng) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid model config: {e}"));
+        let blocks = (0..config.layers)
+            .map(|_| TransformerBlock::new(config.d_model, config.heads, config.d_ff, rng))
+            .collect();
+        Self {
+            embedding: Embedding::new(config.vocab, config.max_seq, config.d_model, rng),
+            blocks,
+            final_ln: LayerNorm::new(config.d_model),
+            head: DigitalLinear::new(config.d_model, config.vocab, rng),
+            config,
+            last_embed: None,
+        }
+    }
+
+    /// Hyper-parameters.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Inference forward: logits `(seq × vocab)` for a token sequence.
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        let mut x = self.embedding.forward_inference(tokens);
+        for block in &self.blocks {
+            x = block.forward_inference(&x);
+        }
+        let x = self.final_ln.forward_inference(&x);
+        self.head.forward(&x)
+    }
+
+    /// Inference forward that also reports the input of every
+    /// analog-mappable linear to `observer` — the calibration hook used by
+    /// NORA to collect per-channel activation maxima.
+    pub fn forward_observed<F>(&self, tokens: &[usize], observer: &mut F) -> Matrix
+    where
+        F: FnMut(LinearId, &Matrix),
+    {
+        use crate::attention::AttnProj;
+        let mut x = self.embedding.forward_inference(tokens);
+        for (b, block) in self.blocks.iter().enumerate() {
+            let ln1_out = block.ln1.forward_inference(&x);
+            let attn_out = block.attn.forward_inference_with(&ln1_out, |proj, input| {
+                let (kind, lin) = match proj {
+                    AttnProj::Q => (LinearKind::Q, &block.attn.wq),
+                    AttnProj::K => (LinearKind::K, &block.attn.wk),
+                    AttnProj::V => (LinearKind::V, &block.attn.wv),
+                    AttnProj::Out => (LinearKind::Out, &block.attn.wo),
+                };
+                observer(LinearId::new(b, kind), input);
+                lin.forward(input)
+            });
+            let x1 = x.add(&attn_out);
+            let ln2_out = block.ln2.forward_inference(&x1);
+            observer(LinearId::new(b, LinearKind::Fc1), &ln2_out);
+            let h = block.fc1.forward(&ln2_out).map(|v| v.max(0.0));
+            observer(LinearId::new(b, LinearKind::Fc2), &h);
+            x = x1.add(&block.fc2.forward(&h));
+        }
+        let x = self.final_ln.forward_inference(&x);
+        self.head.forward(&x)
+    }
+
+    /// Borrow of one analog-mappable linear.
+    pub fn linear(&self, id: LinearId) -> &DigitalLinear {
+        let block = &self.blocks[id.block];
+        match id.kind {
+            LinearKind::Q => &block.attn.wq,
+            LinearKind::K => &block.attn.wk,
+            LinearKind::V => &block.attn.wv,
+            LinearKind::Out => &block.attn.wo,
+            LinearKind::Fc1 => &block.fc1,
+            LinearKind::Fc2 => &block.fc2,
+        }
+    }
+
+    /// Mutable borrow of one analog-mappable linear.
+    pub fn linear_mut(&mut self, id: LinearId) -> &mut DigitalLinear {
+        let block = &mut self.blocks[id.block];
+        match id.kind {
+            LinearKind::Q => &mut block.attn.wq,
+            LinearKind::K => &mut block.attn.wk,
+            LinearKind::V => &mut block.attn.wv,
+            LinearKind::Out => &mut block.attn.wo,
+            LinearKind::Fc1 => &mut block.fc1,
+            LinearKind::Fc2 => &mut block.fc2,
+        }
+    }
+
+    /// All analog-mappable linear ids of this model, in forward order.
+    pub fn linear_ids(&self) -> Vec<LinearId> {
+        let mut ids = Vec::with_capacity(self.blocks.len() * 6);
+        for b in 0..self.blocks.len() {
+            for kind in LinearKind::ALL {
+                ids.push(LinearId::new(b, kind));
+            }
+        }
+        ids
+    }
+
+    /// Training forward with caches: logits for one sequence.
+    pub fn forward_train(&mut self, tokens: &[usize]) -> Matrix {
+        let mut x = self.embedding.forward(tokens);
+        for block in &mut self.blocks {
+            x = block.forward(&x);
+        }
+        let x = self.final_ln.forward(&x);
+        self.last_embed = Some(x.clone());
+        self.head.forward(&x)
+    }
+
+    /// Computes next-token cross-entropy on one sequence and accumulates
+    /// gradients. Returns the mean loss over the `len-1` predicted
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence has fewer than 2 tokens.
+    pub fn loss_and_backward(&mut self, tokens: &[usize]) -> f64 {
+        assert!(tokens.len() >= 2, "need at least 2 tokens for LM loss");
+        let logits = self.forward_train(tokens);
+        // Position t predicts token t+1.
+        let pred = logits.submatrix(0, tokens.len() - 1, 0, self.config.vocab);
+        let targets = &tokens[1..];
+        let (loss, dpred) = cross_entropy(&pred, targets);
+        // The last position has no target: zero grad there.
+        let mut dlogits = Matrix::zeros(tokens.len(), self.config.vocab);
+        dlogits.set_submatrix(0, 0, &dpred);
+
+        let x_final = self.last_embed.take().expect("forward_train cache");
+        let dx = self.head.backward(&x_final, &dlogits);
+        let mut dx = self.final_ln.backward(&dx);
+        for block in self.blocks.iter_mut().rev() {
+            dx = block.backward(&dx);
+        }
+        self.embedding.backward(&dx);
+        loss
+    }
+
+    /// Immutable view of every parameter, in the same stable traversal
+    /// order as [`TransformerLm::params_mut`] (used by serialization).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out: Vec<&Param> = Vec::new();
+        out.push(&self.embedding.tokens);
+        out.push(&self.embedding.positions);
+        for block in &self.blocks {
+            out.push(&block.ln1.gain);
+            out.push(&block.ln1.bias);
+            out.push(&block.attn.wq.weight);
+            out.push(&block.attn.wq.bias);
+            out.push(&block.attn.wk.weight);
+            out.push(&block.attn.wk.bias);
+            out.push(&block.attn.wv.weight);
+            out.push(&block.attn.wv.bias);
+            out.push(&block.attn.wo.weight);
+            out.push(&block.attn.wo.bias);
+            out.push(&block.ln2.gain);
+            out.push(&block.ln2.bias);
+            out.push(&block.fc1.weight);
+            out.push(&block.fc1.bias);
+            out.push(&block.fc2.weight);
+            out.push(&block.fc2.bias);
+        }
+        out.push(&self.final_ln.gain);
+        out.push(&self.final_ln.bias);
+        out.push(&self.head.weight);
+        out.push(&self.head.bias);
+        out
+    }
+
+    /// Mutable access to every parameter (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out: Vec<&mut Param> = Vec::new();
+        out.extend(self.embedding.params_mut());
+        for block in &mut self.blocks {
+            out.extend(block.params_mut());
+        }
+        out.extend(self.final_ln.params_mut());
+        out.extend(self.head.params_mut());
+        out
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// One incremental decode step: processes `token` at the cache's next
+    /// position, appends its K/V rows, and returns the logits for the next
+    /// token (length `vocab`).
+    ///
+    /// A full prompt processed token-by-token through `decode_step` yields
+    /// exactly the same final-position logits as [`TransformerLm::forward`]
+    /// on the whole sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is full (`positions == max_seq`), was built for a
+    /// different architecture, or `token` is out of vocabulary.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nora_nn::{KvCache, ModelConfig, TransformerLm};
+    /// use nora_tensor::rng::Rng;
+    ///
+    /// let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(0));
+    /// let mut cache = KvCache::new(&model);
+    /// let logits_a = model.decode_step(3, &mut cache);
+    /// let logits_b = model.decode_step(1, &mut cache);
+    /// assert_eq!(cache.len(), 2);
+    /// // Identical to the full forward at the same positions:
+    /// let full = model.forward(&[3, 1]);
+    /// assert!((logits_b[0] - full[(1, 0)]).abs() < 1e-4);
+    /// # let _ = logits_a;
+    /// ```
+    pub fn decode_step(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
+        assert!(cache.has_capacity(), "kv cache is full");
+        assert_eq!(cache.blocks.len(), self.blocks.len(), "cache/model mismatch");
+        let pos = cache.positions;
+        let d = self.config.d_model;
+        // Embed the single token at its position.
+        let mut x = Matrix::zeros(1, d);
+        {
+            assert!(token < self.config.vocab, "token out of vocab");
+            let te = self.embedding.tokens.value.row(token);
+            let pe = self.embedding.positions.value.row(pos);
+            for (o, (&a, &b)) in x.row_mut(0).iter_mut().zip(te.iter().zip(pe)) {
+                *o = a + b;
+            }
+        }
+        for (b, block) in self.blocks.iter().enumerate() {
+            let ln1_out = block.ln1.forward_inference(&x);
+            let q = block.attn.wq.forward(&ln1_out);
+            let k = block.attn.wk.forward(&ln1_out);
+            let v = block.attn.wv.forward(&ln1_out);
+            cache.append(b, k.row(0), v.row(0));
+            let (kc, vc) = &cache.blocks[b];
+            let context = block.attn.attend_one(q.row(0), kc, vc);
+            let attn_out = block
+                .attn
+                .wo
+                .forward(&Matrix::from_vec(1, d, context));
+            let x1 = x.add(&attn_out);
+            let ln2_out = block.ln2.forward_inference(&x1);
+            let h = block.fc1.forward(&ln2_out).map(|v| v.max(0.0));
+            x = x1.add(&block.fc2.forward(&h));
+        }
+        cache.positions += 1;
+        let x = self.final_ln.forward_inference(&x);
+        self.head.forward(&x).into_vec()
+    }
+
+    /// Greedy argmax prediction at the last position of `tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is empty.
+    pub fn predict_next(&self, tokens: &[usize]) -> usize {
+        assert!(!tokens.is_empty(), "empty context");
+        let logits = self.forward(tokens);
+        let last = logits.row(logits.rows() - 1);
+        last.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let logits = model.forward(&[0, 1, 2, 3]);
+        assert_eq!(logits.shape(), (4, 16));
+    }
+
+    #[test]
+    fn forward_observed_matches_plain_forward() {
+        let mut rng = Rng::seed_from(2);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let tokens = [3usize, 1, 4, 1, 5];
+        let mut seen = Vec::new();
+        let a = model.forward_observed(&tokens, &mut |id, x| {
+            seen.push((id, x.shape()));
+        });
+        let b = model.forward(&tokens);
+        assert!(a.mse(&b) < 1e-12);
+        // 1 layer × 6 linears observed
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0].0, LinearId::new(0, LinearKind::Q));
+        assert_eq!(seen[4].1, (5, 16)); // fc1 input: seq × d_model
+        assert_eq!(seen[5].1, (5, 32)); // fc2 input: seq × d_ff
+    }
+
+    #[test]
+    fn loss_decreases_under_training_on_trivial_pattern() {
+        let mut rng = Rng::seed_from(3);
+        let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        // Constant repetition: 5 5 5 5 ... trivially learnable.
+        let seq: Vec<usize> = vec![5; 8];
+        let mut first = None;
+        let mut last = 0.0;
+        for t in 1..=60 {
+            model.zero_grad();
+            let loss = model.loss_and_backward(&seq);
+            for p in model.params_mut() {
+                p.adam_step(3e-3, 0.9, 0.999, 1e-8, t);
+            }
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() / 4.0,
+            "loss should drop: {first:?} → {last}"
+        );
+        assert_eq!(model.predict_next(&[5, 5, 5]), 5);
+    }
+
+    #[test]
+    fn decode_step_matches_full_forward() {
+        let mut rng = Rng::seed_from(21);
+        let cfg = ModelConfig {
+            layers: 2,
+            ..ModelConfig::tiny_for_tests()
+        };
+        let model = TransformerLm::new(cfg, &mut rng);
+        let tokens = [3usize, 1, 4, 1, 5, 9, 2, 6];
+        let full = model.forward(&tokens);
+        let mut cache = KvCache::new(&model);
+        let mut last = Vec::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            last = model.decode_step(t, &mut cache);
+            assert_eq!(cache.len(), i + 1);
+            // Logits at every intermediate position must match too.
+            for (a, b) in last.iter().zip(full.row(i)) {
+                assert!((a - b).abs() < 1e-4, "pos {i}: {a} vs {b}");
+            }
+        }
+        assert_eq!(last.len(), model.config().vocab);
+    }
+
+    #[test]
+    #[should_panic(expected = "kv cache is full")]
+    fn decode_step_respects_max_seq() {
+        let mut rng = Rng::seed_from(22);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let mut cache = KvCache::new(&model);
+        for _ in 0..=model.config().max_seq {
+            model.decode_step(1, &mut cache);
+        }
+    }
+
+    #[test]
+    fn linear_ids_cover_all_blocks() {
+        let mut rng = Rng::seed_from(4);
+        let cfg = ModelConfig {
+            layers: 3,
+            ..ModelConfig::tiny_for_tests()
+        };
+        let model = TransformerLm::new(cfg, &mut rng);
+        let ids = model.linear_ids();
+        assert_eq!(ids.len(), 18);
+        assert_eq!(ids[6].block, 1);
+    }
+
+    #[test]
+    fn linear_accessors_agree() {
+        let mut rng = Rng::seed_from(5);
+        let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let id = LinearId::new(0, LinearKind::Fc1);
+        let shape = model.linear(id).weight.value.shape();
+        assert_eq!(shape, (16, 32));
+        model.linear_mut(id).weight.value[(0, 0)] = 99.0;
+        assert_eq!(model.linear(id).weight.value[(0, 0)], 99.0);
+    }
+
+    #[test]
+    fn param_count_formula_matches_actuals() {
+        let mut rng = Rng::seed_from(6);
+        let cfg = ModelConfig::tiny_for_tests();
+        let mut model = TransformerLm::new(cfg, &mut rng);
+        let actual: usize = model.params_mut().iter().map(|p| p.value.len()).sum();
+        assert_eq!(actual, cfg.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid model config")]
+    fn invalid_config_panics() {
+        let cfg = ModelConfig {
+            heads: 3,
+            ..ModelConfig::tiny_for_tests()
+        };
+        TransformerLm::new(cfg, &mut Rng::seed_from(0));
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let good = ModelConfig::tiny_for_tests();
+        assert!(good.validate().is_ok());
+        assert!(ModelConfig { vocab: 1, ..good }.validate().is_err());
+        assert!(ModelConfig { layers: 0, ..good }.validate().is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Binary model serialization.
+//!
+//! A minimal, dependency-free format so experiment binaries can cache
+//! trained models instead of re-training on every run:
+//!
+//! ```text
+//! magic "NORA"  | u32 version | 6 × u64 ModelConfig fields
+//! f64 first_loss | f64 final_loss
+//! per parameter (fixed traversal order): u32 rows | u32 cols | f32 data (LE)
+//! ```
+//!
+//! The parameter traversal order is the one defined by
+//! [`TransformerLm::params`], which is stable across versions of this crate
+//! (embedding → blocks in order → final LN → head).
+
+use crate::model::{ModelConfig, TransformerLm};
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NORA";
+const VERSION: u32 = 1;
+
+/// Metadata stored alongside the parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SavedMeta {
+    /// First-step training loss at save time.
+    pub first_loss: f64,
+    /// Final-step training loss at save time.
+    pub final_loss: f64,
+}
+
+/// Writes `model` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save(model: &TransformerLm, meta: SavedMeta, mut w: impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let c = model.config();
+    for v in [
+        c.vocab, c.max_seq, c.d_model, c.heads, c.d_ff, c.layers,
+    ] {
+        w.write_all(&(v as u64).to_le_bytes())?;
+    }
+    w.write_all(&meta.first_loss.to_le_bytes())?;
+    w.write_all(&meta.final_loss.to_le_bytes())?;
+    for p in model.params() {
+        let m = &p.value;
+        w.write_all(&(m.rows() as u32).to_le_bytes())?;
+        w.write_all(&(m.cols() as u32).to_le_bytes())?;
+        for &v in m.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a model back from `r`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic, version, or any shape disagrees with
+/// the expectations of this build, and propagates reader I/O errors.
+pub fn load(mut r: impl Read) -> io::Result<(TransformerLm, SavedMeta)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a NORA model file"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    if u32::from_le_bytes(b4) != VERSION {
+        return Err(bad("unsupported model file version"));
+    }
+    let read_u64 = |r: &mut dyn Read| -> io::Result<usize> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b) as usize)
+    };
+    let config = ModelConfig {
+        vocab: read_u64(&mut r)?,
+        max_seq: read_u64(&mut r)?,
+        d_model: read_u64(&mut r)?,
+        heads: read_u64(&mut r)?,
+        d_ff: read_u64(&mut r)?,
+        layers: read_u64(&mut r)?,
+    };
+    config.validate().map_err(|e| bad(&e))?;
+    let read_f64 = |r: &mut dyn Read| -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    };
+    let meta = SavedMeta {
+        first_loss: read_f64(&mut r)?,
+        final_loss: read_f64(&mut r)?,
+    };
+
+    let mut model = TransformerLm::new(config, &mut Rng::seed_from(0));
+    for p in model.params_mut() {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        let rows = u32::from_le_bytes(b) as usize;
+        r.read_exact(&mut b)?;
+        let cols = u32::from_le_bytes(b) as usize;
+        if (rows, cols) != p.value.shape() {
+            return Err(bad("parameter shape mismatch"));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        for v in &mut data {
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        p.value = Matrix::from_vec(rows, cols, data);
+    }
+    Ok((model, meta))
+}
+
+/// Saves to a file path (creating parent directories).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_to_path(
+    model: &TransformerLm,
+    meta: SavedMeta,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    save(model, meta, io::BufWriter::new(file))
+}
+
+/// Loads from a file path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and format errors from [`load`].
+pub fn load_from_path(path: impl AsRef<Path>) -> io::Result<(TransformerLm, SavedMeta)> {
+    let file = std::fs::File::open(path)?;
+    load(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_model_exactly() {
+        let mut rng = Rng::seed_from(5);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let meta = SavedMeta {
+            first_loss: 2.5,
+            final_loss: 0.75,
+        };
+        let mut buf = Vec::new();
+        save(&model, meta, &mut buf).unwrap();
+        let (loaded, got_meta) = load(buf.as_slice()).unwrap();
+        assert_eq!(got_meta, meta);
+        let tokens = [1usize, 3, 5, 7];
+        assert_eq!(model.forward(&tokens), loaded.forward(&tokens));
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        assert!(load(&b"XXXX0000"[..]).is_err());
+        let mut rng = Rng::seed_from(6);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let mut buf = Vec::new();
+        save(
+            &model,
+            SavedMeta {
+                first_loss: 0.0,
+                final_loss: 0.0,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = Rng::seed_from(7);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let dir = std::env::temp_dir().join("nora-serialize-test");
+        let path = dir.join("model.nora");
+        save_to_path(
+            &model,
+            SavedMeta {
+                first_loss: 1.0,
+                final_loss: 0.5,
+            },
+            &path,
+        )
+        .unwrap();
+        let (loaded, _) = load_from_path(&path).unwrap();
+        assert_eq!(
+            model.forward(&[2, 4, 6]),
+            loaded.forward(&[2, 4, 6])
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

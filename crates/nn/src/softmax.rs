@@ -1,0 +1,127 @@
+//! Softmax and cross-entropy loss.
+
+use nora_tensor::Matrix;
+
+/// Numerically-stable softmax applied to each row.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    for i in 0..y.rows() {
+        let row = y.row_mut(i);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    y
+}
+
+/// Mean cross-entropy of `logits` (`n × vocab`) against integer `targets`
+/// plus the gradient `d loss / d logits` (already divided by `n`).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target is out of
+/// vocabulary range.
+pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+    assert_eq!(targets.len(), logits.rows(), "target count mismatch");
+    let vocab = logits.cols();
+    let n = targets.len();
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < vocab, "target {t} out of vocab {vocab}");
+        let p = probs[(i, t)].max(1e-12);
+        loss -= (p as f64).ln();
+        grad[(i, t)] -= 1.0;
+    }
+    grad.scale_assign(1.0 / n as f32);
+    (loss / n as f64, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nora_tensor::rng::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(1);
+        let x = Matrix::random_normal(5, 10, 0.0, 3.0, &mut rng);
+        let p = softmax_rows(&x);
+        for i in 0..5 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Matrix::from_rows(&[&[1000.0, 1001.0, 999.0]]);
+        let p = softmax_rows(&x);
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        let y = Matrix::from_rows(&[&[0.0, 1.0, -1.0]]);
+        let q = softmax_rows(&y);
+        assert!(p.mse(&q) < 1e-10);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut logits = Matrix::zeros(1, 4);
+        logits[(0, 2)] = 50.0;
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_vocab() {
+        let logits = Matrix::zeros(3, 8);
+        let (loss, _) = cross_entropy(&logits, &[0, 3, 7]);
+        assert!((loss - (8.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = Rng::seed_from(2);
+        let logits = Matrix::random_normal(2, 5, 0.0, 1.0, &mut rng);
+        let targets = [1usize, 4];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for &(r, c) in &[(0usize, 1usize), (0, 0), (1, 4), (1, 2)] {
+            let mut lp = logits.clone();
+            lp[(r, c)] += eps;
+            let mut lm = logits.clone();
+            lm[(r, c)] -= eps;
+            let (fp, _) = cross_entropy(&lp, &targets);
+            let (fm, _) = cross_entropy(&lm, &targets);
+            let num = (fp - fm) / (2.0 * eps as f64);
+            let ana = grad[(r, c)] as f64;
+            assert!((num - ana).abs() < 1e-4, "grad[{r},{c}] num {num} ana {ana}");
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Rng::seed_from(3);
+        let logits = Matrix::random_normal(3, 6, 0.0, 2.0, &mut rng);
+        let (_, grad) = cross_entropy(&logits, &[0, 5, 2]);
+        for i in 0..3 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn bad_target_panics() {
+        cross_entropy(&Matrix::zeros(1, 3), &[3]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Model zoo: LLM-family stand-ins with function-preserving outlier
+//! injection.
+//!
+//! The NORA paper evaluates OPT (1.3b–13b), LLaMA-2/3 and Mistral
+//! checkpoints. What NORA actually interacts with is the *statistical shape*
+//! of each family's activations at the analog-mapped linears: a fixed set of
+//! channels carries outliers tens of times larger than the bulk (activation
+//! kurtosis ≈ 113 in the paper's Fig. 4) while weights stay tight
+//! (kurtosis ≈ 1.25). This module reproduces that shape on in-repo trained
+//! transformers via **outlier injection**: selected channels are scaled up
+//! at their producer (LayerNorm gain, FFN hidden unit, or value projection)
+//! and compensated exactly at every consumer weight row. Because every
+//! compensated path is linear or positively homogeneous (ReLU), the FP32
+//! network function is unchanged — the digital baseline accuracy stays
+//! exact, while the analog mapping now faces genuine LLM-style outliers.
+//!
+//! Family severity presets:
+//!
+//! * [`ModelFamily::OptLike`] — many channels, large factors → extremely
+//!   heavy-tailed activations; quantization-sensitive (paper Fig. 3a–b).
+//! * [`ModelFamily::LlamaLike`] / [`ModelFamily::MistralLike`] — fewer,
+//!   milder outliers → quantization-robust but still additive-noise
+//!   sensitive, matching the paper's contrast.
+
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::model::{ModelConfig, TransformerLm};
+use crate::trainer::{train, TrainConfig, TrainReport};
+use nora_tensor::rng::Rng;
+
+/// LLM family whose activation statistics a zoo model imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// OPT-style: severe, widespread activation outliers.
+    OptLike,
+    /// LLaMA-style: mild outliers.
+    LlamaLike,
+    /// Mistral-style: moderate outliers.
+    MistralLike,
+}
+
+impl ModelFamily {
+    /// The outlier-injection severity for this family.
+    pub fn outlier_spec(self) -> OutlierSpec {
+        match self {
+            ModelFamily::OptLike => OutlierSpec {
+                channel_fraction: 0.06,
+                factor_min: 30.0,
+                factor_max: 70.0,
+            },
+            ModelFamily::LlamaLike => OutlierSpec {
+                channel_fraction: 0.03,
+                factor_min: 6.0,
+                factor_max: 12.0,
+            },
+            ModelFamily::MistralLike => OutlierSpec {
+                channel_fraction: 0.04,
+                factor_min: 8.0,
+                factor_max: 18.0,
+            },
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelFamily::OptLike => "opt-like",
+            ModelFamily::LlamaLike => "llama-like",
+            ModelFamily::MistralLike => "mistral-like",
+        }
+    }
+}
+
+/// Severity of the outlier injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierSpec {
+    /// Fraction of channels per site that become outlier channels.
+    pub channel_fraction: f32,
+    /// Minimum scale factor applied to an outlier channel.
+    pub factor_min: f32,
+    /// Maximum scale factor applied to an outlier channel.
+    pub factor_max: f32,
+}
+
+impl OutlierSpec {
+    /// A spec that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            channel_fraction: 0.0,
+            factor_min: 1.0,
+            factor_max: 1.0,
+        }
+    }
+
+    fn pick(&self, n: usize, rng: &mut Rng) -> Vec<(usize, f32)> {
+        let count = ((n as f32 * self.channel_fraction).round() as usize).min(n);
+        rng.sample_indices(n, count)
+            .into_iter()
+            .map(|c| (c, rng.uniform(self.factor_min, self.factor_max)))
+            .collect()
+    }
+}
+
+/// Injects outlier channels into `model`, exactly preserving its FP32
+/// function.
+///
+/// Four sites per block receive outliers (all feed analog-mapped linears):
+///
+/// 1. attention input (LN1 gain ↑, q/k/v weight rows ↓),
+/// 2. FFN input (LN2 gain ↑, fc1 weight rows ↓),
+/// 3. FFN hidden units (fc1 columns+bias ↑, fc2 rows ↓ — exact through
+///    ReLU's positive homogeneity),
+/// 4. attention context (v-projection columns+bias ↑, out-projection
+///    rows ↓ — exact because attention is linear in V).
+///
+/// # Example
+///
+/// ```
+/// use nora_nn::zoo::{inject_outliers, ModelFamily};
+/// use nora_nn::{ModelConfig, TransformerLm};
+/// use nora_tensor::rng::Rng;
+///
+/// let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(0));
+/// let before = model.forward(&[1, 2, 3]);
+/// inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), 7);
+/// let after = model.forward(&[1, 2, 3]);
+/// assert!(before.mse(&after) < 1e-6); // FP32 function preserved
+/// ```
+pub fn inject_outliers(model: &mut TransformerLm, spec: &OutlierSpec, seed: u64) {
+    if spec.channel_fraction <= 0.0 {
+        return;
+    }
+    assert!(
+        spec.factor_min >= 1.0 && spec.factor_max >= spec.factor_min,
+        "outlier factors must be >= 1 and ordered"
+    );
+    let mut rng = Rng::seed_from(seed ^ 0x6f75_746c); // "outl"
+    let d = model.config().d_model;
+    let d_ff = model.config().d_ff;
+    for b in 0..model.blocks.len() {
+        // Site 1: attention input.
+        for (c, f) in spec.pick(d, &mut rng) {
+            let block = &mut model.blocks[b];
+            block.ln1.gain.value[(0, c)] *= f;
+            block.ln1.bias.value[(0, c)] *= f;
+            let inv = 1.0 / f;
+            block.attn.wq.weight.value.scale_row(c, inv);
+            block.attn.wk.weight.value.scale_row(c, inv);
+            block.attn.wv.weight.value.scale_row(c, inv);
+        }
+        // Site 2: FFN input.
+        for (c, f) in spec.pick(d, &mut rng) {
+            let block = &mut model.blocks[b];
+            block.ln2.gain.value[(0, c)] *= f;
+            block.ln2.bias.value[(0, c)] *= f;
+            block.fc1.weight.value.scale_row(c, 1.0 / f);
+        }
+        // Site 3: FFN hidden (through ReLU).
+        for (h, f) in spec.pick(d_ff, &mut rng) {
+            let block = &mut model.blocks[b];
+            block.fc1.weight.value.scale_col(h, f);
+            block.fc1.bias.value[(0, h)] *= f;
+            block.fc2.weight.value.scale_row(h, 1.0 / f);
+        }
+        // Site 4: attention context (value channels).
+        for (c, f) in spec.pick(d, &mut rng) {
+            let block = &mut model.blocks[b];
+            block.attn.wv.weight.value.scale_col(c, f);
+            block.attn.wv.bias.value[(0, c)] *= f;
+            block.attn.wo.weight.value.scale_row(c, 1.0 / f);
+        }
+    }
+}
+
+/// A trained, outlier-injected zoo model plus its corpus.
+#[derive(Debug, Clone)]
+pub struct ZooModel {
+    /// Display name, e.g. `"opt-6.7b-sim"`.
+    pub name: String,
+    /// The family whose statistics it imitates.
+    pub family: ModelFamily,
+    /// The trained model (outliers already injected).
+    pub model: TransformerLm,
+    /// The corpus it was trained on (generator state advanced past the
+    /// training stream; draw held-out episodes from here).
+    pub corpus: Corpus,
+    /// Training report.
+    pub report: TrainReport,
+}
+
+/// Build specification for one zoo model.
+#[derive(Debug, Clone)]
+pub struct ZooSpec {
+    /// Display name.
+    pub name: String,
+    /// Family (controls outlier severity).
+    pub family: ModelFamily,
+    /// Architecture.
+    pub model: ModelConfig,
+    /// Corpus parameters.
+    pub corpus: CorpusConfig,
+    /// Training parameters.
+    pub train: TrainConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ZooSpec {
+    /// Builds (trains + injects) the model.
+    pub fn build(&self) -> ZooModel {
+        let mut rng = Rng::seed_from(self.seed);
+        let mut corpus = Corpus::new(self.corpus);
+        let mut model = TransformerLm::new(self.model, &mut rng);
+        let report = train(&mut model, &mut corpus, &self.train);
+        inject_outliers(&mut model, &self.family.outlier_spec(), self.seed ^ 0xabcd);
+        ZooModel {
+            name: self.name.clone(),
+            family: self.family,
+            model,
+            corpus,
+            report,
+        }
+    }
+}
+
+impl ZooSpec {
+    /// Like [`ZooSpec::build`] but caches the trained model under `dir`.
+    ///
+    /// On a cache hit the corpus generator is fast-forwarded past the
+    /// training stream so that held-out episodes drawn afterwards are
+    /// identical to the fresh-build case.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrecoverable filesystem errors while writing the cache
+    /// (a corrupt or unreadable cache entry is silently rebuilt).
+    pub fn build_cached(&self, dir: &std::path::Path) -> ZooModel {
+        let c = &self.model;
+        let key = format!(
+            "{}-v{}l{}d{}h{}f{}s{}-st{}b{}lr{}-seed{}.nora",
+            self.name,
+            c.vocab,
+            c.layers,
+            c.d_model,
+            c.heads,
+            c.d_ff,
+            c.max_seq,
+            self.train.steps,
+            self.train.batch_size,
+            self.train.lr,
+            self.seed
+        );
+        let path = dir.join(key);
+        if let Ok((model, meta)) = crate::serialize::load_from_path(&path) {
+            if *model.config() == self.model {
+                let mut corpus = Corpus::new(self.corpus);
+                // Fast-forward past the training stream.
+                let consumed = self.train.steps as usize * self.train.batch_size;
+                for _ in 0..consumed {
+                    corpus.episode();
+                }
+                return ZooModel {
+                    name: self.name.clone(),
+                    family: self.family,
+                    model,
+                    corpus,
+                    report: TrainReport {
+                        first_loss: meta.first_loss,
+                        final_loss: meta.final_loss,
+                        losses: Vec::new(),
+                    },
+                };
+            }
+        }
+        let built = self.build();
+        crate::serialize::save_to_path(
+            &built.model,
+            crate::serialize::SavedMeta {
+                first_loss: built.report.first_loss,
+                final_loss: built.report.final_loss,
+            },
+            &path,
+        )
+        .expect("writing model cache");
+        built
+    }
+}
+
+fn preset(
+    name: &str,
+    family: ModelFamily,
+    layers: usize,
+    d_model: usize,
+    seed: u64,
+) -> ZooSpec {
+    let vocab = 48;
+    let seq = 32;
+    ZooSpec {
+        name: name.to_string(),
+        family,
+        model: ModelConfig {
+            vocab,
+            max_seq: seq,
+            d_model,
+            heads: 4,
+            d_ff: 4 * d_model,
+            layers,
+        },
+        corpus: CorpusConfig::new(vocab, seq, seed ^ 0xc0),
+        train: TrainConfig {
+            steps: 2500,
+            batch_size: 8,
+            lr: 3e-3,
+            grad_clip: 1.0,
+            warmup: 50,
+        },
+        seed,
+    }
+}
+
+/// The four OPT-like presets standing in for OPT-1.3b/2.7b/6.7b/13b.
+///
+/// Absolute parameter counts are scaled down ~10⁴×; what grows across the
+/// series (depth, width) mirrors the real family's scaling so that
+/// size-dependent trends survive.
+pub fn opt_presets() -> Vec<ZooSpec> {
+    vec![
+        preset("opt-1.3b-sim", ModelFamily::OptLike, 2, 48, 101),
+        preset("opt-2.7b-sim", ModelFamily::OptLike, 2, 64, 102),
+        preset("opt-6.7b-sim", ModelFamily::OptLike, 3, 80, 103),
+        preset("opt-13b-sim", ModelFamily::OptLike, 4, 96, 104),
+    ]
+}
+
+/// LLaMA-2-7B, LLaMA-3-8B and Mistral-7B-v1.0 stand-ins (Table III's
+/// models).
+pub fn other_presets() -> Vec<ZooSpec> {
+    vec![
+        preset("llama2-7b-sim", ModelFamily::LlamaLike, 3, 80, 201),
+        preset("llama3-8b-sim", ModelFamily::LlamaLike, 3, 88, 202),
+        preset("mistral-7b-sim", ModelFamily::MistralLike, 3, 80, 203),
+    ]
+}
+
+/// A fast-to-train spec for tests and examples.
+pub fn tiny_spec(family: ModelFamily, seed: u64) -> ZooSpec {
+    ZooSpec {
+        name: format!("{}-tiny", family.name()),
+        family,
+        model: ModelConfig {
+            vocab: 16,
+            max_seq: 16,
+            d_model: 32,
+            heads: 2,
+            d_ff: 64,
+            layers: 2,
+        },
+        corpus: CorpusConfig::new(16, 16, seed ^ 0xc0),
+        train: TrainConfig {
+            steps: 600,
+            batch_size: 8,
+            lr: 3e-3,
+            grad_clip: 1.0,
+            warmup: 20,
+        },
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearId, LinearKind};
+    use nora_tensor::stats;
+
+    #[test]
+    fn injection_preserves_function_exactly() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = ModelConfig::tiny_for_tests();
+        let model = TransformerLm::new(cfg, &mut rng);
+        let tokens: Vec<usize> = vec![2, 5, 9, 1, 7, 3];
+        let before = model.forward(&tokens);
+        let mut injected = model.clone();
+        inject_outliers(
+            &mut injected,
+            &ModelFamily::OptLike.outlier_spec(),
+            42,
+        );
+        let after = injected.forward(&tokens);
+        // Exact in real arithmetic; tiny f32 rounding differences allowed.
+        let rel = before.mse(&after) / stats::variance(before.as_slice()).max(1e-12);
+        assert!(rel < 1e-8, "relative mse {rel}");
+    }
+
+    #[test]
+    fn injection_raises_activation_kurtosis() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = ModelConfig {
+            d_model: 64,
+            d_ff: 128,
+            ..ModelConfig::tiny_for_tests()
+        };
+        let model = TransformerLm::new(cfg, &mut rng);
+        let tokens: Vec<usize> = (0..16).map(|i| 2 + (i * 3) % 14).collect();
+
+        let act_kurtosis = |m: &TransformerLm| {
+            let mut acts: Vec<f32> = Vec::new();
+            m.forward_observed(&tokens, &mut |id: LinearId, x| {
+                if id.kind == LinearKind::Q && id.block == 0 {
+                    acts.extend_from_slice(x.as_slice());
+                }
+            });
+            stats::kurtosis(&acts)
+        };
+        let base = act_kurtosis(&model);
+        let mut injected = model.clone();
+        inject_outliers(&mut injected, &ModelFamily::OptLike.outlier_spec(), 7);
+        let spiked = act_kurtosis(&injected);
+        assert!(
+            spiked > base * 5.0 && spiked > 20.0,
+            "kurtosis {base} → {spiked}"
+        );
+    }
+
+    #[test]
+    fn opt_like_is_heavier_tailed_than_llama_like() {
+        let opt = ModelFamily::OptLike.outlier_spec();
+        let llama = ModelFamily::LlamaLike.outlier_spec();
+        assert!(opt.channel_fraction > llama.channel_fraction);
+        assert!(opt.factor_max > llama.factor_max);
+    }
+
+    #[test]
+    fn none_spec_is_identity() {
+        let mut rng = Rng::seed_from(3);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let mut copy = model.clone();
+        inject_outliers(&mut copy, &OutlierSpec::none(), 0);
+        let tokens = [1usize, 2, 3];
+        assert_eq!(model.forward(&tokens), copy.forward(&tokens));
+    }
+
+    #[test]
+    fn tiny_zoo_model_trains_and_keeps_function_after_injection() {
+        let spec = tiny_spec(ModelFamily::MistralLike, 55);
+        let zoo = spec.build();
+        assert!(zoo.report.final_loss < zoo.report.first_loss);
+        // Accuracy on held-out episodes should be decent for the tiny task.
+        let mut corpus = zoo.corpus.clone();
+        let eval = corpus.episodes(60);
+        let acc = crate::trainer::eval_accuracy(&zoo.model, &eval);
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn build_cached_round_trips_and_keeps_corpus_position() {
+        let dir = std::env::temp_dir().join("nora-zoo-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = tiny_spec(ModelFamily::LlamaLike, 77);
+        let mut fresh = spec.build_cached(&dir); // miss: trains + saves
+        let mut cached = spec.build_cached(&dir); // hit: loads
+        let tokens = [1usize, 2, 3, 4];
+        assert_eq!(fresh.model.forward(&tokens), cached.model.forward(&tokens));
+        // Corpus fast-forward must leave both generators at the same point.
+        assert_eq!(fresh.corpus.episode(), cached.corpus.episode());
+        assert_eq!(fresh.report.final_loss, cached.report.final_loss);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn params_and_params_mut_agree_in_order() {
+        let mut rng = Rng::seed_from(9);
+        let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let shapes: Vec<(usize, usize)> =
+            model.params().iter().map(|p| p.value.shape()).collect();
+        let shapes_mut: Vec<(usize, usize)> =
+            model.params_mut().iter().map(|p| p.value.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+    }
+
+    #[test]
+    fn presets_are_well_formed() {
+        for spec in opt_presets().into_iter().chain(other_presets()) {
+            assert!(spec.model.validate().is_ok(), "{}", spec.name);
+            assert!(spec.model.max_seq >= spec.corpus.seq_len);
+            assert_eq!(spec.model.vocab, spec.corpus.vocab);
+        }
+    }
+}

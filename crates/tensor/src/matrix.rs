@@ -1,0 +1,712 @@
+//! Row-major dense `f32` matrices.
+
+use crate::rng::Rng;
+use crate::{Result, ShapeError};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f32` matrix.
+///
+/// This is the lingua franca of the workspace: activations are `(batch ×
+/// features)` matrices, weights are `(in_features × out_features)` matrices
+/// (so a linear layer computes `X · W`), and analog tiles hold `(rows × cols)`
+/// conductance blocks.
+///
+/// Operations that combine two matrices come in two flavours: a panicking
+/// method (`matmul`) for the common statically-shaped path, and a fallible
+/// `try_` variant returning [`ShapeError`] for dynamically-shaped callers.
+///
+/// # Example
+///
+/// ```
+/// use nora_tensor::Matrix;
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = a.matvec(&[1.0, 1.0]);
+/// assert_eq!(x, vec![3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows in from_rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix whose entries are drawn i.i.d. from `N(mean, std²)`.
+    pub fn random_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut Rng) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.normal(mean, std);
+        }
+        m
+    }
+
+    /// Creates a matrix whose entries are drawn i.i.d. from `U[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.uniform(lo, hi);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.try_matmul(rhs).expect("matmul shape mismatch")
+    }
+
+    /// Fallible matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the inner dimensions disagree.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams over rhs rows, vectorises the inner axpy.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: vector length {} vs cols {}",
+            x.len(),
+            self.cols
+        );
+        self.iter_rows()
+            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Vector–matrix product `x · self` (row vector times matrix).
+    ///
+    /// This is the activation-side orientation used by linear layers:
+    /// `y = x · W` with `x` of length `rows` and result of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "vecmat: vector length {} vs rows {}",
+            x.len(),
+            self.rows
+        );
+        let mut out = vec![0.0f32; self.cols];
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let row = &self.data[k * self.cols..(k + 1) * self.cols];
+            for (o, &b) in out.iter_mut().zip(row) {
+                *o += a * b;
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.try_add(rhs).expect("add shape mismatch")
+    }
+
+    /// Fallible elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn try_add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(ShapeError::new("add", self.shape(), rhs.shape()));
+        }
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *o += b;
+        }
+        Ok(out)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= b;
+        }
+        out
+    }
+
+    /// In-place elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (o, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *o += b;
+        }
+    }
+
+    /// Returns the matrix scaled by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let mut out = self.clone();
+        out.scale_assign(s);
+        out
+    }
+
+    /// Scales all entries by `s` in place.
+    pub fn scale_assign(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        for v in &mut out.data {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_assign(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies row `r` by `s` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn scale_row(&mut self, r: usize, s: f32) {
+        for v in self.row_mut(r) {
+            *v *= s;
+        }
+    }
+
+    /// Multiplies column `c` by `s` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn scale_col(&mut self, c: usize, s: f32) {
+        assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
+        for r in 0..self.rows {
+            self.data[r * self.cols + c] *= s;
+        }
+    }
+
+    /// Multiplies each row `k` by `s[k]` (diagonal left-multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != rows`.
+    pub fn scale_rows(&mut self, s: &[f32]) {
+        assert_eq!(s.len(), self.rows, "scale_rows length mismatch");
+        for (r, &f) in s.iter().enumerate() {
+            self.scale_row(r, f);
+        }
+    }
+
+    /// Multiplies each column `k` by `s[k]` (diagonal right-multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != cols`.
+    pub fn scale_cols(&mut self, s: &[f32]) {
+        assert_eq!(s.len(), self.cols, "scale_cols length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &f) in row.iter_mut().zip(s) {
+                *v *= f;
+            }
+        }
+    }
+
+    /// Maximum absolute value over the whole matrix (0 for empty).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Per-row maximum absolute values (length `rows`).
+    pub fn row_abs_max(&self) -> Vec<f32> {
+        self.iter_rows()
+            .map(|row| row.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+            .collect()
+    }
+
+    /// Per-column maximum absolute values (length `cols`).
+    pub fn col_abs_max(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for row in self.iter_rows() {
+            for (m, &v) in out.iter_mut().zip(row) {
+                *m = m.max(v.abs());
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix with rows `r0..r1` and columns `c0..c1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are out of bounds or inverted.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for (ro, r) in (r0..r1).enumerate() {
+            out.row_mut(ro)
+                .copy_from_slice(&self.row(r)[c0..c1]);
+        }
+        out
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_submatrix(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block {}x{} at ({r0},{c0}) exceeds {}x{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        for r in 0..block.rows {
+            let dst = &mut self.data[(r0 + r) * self.cols + c0..][..block.cols];
+            dst.copy_from_slice(block.row(r));
+        }
+    }
+
+    /// Stacks matrices vertically (same column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the column counts disagree.
+    pub fn vstack(parts: &[Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut r = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            out.set_submatrix(r, 0, p);
+            r += p.rows;
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Mean squared error against another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse(&self, rhs: &Matrix) -> f64 {
+        assert_eq!(self.shape(), rhs.shape(), "mse shape mismatch");
+        crate::stats::mse(&self.data, &rhs.data)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for (i, row) in self.iter_rows().enumerate() {
+            if i >= max_rows {
+                writeln!(f, "  … ({} more rows)", self.rows - max_rows)?;
+                break;
+            }
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::full(2, 2, 7.0);
+        assert!(f.as_slice().iter().all(|&v| v == 7.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_wrong_len_panics() {
+        Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = sample();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = sample();
+        let c = a.matmul(&Matrix::identity(3));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn try_matmul_shape_error() {
+        let a = sample();
+        let err = a.try_matmul(&sample()).unwrap_err();
+        assert_eq!(err.op(), "matmul");
+    }
+
+    #[test]
+    fn matvec_and_vecmat_agree_with_matmul() {
+        let a = sample();
+        let x = [1.0f32, -1.0, 2.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![5.0, 11.0]);
+        let x2 = [1.0f32, -1.0];
+        let y2 = a.vecmat(&x2);
+        assert_eq!(y2, vec![-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = sample();
+        let s = a.add(&a).sub(&a);
+        assert_eq!(s, a);
+        assert_eq!(a.scale(2.0), a.add(&a));
+    }
+
+    #[test]
+    fn row_col_scaling() {
+        let mut a = sample();
+        a.scale_rows(&[2.0, 3.0]);
+        assert_eq!(a.row(0), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.row(1), &[12.0, 15.0, 18.0]);
+        let mut b = sample();
+        b.scale_cols(&[1.0, 0.0, -1.0]);
+        assert_eq!(b.row(0), &[1.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    fn diagonal_scaling_cancels_in_product() {
+        // (X diag(1/s)) · (diag(s) W) == X · W  — the NORA exactness identity.
+        let mut rng = Rng::seed_from(3);
+        let x = Matrix::random_normal(4, 6, 0.0, 1.0, &mut rng);
+        let w = Matrix::random_normal(6, 5, 0.0, 1.0, &mut rng);
+        let s: Vec<f32> = (0..6).map(|i| 0.5 + i as f32).collect();
+        let mut xs = x.clone();
+        xs.scale_cols(&s.iter().map(|v| 1.0 / v).collect::<Vec<_>>());
+        let mut ws = w.clone();
+        ws.scale_rows(&s);
+        let lhs = xs.matmul(&ws);
+        let rhs = x.matmul(&w);
+        assert!(lhs.mse(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn abs_max_reductions() {
+        let a = Matrix::from_rows(&[&[-3.0, 1.0], &[2.0, -0.5]]);
+        assert_eq!(a.abs_max(), 3.0);
+        assert_eq!(a.row_abs_max(), vec![3.0, 2.0]);
+        assert_eq!(a.col_abs_max(), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn submatrix_and_set_submatrix_round_trip() {
+        let a = sample();
+        let block = a.submatrix(0, 2, 1, 3);
+        assert_eq!(block.as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+        let mut z = Matrix::zeros(3, 4);
+        z.set_submatrix(1, 2, &block);
+        assert_eq!(z[(1, 2)], 2.0);
+        assert_eq!(z[(2, 3)], 6.0);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = sample();
+        let v = Matrix::vstack(&[a.clone(), a.clone()]);
+        assert_eq!(v.shape(), (4, 3));
+        assert_eq!(v.row(2), a.row(0));
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = sample();
+        assert_eq!(a.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = sample();
+        assert_eq!(a.mse(&a), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let a = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_bounded() {
+        let a = Matrix::zeros(100, 100);
+        let s = format!("{a:?}");
+        assert!(s.contains("100x100"));
+        assert!(s.len() < 2_000);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = sample().map(|v| v * v);
+        assert_eq!(a.row(0), &[1.0, 4.0, 9.0]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Deterministic random number generation.
+//!
+//! All stochastic behaviour in the NORA workspace — weight initialisation,
+//! analog noise injection, corpus sampling — flows through [`Rng`], a
+//! xoshiro256++ generator seeded via SplitMix64. This keeps every experiment
+//! reproducible from a single `u64` seed and lets independent subsystems
+//! derive decorrelated streams with [`Rng::fork`].
+
+/// A seedable xoshiro256++ pseudo-random generator.
+///
+/// xoshiro256++ passes BigCrush and is the default engine in several
+/// scientific stacks; the implementation here follows Blackman & Vigna's
+/// reference code. The generator is deliberately *not* cryptographically
+/// secure — it is a simulation RNG.
+///
+/// # Example
+///
+/// ```
+/// use nora_tensor::rng::Rng;
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded through SplitMix64 so that low-entropy seeds
+    /// (0, 1, 2, …) still produce well-mixed initial states.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Useful for giving each tile / layer / noise source its own stream so
+    /// that enabling one noise source does not perturb the samples drawn by
+    /// another.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        // Mix a fresh draw with the stream id through SplitMix64 again.
+        let base = self.next_u64() ^ stream.wrapping_mul(0xD2B7_4407_B1CE_6E93);
+        Rng::seed_from(base)
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        self.next_f64() as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "lo must not exceed hi");
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+            // Rejected: retry with a fresh draw.
+        }
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z as f32;
+        }
+        // Draw u1 in (0,1] to keep ln(u1) finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or non-finite.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0");
+        mean + std * self.standard_normal()
+    }
+
+    /// Fills `buf` with standard normal samples.
+    pub fn fill_standard_normal(&mut self, buf: &mut [f32]) {
+        for v in buf {
+            *v = self.standard_normal();
+        }
+    }
+
+    /// Fills `buf` with uniform samples in `[lo, hi)`.
+    pub fn fill_uniform(&mut self, buf: &mut [f32], lo: f32, hi: f32) {
+        for v in buf {
+            *v = self.uniform(lo, hi);
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Samples an index from an (unnormalised) non-negative weight slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite value, or
+    /// sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            total += w as f64;
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w as f64;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: after k swaps the first k entries are a
+        // uniform sample without replacement.
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl Default for Rng {
+    fn default() -> Self {
+        Self::seed_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_decorrelated() {
+        let mut root = Rng::seed_from(9);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let matches = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 each; allow 5% slack.
+            assert!((9_500..=10_500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Rng::seed_from(17);
+        let n = 200_000;
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for _ in 0..n {
+            let z = rng.standard_normal() as f64;
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = Rng::seed_from(23);
+        let n = 100_000;
+        let (mu, sigma) = (3.0f32, 0.5f32);
+        let mut sum = 0.0f64;
+        let mut sum2 = 0.0f64;
+        for _ in 0..n {
+            let z = rng.normal(mu, sigma) as f64;
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.02);
+        assert!((var - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng::seed_from(31);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((28_500..=31_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::seed_from(37);
+        let w = [1.0f32, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.7..=3.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(41);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::seed_from(43);
+        let picks = rng.sample_indices(50, 10);
+        assert_eq!(picks.len(), 10);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(picks.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng::seed_from(0).below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn bernoulli_out_of_range_panics() {
+        Rng::seed_from(0).bernoulli(1.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Migration-strength (λ) ablation at example scale: sweep the global λ of
+//! the smoothing vector `s_k = max|x_k|^λ / max|w_k|^{1-λ}` and watch the
+//! accuracy trade-off, then run the per-layer λ search.
+//!
+//! λ = 0 rescales by weights only; λ = 1 moves the entire activation range
+//! onto the weights; the paper (following SmoothQuant) uses λ = 0.5.
+//!
+//! Run with: `cargo run --release --example lambda_ablation`
+
+use nora::cim::TileConfig;
+use nora::core::{calibrate, lambda_search, RescalePlan, SmoothingConfig};
+use nora::eval::tasks::{analog_accuracy, digital_accuracy};
+use nora::nn::zoo::{tiny_spec, ModelFamily};
+
+fn main() {
+    println!("training opt-like model…");
+    let mut zoo = tiny_spec(ModelFamily::OptLike, 4242).build();
+    let calib_seqs: Vec<Vec<usize>> = (0..6).map(|_| zoo.corpus.episode().tokens).collect();
+    let episodes = zoo.corpus.episodes(120);
+    let digital = digital_accuracy(&zoo.model, &episodes);
+    let calibration = calibrate(&zoo.model, &calib_seqs);
+    let tile = TileConfig::paper_default();
+    println!("digital accuracy: {:.1}%\n", 100.0 * digital);
+
+    println!("global λ sweep:");
+    for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let plan = RescalePlan::nora(
+            &zoo.model,
+            &calibration,
+            SmoothingConfig::with_lambda(lambda),
+        );
+        let mut analog = plan.deploy(&zoo.model, tile.clone(), 11);
+        let acc = analog_accuracy(&mut analog, &episodes);
+        println!(
+            "  λ = {lambda:.2} : {:.1}%  ({:+.1} pp vs digital)",
+            100.0 * acc,
+            100.0 * (acc - digital)
+        );
+    }
+
+    println!("\nper-layer λ search (paper future work):");
+    let result = lambda_search::per_layer_search(
+        &zoo.model,
+        &calibration,
+        &calib_seqs,
+        &tile,
+        &[0.0, 0.25, 0.5, 0.75, 1.0],
+        11,
+    );
+    let mut analog = result.plan.deploy(&zoo.model, tile, 11);
+    let acc = analog_accuracy(&mut analog, &episodes);
+    println!(
+        "  searched plan : {:.1}%  ({:+.1} pp vs digital)",
+        100.0 * acc,
+        100.0 * (acc - digital)
+    );
+    let mut choices: Vec<(String, f32)> = result
+        .per_layer
+        .iter()
+        .map(|(id, &l)| (format!("b{}.{}", id.block, id.kind.name()), l))
+        .collect();
+    choices.sort_by(|a, b| a.0.cmp(&b.0));
+    for (layer, lambda) in choices {
+        println!("    {layer:<8} λ = {lambda:.2}");
+    }
+}

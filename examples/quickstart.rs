@@ -1,0 +1,66 @@
+//! Quickstart: map a weight matrix onto simulated analog CIM tiles and see
+//! what the non-idealities do — then fix it with a NORA-style smoothing
+//! vector.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nora::cim::{AnalogLinear, TileConfig};
+use nora::tensor::{rng::Rng, stats, Matrix};
+
+fn main() {
+    let mut rng = Rng::seed_from(42);
+
+    // A GEMV workload with activation outliers: two channels are 50x the
+    // rest — the LLM phenomenon NORA targets.
+    let d_in = 128;
+    let d_out = 64;
+    let w = Matrix::random_normal(d_in, d_out, 0.0, 0.1, &mut rng);
+    let mut x = Matrix::random_normal(8, d_in, 0.0, 1.0, &mut rng);
+    for i in 0..x.rows() {
+        x.row_mut(i)[7] *= 50.0;
+        x.row_mut(i)[99] *= 50.0;
+    }
+    let reference = x.matmul(&w);
+
+    // 1. Ideal tiles: the analog layer is exact.
+    let mut ideal = AnalogLinear::new(w.clone(), None, TileConfig::ideal(), 1);
+    let y = ideal.forward(&x);
+    println!("ideal tile      : mse {:.3e}", y.mse(&reference));
+
+    // 2. Paper-default non-idealities (Table II): the outliers force a huge
+    //    input range, so the 7-bit DAC starves the bulk channels.
+    let mut naive = AnalogLinear::new(w.clone(), None, TileConfig::paper_default(), 1);
+    let y = naive.forward(&x);
+    let naive_mse = y.mse(&reference);
+    println!("naive analog    : mse {naive_mse:.3e}");
+
+    // 3. NORA-style smoothing: shrink the outlier channels at the input,
+    //    grow them in the weights. s_k = max|x_k|^0.5 / max|w_k|^0.5.
+    let act_max = x.col_abs_max();
+    let w_row_max = w.row_abs_max();
+    let s: Vec<f32> = act_max
+        .iter()
+        .zip(&w_row_max)
+        .map(|(&a, &wm)| (a.max(1e-5).sqrt() / wm.max(1e-5).sqrt()).max(1e-5))
+        .collect();
+    let mut smoothed =
+        AnalogLinear::with_smoothing(w.clone(), None, Some(&s), TileConfig::paper_default(), 1);
+    let y = smoothed.forward(&x);
+    let nora_mse = y.mse(&reference);
+    println!("NORA rescaled   : mse {nora_mse:.3e}");
+    println!(
+        "improvement     : {:.1}x lower MSE ({:+.1} dB SNR gain)",
+        naive_mse / nora_mse,
+        10.0 * (naive_mse / nora_mse).log10()
+    );
+
+    // Where did the win come from? The input distribution tightened.
+    let before: Vec<f32> = x.as_slice().to_vec();
+    let mut x_s = x.clone();
+    x_s.scale_cols(&s.iter().map(|v| 1.0 / v).collect::<Vec<_>>());
+    println!(
+        "input kurtosis  : {:.1} -> {:.1} (outlier burden moved to weights)",
+        stats::kurtosis(&before),
+        stats::kurtosis(x_s.as_slice())
+    );
+}

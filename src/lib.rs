@@ -1,0 +1,17 @@
+//! # NORA: Noise-Optimized Rescaling of LLMs on Analog CIM Accelerators
+//!
+//! Facade crate re-exporting the full NORA workspace. See `DESIGN.md` for
+//! the system inventory and `EXPERIMENTS.md` for the paper-vs-measured index.
+//!
+//! ```
+//! use nora::cim::TileConfig;
+//! let cfg = TileConfig::paper_default();
+//! assert_eq!(cfg.tile_rows, 512);
+//! ```
+
+pub use nora_cim as cim;
+pub use nora_core as core;
+pub use nora_device as device;
+pub use nora_eval as eval;
+pub use nora_nn as nn;
+pub use nora_tensor as tensor;

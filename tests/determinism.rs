@@ -1,0 +1,62 @@
+//! Simulator-grade determinism: every stochastic component is seeded, so
+//! identical inputs must produce bit-identical experiment results across
+//! runs — the property that makes the `results/` files reproducible.
+
+use nora::cim::{NonIdeality, TileConfig};
+use nora::core::{calibrate, RescalePlan, SmoothingConfig};
+use nora::eval::noise_level::{severity_for_mse, RefWorkload};
+use nora::eval::tasks::analog_accuracy;
+use nora::nn::zoo::{tiny_spec, ModelFamily};
+
+#[test]
+fn zoo_builds_are_bit_reproducible() {
+    let a = tiny_spec(ModelFamily::OptLike, 404).build();
+    let b = tiny_spec(ModelFamily::OptLike, 404).build();
+    let tokens = [2usize, 5, 3, 7];
+    assert_eq!(a.model.forward(&tokens), b.model.forward(&tokens));
+    assert_eq!(a.report.losses, b.report.losses);
+}
+
+#[test]
+fn full_experiment_row_is_reproducible() {
+    let run = || {
+        let mut zoo = tiny_spec(ModelFamily::MistralLike, 405).build();
+        let calib_seqs: Vec<Vec<usize>> =
+            (0..4).map(|_| zoo.corpus.episode().tokens).collect();
+        let episodes = zoo.corpus.episodes(40);
+        let calibration = calibrate(&zoo.model, &calib_seqs);
+        let plan = RescalePlan::nora(&zoo.model, &calibration, SmoothingConfig::default());
+        let mut analog = plan.deploy(&zoo.model, TileConfig::paper_default(), 42);
+        analog_accuracy(&mut analog, &episodes)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn severity_calibration_is_reproducible() {
+    let w1 = RefWorkload::new(16, 64, 64, 7);
+    let w2 = RefWorkload::new(16, 64, 64, 7);
+    for noise in [
+        NonIdeality::AdditiveOutputNoise,
+        NonIdeality::AdcQuantization,
+    ] {
+        assert_eq!(
+            severity_for_mse(noise, 1e-3, &w1),
+            severity_for_mse(noise, 1e-3, &w2),
+            "{noise} severity differs between identical workloads"
+        );
+    }
+}
+
+#[test]
+fn different_deployment_seeds_give_different_noise() {
+    let mut zoo = tiny_spec(ModelFamily::OptLike, 406).build();
+    let episodes = zoo.corpus.episodes(40);
+    let acc = |seed: u64| {
+        let mut analog =
+            RescalePlan::naive().deploy(&zoo.model, TileConfig::paper_default(), seed);
+        // Collect raw logits of one episode, which are noise-dependent.
+        analog.forward(&episodes[0].tokens)
+    };
+    assert_ne!(acc(1), acc(2), "deployment seeds must decorrelate noise");
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full train → inject → calibrate →
+//! rescale → deploy pipeline.
+
+use nora::cim::TileConfig;
+use nora::core::{calibrate, RescalePlan, SmoothingConfig};
+use nora::eval::tasks::{analog_accuracy, digital_accuracy};
+use nora::nn::zoo::{tiny_spec, ModelFamily};
+use nora::nn::zoo::ZooModel;
+
+fn build(family: ModelFamily, seed: u64) -> ZooModel {
+    tiny_spec(family, seed).build()
+}
+
+#[test]
+fn end_to_end_nora_recovers_naive_collapse() {
+    // The paper's headline (Fig. 5a) at integration-test scale: an
+    // OPT-like model collapses under naive analog mapping and recovers to
+    // within a few points of digital under NORA.
+    let mut zoo = build(ModelFamily::OptLike, 9001);
+    let calib_seqs: Vec<Vec<usize>> = (0..6).map(|_| zoo.corpus.episode().tokens).collect();
+    let episodes = zoo.corpus.episodes(120);
+
+    let digital = digital_accuracy(&zoo.model, &episodes);
+    assert!(digital > 0.6, "digital baseline too weak: {digital}");
+
+    let tile = TileConfig::paper_default();
+    let mut naive = RescalePlan::naive().deploy(&zoo.model, tile.clone(), 1);
+    let naive_acc = analog_accuracy(&mut naive, &episodes);
+
+    let calibration = calibrate(&zoo.model, &calib_seqs);
+    let plan = RescalePlan::nora(&zoo.model, &calibration, SmoothingConfig::default());
+    let mut nora = plan.deploy(&zoo.model, tile, 1);
+    let nora_acc = analog_accuracy(&mut nora, &episodes);
+
+    // Naive must lose badly; NORA must recover most of it.
+    assert!(
+        digital - naive_acc > 0.2,
+        "naive should collapse: digital {digital} naive {naive_acc}"
+    );
+    assert!(
+        nora_acc > naive_acc + 0.1,
+        "nora {nora_acc} should clearly beat naive {naive_acc}"
+    );
+    assert!(
+        digital - nora_acc < 0.15,
+        "nora {nora_acc} should approach digital {digital}"
+    );
+}
+
+#[test]
+fn robust_families_survive_naive_quantization_better() {
+    // Paper Fig. 3a/b: OPT-like models are much more quantization-
+    // sensitive than LLaMA/Mistral-like ones.
+    use nora::cim::NonIdeality;
+    let severity = 1.0 / 128.0; // a 7-bit converter
+
+    let drop_for = |family: ModelFamily, seed: u64| {
+        let mut zoo = build(family, seed);
+        let episodes = zoo.corpus.episodes(100);
+        let digital = digital_accuracy(&zoo.model, &episodes);
+        let tile = NonIdeality::AdcQuantization.configure(severity);
+        let mut analog = RescalePlan::naive().deploy(&zoo.model, tile, 2);
+        digital - analog_accuracy(&mut analog, &episodes)
+    };
+
+    let opt_drop = drop_for(ModelFamily::OptLike, 42);
+    let llama_drop = drop_for(ModelFamily::LlamaLike, 43);
+    assert!(
+        opt_drop > llama_drop + 0.05,
+        "opt-like drop {opt_drop} should exceed llama-like drop {llama_drop}"
+    );
+}
+
+#[test]
+fn exactness_chain_digital_equals_ideal_analog_with_and_without_nora() {
+    // The cancellation identity of Eq. 6–8 holds through a real model:
+    // with every non-ideality off, naive and NORA deployments both
+    // reproduce the digital logits.
+    let mut zoo = build(ModelFamily::MistralLike, 7);
+    let calib_seqs: Vec<Vec<usize>> = (0..3).map(|_| zoo.corpus.episode().tokens).collect();
+    let calibration = calibrate(&zoo.model, &calib_seqs);
+    let plan = RescalePlan::nora(&zoo.model, &calibration, SmoothingConfig::default());
+
+    let tokens = &calib_seqs[0];
+    let digital = zoo.model.forward(tokens);
+    let var = nora::tensor::stats::variance(digital.as_slice()).max(1e-12);
+
+    let mut ideal_naive = RescalePlan::naive().deploy(&zoo.model, TileConfig::ideal(), 3);
+    assert!(ideal_naive.forward(tokens).mse(&digital) / var < 1e-7);
+
+    let mut ideal_nora = plan.deploy(&zoo.model, TileConfig::ideal(), 3);
+    assert!(ideal_nora.forward(tokens).mse(&digital) / var < 1e-7);
+}
+
+#[test]
+fn serialization_survives_the_full_pipeline() {
+    // A cached model must produce the same analog accuracy as the
+    // original, given the same seeds and episodes.
+    let zoo = build(ModelFamily::OptLike, 55);
+    let mut buf = Vec::new();
+    nora::nn::serialize::save(
+        &zoo.model,
+        nora::nn::serialize::SavedMeta {
+            first_loss: zoo.report.first_loss,
+            final_loss: zoo.report.final_loss,
+        },
+        &mut buf,
+    )
+    .unwrap();
+    let (loaded, _) = nora::nn::serialize::load(buf.as_slice()).unwrap();
+
+    let mut corpus = zoo.corpus.clone();
+    let episodes = corpus.episodes(40);
+    let tile = TileConfig::paper_default();
+    let mut a = RescalePlan::naive().deploy(&zoo.model, tile.clone(), 4);
+    let mut b = RescalePlan::naive().deploy(&loaded, tile, 4);
+    assert_eq!(
+        analog_accuracy(&mut a, &episodes),
+        analog_accuracy(&mut b, &episodes)
+    );
+}

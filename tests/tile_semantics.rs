@@ -1,0 +1,133 @@
+//! Cross-crate integration tests of the analog tile semantics against the
+//! paper's equations, using the facade crate's public API only.
+
+use nora::cim::{AnalogLinear, AnalogTile, NonIdeality, Resolution, TileConfig};
+use nora::device::{PcmModel, NvmModel};
+use nora::tensor::{rng::Rng, stats, Matrix};
+
+#[test]
+fn equation_3_scaling_factors_cancel_exactly() {
+    // y = α γ f_adc(Σ w̃ x̃) with all f ideal must equal x · W for any s.
+    let mut rng = Rng::seed_from(1);
+    let w = Matrix::random_normal(48, 24, 0.0, 0.4, &mut rng);
+    let x = Matrix::random_normal(6, 48, 0.0, 2.0, &mut rng);
+    for s_seed in 0..3u64 {
+        let mut s_rng = Rng::seed_from(s_seed);
+        let s: Vec<f32> = (0..48).map(|_| s_rng.uniform(0.1, 10.0)).collect();
+        let mut tile = AnalogTile::new(
+            w.clone(),
+            Some(&s),
+            TileConfig::ideal(),
+            Rng::seed_from(2),
+        );
+        let err = tile.forward(&x).mse(&x.matmul(&w));
+        assert!(err < 1e-8, "seed {s_seed}: mse {err}");
+    }
+}
+
+#[test]
+fn smoothing_reduces_quantization_error_on_outlier_inputs() {
+    // The core NORA mechanism at tile level: with a 7-bit DAC and outlier
+    // inputs, the right smoothing vector cuts the error dramatically.
+    let mut rng = Rng::seed_from(3);
+    let w = Matrix::random_normal(128, 64, 0.0, 0.1, &mut rng);
+    let mut x = Matrix::random_normal(8, 128, 0.0, 1.0, &mut rng);
+    for i in 0..x.rows() {
+        x.row_mut(i)[5] *= 60.0;
+    }
+    let reference = x.matmul(&w);
+
+    let mut cfg = TileConfig::ideal();
+    cfg.dac = Resolution::bits(7);
+    let mut naive = AnalogTile::new(w.clone(), None, cfg.clone(), Rng::seed_from(4));
+    let naive_mse = naive.forward(&x).mse(&reference);
+
+    let act_max = x.col_abs_max();
+    let w_max = w.row_abs_max();
+    let s: Vec<f32> = act_max
+        .iter()
+        .zip(&w_max)
+        .map(|(&a, &wm)| (a.max(1e-5) / wm.max(1e-5)).sqrt())
+        .collect();
+    let mut smoothed = AnalogTile::new(w.clone(), Some(&s), cfg, Rng::seed_from(4));
+    let nora_mse = smoothed.forward(&x).mse(&reference);
+    assert!(
+        nora_mse < naive_mse / 10.0,
+        "naive {naive_mse} nora {nora_mse}"
+    );
+}
+
+#[test]
+fn tiled_layer_equals_single_tile_when_ideal() {
+    let mut rng = Rng::seed_from(5);
+    let w = Matrix::random_normal(96, 80, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(4, 96, 0.0, 1.0, &mut rng);
+    let mut single = AnalogLinear::new(w.clone(), None, TileConfig::ideal(), 6);
+    let mut tiled = AnalogLinear::new(
+        w.clone(),
+        None,
+        TileConfig::ideal().with_tile_size(32, 16),
+        6,
+    );
+    let a = single.forward(&x);
+    let b = tiled.forward(&x);
+    assert!(a.mse(&b) < 1e-9);
+    assert_eq!(tiled.tile_count(), 3 * 5);
+}
+
+#[test]
+fn all_eight_non_idealities_degrade_a_real_gemv_monotonically() {
+    let mut rng = Rng::seed_from(7);
+    let w = Matrix::random_normal(64, 64, 0.0, 0.2, &mut rng);
+    let x = Matrix::random_normal(8, 64, 0.0, 1.0, &mut rng);
+    let reference = x.matmul(&w);
+    for noise in NonIdeality::ALL {
+        let mse_at = |level: f32| {
+            let mut cfg = noise.configure(level);
+            cfg.tile_rows = 64;
+            cfg.tile_cols = 64;
+            let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(8));
+            tile.forward(&x).mse(&reference)
+        };
+        let low = mse_at(0.02);
+        let high = mse_at(0.5);
+        assert!(
+            high > low,
+            "{noise}: degradation should grow with severity ({low} vs {high})"
+        );
+    }
+}
+
+#[test]
+fn pcm_statistics_flow_through_to_tile_weights() {
+    // The tile's effective weights must show the PCM programming-noise
+    // magnitude predicted by the device model.
+    let pcm = PcmModel::default();
+    let sigma_rel = pcm.prog_sigma(12.5) / pcm.g_max; // at mid conductance
+    let mut rng = Rng::seed_from(9);
+    let w = Matrix::random_uniform(64, 64, -1.0, 1.0, &mut rng);
+
+    let mut cfg = TileConfig::ideal();
+    cfg.weight_source = nora::cim::WeightSource::Pcm(1.0);
+    let tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(10));
+    // γ_j ≈ 1 for uniform(-1,1) columns, so effective ≈ w + noise.
+    let rmse = stats::rmse(tile.effective_weights().as_slice(), w.as_slice());
+    assert!(
+        rmse > sigma_rel as f64 * 0.3 && rmse < sigma_rel as f64 * 3.0,
+        "rmse {rmse} vs device-model σ {sigma_rel}"
+    );
+}
+
+#[test]
+fn device_trait_objects_are_interchangeable() {
+    let models: Vec<Box<dyn NvmModel>> = vec![
+        Box::new(PcmModel::default()),
+        Box::new(nora::device::ReramModel::default()),
+    ];
+    let mut rng = Rng::seed_from(11);
+    for m in &models {
+        let cell = m.program(0.5 * m.g_max(), &mut rng);
+        let g = m.read_cell(&cell, 100.0, &mut rng);
+        assert!(g >= 0.0 && g <= m.g_max() * 1.5);
+    }
+}
