@@ -1,13 +1,12 @@
 //! Throughput of tiled analog linear layers (multi-tile partitioning) and
 //! the smoothing-vector overhead.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nora_bench::harness::bench;
 use nora_cim::{AnalogLinear, TileConfig};
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
 
-fn analog_linear(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analog_linear");
+fn analog_linear() {
     let mut rng = Rng::seed_from(1);
     let d_in = 256;
     let d_out = 256;
@@ -18,25 +17,30 @@ fn analog_linear(c: &mut Criterion) {
     for &tile in &[64usize, 128, 256] {
         let cfg = TileConfig::paper_default().with_tile_size(tile, tile);
         let mut naive = AnalogLinear::new(w.clone(), None, cfg.clone(), 2);
-        group.bench_with_input(BenchmarkId::new("naive", tile), &tile, |b, _| {
-            b.iter(|| naive.forward(&x));
+        bench(&format!("analog_linear/naive/{tile}"), || {
+            std::hint::black_box(naive.forward(&x));
         });
-        let mut smoothed =
-            AnalogLinear::with_smoothing(w.clone(), None, Some(&s), cfg, 2);
-        group.bench_with_input(BenchmarkId::new("nora_smoothed", tile), &tile, |b, _| {
-            b.iter(|| smoothed.forward(&x));
+        let mut smoothed = AnalogLinear::with_smoothing(w.clone(), None, Some(&s), cfg, 2);
+        bench(&format!("analog_linear/nora_smoothed/{tile}"), || {
+            std::hint::black_box(smoothed.forward(&x));
         });
     }
-    group.finish();
 }
 
-fn layer_programming(c: &mut Criterion) {
+fn layer_programming() {
     let mut rng = Rng::seed_from(3);
     let w = Matrix::random_normal(256, 256, 0.0, 0.1, &mut rng);
-    c.bench_function("program_analog_linear_256x256", |b| {
-        b.iter(|| AnalogLinear::new(w.clone(), None, TileConfig::paper_default(), 4));
+    bench("program_analog_linear_256x256", || {
+        std::hint::black_box(AnalogLinear::new(
+            w.clone(),
+            None,
+            TileConfig::paper_default(),
+            4,
+        ));
     });
 }
 
-criterion_group!(benches, analog_linear, layer_programming);
-criterion_main!(benches);
+fn main() {
+    analog_linear();
+    layer_programming();
+}

@@ -1,36 +1,40 @@
 //! PCM device-model throughput: programming, write–verify, drifted reads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nora_bench::harness::{bench, bench_throughput};
 use nora_device::{program_matrix, read_matrix, PcmModel};
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
 
-fn pcm_array_ops(c: &mut Criterion) {
+fn pcm_array_ops() {
     let pcm = PcmModel::default();
     let mut rng = Rng::seed_from(1);
     let w = Matrix::random_uniform(128, 128, -1.0, 1.0, &mut rng);
+    let elements = (128 * 128) as u64;
 
-    let mut group = c.benchmark_group("pcm_array");
-    group.throughput(Throughput::Elements((128 * 128) as u64));
-    group.bench_function("program_128x128", |b| {
+    {
         let mut r = Rng::seed_from(2);
-        b.iter(|| program_matrix(&w, &pcm, &mut r));
-    });
+        bench_throughput("pcm_array/program_128x128", elements, || {
+            std::hint::black_box(program_matrix(&w, &pcm, &mut r));
+        });
+    }
     let programmed = program_matrix(&w, &pcm, &mut rng);
-    group.bench_function("read_128x128_at_1h", |b| {
+    {
         let mut r = Rng::seed_from(3);
-        b.iter(|| read_matrix(&programmed, &pcm, 3600.0, &mut r));
-    });
-    group.finish();
+        bench_throughput("pcm_array/read_128x128_at_1h", elements, || {
+            std::hint::black_box(read_matrix(&programmed, &pcm, 3600.0, &mut r));
+        });
+    }
 }
 
-fn write_verify(c: &mut Criterion) {
+fn write_verify() {
     let pcm = PcmModel::default();
-    c.bench_function("write_verify_cell_8iters", |b| {
-        let mut r = Rng::seed_from(4);
-        b.iter(|| pcm.program_with_verify(12.5, 8, &mut r));
+    let mut r = Rng::seed_from(4);
+    bench("write_verify_cell_8iters", || {
+        std::hint::black_box(pcm.program_with_verify(12.5, 8, &mut r));
     });
 }
 
-criterion_group!(benches, pcm_array_ops, write_verify);
-criterion_main!(benches);
+fn main() {
+    pcm_array_ops();
+    write_verify();
+}

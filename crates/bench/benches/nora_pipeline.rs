@@ -1,14 +1,14 @@
 //! End-to-end NORA pipeline costs: calibration, plan construction, and
 //! analog deployment of a small transformer.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nora_bench::harness::bench;
 use nora_cim::TileConfig;
 use nora_core::{calibrate, RescalePlan, SmoothingConfig};
 use nora_nn::zoo::{inject_outliers, ModelFamily};
 use nora_nn::{ModelConfig, TransformerLm};
 use nora_tensor::rng::Rng;
 
-fn pipeline(c: &mut Criterion) {
+fn pipeline() {
     let cfg = ModelConfig {
         vocab: 32,
         max_seq: 32,
@@ -23,29 +23,30 @@ fn pipeline(c: &mut Criterion) {
         .map(|i| (0..32).map(|t| 2 + (t * 7 + i) % 30).collect())
         .collect();
 
-    c.bench_function("calibrate_2layer_d64", |b| {
-        b.iter(|| calibrate(&model, &seqs));
+    bench("calibrate_2layer_d64", || {
+        std::hint::black_box(calibrate(&model, &seqs));
     });
 
     let calib = calibrate(&model, &seqs);
-    c.bench_function("build_rescale_plan", |b| {
-        b.iter(|| RescalePlan::nora(&model, &calib, SmoothingConfig::default()));
+    bench("build_rescale_plan", || {
+        std::hint::black_box(RescalePlan::nora(&model, &calib, SmoothingConfig::default()));
     });
 
     let plan = RescalePlan::nora(&model, &calib, SmoothingConfig::default());
-    c.bench_function("deploy_analog_2layer_d64", |b| {
-        b.iter(|| plan.deploy(&model, TileConfig::paper_default(), 2));
+    bench("deploy_analog_2layer_d64", || {
+        std::hint::black_box(plan.deploy(&model, TileConfig::paper_default(), 2));
     });
 
     let mut analog = plan.deploy(&model, TileConfig::paper_default(), 2);
     let tokens: Vec<usize> = (0..32).map(|t| 2 + (t * 5) % 30).collect();
-    c.bench_function("analog_forward_32tokens", |b| {
-        b.iter(|| analog.forward(&tokens));
+    bench("analog_forward_32tokens", || {
+        std::hint::black_box(analog.forward(&tokens));
     });
-    c.bench_function("digital_forward_32tokens", |b| {
-        b.iter(|| model.forward(&tokens));
+    bench("digital_forward_32tokens", || {
+        std::hint::black_box(model.forward(&tokens));
     });
 }
 
-criterion_group!(benches, pipeline);
-criterion_main!(benches);
+fn main() {
+    pipeline();
+}

@@ -1,35 +1,33 @@
 //! Quantizer kernel throughput (the DAC/ADC inner loops).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nora_bench::harness::bench_throughput;
 use nora_tensor::quant::{Quantizer, Rounding};
 use nora_tensor::rng::Rng;
 
-fn quantize_slices(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantize_slice");
+fn quantize_slices() {
     let mut rng = Rng::seed_from(1);
     for &n in &[512usize, 4096, 65536] {
         let xs: Vec<f32> = (0..n).map(|_| rng.uniform(-1.5, 1.5)).collect();
-        group.throughput(Throughput::Elements(n as u64));
         let q = Quantizer::with_bits(7, 1.0);
-        group.bench_with_input(BenchmarkId::new("nearest_7bit", n), &n, |b, _| {
-            b.iter(|| {
-                let mut ys = xs.clone();
-                q.quantize_slice(&mut ys);
-                ys
-            });
+        bench_throughput(&format!("quantize_slice/nearest_7bit/{n}"), n as u64, || {
+            let mut ys = xs.clone();
+            q.quantize_slice(&mut ys);
+            std::hint::black_box(ys);
         });
         let qs = Quantizer::with_bits(7, 1.0).with_rounding(Rounding::Stochastic);
         let mut srng = Rng::seed_from(2);
-        group.bench_with_input(BenchmarkId::new("stochastic_7bit", n), &n, |b, _| {
-            b.iter(|| {
+        bench_throughput(
+            &format!("quantize_slice/stochastic_7bit/{n}"),
+            n as u64,
+            || {
                 let mut ys = xs.clone();
                 qs.quantize_slice_with(&mut ys, &mut srng);
-                ys
-            });
-        });
+                std::hint::black_box(ys);
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, quantize_slices);
-criterion_main!(benches);
+fn main() {
+    quantize_slices();
+}

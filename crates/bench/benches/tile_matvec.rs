@@ -1,18 +1,17 @@
 //! Throughput of a single analog tile's noisy GEMV, across tile sizes and
 //! non-ideality configurations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nora_bench::harness::{bench, bench_throughput};
 use nora_cim::{AnalogTile, TileConfig};
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
 
-fn tile_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tile_forward");
+fn tile_forward() {
     for &size in &[64usize, 128, 256] {
         let mut rng = Rng::seed_from(1);
         let w = Matrix::random_normal(size, size, 0.0, 0.2, &mut rng);
         let x = Matrix::random_normal(8, size, 0.0, 1.0, &mut rng);
-        group.throughput(Throughput::Elements((8 * size * size) as u64));
+        let elements = (8 * size * size) as u64;
 
         let ideal_cfg = {
             let mut c = TileConfig::ideal();
@@ -21,43 +20,43 @@ fn tile_forward(c: &mut Criterion) {
             c
         };
         let mut ideal = AnalogTile::new(w.clone(), None, ideal_cfg, Rng::seed_from(2));
-        group.bench_with_input(BenchmarkId::new("ideal", size), &size, |b, _| {
-            b.iter(|| ideal.forward(&x));
+        bench_throughput(&format!("tile_forward/ideal/{size}"), elements, || {
+            std::hint::black_box(ideal.forward(&x));
         });
 
         let paper_cfg = TileConfig::paper_default().with_tile_size(size, size);
         let mut paper = AnalogTile::new(w.clone(), None, paper_cfg, Rng::seed_from(3));
-        group.bench_with_input(BenchmarkId::new("paper_noise", size), &size, |b, _| {
-            b.iter(|| paper.forward(&x));
+        bench_throughput(&format!("tile_forward/paper_noise/{size}"), elements, || {
+            std::hint::black_box(paper.forward(&x));
         });
 
         let mut serial_cfg = TileConfig::paper_default().with_tile_size(size, size);
         serial_cfg.input_encoding = nora_cim::InputEncoding::BitSerial { bits: 7 };
         let mut serial = AnalogTile::new(w.clone(), None, serial_cfg, Rng::seed_from(4));
-        group.bench_with_input(BenchmarkId::new("bit_serial", size), &size, |b, _| {
-            b.iter(|| serial.forward(&x));
+        bench_throughput(&format!("tile_forward/bit_serial/{size}"), elements, || {
+            std::hint::black_box(serial.forward(&x));
         });
     }
-    group.finish();
 }
 
-fn tile_programming_variants(c: &mut Criterion) {
+fn tile_programming_variants() {
     let mut rng = Rng::seed_from(5);
     let w = Matrix::random_normal(128, 128, 0.0, 0.2, &mut rng);
-    let mut group = c.benchmark_group("tile_programming");
     for &slices in &[1u32, 2, 3] {
         let mut cfg = TileConfig::paper_default().with_tile_size(128, 128);
         cfg.weight_slices = slices;
-        group.bench_with_input(
-            BenchmarkId::new("pcm_slices", slices),
-            &slices,
-            |b, _| {
-                b.iter(|| AnalogTile::new(w.clone(), None, cfg.clone(), Rng::seed_from(6)));
-            },
-        );
+        bench(&format!("tile_programming/pcm_slices/{slices}"), || {
+            std::hint::black_box(AnalogTile::new(
+                w.clone(),
+                None,
+                cfg.clone(),
+                Rng::seed_from(6),
+            ));
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, tile_forward, tile_programming_variants);
-criterion_main!(benches);
+fn main() {
+    tile_forward();
+    tile_programming_variants();
+}

@@ -1,0 +1,111 @@
+//! Minimal self-contained timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the performance benches cannot depend on
+//! an external framework; this module provides the small subset we need:
+//! warm-up, adaptive batching until a target measurement window is reached,
+//! and a `ns/iter` + throughput report on stdout.
+//!
+//! Environment knobs:
+//!
+//! * `NORA_BENCH_FAST=1` — shrink the measurement window (smoke runs / CI).
+//! * `NORA_BENCH_MS=<n>` — explicit measurement window in milliseconds.
+
+use std::time::{Duration, Instant};
+
+/// Measurement window per benchmark.
+fn window() -> Duration {
+    if let Ok(ms) = std::env::var("NORA_BENCH_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            return Duration::from_millis(ms.max(1));
+        }
+    }
+    let fast = std::env::var("NORA_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+    if fast {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// One timing result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of iterations measured.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Mean iterations per second.
+    pub fn per_second(&self) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            f64::INFINITY
+        } else {
+            1e9 / self.ns_per_iter
+        }
+    }
+}
+
+/// Times `f` and prints a `name ... ns/iter` line.
+///
+/// Returns the measurement so callers can derive throughput lines.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Measurement {
+    // Warm-up: one untimed call, then estimate the per-iteration cost.
+    f();
+    let probe_start = Instant::now();
+    f();
+    let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+
+    let target = window();
+    let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let m = Measurement {
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+    };
+    println!(
+        "bench: {name:<44} {:>14.1} ns/iter  ({} iters)",
+        m.ns_per_iter, m.iters
+    );
+    m
+}
+
+/// Like [`bench`] with an element-throughput line (elements per iteration).
+pub fn bench_throughput<F: FnMut()>(name: &str, elements: u64, f: F) -> Measurement {
+    let m = bench(name, f);
+    let elems_per_sec = elements as f64 * m.per_second();
+    println!("bench: {name:<44} {:>14.3} Melem/s", elems_per_sec / 1e6);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        std::env::set_var("NORA_BENCH_MS", "5");
+        let mut acc = 0u64;
+        let m = bench("noop_accumulate", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(m.iters >= 1);
+        assert!(m.ns_per_iter >= 0.0);
+        assert!(acc > 0);
+    }
+
+    #[test]
+    fn throughput_is_finite() {
+        std::env::set_var("NORA_BENCH_MS", "5");
+        let m = bench_throughput("tiny_vec_sum", 128, || {
+            let v: f32 = (0..128).map(|i| i as f32).sum();
+            std::hint::black_box(v);
+        });
+        assert!(m.per_second().is_finite());
+    }
+}

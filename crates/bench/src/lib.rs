@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use nora_eval::runner::{prepare_built, PreparedModel};
 use nora_nn::zoo::ZooSpec;
 use std::path::PathBuf;

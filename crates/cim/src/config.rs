@@ -1,5 +1,7 @@
 //! Tile configuration.
 
+use crate::health::FaultTolerance;
+use nora_device::FaultPlan;
 use crate::management::{BoundManagement, NoiseManagement};
 use nora_device::{NvmModel, PcmModel, ReramModel};
 
@@ -143,6 +145,13 @@ pub struct TileConfig {
     pub noise_management: NoiseManagement,
     /// ADC saturation recovery policy (the paper's "bound management").
     pub bound_management: BoundManagement,
+    /// Hard-fault injection plan (`None` = pristine arrays). Defect maps are
+    /// drawn per *physical* tile id, so they persist across re-programming
+    /// and differ on spare tiles.
+    pub fault_plan: Option<FaultPlan>,
+    /// ABFT detection + retry/remap/fallback policy.
+    /// [`FaultTolerance::off`] keeps the legacy path bit-identical.
+    pub fault_tolerance: FaultTolerance,
 }
 
 impl TileConfig {
@@ -175,6 +184,8 @@ impl TileConfig {
             write_verify_iters: 1,
             noise_management: NoiseManagement::AbsMax,
             bound_management: BoundManagement::Iterative { max_rounds: 3 },
+            fault_plan: None,
+            fault_tolerance: FaultTolerance::off(),
         }
     }
 
@@ -202,6 +213,8 @@ impl TileConfig {
             write_verify_iters: 1,
             noise_management: NoiseManagement::AbsMax,
             bound_management: BoundManagement::None,
+            fault_plan: None,
+            fault_tolerance: FaultTolerance::off(),
         }
     }
 
@@ -226,6 +239,18 @@ impl TileConfig {
         assert!(rows > 0 && cols > 0, "tile size must be positive");
         self.tile_rows = rows;
         self.tile_cols = cols;
+        self
+    }
+
+    /// Returns this config with a hard-fault injection plan installed.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Returns this config with the given detection/recovery policy.
+    pub fn with_fault_tolerance(mut self, policy: FaultTolerance) -> Self {
+        self.fault_tolerance = policy;
         self
     }
 
@@ -296,6 +321,13 @@ impl TileConfig {
         }
         if self.write_verify_iters == 0 {
             return Err("write_verify_iters must be at least 1".into());
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+        }
+        self.fault_tolerance.validate()?;
+        if self.fault_tolerance.abft && self.tile_cols < 2 {
+            return Err("ABFT needs at least 2 tile columns (one is the checksum)".into());
         }
         Ok(())
     }
@@ -375,5 +407,27 @@ mod tests {
     fn with_tile_size_overrides() {
         let c = TileConfig::paper_default().with_tile_size(64, 32);
         assert_eq!((c.tile_rows, c.tile_cols), (64, 32));
+    }
+
+    #[test]
+    fn fault_fields_default_off_and_validate() {
+        let c = TileConfig::paper_default();
+        assert!(c.fault_plan.is_none());
+        assert!(!c.fault_tolerance.is_active());
+
+        let mut plan = FaultPlan::none();
+        plan.dead_col = 2.0; // invalid rate
+        let bad = TileConfig::paper_default().with_fault_plan(plan);
+        assert!(bad.validate().is_err());
+
+        let protected = TileConfig::paper_default()
+            .with_fault_plan(FaultPlan::uniform(0.01, 0.0, 7))
+            .with_fault_tolerance(FaultTolerance::protected());
+        assert!(protected.validate().is_ok());
+
+        let tiny = TileConfig::ideal()
+            .with_tile_size(4, 1)
+            .with_fault_tolerance(FaultTolerance::protected());
+        assert!(tiny.validate().is_err(), "no room for a checksum column");
     }
 }

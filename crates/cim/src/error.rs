@@ -1,0 +1,133 @@
+//! Error taxonomy of the analog CIM stack.
+//!
+//! Construction and programming of analog tiles can fail for reasons that a
+//! deployment pipeline must handle gracefully — an invalid configuration, a
+//! weight block that does not fit the physical array, or a programming
+//! sequence aborted by a hard fault. [`CimError`] enumerates them;
+//! `try_`-prefixed constructors return `Result<_, CimError>` while the
+//! original infallible constructors remain as panicking wrappers.
+
+use std::fmt;
+
+/// Everything that can go wrong when building or programming analog tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CimError {
+    /// The [`crate::TileConfig`] failed validation.
+    InvalidConfig(String),
+    /// An empty weight matrix was mapped onto a layer.
+    EmptyWeights,
+    /// The weight block (plus any ABFT checksum columns) does not fit the
+    /// configured physical tile.
+    OversizedBlock {
+        /// Weight-block rows.
+        rows: usize,
+        /// Weight-block columns (including checksum columns).
+        cols: usize,
+        /// Physical tile rows.
+        tile_rows: usize,
+        /// Physical tile columns.
+        tile_cols: usize,
+    },
+    /// The smoothing vector length does not match the input dimension.
+    SmoothingLength {
+        /// Expected length (`d_in` / block rows).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A smoothing factor was non-positive or non-finite.
+    SmoothingNotPositive,
+    /// The bias vector length does not match the output dimension.
+    BiasLength {
+        /// Expected length (`d_out`).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Programming the tile failed (a hard programming fault drawn from the
+    /// configured [`nora_device::FaultPlan`]), after exhausting whatever
+    /// retry/spare budget the caller's policy allowed.
+    ProgrammingFailed {
+        /// Physical tile that refused to program.
+        physical_id: u64,
+        /// Last attempt number tried (0-based).
+        attempt: u32,
+    },
+}
+
+impl fmt::Display for CimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CimError::InvalidConfig(e) => write!(f, "invalid tile config: {e}"),
+            CimError::EmptyWeights => write!(f, "empty weight matrix"),
+            CimError::OversizedBlock {
+                rows,
+                cols,
+                tile_rows,
+                tile_cols,
+            } => write!(
+                f,
+                "weight block {rows}x{cols} exceeds tile size {tile_rows}x{tile_cols}"
+            ),
+            CimError::SmoothingLength { expected, got } => write!(
+                f,
+                "smoothing vector length mismatch: expected {expected}, got {got}"
+            ),
+            CimError::SmoothingNotPositive => {
+                write!(f, "smoothing factors must be finite and positive")
+            }
+            CimError::BiasLength { expected, got } => {
+                write!(f, "bias length mismatch: expected {expected}, got {got}")
+            }
+            CimError::ProgrammingFailed {
+                physical_id,
+                attempt,
+            } => write!(
+                f,
+                "programming physical tile {physical_id} failed (attempt {attempt})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_legacy_panic_substrings() {
+        // The panicking wrappers format these errors directly; downstream
+        // `#[should_panic(expected = ...)]` tests match on substrings.
+        let oversized = CimError::OversizedBlock {
+            rows: 600,
+            cols: 10,
+            tile_rows: 512,
+            tile_cols: 512,
+        };
+        assert!(oversized.to_string().contains("exceeds tile size"));
+        assert!(CimError::SmoothingLength { expected: 4, got: 2 }
+            .to_string()
+            .contains("smoothing vector length"));
+        assert!(CimError::SmoothingNotPositive
+            .to_string()
+            .contains("finite and positive"));
+        assert!(CimError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid tile config"));
+        assert!(CimError::EmptyWeights.to_string().contains("empty weight matrix"));
+        assert!(CimError::BiasLength { expected: 4, got: 3 }
+            .to_string()
+            .contains("bias length"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CimError::ProgrammingFailed {
+            physical_id: 3,
+            attempt: 2,
+        });
+        assert!(e.to_string().contains("physical tile 3"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Fault-tolerance policy, tile health tracking, and degradation events.
+//!
+//! Detection is ABFT-style: each tile carries one extra *checksum column*
+//! whose weights are the row-sums of the data columns, so in rescaled output
+//! units `Σ_j y_ij = y_i,checksum` holds up to noise. A hard fault (stuck
+//! cell, dead line, stuck ADC code) breaks the identity and the digital side
+//! flags the tile without knowing the correct answer. Recovery escalates:
+//! re-program the same physical tile (write–verify and read-averaging
+//! doubled per attempt), then remap the weight block to a spare physical
+//! tile (fresh defect draw), then fall back to exact digital execution of
+//! that block.
+
+/// Knobs of the detection + recovery policy. [`FaultTolerance::off`] (the
+/// default) disables everything and leaves the legacy execution path
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTolerance {
+    /// Append an ABFT checksum column per tile and verify every forward.
+    pub abft: bool,
+    /// Detection threshold in units of the predicted residual noise std.
+    pub abft_threshold: f32,
+    /// Additional tolerance as a fraction of the summed output magnitude
+    /// (absorbs IR-drop droop, S-shape mismatch, and DAC quantization,
+    /// which are not in the stochastic noise budget).
+    pub abft_rel_tol: f32,
+    /// Fraction of a batch's live samples that must violate the checksum
+    /// before the tile is flagged (single-sample glitches are ignored).
+    pub flag_fraction: f32,
+    /// Re-programming attempts on the *same* physical tile per incident.
+    pub max_reprogram_retries: u32,
+    /// Spare physical tiles available per layer for remapping.
+    pub spare_tiles: u32,
+    /// After retries and spares are exhausted, execute the block exactly in
+    /// digital instead of returning corrupted partial sums.
+    pub digital_fallback: bool,
+}
+
+impl FaultTolerance {
+    /// Everything disabled — the legacy, bit-identical execution path.
+    pub fn off() -> Self {
+        Self {
+            abft: false,
+            abft_threshold: 0.0,
+            abft_rel_tol: 0.0,
+            flag_fraction: 0.0,
+            max_reprogram_retries: 0,
+            spare_tiles: 0,
+            digital_fallback: false,
+        }
+    }
+
+    /// The default protected configuration: ABFT detection at 6σ plus 1%
+    /// relative tolerance, 2 re-programming retries, 2 spare tiles per
+    /// layer, digital fallback on. (Under the paper's Table II noise the 6σ
+    /// term alone leaves ≈2× headroom over healthy residuals; the relative
+    /// term absorbs IR-drop droop on large-magnitude batches.)
+    pub fn protected() -> Self {
+        Self {
+            abft: true,
+            abft_threshold: 6.0,
+            abft_rel_tol: 0.01,
+            // At 6σ a single violating sample is already conclusive
+            // (healthy residuals sit near 3σ of the budget); raise this to
+            // demand a batch fraction instead.
+            flag_fraction: 0.0,
+            max_reprogram_retries: 2,
+            spare_tiles: 2,
+            digital_fallback: true,
+        }
+    }
+
+    /// Whether runtime detection (and therefore recovery) is active.
+    pub fn is_active(&self) -> bool {
+        self.abft
+    }
+
+    /// Validates the policy's numeric fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.abft {
+            if !self.abft_threshold.is_finite() || self.abft_threshold <= 0.0 {
+                return Err("abft_threshold must be finite and positive".into());
+            }
+            if !self.abft_rel_tol.is_finite() || self.abft_rel_tol < 0.0 {
+                return Err("abft_rel_tol must be finite and >= 0".into());
+            }
+            if !(0.0..=1.0).contains(&self.flag_fraction) || self.flag_fraction.is_nan() {
+                return Err("flag_fraction must be in [0, 1]".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// Physical placement of a tile: which physical array it occupies and which
+/// programming attempt this is.
+///
+/// Hard faults are a property of the *physical* tile — the same
+/// `physical_id` always draws the same defect map from a
+/// [`nora_device::FaultPlan`], so re-programming cannot cure stuck cells but
+/// remapping to a spare (a new `physical_id`) can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileSite {
+    /// Identity of the physical crossbar array.
+    pub physical_id: u64,
+    /// 0-based programming attempt on that array.
+    pub programming_attempt: u32,
+}
+
+/// Lifecycle state of one tile slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// No checksum violations observed.
+    #[default]
+    Healthy,
+    /// Flagged at least once; currently serving after recovery.
+    Suspect,
+    /// Retries and spares exhausted; serving via digital fallback or known
+    /// to emit corrupted partial sums.
+    Condemned,
+}
+
+/// Per-slot health tracker driving the bounded retry/remap policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileHealth {
+    /// Current lifecycle state.
+    pub state: HealthState,
+    /// Checksum-violation incidents observed.
+    pub flags: u32,
+    /// Total programming attempts consumed (monotone across incidents, so a
+    /// deterministically failing attempt number is never retried verbatim).
+    pub programming_attempts: u32,
+    /// Remaps to spare tiles performed.
+    pub remaps: u32,
+}
+
+/// What happened to a tile slot, in occurrence order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TileEventKind {
+    /// The ABFT check (or silent-tile detector) flagged the slot.
+    Flagged {
+        /// Live samples violating the checksum in the flagged batch.
+        violations: u64,
+        /// Live samples checked in that batch.
+        rows: u64,
+        /// The silent-tile detector (not the checksum) fired.
+        silent: bool,
+    },
+    /// A programming attempt failed outright.
+    ProgrammingFailed {
+        /// Attempt number (0-based, monotone per slot).
+        attempt: u32,
+    },
+    /// Re-programming the same physical tile brought it back clean.
+    Reprogrammed {
+        /// Attempt number that succeeded.
+        attempt: u32,
+    },
+    /// The weight block was remapped to a spare physical tile.
+    Remapped {
+        /// Physical id of the spare now serving the block.
+        spare_id: u64,
+    },
+    /// The block is now executed exactly in digital.
+    DigitalFallback,
+    /// Recovery was not permitted/possible; corrupted output was passed on.
+    Unrecovered,
+}
+
+/// A recorded degradation event on one tile slot of a layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileEvent {
+    /// Index of the tile slot in the layer's grid (row-major).
+    pub grid_index: usize,
+    /// Physical tile involved at the time of the event.
+    pub physical_id: u64,
+    /// What happened.
+    pub kind: TileEventKind,
+}
+
+/// Result of the ABFT check over one forward batch of a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AbftReport {
+    /// Whether a checksum column was present and checked.
+    pub enabled: bool,
+    /// Samples with non-zero input actually checked.
+    pub rows_checked: u64,
+    /// Samples whose checksum residual exceeded the threshold.
+    pub violations: u64,
+    /// Largest `|residual| / threshold` ratio observed (≤ 1 when clean).
+    pub worst_ratio: f32,
+    /// The silent-tile detector fired: the tile should produce output but
+    /// every raw ADC code stayed at the noise floor (an all-dead tile has a
+    /// *consistent* checksum of zero, which the residual test cannot see).
+    pub silent: bool,
+    /// Verdict under the layer's [`FaultTolerance`] policy.
+    pub suspicious: bool,
+}
+
+impl TileHealth {
+    /// Records a checksum flag and moves a healthy slot to suspect.
+    pub fn record_flag(&mut self) {
+        self.flags += 1;
+        if self.state == HealthState::Healthy {
+            self.state = HealthState::Suspect;
+        }
+    }
+
+    /// Consumes the next monotone programming-attempt number.
+    pub fn next_attempt(&mut self) -> u32 {
+        let n = self.programming_attempts;
+        self.programming_attempts += 1;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_policy_is_default_and_inactive() {
+        assert_eq!(FaultTolerance::default(), FaultTolerance::off());
+        assert!(!FaultTolerance::off().is_active());
+        assert!(FaultTolerance::protected().is_active());
+        assert!(FaultTolerance::off().validate().is_ok());
+        assert!(FaultTolerance::protected().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_policy() {
+        let mut p = FaultTolerance::protected();
+        p.abft_threshold = 0.0;
+        assert!(p.validate().is_err());
+        let mut p2 = FaultTolerance::protected();
+        p2.flag_fraction = 1.5;
+        assert!(p2.validate().is_err());
+        // Inactive policies skip the numeric checks entirely.
+        let mut p3 = FaultTolerance::off();
+        p3.flag_fraction = 9.0;
+        assert!(p3.validate().is_ok());
+    }
+
+    #[test]
+    fn health_flags_and_attempts_progress() {
+        let mut h = TileHealth::default();
+        assert_eq!(h.state, HealthState::Healthy);
+        h.record_flag();
+        assert_eq!(h.state, HealthState::Suspect);
+        assert_eq!(h.flags, 1);
+        assert_eq!(h.next_attempt(), 0);
+        assert_eq!(h.next_attempt(), 1);
+        assert_eq!(h.programming_attempts, 2);
+    }
+}

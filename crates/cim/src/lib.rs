@@ -56,12 +56,21 @@ pub mod noise;
 pub mod nonlinearity;
 
 mod config;
+mod error;
+mod health;
 mod linear;
 mod tile;
 
 pub use config::{InputEncoding, Resolution, TileConfig, WeightSource};
 pub use energy::{AreaModel, EnergyModel, EnergyReport};
+pub use error::CimError;
+pub use health::{
+    AbftReport, FaultTolerance, HealthState, TileEvent, TileEventKind, TileHealth, TileSite,
+};
 pub use linear::AnalogLinear;
+// Re-exported so downstream crates can build a [`TileConfig`] fault plan
+// without depending on `nora-device` directly.
+pub use nora_device::{CellFault, FaultPlan, TileFaultMap};
 pub use management::{BoundManagement, NoiseManagement};
 pub use noise::NonIdeality;
 pub use tile::{AnalogTile, DriftCompensation, ForwardStats};

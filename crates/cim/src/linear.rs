@@ -1,9 +1,45 @@
-//! Tiled analog linear layer.
+//! Tiled analog linear layer with optional detection + recovery.
 
 use crate::config::TileConfig;
+use crate::error::CimError;
+use crate::health::{AbftReport, HealthState, TileEvent, TileEventKind, TileHealth, TileSite};
 use crate::tile::{AnalogTile, DriftCompensation, ForwardStats};
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
+
+/// Stream tag for re-programming rng derivation ("RP").
+const REPROGRAM_STREAM: u64 = 0x5250_0000;
+
+/// How one grid slot currently executes its weight block.
+#[derive(Debug, Clone)]
+enum TileSlot {
+    /// Served by an analog tile.
+    Analog(Box<AnalogTile>),
+    /// Served by exact digital GEMV of the raw block (graceful fallback).
+    Digital(Matrix),
+}
+
+/// One slot of the layer's tile grid.
+#[derive(Debug, Clone)]
+struct TileEntry {
+    r0: usize,
+    c0: usize,
+    slot: TileSlot,
+    health: TileHealth,
+    /// Physical array currently serving this slot (changes on remap).
+    physical_id: u64,
+    /// Pristine rng state for (re-)programming this slot deterministically.
+    rng_template: Rng,
+}
+
+impl TileEntry {
+    fn rows(&self) -> usize {
+        match &self.slot {
+            TileSlot::Analog(t) => t.rows(),
+            TileSlot::Digital(w) => w.rows(),
+        }
+    }
+}
 
 /// A linear layer (`y = x · W + b`) executed on a grid of analog tiles.
 ///
@@ -16,6 +52,13 @@ use nora_tensor::Matrix;
 ///
 /// An optional per-input-channel smoothing vector `s` (length `d_in`)
 /// implements the NORA rescaling; each tile receives its row-slice of `s`.
+///
+/// With an active [`crate::FaultTolerance`] policy the layer additionally
+/// verifies every tile's ABFT checksum per forward batch and runs a bounded
+/// recovery ladder when a tile is flagged: re-program the same physical
+/// array (escalating write–verify and read averaging), then remap the block
+/// to a spare array, then fall back to exact digital execution. Every step
+/// is recorded as a [`TileEvent`].
 ///
 /// # Example
 ///
@@ -35,9 +78,40 @@ pub struct AnalogLinear {
     d_in: usize,
     d_out: usize,
     bias: Option<Vec<f32>>,
-    /// `(row_offset, col_offset, tile)` in row-major grid order.
-    tiles: Vec<(usize, usize, AnalogTile)>,
+    entries: Vec<TileEntry>,
     smoothing: Option<Vec<f32>>,
+    config: TileConfig,
+    /// Raw weight blocks per entry, retained only when recovery is active
+    /// (needed for re-programming, remapping, and digital fallback).
+    blocks: Vec<Matrix>,
+    events: Vec<TileEvent>,
+    spares_used: u32,
+    next_spare_id: u64,
+}
+
+/// Escalated programming settings for retry attempt `tries` (0 = first try,
+/// untouched): write–verify iterations and read averaging double per retry.
+fn escalate(config: &TileConfig, tries: u32) -> TileConfig {
+    if tries == 0 {
+        return config.clone();
+    }
+    let mut c = config.clone();
+    let f = 1u32 << tries.min(4);
+    c.write_verify_iters = c.write_verify_iters.saturating_mul(f).min(64);
+    c.read_averaging = c.read_averaging.saturating_mul(f).min(16);
+    c
+}
+
+/// Rng for programming attempt `attempt` of a slot. Attempt 0 uses the
+/// pristine template so the no-fault path stays bit-identical to the legacy
+/// construction; retries fork decorrelated streams.
+fn attempt_rng(template: &Rng, attempt: u32) -> Rng {
+    if attempt == 0 {
+        template.clone()
+    } else {
+        let mut r = template.clone();
+        r.fork(REPROGRAM_STREAM ^ u64::from(attempt))
+    }
 }
 
 impl AnalogLinear {
@@ -68,39 +142,134 @@ impl AnalogLinear {
         config: TileConfig,
         seed: u64,
     ) -> Self {
-        assert!(!weights.is_empty(), "empty weight matrix");
+        Self::try_with_smoothing(weights, bias, smoothing, config, seed)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AnalogLinear::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalogLinear::try_with_smoothing`].
+    pub fn try_new(
+        weights: Matrix,
+        bias: Option<Vec<f32>>,
+        config: TileConfig,
+        seed: u64,
+    ) -> Result<Self, CimError> {
+        Self::try_with_smoothing(weights, bias, None, config, seed)
+    }
+
+    /// Fallible variant of [`AnalogLinear::with_smoothing`].
+    ///
+    /// When the config carries a [`nora_device::FaultPlan`] with programming
+    /// failures, construction already runs the recovery ladder per tile:
+    /// bounded retries on the same physical array, remap to spare arrays,
+    /// then digital fallback (policy permitting) — each recorded in
+    /// [`AnalogLinear::events`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CimError::EmptyWeights`] — `weights` has no elements.
+    /// * [`CimError::BiasLength`] / [`CimError::SmoothingLength`] /
+    ///   [`CimError::SmoothingNotPositive`] — malformed vectors.
+    /// * [`CimError::InvalidConfig`] — the config fails validation.
+    /// * [`CimError::ProgrammingFailed`] — a tile could not be programmed
+    ///   and the policy allowed no fallback.
+    pub fn try_with_smoothing(
+        weights: Matrix,
+        bias: Option<Vec<f32>>,
+        smoothing: Option<&[f32]>,
+        config: TileConfig,
+        seed: u64,
+    ) -> Result<Self, CimError> {
+        if weights.is_empty() {
+            return Err(CimError::EmptyWeights);
+        }
+        config.validate().map_err(CimError::InvalidConfig)?;
         let (d_in, d_out) = weights.shape();
         if let Some(b) = &bias {
-            assert_eq!(b.len(), d_out, "bias length mismatch");
+            if b.len() != d_out {
+                return Err(CimError::BiasLength {
+                    expected: d_out,
+                    got: b.len(),
+                });
+            }
         }
         if let Some(s) = smoothing {
-            assert_eq!(s.len(), d_in, "smoothing vector length mismatch");
+            if s.len() != d_in {
+                return Err(CimError::SmoothingLength {
+                    expected: d_in,
+                    got: s.len(),
+                });
+            }
         }
         let mut root_rng = Rng::seed_from(seed ^ 0x6e6f_7261); // "nora"
-        let mut tiles = Vec::new();
+        let retain = config.fault_tolerance.is_active();
+        let mut entries = Vec::new();
+        let mut blocks = Vec::new();
+        let mut events = Vec::new();
         let tr = config.tile_rows;
-        let tc = config.tile_cols;
+        // With ABFT on, one physical column per tile holds the checksum.
+        let tc = config.tile_cols - usize::from(config.fault_tolerance.abft);
+        // First pass: partition and collect templates so spare ids start
+        // after the grid.
+        let mut grid = Vec::new();
         let mut r0 = 0;
         while r0 < d_in {
             let r1 = (r0 + tr).min(d_in);
             let mut c0 = 0;
             while c0 < d_out {
                 let c1 = (c0 + tc).min(d_out);
-                let block = weights.submatrix(r0, r1, c0, c1);
-                let s_slice = smoothing.map(|s| &s[r0..r1]);
                 let tile_rng = root_rng.fork((r0 as u64) << 32 | c0 as u64);
-                tiles.push((r0, c0, AnalogTile::new(block, s_slice, config.clone(), tile_rng)));
+                grid.push((r0, r1, c0, c1, tile_rng));
                 c0 = c1;
             }
             r0 = r1;
         }
-        Self {
+        let mut next_spare_id = grid.len() as u64;
+        let mut spares_used = 0u32;
+        for (grid_index, (r0, r1, c0, c1, rng_template)) in grid.into_iter().enumerate() {
+            let block = weights.submatrix(r0, r1, c0, c1);
+            let s_slice = smoothing.map(|s| &s[r0..r1]);
+            let mut health = TileHealth::default();
+            let mut physical_id = grid_index as u64;
+            let slot = program_slot(
+                &block,
+                s_slice,
+                &config,
+                &rng_template,
+                &mut health,
+                &mut physical_id,
+                &mut next_spare_id,
+                &mut spares_used,
+                &mut events,
+                grid_index,
+            )?;
+            entries.push(TileEntry {
+                r0,
+                c0,
+                slot,
+                health,
+                physical_id,
+                rng_template,
+            });
+            if retain {
+                blocks.push(block);
+            }
+        }
+        Ok(Self {
             d_in,
             d_out,
             bias,
-            tiles,
+            entries,
             smoothing: smoothing.map(|s| s.to_vec()),
-        }
+            config,
+            blocks,
+            events,
+            spares_used,
+            next_spare_id,
+        })
     }
 
     /// Input dimension.
@@ -115,7 +284,7 @@ impl AnalogLinear {
 
     /// Number of tiles in the grid.
     pub fn tile_count(&self) -> usize {
-        self.tiles.len()
+        self.entries.len()
     }
 
     /// The smoothing vector installed at construction, if any.
@@ -123,8 +292,36 @@ impl AnalogLinear {
         self.smoothing.as_deref()
     }
 
+    /// Degradation events recorded so far, in occurrence order.
+    pub fn events(&self) -> &[TileEvent] {
+        &self.events
+    }
+
+    /// Spare physical tiles consumed by remapping.
+    pub fn spares_used(&self) -> u32 {
+        self.spares_used
+    }
+
+    /// Health trackers of all tile slots, in grid order.
+    pub fn tile_health(&self) -> Vec<TileHealth> {
+        self.entries.iter().map(|e| e.health).collect()
+    }
+
+    /// Number of slots currently served by exact digital fallback.
+    pub fn digital_fallback_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.slot, TileSlot::Digital(_)))
+            .count()
+    }
+
     /// Executes the layer on a batch: `x` is `batch × d_in`, result is
     /// `batch × d_out`.
+    ///
+    /// With an active fault-tolerance policy, flagged tiles are recovered
+    /// (re-program → remap → digital fallback) *within* this call: the
+    /// returned activations come from the recovered slots, not the corrupted
+    /// ones.
     ///
     /// # Panics
     ///
@@ -132,13 +329,33 @@ impl AnalogLinear {
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(x.cols(), self.d_in, "input width mismatch");
         let batch = x.rows();
+        let recovery = self.config.fault_tolerance.is_active();
         let mut y = Matrix::zeros(batch, self.d_out);
-        for (r0, c0, tile) in &mut self.tiles {
-            let x_slice = x.submatrix(0, batch, *r0, *r0 + tile.rows());
-            let part = tile.forward(&x_slice);
+        for idx in 0..self.entries.len() {
+            let (r0, c0, rows) = {
+                let e = &self.entries[idx];
+                (e.r0, e.c0, e.rows())
+            };
+            let x_slice = x.submatrix(0, batch, r0, r0 + rows);
+            let outcome = match &mut self.entries[idx].slot {
+                TileSlot::Digital(w) => (x_slice.matmul(w), None),
+                TileSlot::Analog(tile) => {
+                    if recovery {
+                        let (part, report) = tile.forward_checked(&x_slice);
+                        let bad = report.suspicious.then_some(report);
+                        (part, bad)
+                    } else {
+                        (tile.forward(&x_slice), None)
+                    }
+                }
+            };
+            let part = match outcome {
+                (part, Some(report)) => self.recover_entry(idx, &x_slice, part, report),
+                (part, None) => part,
+            };
             // Digital accumulation of tile partial sums.
             for i in 0..batch {
-                let dst = &mut y.row_mut(i)[*c0..*c0 + part.cols()];
+                let dst = &mut y.row_mut(i)[c0..c0 + part.cols()];
                 for (d, &p) in dst.iter_mut().zip(part.row(i)) {
                     *d += p;
                 }
@@ -154,37 +371,264 @@ impl AnalogLinear {
         y
     }
 
-    /// Aggregated forward statistics across all tiles.
+    /// Runs the recovery ladder for a flagged slot and returns the partial
+    /// sums to use for the current batch. `faulty_part` is returned
+    /// unchanged only when every recovery avenue is exhausted and digital
+    /// fallback is disabled.
+    fn recover_entry(
+        &mut self,
+        idx: usize,
+        x_slice: &Matrix,
+        faulty_part: Matrix,
+        report: AbftReport,
+    ) -> Matrix {
+        let policy = self.config.fault_tolerance.clone();
+        let entry = &mut self.entries[idx];
+        entry.health.record_flag();
+        self.events.push(TileEvent {
+            grid_index: idx,
+            physical_id: entry.physical_id,
+            kind: TileEventKind::Flagged {
+                violations: report.violations,
+                rows: report.rows_checked,
+                silent: report.silent,
+            },
+        });
+        let block = self.blocks[idx].clone();
+        let s_slice = self
+            .smoothing
+            .as_ref()
+            .map(|s| s[entry.r0..entry.r0 + block.rows()].to_vec());
+
+        let mut tries_on_current = 0u32;
+        loop {
+            // Exhausted retries on this array: move to a spare, then give up.
+            if tries_on_current > policy.max_reprogram_retries {
+                if self.spares_used < policy.spare_tiles {
+                    self.spares_used += 1;
+                    entry.physical_id = self.next_spare_id;
+                    self.next_spare_id += 1;
+                    entry.health.remaps += 1;
+                    tries_on_current = 0;
+                    continue;
+                }
+                break;
+            }
+            let remapped = entry.health.remaps > 0;
+            let attempt = entry.health.next_attempt();
+            let cfg = escalate(&self.config, tries_on_current);
+            tries_on_current += 1;
+            let site = TileSite {
+                physical_id: entry.physical_id,
+                programming_attempt: attempt,
+            };
+            match AnalogTile::try_new_at(
+                block.clone(),
+                s_slice.as_deref(),
+                cfg,
+                attempt_rng(&entry.rng_template, attempt),
+                site,
+            ) {
+                Ok(mut tile) => {
+                    // Verify with the deterministic probe first (a workload
+                    // batch with near-zero activations would pass any tile,
+                    // dead ones included), then re-run the triggering batch.
+                    if !tile.self_test().suspicious {
+                        let (part, rep) = tile.forward_checked(x_slice);
+                        if !rep.suspicious {
+                            self.events.push(TileEvent {
+                                grid_index: idx,
+                                physical_id: entry.physical_id,
+                                kind: if remapped {
+                                    TileEventKind::Remapped {
+                                        spare_id: entry.physical_id,
+                                    }
+                                } else {
+                                    TileEventKind::Reprogrammed { attempt }
+                                },
+                            });
+                            entry.slot = TileSlot::Analog(Box::new(tile));
+                            return part;
+                        }
+                    }
+                    // Still flagged — same array keeps its stuck cells.
+                }
+                Err(CimError::ProgrammingFailed { .. }) => {
+                    self.events.push(TileEvent {
+                        grid_index: idx,
+                        physical_id: entry.physical_id,
+                        kind: TileEventKind::ProgrammingFailed { attempt },
+                    });
+                }
+                // Config/shape errors cannot appear here: the layer already
+                // validated both at construction.
+                Err(_) => break,
+            }
+        }
+        entry.health.state = HealthState::Condemned;
+        if policy.digital_fallback {
+            self.events.push(TileEvent {
+                grid_index: idx,
+                physical_id: entry.physical_id,
+                kind: TileEventKind::DigitalFallback,
+            });
+            let part = x_slice.matmul(&block);
+            entry.slot = TileSlot::Digital(block);
+            part
+        } else {
+            self.events.push(TileEvent {
+                grid_index: idx,
+                physical_id: entry.physical_id,
+                kind: TileEventKind::Unrecovered,
+            });
+            faulty_part
+        }
+    }
+
+    /// Aggregated forward statistics across all analog tiles.
     pub fn stats(&self) -> ForwardStats {
         let mut total = ForwardStats::default();
-        for (_, _, tile) in &self.tiles {
-            total.merge(tile.stats());
+        for e in &self.entries {
+            if let TileSlot::Analog(tile) = &e.slot {
+                total.merge(tile.stats());
+            }
         }
         total
     }
 
-    /// Resets the statistics of every tile.
+    /// Resets the statistics of every analog tile.
     pub fn reset_stats(&mut self) {
-        for (_, _, tile) in &mut self.tiles {
-            tile.reset_stats();
+        for e in &mut self.entries {
+            if let TileSlot::Analog(tile) = &mut e.slot {
+                tile.reset_stats();
+            }
         }
     }
 
-    /// Applies conductance drift at `t_seconds` to every tile.
+    /// Applies conductance drift at `t_seconds` to every analog tile
+    /// (digital-fallback slots are unaffected by definition).
     pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
-        for (_, _, tile) in &mut self.tiles {
-            tile.apply_drift(t_seconds, compensation);
+        for e in &mut self.entries {
+            if let TileSlot::Analog(tile) = &mut e.slot {
+                tile.apply_drift(t_seconds, compensation);
+            }
         }
     }
 
-    /// First-order energy/latency estimate summed over all tiles (see
+    /// First-order energy/latency estimate summed over all analog tiles (see
     /// [`crate::energy`]).
     pub fn energy(&self, model: &crate::energy::EnergyModel) -> crate::energy::EnergyReport {
         let mut total = crate::energy::EnergyReport::default();
-        for (_, _, tile) in &self.tiles {
-            total.merge(&tile.energy(model));
+        for e in &self.entries {
+            if let TileSlot::Analog(tile) = &e.slot {
+                total.merge(&tile.energy(model));
+            }
         }
         total
+    }
+}
+
+/// Construction-time programming ladder for one slot (free function so the
+/// constructor can call it before `Self` exists). Mirrors the runtime ladder
+/// in [`AnalogLinear::recover_entry`] minus the forward verification.
+#[allow(clippy::too_many_arguments)]
+fn program_slot(
+    block: &Matrix,
+    s_slice: Option<&[f32]>,
+    config: &TileConfig,
+    rng_template: &Rng,
+    health: &mut TileHealth,
+    physical_id: &mut u64,
+    next_spare_id: &mut u64,
+    spares_used: &mut u32,
+    events: &mut Vec<TileEvent>,
+    grid_index: usize,
+) -> Result<TileSlot, CimError> {
+    let policy = &config.fault_tolerance;
+    let mut tries_on_current = 0u32;
+    loop {
+        if tries_on_current > policy.max_reprogram_retries {
+            if *spares_used < policy.spare_tiles {
+                *spares_used += 1;
+                *physical_id = *next_spare_id;
+                *next_spare_id += 1;
+                health.remaps += 1;
+                tries_on_current = 0;
+                continue;
+            }
+            if policy.digital_fallback {
+                health.state = HealthState::Condemned;
+                events.push(TileEvent {
+                    grid_index,
+                    physical_id: *physical_id,
+                    kind: TileEventKind::DigitalFallback,
+                });
+                return Ok(TileSlot::Digital(block.clone()));
+            }
+            return Err(CimError::ProgrammingFailed {
+                physical_id: *physical_id,
+                attempt: health.programming_attempts.saturating_sub(1),
+            });
+        }
+        let remapped = health.remaps > 0;
+        let attempt = health.next_attempt();
+        let cfg = escalate(config, tries_on_current);
+        tries_on_current += 1;
+        let site = TileSite {
+            physical_id: *physical_id,
+            programming_attempt: attempt,
+        };
+        match AnalogTile::try_new_at(
+            block.clone(),
+            s_slice,
+            cfg,
+            attempt_rng(rng_template, attempt),
+            site,
+        ) {
+            Ok(mut tile) => {
+                // Built-in self-test: a tile that programs without error can
+                // still be dead or riddled with stuck cells — probe it before
+                // accepting, and keep climbing the ladder if it fails.
+                if policy.is_active() {
+                    let st = tile.self_test();
+                    if st.suspicious {
+                        health.record_flag();
+                        events.push(TileEvent {
+                            grid_index,
+                            physical_id: *physical_id,
+                            kind: TileEventKind::Flagged {
+                                violations: st.violations,
+                                rows: st.rows_checked,
+                                silent: st.silent,
+                            },
+                        });
+                        continue;
+                    }
+                }
+                if attempt > 0 {
+                    events.push(TileEvent {
+                        grid_index,
+                        physical_id: *physical_id,
+                        kind: if remapped {
+                            TileEventKind::Remapped {
+                                spare_id: *physical_id,
+                            }
+                        } else {
+                            TileEventKind::Reprogrammed { attempt }
+                        },
+                    });
+                }
+                return Ok(TileSlot::Analog(Box::new(tile)));
+            }
+            Err(CimError::ProgrammingFailed { .. }) => {
+                events.push(TileEvent {
+                    grid_index,
+                    physical_id: *physical_id,
+                    kind: TileEventKind::ProgrammingFailed { attempt },
+                });
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -314,5 +758,195 @@ mod tests {
     fn wrong_input_width_panics() {
         let mut layer = AnalogLinear::new(Matrix::zeros(4, 4), None, TileConfig::ideal(), 0);
         layer.forward(&Matrix::zeros(1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight matrix")]
+    fn empty_weights_panic() {
+        AnalogLinear::new(Matrix::zeros(0, 0), None, TileConfig::ideal(), 0);
+    }
+
+    // ---- fault tolerance: detection + recovery ----------------------
+
+    use crate::health::{FaultTolerance, TileEventKind};
+    use nora_device::FaultPlan;
+
+    fn faulty_cfg(plan: FaultPlan) -> TileConfig {
+        let mut cfg = TileConfig::paper_default().with_tile_size(32, 33);
+        cfg.fault_plan = Some(plan);
+        cfg.fault_tolerance = FaultTolerance::protected();
+        cfg
+    }
+
+    fn setup_64(seed: u64) -> (Matrix, Matrix) {
+        let mut rng = Rng::seed_from(seed);
+        let w = Matrix::random_normal(64, 64, 0.0, 0.3, &mut rng);
+        // Batch large enough that a hard fault is near-certain to violate
+        // the checksum at least once within a single forward.
+        let x = Matrix::random_normal(32, 64, 0.0, 1.0, &mut rng);
+        (w, x)
+    }
+
+    #[test]
+    fn construction_ladder_survives_programming_failures() {
+        let (w, x) = setup_64(31);
+        let plan = FaultPlan {
+            seed: 1,
+            programming_failure: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut layer = AnalogLinear::new(w.clone(), None, faulty_cfg(plan), 32);
+        assert!(
+            layer
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, TileEventKind::ProgrammingFailed { .. })),
+            "50% failure rate over a 2x2 grid should fail at least once: {:?}",
+            layer.events()
+        );
+        let y = layer.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let rel = y.mse(&x.matmul(&w)) / stats::variance(x.matmul(&w).as_slice());
+        assert!(rel < 0.25, "recovered layer accuracy, rel mse {rel}");
+    }
+
+    #[test]
+    fn stuck_cells_are_recovered_within_one_forward() {
+        let (w, x) = setup_64(33);
+        let plan = FaultPlan {
+            seed: 2,
+            stuck_low: 0.02,
+            stuck_high: 0.02,
+            ..FaultPlan::none()
+        };
+        // Baseline: same config, no faults, no protection.
+        let mut clean = AnalogLinear::new(
+            w.clone(),
+            None,
+            TileConfig::paper_default().with_tile_size(32, 33),
+            34,
+        );
+        let y_ref = x.matmul(&w);
+        let mse_clean = clean.forward(&x).mse(&y_ref);
+
+        let mut layer = AnalogLinear::new(w.clone(), None, faulty_cfg(plan), 34);
+        let y = layer.forward(&x);
+        let mse = y.mse(&y_ref);
+        assert!(
+            layer
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, TileEventKind::Flagged { .. })),
+            "4% stuck cells must be flagged: {:?}",
+            layer.events()
+        );
+        // Every physical tile (spares included) draws stuck cells at this
+        // rate, so recovery must end in digital fallback — and accuracy
+        // must return to the fault-free noisy ballpark.
+        assert!(
+            mse <= mse_clean * 2.0,
+            "recovered mse {mse} vs fault-free {mse_clean}"
+        );
+    }
+
+    #[test]
+    fn dropped_tile_remaps_to_clean_spare() {
+        let (w, x) = setup_64(35);
+        // Seed chosen so at least one grid tile is dropped while a spare in
+        // the pool is clean: recovery should end in a *remap*, not digital
+        // fallback (dropout is the only fault class here, so a non-dropped
+        // spare is pristine).
+        let mut hit = None;
+        for plan_seed in 0..64 {
+            let plan = FaultPlan {
+                seed: plan_seed,
+                tile_dropout: 0.5,
+                ..FaultPlan::none()
+            };
+            let mut layer = AnalogLinear::new(w.clone(), None, faulty_cfg(plan), 36);
+            layer.forward(&x);
+            let remapped = layer
+                .events()
+                .iter()
+                .any(|e| matches!(e.kind, TileEventKind::Remapped { .. }));
+            if remapped {
+                hit = Some((plan_seed, layer));
+                break;
+            }
+        }
+        let (plan_seed, layer) =
+            hit.expect("some seed in 0..64 must drop a grid tile and keep a spare clean");
+        assert!(layer.spares_used() >= 1, "plan seed {plan_seed}");
+        // The remapped layer is healthy: a second forward records no new
+        // flags.
+        let mut layer = layer;
+        let before = layer.events().len();
+        let y = layer.forward(&x);
+        assert_eq!(layer.events().len(), before, "no new events after remap");
+        let rel = y.mse(&x.matmul(&w)) / stats::variance(x.matmul(&w).as_slice());
+        assert!(rel < 0.25, "rel mse {rel}");
+    }
+
+    #[test]
+    fn fallback_slots_survive_drift_and_stats() {
+        let (w, x) = setup_64(37);
+        let plan = FaultPlan {
+            seed: 3,
+            tile_dropout: 1.0, // every physical tile dead → all digital
+            ..FaultPlan::none()
+        };
+        let mut layer = AnalogLinear::new(w.clone(), None, faulty_cfg(plan), 38);
+        let y = layer.forward(&x);
+        assert_eq!(layer.digital_fallback_count(), 4);
+        // Digital fallback is exact.
+        assert!(y.mse(&x.matmul(&w)) < 1e-9);
+        // Post-degradation bookkeeping must not panic or regress.
+        layer.apply_drift(3600.0, DriftCompensation::None);
+        layer.reset_stats();
+        assert_eq!(layer.stats().samples, 0);
+        let y2 = layer.forward(&x);
+        assert!(y2.mse(&x.matmul(&w)) < 1e-9);
+    }
+
+    #[test]
+    fn protected_faultless_layer_records_no_events() {
+        let (w, x) = setup_64(39);
+        let mut cfg = TileConfig::paper_default().with_tile_size(32, 33);
+        cfg.fault_tolerance = FaultTolerance::protected();
+        let mut layer = AnalogLinear::new(w, None, cfg, 40);
+        for _ in 0..5 {
+            layer.forward(&x);
+        }
+        assert!(layer.events().is_empty(), "{:?}", layer.events());
+        assert_eq!(layer.spares_used(), 0);
+        assert!(layer
+            .tile_health()
+            .iter()
+            .all(|h| h.state == crate::health::HealthState::Healthy));
+    }
+
+    #[test]
+    fn try_constructors_report_errors() {
+        assert_eq!(
+            AnalogLinear::try_new(Matrix::zeros(0, 0), None, TileConfig::ideal(), 0).unwrap_err(),
+            CimError::EmptyWeights
+        );
+        let err = AnalogLinear::try_new(
+            Matrix::zeros(4, 4),
+            Some(vec![0.0; 3]),
+            TileConfig::ideal(),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, CimError::BiasLength { expected: 4, got: 3 });
+        let err = AnalogLinear::try_with_smoothing(
+            Matrix::zeros(4, 4),
+            None,
+            Some(&[1.0; 3]),
+            TileConfig::ideal(),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, CimError::SmoothingLength { expected: 4, got: 3 });
     }
 }

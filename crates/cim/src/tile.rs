@@ -2,11 +2,13 @@
 
 use crate::config::TileConfig;
 use crate::converter::{Adc, Dac};
+use crate::error::CimError;
+use crate::health::{AbftReport, TileSite};
 use crate::ir_drop::IrDropModel;
 use crate::management::BoundManagement;
 use nora_device::{
     program_matrix_sliced, program_matrix_verified, read_matrix, read_matrix_mean, read_sliced,
-    ProgrammedMatrix, SlicedMatrix,
+    ProgrammedMatrix, SlicedMatrix, TileFaultMap,
 };
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
@@ -103,6 +105,51 @@ enum ProgrammedWeights {
     Sliced(SlicedMatrix),
 }
 
+/// ABFT checksum state of a tile.
+///
+/// The tile's last column stores the row-sums of the data columns, so in
+/// rescaled output units `Σ_j y_j = y_checksum` holds exactly for a healthy
+/// ideal tile. `static_corr` captures the per-row mismatch
+/// `d_k = Σ_j γ_j ŵ_kj − γ_c ŵ_kc` of the *clean* post-programming weights
+/// (quantization + programming error), measured by a deployment-time
+/// calibration read; subtracting `x_s · d` from the residual leaves only
+/// stochastic noise — and any hard fault that develops in the field.
+#[derive(Debug, Clone)]
+struct AbftState {
+    static_corr: Vec<f32>,
+    /// `Σ γ_j² + γ_c²` — the residual's noise-gain factor.
+    gamma_sq: f32,
+    /// Clean checksum-column weights in rescaled units (`γ_c ŵ_kc`), used
+    /// by the silent-tile detector to predict the checksum output a live
+    /// tile would produce for a given input.
+    check_w: Vec<f32>,
+}
+
+impl AbftState {
+    fn calibrate(w_eff: &Matrix, gamma: &[f32], data_cols: usize) -> Self {
+        let rows = w_eff.rows();
+        let mut static_corr = vec![0.0f32; rows];
+        let mut check_w = vec![0.0f32; rows];
+        for (k, (d, c)) in static_corr.iter_mut().zip(check_w.iter_mut()).enumerate() {
+            let row = w_eff.row(k);
+            let mut acc = 0.0f64;
+            for j in 0..data_cols {
+                acc += (gamma[j] * row[j]) as f64;
+            }
+            let checksum = (gamma[data_cols] * row[data_cols]) as f64;
+            acc -= checksum;
+            *d = acc as f32;
+            *c = checksum as f32;
+        }
+        let gamma_sq = gamma.iter().map(|&g| g * g).sum();
+        Self {
+            static_corr,
+            gamma_sq,
+            check_w,
+        }
+    }
+}
+
 /// One analog crossbar tile holding a (≤ `tile_rows` × ≤ `tile_cols`) weight
 /// block and executing noisy GEMV batches against it.
 ///
@@ -128,12 +175,14 @@ pub struct AnalogTile {
     dac: Dac,
     adc: Adc,
     ir: IrDropModel,
-    /// Per-column normalised scale `γ_j = max_k |w_kj · s_k|`.
+    /// Per-column normalised scale `γ_j = max_k |w_kj · s_k|` (data columns
+    /// first; with ABFT on, the checksum column's `γ_c` is last).
     gamma: Vec<f32>,
     /// Per-row smoothing factors (all 1 when NORA is off).
     s: Vec<f32>,
     /// Effective normalised weights in `[-1, 1]` including programming
-    /// error (and drift after [`AnalogTile::apply_drift`]).
+    /// error (and drift after [`AnalogTile::apply_drift`]), plus any
+    /// imprinted hard faults.
     w_eff: Matrix,
     /// Device-accurate programmed state, kept for drift re-reads.
     programmed: Option<ProgrammedWeights>,
@@ -141,6 +190,16 @@ pub struct AnalogTile {
     prog_abs_sum: f64,
     /// Per-column IR-drop factors (cached; depend only on weights).
     ir_factors: Vec<f32>,
+    /// Data (output) columns; `w_eff` has one more when ABFT is on.
+    data_cols: usize,
+    /// ABFT checksum calibration, when enabled.
+    abft: Option<AbftState>,
+    /// Hard defects of the physical array this tile occupies.
+    fault_map: Option<TileFaultMap>,
+    /// Physical placement (drives the defect draw).
+    site: TileSite,
+    /// ADC step size in normalised accumulation units (0 when ideal).
+    adc_lsb: f32,
     rng: Rng,
     stats: ForwardStats,
 }
@@ -151,36 +210,97 @@ impl AnalogTile {
     ///
     /// # Panics
     ///
-    /// Panics if the weight block exceeds the configured tile size, if `s`
-    /// has the wrong length or non-positive entries, or if the config is
-    /// invalid.
-    pub fn new(weights: Matrix, s: Option<&[f32]>, config: TileConfig, mut rng: Rng) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid tile config: {e}"));
-        assert!(
-            weights.rows() <= config.tile_rows && weights.cols() <= config.tile_cols,
-            "weight block {}x{} exceeds tile size {}x{}",
-            weights.rows(),
-            weights.cols(),
-            config.tile_rows,
-            config.tile_cols
-        );
+    /// Panics on any [`AnalogTile::try_new`] error.
+    pub fn new(weights: Matrix, s: Option<&[f32]>, config: TileConfig, rng: Rng) -> Self {
+        Self::try_new(weights, s, config, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AnalogTile::new`] at the default physical site
+    /// (physical tile 0, programming attempt 0).
+    ///
+    /// # Errors
+    ///
+    /// See [`AnalogTile::try_new_at`].
+    pub fn try_new(
+        weights: Matrix,
+        s: Option<&[f32]>,
+        config: TileConfig,
+        rng: Rng,
+    ) -> Result<Self, CimError> {
+        Self::try_new_at(weights, s, config, rng, TileSite::default())
+    }
+
+    /// Programs `weights` onto the physical tile identified by `site`.
+    ///
+    /// The site determines which hard defects (if any) the tile inherits
+    /// from the config's [`nora_device::FaultPlan`]: defect maps are drawn
+    /// per `site.physical_id`, so re-programming the same array reproduces
+    /// its stuck cells while a spare array draws an independent set. Hard
+    /// faults are imprinted *after* the ABFT calibration read — they model
+    /// in-field failures that develop after deployment-time calibration.
+    ///
+    /// # Errors
+    ///
+    /// * [`CimError::InvalidConfig`] — the config fails validation.
+    /// * [`CimError::OversizedBlock`] — the block (plus the checksum column
+    ///   when ABFT is on) does not fit the physical tile.
+    /// * [`CimError::SmoothingLength`] / [`CimError::SmoothingNotPositive`]
+    ///   — a malformed smoothing vector.
+    /// * [`CimError::ProgrammingFailed`] — the fault plan made this
+    ///   programming attempt fail; the caller may retry with a bumped
+    ///   `site.programming_attempt` or fall back.
+    pub fn try_new_at(
+        weights: Matrix,
+        s: Option<&[f32]>,
+        config: TileConfig,
+        mut rng: Rng,
+        site: TileSite,
+    ) -> Result<Self, CimError> {
+        config.validate().map_err(CimError::InvalidConfig)?;
+        let abft_cols = usize::from(config.fault_tolerance.abft);
+        if weights.rows() > config.tile_rows || weights.cols() + abft_cols > config.tile_cols {
+            return Err(CimError::OversizedBlock {
+                rows: weights.rows(),
+                cols: weights.cols() + abft_cols,
+                tile_rows: config.tile_rows,
+                tile_cols: config.tile_cols,
+            });
+        }
         let rows = weights.rows();
+        let data_cols = weights.cols();
         let s: Vec<f32> = match s {
             Some(s) => {
-                assert_eq!(s.len(), rows, "smoothing vector length mismatch");
-                assert!(
-                    s.iter().all(|&v| v.is_finite() && v > 0.0),
-                    "smoothing factors must be finite and positive"
-                );
+                if s.len() != rows {
+                    return Err(CimError::SmoothingLength {
+                        expected: rows,
+                        got: s.len(),
+                    });
+                }
+                if !s.iter().all(|&v| v.is_finite() && v > 0.0) {
+                    return Err(CimError::SmoothingNotPositive);
+                }
                 s.to_vec()
             }
             None => vec![1.0; rows],
         };
 
+        // Append the ABFT checksum column (row-sums of the data columns)
+        // before any scaling: downstream it is treated exactly like a data
+        // column, which is what makes the checksum identity hold in output
+        // units independent of γ.
+        let mut w_scaled = if abft_cols == 1 {
+            let mut w2 = Matrix::zeros(rows, data_cols + 1);
+            for k in 0..rows {
+                let src = weights.row(k);
+                let dst = w2.row_mut(k);
+                dst[..data_cols].copy_from_slice(src);
+                dst[data_cols] = src.iter().sum();
+            }
+            w2
+        } else {
+            weights
+        };
         // Scale rows by s, then normalise each column by γ_j.
-        let mut w_scaled = weights;
         w_scaled.scale_rows(&s);
         let gamma = w_scaled.col_abs_max();
         let mut w_hat = w_scaled;
@@ -234,6 +354,29 @@ impl AnalogTile {
             }
         };
 
+        // ABFT static-mismatch calibration from the *clean* post-programming
+        // weights (deployment-time calibration read).
+        let abft = (abft_cols == 1).then(|| AbftState::calibrate(&w_eff, &gamma, data_cols));
+
+        // Imprint the physical array's hard defects. These are drawn over
+        // the full physical tile dimensions and persist across
+        // re-programming of the same `site.physical_id`.
+        let mut w_eff = w_eff;
+        let fault_map = match &config.fault_plan {
+            Some(plan) if !plan.is_trivial() => {
+                let map = plan.instantiate(site.physical_id, config.tile_rows, config.tile_cols);
+                if map.programming_attempt_fails(site.programming_attempt) {
+                    return Err(CimError::ProgrammingFailed {
+                        physical_id: site.physical_id,
+                        attempt: site.programming_attempt,
+                    });
+                }
+                map.apply_to_weights(&mut w_eff);
+                Some(map)
+            }
+            _ => None,
+        };
+
         let prog_abs_sum = w_eff.as_slice().iter().map(|&v| v.abs() as f64).sum();
         let ir = IrDropModel::new(config.ir_drop);
         let col_mean_rel_g: Vec<f32> = (0..w_eff.cols())
@@ -246,7 +389,11 @@ impl AnalogTile {
 
         let dac = Dac::new(config.dac, config.dac_bound);
         let adc = Adc::new(config.adc, config.adc_bound);
-        Self {
+        let adc_lsb = match config.adc.steps() {
+            Some(n) if config.adc_bound.is_finite() => 2.0 * config.adc_bound / n as f32,
+            _ => 0.0,
+        };
+        Ok(Self {
             dac,
             adc,
             ir,
@@ -256,10 +403,15 @@ impl AnalogTile {
             programmed,
             prog_abs_sum,
             ir_factors,
+            data_cols,
+            abft,
+            fault_map,
+            site,
+            adc_lsb,
             rng,
             stats: ForwardStats::default(),
             config,
-        }
+        })
     }
 
     /// Number of input channels (rows) of the programmed block.
@@ -267,14 +419,27 @@ impl AnalogTile {
         self.w_eff.rows()
     }
 
-    /// Number of output channels (columns) of the programmed block.
+    /// Number of output channels (data columns) of the programmed block.
+    /// With ABFT on, the physical tile holds one extra checksum column that
+    /// is not part of the output.
     pub fn cols(&self) -> usize {
-        self.w_eff.cols()
+        self.data_cols
     }
 
-    /// Per-column scale factors `γ_j`.
+    /// Per-column scale factors `γ_j` (data columns first; the checksum
+    /// column's `γ_c`, if any, is last).
     pub fn gamma(&self) -> &[f32] {
         &self.gamma
+    }
+
+    /// Physical placement of this tile.
+    pub fn site(&self) -> TileSite {
+        self.site
+    }
+
+    /// The hard-defect map of the physical array, if a fault plan is active.
+    pub fn fault_map(&self) -> Option<&TileFaultMap> {
+        self.fault_map.as_ref()
     }
 
     /// Effective normalised weights currently on the tile.
@@ -300,6 +465,58 @@ impl AnalogTile {
     ///
     /// Panics if `x.cols() != self.rows()`.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.forward_checked(x).0
+    }
+
+    /// Built-in self-test: runs a deterministic, sign-diverse probe batch
+    /// through the tile and returns the ABFT verdict. Unlike checking a
+    /// workload batch, the probe always carries strong signal on every
+    /// input line, so a dead or heavily faulted tile cannot pass
+    /// vacuously (e.g. when the triggering activations were near zero).
+    /// The forward statistics are restored afterwards, so the probe does
+    /// not pollute [`AnalogTile::stats`]. Returns a disabled report when
+    /// the policy has ABFT off.
+    pub fn self_test(&mut self) -> AbftReport {
+        if self.abft.is_none() {
+            return AbftReport::default();
+        }
+        const PROBE_ROWS: usize = 16;
+        let d = self.rows();
+        let mut x = Matrix::zeros(PROBE_ROWS, d);
+        for r in 0..PROBE_ROWS {
+            let row = x.row_mut(r);
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = match (k + 3 * r) % 4 {
+                    0 => 1.0,
+                    1 => -1.0,
+                    2 => 0.5,
+                    _ => -0.25,
+                };
+            }
+        }
+        let saved = self.stats;
+        // A one-off diagnostic can afford heavy read averaging: it divides
+        // the stochastic part of the residual budget (and so the detection
+        // threshold) by 4×, while the *systematic* residual of stuck cells
+        // and dead lines is untouched — faults far too small to trip the
+        // runtime 6σ check stand out clearly under the probe.
+        let runtime_ra = self.config.read_averaging;
+        self.config.read_averaging = runtime_ra.max(16);
+        let (_, report) = self.forward_checked(&x);
+        self.config.read_averaging = runtime_ra;
+        self.stats = saved;
+        report
+    }
+
+    /// Like [`AnalogTile::forward`], additionally running the ABFT checksum
+    /// (and silent-tile) check when the config enables it and returning the
+    /// verdict. With fault tolerance off the report is all-zeros/disabled
+    /// and the execution path is identical to `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.rows()`.
+    pub fn forward_checked(&mut self, x: &Matrix) -> (Matrix, AbftReport) {
         assert_eq!(
             x.cols(),
             self.rows(),
@@ -309,7 +526,18 @@ impl AnalogTile {
         );
         let batch = x.rows();
         let cols = self.cols();
+        let total_cols = self.w_eff.cols();
         let mut y = Matrix::zeros(batch, cols);
+        let mut report = AbftReport {
+            enabled: self.abft.is_some(),
+            ..AbftReport::default()
+        };
+        // Silent-tile detector accumulators over the batch, in rescaled
+        // output units: the checksum output a clean tile would produce, the
+        // checksum output actually observed, and the noise allowance.
+        let mut silent_pred = 0.0f64;
+        let mut silent_actual = 0.0f64;
+        let mut silent_noise = 0.0f64;
         let max_retries = match self.config.bound_management {
             BoundManagement::None => 0,
             BoundManagement::Iterative { max_rounds } => max_rounds,
@@ -336,14 +564,43 @@ impl AnalogTile {
                     self.stats.clipped_inputs += clipped as u64;
                     self.stats.total_inputs += self.rows() as u64;
                     self.stats.saturated_outputs += saturated as u64;
-                    self.stats.total_outputs += cols as u64;
+                    self.stats.total_outputs += total_cols as u64;
                     // Rescale back: y_ij = α_i γ_j ẑ_ij (Eq. 3 / Eq. 8).
                     let out = y.row_mut(i);
-                    for (j, (&zv, &g)) in z.iter().zip(&self.gamma).enumerate() {
-                        out[j] = zv * alpha * g;
-                        self.stats.rescale_sum += (alpha * g) as f64;
+                    for j in 0..cols {
+                        out[j] = z[j] * alpha * self.gamma[j];
+                        self.stats.rescale_sum += (alpha * self.gamma[j]) as f64;
                     }
                     self.stats.rescale_count += cols as u64;
+                    if let Some(ab) = &self.abft {
+                        let gamma_c = self.gamma[cols];
+                        let pred: f64 = x_s
+                            .iter()
+                            .zip(&ab.check_w)
+                            .map(|(&xv, &cv)| (xv as f64) * (cv as f64))
+                            .sum();
+                        // Noise floor of one averaged checksum code:
+                        // quantisation contributes ±lsb/2 and the additive
+                        // output noise is divided by the read averaging.
+                        let ra = self.config.read_averaging.max(1) as f32;
+                        let floor = (self.adc_lsb / 2.0)
+                            .max(self.config.out_noise / ra.sqrt())
+                            .max(1e-9);
+                        // `pred` is already in rescaled output units: the α
+                        // of the input normalisation cancels against the α
+                        // of the output rescale.
+                        silent_pred += pred.abs();
+                        silent_actual += f64::from((z[cols] * alpha * gamma_c).abs());
+                        silent_noise += f64::from(alpha * gamma_c * floor);
+                        // A sample with rail-level ADC codes is unverifiable:
+                        // clipping breaks the checksum identity without any
+                        // hardware fault (bound management has already used
+                        // its retries by this point), so checking it would
+                        // condemn healthy tiles on saturating workloads.
+                        if saturated == 0 {
+                            self.abft_check_row(&x_s, alpha, &z, out, &mut report);
+                        }
+                    }
                     break;
                 }
                 // Bound management: widen the input range and redo.
@@ -352,7 +609,77 @@ impl AnalogTile {
                 self.stats.bound_mgmt_retries += 1;
             }
         }
-        y
+        if self.abft.is_some() {
+            let policy = &self.config.fault_tolerance;
+            // Silent-tile detector: a fully dead tile has a *consistent*
+            // checksum of zero, invisible to the residual test. Compare the
+            // checksum output a clean tile would have produced for this
+            // batch against what was observed: "dead" means the prediction
+            // is well above the ADC/noise floor while the observation stays
+            // near it. (Comparing energies rather than raw codes keeps
+            // tiles with legitimately tiny outputs — e.g. naive deployments
+            // whose γ is dominated by outlier channels — unflagged.)
+            report.silent = silent_pred > 4.0 * silent_noise
+                && silent_actual < 0.25 * silent_pred;
+            let frac_flag = report.violations as f64
+                > f64::from(policy.flag_fraction) * report.rows_checked as f64;
+            report.suspicious = report.silent || (report.violations >= 1 && frac_flag);
+        }
+        (y, report)
+    }
+
+    /// The per-sample ABFT residual test (see [`AbftState`]).
+    fn abft_check_row(
+        &self,
+        x_s: &[f32],
+        alpha: f32,
+        z: &[f32],
+        out: &[f32],
+        report: &mut AbftReport,
+    ) {
+        let ab = self.abft.as_ref().expect("caller checked");
+        let cfg = &self.config;
+        let policy = &cfg.fault_tolerance;
+        let dc = self.data_cols;
+        let y_c = z[dc] * alpha * self.gamma[dc];
+        let mut sum_y = 0.0f64;
+        let mut sum_abs = y_c.abs() as f64;
+        for &v in out.iter().take(dc) {
+            sum_y += v as f64;
+            sum_abs += v.abs() as f64;
+        }
+        let static_corr: f64 = x_s
+            .iter()
+            .zip(&ab.static_corr)
+            .map(|(&xv, &dv)| (xv as f64) * (dv as f64))
+            .sum();
+        let residual = sum_y - y_c as f64 - static_corr;
+
+        // Stochastic noise budget of the residual: per column, additive
+        // output noise and ADC quantization scale by α·γ_j while short-term
+        // read noise scales by γ_j·σ_w·‖x_s‖₂ (the α cancels); columns are
+        // independent, so the variances sum with gain Γ² = Σγ². Read
+        // averaging divides the stochastic part by n.
+        let xs_l2 = x_s
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
+        let a = alpha as f64;
+        let out_var = (cfg.out_noise as f64).powi(2) + (self.adc_lsb as f64).powi(2) / 12.0;
+        let w_var = (cfg.w_noise as f64).powi(2) * xs_l2 * xs_l2;
+        let ra = f64::from(cfg.read_averaging.max(1));
+        let sigma_r = (f64::from(ab.gamma_sq) * (a * a * out_var + w_var) / ra).sqrt();
+        let tau = f64::from(policy.abft_threshold) * sigma_r
+            + f64::from(policy.abft_rel_tol) * sum_abs
+            + 1e-6;
+
+        report.rows_checked += 1;
+        let ratio = (residual.abs() / tau) as f32;
+        report.worst_ratio = report.worst_ratio.max(ratio);
+        if residual.abs() > tau {
+            report.violations += 1;
+        }
     }
 
     /// One DAC→MAC→ADC pass at a fixed `α`, returning the normalised
@@ -360,22 +687,30 @@ impl AnalogTile {
     /// One conversion, averaged over `read_averaging` repeats.
     fn convert_once(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
         let repeats = self.config.read_averaging.max(1);
-        if repeats == 1 {
-            return self.convert_single(x_s, alpha);
-        }
-        let (mut z, clipped, mut saturated) = self.convert_single(x_s, alpha);
-        for _ in 1..repeats {
-            let (zr, _, sat) = self.convert_single(x_s, alpha);
-            for (a, &b) in z.iter_mut().zip(&zr) {
-                *a += b;
+        let (mut z, clipped, saturated) = if repeats == 1 {
+            self.convert_single(x_s, alpha)
+        } else {
+            let (mut z, clipped, mut saturated) = self.convert_single(x_s, alpha);
+            for _ in 1..repeats {
+                let (zr, _, sat) = self.convert_single(x_s, alpha);
+                for (a, &b) in z.iter_mut().zip(&zr) {
+                    *a += b;
+                }
+                saturated += sat;
             }
-            saturated += sat;
+            let inv = 1.0 / repeats as f32;
+            for v in &mut z {
+                *v *= inv;
+            }
+            (z, clipped, saturated / repeats as usize)
+        };
+        // A stuck ADC channel reports its latched code regardless of the
+        // bitline current (and of averaging — every repeat reads the same
+        // code).
+        if let Some(map) = &self.fault_map {
+            map.apply_adc_stuck(&mut z, self.config.adc_bound);
         }
-        let inv = 1.0 / repeats as f32;
-        for v in &mut z {
-            *v *= inv;
-        }
-        (z, clipped, saturated / repeats as usize)
+        (z, clipped, saturated)
     }
 
     /// A single unaveraged conversion round.
@@ -546,7 +881,7 @@ impl AnalogTile {
         model.estimate(
             &self.stats,
             self.rows(),
-            self.cols(),
+            self.w_eff.cols(), // the checksum column, if any, costs energy too
             self.mean_rel_conductance(),
         )
     }
@@ -575,6 +910,16 @@ impl AnalogTile {
                 read_sliced(s, device.as_ref(), t_seconds, &mut dev_rng)
             }
         };
+        // The drift re-read models a fresh calibration pass: the ABFT
+        // static correction is re-measured from the drifted (still healthy)
+        // conductances before the array's hard defects are re-imprinted —
+        // stuck cells do not drift away.
+        if let Some(ab) = &mut self.abft {
+            *ab = AbftState::calibrate(&self.w_eff, &self.gamma, self.data_cols);
+        }
+        if let Some(map) = &self.fault_map {
+            map.apply_to_weights(&mut self.w_eff);
+        }
         if compensation == DriftCompensation::GlobalScale {
             let now: f64 = self
                 .w_eff
@@ -1044,6 +1389,205 @@ mod tests {
         tile.apply_drift(1e6, DriftCompensation::None);
         let y = tile.forward(&x);
         assert!(y.mse(&x.matmul(&w)) < 1e-10);
+    }
+
+    // ---- fault injection + ABFT -------------------------------------
+
+    use crate::health::FaultTolerance;
+    use nora_device::FaultPlan;
+
+    /// A realistically noisy small-tile config with ABFT enabled.
+    fn protected_cfg(rows: usize, cols: usize) -> TileConfig {
+        let mut cfg = TileConfig::paper_default();
+        cfg.tile_rows = rows;
+        cfg.tile_cols = cols;
+        cfg.fault_tolerance = FaultTolerance::protected();
+        cfg
+    }
+
+    #[test]
+    fn abft_ideal_tile_stays_exact_and_clean() {
+        let (w, x) = random_setup(101, 32, 16);
+        let mut cfg = TileConfig::ideal().with_tile_size(32, 17);
+        cfg.fault_tolerance = FaultTolerance::protected();
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(102));
+        assert_eq!(tile.cols(), 16, "checksum column hidden from output");
+        let (y, report) = tile.forward_checked(&x);
+        assert!(y.mse(&x.matmul(&w)) < 1e-9, "outputs unaffected by ABFT");
+        assert!(report.enabled);
+        assert_eq!(report.rows_checked, 8);
+        assert_eq!(report.violations, 0);
+        assert!(!report.suspicious);
+    }
+
+    #[test]
+    fn abft_healthy_noisy_tile_is_not_flagged() {
+        // No false positives across many batches under the full paper noise
+        // inventory (programming noise, read noise, output noise, ADC, IR).
+        let (w, x) = random_setup(103, 64, 32);
+        let mut tile =
+            AnalogTile::new(w, None, protected_cfg(64, 33), Rng::seed_from(104));
+        for _ in 0..20 {
+            let (_, report) = tile.forward_checked(&x);
+            assert!(
+                !report.suspicious,
+                "false positive: {report:?} (worst ratio {})",
+                report.worst_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn abft_flags_stuck_cells() {
+        let (w, x) = random_setup(105, 64, 32);
+        let mut cfg = protected_cfg(64, 33);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 1,
+            stuck_low: 0.02,
+            stuck_high: 0.02,
+            ..FaultPlan::none()
+        });
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(106));
+        assert!(tile.fault_map().unwrap().stuck_cell_count() > 0);
+        let (y, report) = tile.forward_checked(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(report.suspicious, "stuck cells must be flagged: {report:?}");
+    }
+
+    #[test]
+    fn abft_flags_dead_column() {
+        let (w, x) = random_setup(107, 64, 32);
+        let mut cfg = protected_cfg(64, 33);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 4, // draws at least one dead column in the block extent
+            dead_col: 0.1,
+            ..FaultPlan::none()
+        });
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(108));
+        let dead = tile.fault_map().unwrap().dead_cols().to_vec();
+        assert!(
+            dead.iter().any(|&c| c < 32),
+            "seed must kill a data column, got {dead:?}"
+        );
+        let (_, report) = tile.forward_checked(&x);
+        assert!(report.suspicious, "dead column must be flagged: {report:?}");
+    }
+
+    #[test]
+    fn abft_flags_stuck_adc_channel() {
+        let (w, x) = random_setup(109, 64, 32);
+        let mut cfg = protected_cfg(64, 33);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 2,
+            adc_stuck: 0.1,
+            ..FaultPlan::none()
+        });
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(110));
+        let stuck = tile.fault_map().unwrap().adc_stuck().to_vec();
+        assert!(
+            stuck.iter().any(|&(c, _)| c < 33),
+            "seed must stick a converter channel, got {stuck:?}"
+        );
+        let (_, report) = tile.forward_checked(&x);
+        assert!(report.suspicious, "stuck ADC must be flagged: {report:?}");
+    }
+
+    #[test]
+    fn silent_detector_catches_tile_dropout() {
+        let (w, x) = random_setup(111, 64, 32);
+        let mut cfg = protected_cfg(64, 33);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 3,
+            tile_dropout: 1.0,
+            ..FaultPlan::none()
+        });
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(112));
+        assert!(tile.fault_map().unwrap().is_dropped());
+        let (y, report) = tile.forward_checked(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(report.silent, "dropout must trip the silent detector");
+        assert!(report.suspicious);
+    }
+
+    #[test]
+    fn unprotected_faulty_tile_returns_finite_garbage() {
+        // Without ABFT the tile silently computes with its defects: outputs
+        // must stay finite (no panic) even under heavy fault rates.
+        let (w, x) = random_setup(113, 64, 32);
+        let mut cfg = TileConfig::paper_default().with_tile_size(64, 32);
+        cfg.fault_plan = Some(FaultPlan::uniform(0.05, 0.05, 9));
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(114));
+        let y = tile.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let y_ref = x.matmul(&w);
+        assert!(y.mse(&y_ref) > 0.0);
+    }
+
+    #[test]
+    fn abft_survives_drift_recalibration() {
+        // apply_drift re-reads conductances; the ABFT calibration must be
+        // refreshed or healthy drifted tiles would flag as faulty.
+        let (w, x) = random_setup(115, 64, 32);
+        let mut cfg = protected_cfg(64, 33);
+        cfg.weight_source = WeightSource::Pcm(1.0);
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(116));
+        tile.apply_drift(86_400.0, DriftCompensation::GlobalScale);
+        let (_, report) = tile.forward_checked(&x);
+        assert!(
+            !report.suspicious,
+            "healthy drifted tile flagged: {report:?}"
+        );
+    }
+
+    #[test]
+    fn programming_failure_is_reported_not_panicked() {
+        let (w, _) = random_setup(117, 16, 8);
+        let mut cfg = TileConfig::paper_default().with_tile_size(16, 8);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 5,
+            programming_failure: 1.0,
+            ..FaultPlan::none()
+        });
+        let err = AnalogTile::try_new_at(
+            w,
+            None,
+            cfg,
+            Rng::seed_from(118),
+            crate::health::TileSite {
+                physical_id: 7,
+                programming_attempt: 2,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::CimError::ProgrammingFailed {
+                physical_id: 7,
+                attempt: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fault_maps_differ_across_physical_tiles() {
+        let (w, x) = random_setup(119, 32, 16);
+        let mut cfg = TileConfig::ideal().with_tile_size(32, 16);
+        cfg.fault_plan = Some(FaultPlan::uniform(0.05, 0.0, 11));
+        let site = |id| crate::health::TileSite {
+            physical_id: id,
+            programming_attempt: 0,
+        };
+        let mut a =
+            AnalogTile::try_new_at(w.clone(), None, cfg.clone(), Rng::seed_from(120), site(0))
+                .unwrap();
+        let mut b =
+            AnalogTile::try_new_at(w.clone(), None, cfg.clone(), Rng::seed_from(120), site(1))
+                .unwrap();
+        let mut a2 =
+            AnalogTile::try_new_at(w, None, cfg, Rng::seed_from(120), site(0)).unwrap();
+        let ya = a.forward(&x);
+        assert_eq!(ya, a2.forward(&x), "same physical id → same defects");
+        assert_ne!(ya, b.forward(&x), "different physical id → different defects");
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Hard-fault models for analog CIM crossbars.
+//!
+//! The Gaussian noise inventory of the NORA paper describes a *healthy*
+//! array. Real crossbars additionally exhibit hard defects — the classes
+//! catalogued by Xiao et al. ("On the Accuracy of Analog Neural Network
+//! Inference Accelerators") and targeted by remapping schemes such as ROMER:
+//!
+//! * **Stuck cells** — a conductance frozen at `G_min` (formed-open /
+//!   reset-stuck) or `G_max` (shorted / set-stuck), immune to programming.
+//! * **Dead rows** — a broken wordline driver: the row's cells never
+//!   contribute current.
+//! * **Dead columns** — an open bitline: the column's accumulated current
+//!   never reaches the sense amplifier.
+//! * **ADC stuck codes** — a converter channel latched at a fixed output
+//!   code regardless of its input.
+//! * **Tile dropout** — a whole tile electrically dead (power gating fault,
+//!   broken select logic).
+//! * **Programming failures** — a write sequence that aborts and leaves the
+//!   tile unusable until retried.
+//!
+//! A [`FaultPlan`] holds per-class rates plus a seed; instantiating it for a
+//! *physical tile id* yields a deterministic [`TileFaultMap`]. The same
+//! physical tile always draws the same defects (stuck cells survive
+//! re-programming), while a different physical tile — e.g. a spare used for
+//! remapping — draws an independent defect set. This is what makes
+//! retry/remap policies in `nora-cim` meaningful and reproducible.
+
+use nora_tensor::rng::Rng;
+use nora_tensor::Matrix;
+
+/// How a stuck cell presents at the array level.
+///
+/// Weights are stored differentially (`g⁺ − g⁻`); the map folds the two
+/// cell-level failure modes into their effect on the *normalised* weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellFault {
+    /// Both pair cells stuck at `G_min`: the weight reads as 0.
+    StuckLow,
+    /// One pair cell stuck at `G_max`: the weight saturates to ±1
+    /// (the sign picks which side shorted).
+    StuckHigh {
+        /// Saturated normalised weight value (−1.0 or +1.0).
+        sign: f32,
+    },
+}
+
+/// Per-class hard-fault rates plus the seed that makes them reproducible.
+///
+/// All rates are probabilities in `[0, 1]`: per *cell* for stuck faults, per
+/// *row*/*column* for line faults, per *tile* for dropout, and per
+/// *programming attempt* for programming failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed from which every tile's defect map is derived.
+    pub seed: u64,
+    /// Per-cell probability of a stuck-at-`G_min` weight.
+    pub stuck_low: f64,
+    /// Per-cell probability of a stuck-at-`G_max` weight.
+    pub stuck_high: f64,
+    /// Per-row probability of a dead wordline.
+    pub dead_row: f64,
+    /// Per-column probability of an open bitline.
+    pub dead_col: f64,
+    /// Per-column probability of an ADC channel stuck at a fixed code.
+    pub adc_stuck: f64,
+    /// Per-tile probability that the whole tile is electrically dead.
+    pub tile_dropout: f64,
+    /// Per-attempt probability that programming the tile fails outright.
+    pub programming_failure: f64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero (no faults ever fire).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            stuck_low: 0.0,
+            stuck_high: 0.0,
+            dead_row: 0.0,
+            dead_col: 0.0,
+            adc_stuck: 0.0,
+            tile_dropout: 0.0,
+            programming_failure: 0.0,
+        }
+    }
+
+    /// A uniform plan: stuck cells at `cell_rate` (split evenly between low
+    /// and high), line faults at `line_rate`, no dropout or programming
+    /// failures. The shape used by the `fault_study` sweep.
+    pub fn uniform(cell_rate: f64, line_rate: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            stuck_low: cell_rate / 2.0,
+            stuck_high: cell_rate / 2.0,
+            dead_row: line_rate,
+            dead_col: line_rate,
+            adc_stuck: line_rate,
+            tile_dropout: 0.0,
+            programming_failure: 0.0,
+        }
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_trivial(&self) -> bool {
+        self.stuck_low == 0.0
+            && self.stuck_high == 0.0
+            && self.dead_row == 0.0
+            && self.dead_col == 0.0
+            && self.adc_stuck == 0.0
+            && self.tile_dropout == 0.0
+            && self.programming_failure == 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range rate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("stuck_low", self.stuck_low),
+            ("stuck_high", self.stuck_high),
+            ("dead_row", self.dead_row),
+            ("dead_col", self.dead_col),
+            ("adc_stuck", self.adc_stuck),
+            ("tile_dropout", self.tile_dropout),
+            ("programming_failure", self.programming_failure),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(format!("fault rate {name} must be in [0, 1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the deterministic defect map of physical tile `physical_id`
+    /// with `rows × cols` cells.
+    ///
+    /// The same `(plan, physical_id, rows, cols)` always yields the same
+    /// map; different physical ids yield independent maps.
+    pub fn instantiate(&self, physical_id: u64, rows: usize, cols: usize) -> TileFaultMap {
+        let mut rng = Rng::seed_from(
+            self.seed
+                ^ physical_id.wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ 0x4649_4D5F_4641_554C, // "FIM_FAUL"
+        );
+        let dropped = rng.next_f64() < self.tile_dropout;
+        let mut cell_faults = Vec::new();
+        if self.stuck_low > 0.0 || self.stuck_high > 0.0 {
+            for r in 0..rows {
+                for c in 0..cols {
+                    let u = rng.next_f64();
+                    if u < self.stuck_low {
+                        cell_faults.push((r, c, CellFault::StuckLow));
+                    } else if u < self.stuck_low + self.stuck_high {
+                        let sign = if rng.next_f64() < 0.5 { -1.0 } else { 1.0 };
+                        cell_faults.push((r, c, CellFault::StuckHigh { sign }));
+                    }
+                }
+            }
+        }
+        let dead_rows: Vec<usize> =
+            (0..rows).filter(|_| rng.next_f64() < self.dead_row).collect();
+        let dead_cols: Vec<usize> =
+            (0..cols).filter(|_| rng.next_f64() < self.dead_col).collect();
+        let adc_stuck: Vec<(usize, f32)> = (0..cols)
+            .filter_map(|c| {
+                if rng.next_f64() < self.adc_stuck {
+                    // Stuck code anywhere in the converter's signed range,
+                    // expressed as a fraction of full scale.
+                    Some((c, rng.uniform(-1.0, 1.0)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        TileFaultMap {
+            rows,
+            cols,
+            dropped,
+            cell_faults,
+            dead_rows,
+            dead_cols,
+            adc_stuck,
+            prog_fail_rate: self.programming_failure,
+            prog_fail_seed: rng.next_u64(),
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The deterministic defect set of one physical tile.
+///
+/// Produced by [`FaultPlan::instantiate`]; consumed by `nora-cim` when
+/// programming and executing tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileFaultMap {
+    rows: usize,
+    cols: usize,
+    dropped: bool,
+    /// Sparse `(row, col, fault)` list over the physical cell grid.
+    cell_faults: Vec<(usize, usize, CellFault)>,
+    dead_rows: Vec<usize>,
+    dead_cols: Vec<usize>,
+    /// `(col, stuck fraction of ADC full scale)`.
+    adc_stuck: Vec<(usize, f32)>,
+    prog_fail_rate: f64,
+    prog_fail_seed: u64,
+}
+
+impl TileFaultMap {
+    /// A map with no defects (used when no plan is configured).
+    pub fn clean(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            dropped: false,
+            cell_faults: Vec::new(),
+            dead_rows: Vec::new(),
+            dead_cols: Vec::new(),
+            adc_stuck: Vec::new(),
+            prog_fail_rate: 0.0,
+            prog_fail_seed: 0,
+        }
+    }
+
+    /// Physical rows covered by the map.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Physical columns covered by the map.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the whole tile is electrically dead.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
+    }
+
+    /// Whether the map contains no defects at all.
+    pub fn is_clean(&self) -> bool {
+        !self.dropped
+            && self.cell_faults.is_empty()
+            && self.dead_rows.is_empty()
+            && self.dead_cols.is_empty()
+            && self.adc_stuck.is_empty()
+    }
+
+    /// Number of stuck cells.
+    pub fn stuck_cell_count(&self) -> usize {
+        self.cell_faults.len()
+    }
+
+    /// Dead (open-wordline) row indices.
+    pub fn dead_rows(&self) -> &[usize] {
+        &self.dead_rows
+    }
+
+    /// Dead (open-bitline) column indices.
+    pub fn dead_cols(&self) -> &[usize] {
+        &self.dead_cols
+    }
+
+    /// Stuck ADC channels as `(column, stuck fraction of full scale)`.
+    pub fn adc_stuck(&self) -> &[(usize, f32)] {
+        &self.adc_stuck
+    }
+
+    /// Whether programming attempt number `attempt` (0-based) fails.
+    ///
+    /// Deterministic per `(tile, attempt)`: retrying the exact same attempt
+    /// reproduces the outcome, while the next attempt gets a fresh draw —
+    /// so bounded-retry policies behave identically across runs.
+    pub fn programming_attempt_fails(&self, attempt: u32) -> bool {
+        if self.prog_fail_rate <= 0.0 {
+            return false;
+        }
+        let mut rng = Rng::seed_from(self.prog_fail_seed ^ ((attempt as u64) << 17));
+        rng.next_f64() < self.prog_fail_rate
+    }
+
+    /// Imprints the weight-side defects onto a *normalised* effective
+    /// weight block (`|w| ≤ 1`, the tile's post-programming view).
+    ///
+    /// The block may be smaller than the physical tile (edge tiles of a
+    /// partitioned layer); defects outside the block's extent are ignored.
+    /// Dead columns also zero the weights (no current ever reaches the
+    /// sense amp), but their definitive runtime effect — a zero partial sum
+    /// regardless of later re-programming — is re-applied by the tile at
+    /// forward time.
+    pub fn apply_to_weights(&self, w: &mut Matrix) {
+        if self.dropped {
+            for v in w.as_mut_slice() {
+                *v = 0.0;
+            }
+            return;
+        }
+        let (rows, cols) = w.shape();
+        for &(r, c, fault) in &self.cell_faults {
+            if r < rows && c < cols {
+                w[(r, c)] = match fault {
+                    CellFault::StuckLow => 0.0,
+                    CellFault::StuckHigh { sign } => sign,
+                };
+            }
+        }
+        for &r in &self.dead_rows {
+            if r < rows {
+                for c in 0..cols {
+                    w[(r, c)] = 0.0;
+                }
+            }
+        }
+        for &c in &self.dead_cols {
+            if c < cols {
+                for r in 0..rows {
+                    w[(r, c)] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Overwrites ADC outputs of stuck channels in one output row.
+    ///
+    /// `z` is the normalised post-ADC output slice; `full_scale` is the
+    /// converter bound the stuck fraction is relative to (pass the ADC
+    /// bound, or 1.0 for unbounded converters).
+    pub fn apply_adc_stuck(&self, z: &mut [f32], full_scale: f32) {
+        let fs = if full_scale.is_finite() { full_scale } else { 1.0 };
+        for &(c, frac) in &self.adc_stuck {
+            if c < z.len() {
+                z[c] = frac * fs;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            stuck_low: 0.01,
+            stuck_high: 0.01,
+            dead_row: 0.05,
+            dead_col: 0.05,
+            adc_stuck: 0.05,
+            tile_dropout: 0.1,
+            programming_failure: 0.3,
+        }
+    }
+
+    #[test]
+    fn instantiation_is_deterministic_per_physical_id() {
+        let plan = busy_plan(42);
+        let a = plan.instantiate(7, 64, 64);
+        let b = plan.instantiate(7, 64, 64);
+        assert_eq!(a, b);
+        let other = plan.instantiate(8, 64, 64);
+        assert_ne!(a, other, "different physical tiles draw different maps");
+    }
+
+    #[test]
+    fn rates_are_respected_in_aggregate() {
+        let plan = FaultPlan {
+            seed: 1,
+            stuck_low: 0.02,
+            stuck_high: 0.01,
+            ..FaultPlan::none()
+        };
+        let mut stuck = 0usize;
+        let n_tiles = 20;
+        for id in 0..n_tiles {
+            stuck += plan.instantiate(id, 64, 64).stuck_cell_count();
+        }
+        let cells = (n_tiles as usize) * 64 * 64;
+        let rate = stuck as f64 / cells as f64;
+        assert!(
+            (0.02..0.04).contains(&rate),
+            "measured stuck rate {rate}, expected ≈0.03"
+        );
+    }
+
+    #[test]
+    fn zero_plan_is_always_clean() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_trivial());
+        for id in 0..10 {
+            assert!(plan.instantiate(id, 128, 128).is_clean());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        let mut p = FaultPlan::none();
+        p.dead_col = 1.5;
+        assert!(p.validate().is_err());
+        p.dead_col = 0.5;
+        assert!(p.validate().is_ok());
+        p.stuck_low = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn apply_to_weights_imprints_all_classes() {
+        let mut map = TileFaultMap::clean(4, 4);
+        map.cell_faults.push((0, 0, CellFault::StuckLow));
+        map.cell_faults
+            .push((1, 1, CellFault::StuckHigh { sign: -1.0 }));
+        map.dead_rows.push(2);
+        map.dead_cols.push(3);
+        let mut w = Matrix::full(4, 4, 0.5);
+        map.apply_to_weights(&mut w);
+        assert_eq!(w[(0, 0)], 0.0);
+        assert_eq!(w[(1, 1)], -1.0);
+        assert!(w.row(2).iter().all(|&v| v == 0.0));
+        for r in 0..4 {
+            assert_eq!(w[(r, 3)], 0.0);
+        }
+        assert_eq!(w[(0, 1)], 0.5, "healthy cells untouched");
+    }
+
+    #[test]
+    fn faults_outside_block_extent_are_ignored() {
+        let mut map = TileFaultMap::clean(8, 8);
+        map.cell_faults.push((6, 6, CellFault::StuckLow));
+        map.dead_rows.push(7);
+        map.dead_cols.push(5);
+        let mut w = Matrix::full(3, 3, 0.25); // small edge block
+        map.apply_to_weights(&mut w);
+        assert!(w.as_slice().iter().all(|&v| v == 0.25));
+    }
+
+    #[test]
+    fn dropped_tile_zeroes_everything() {
+        let plan = FaultPlan {
+            seed: 3,
+            tile_dropout: 1.0,
+            ..FaultPlan::none()
+        };
+        let map = plan.instantiate(0, 4, 4);
+        assert!(map.is_dropped());
+        let mut w = Matrix::full(4, 4, 0.7);
+        map.apply_to_weights(&mut w);
+        assert!(w.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn adc_stuck_overrides_outputs() {
+        let mut map = TileFaultMap::clean(4, 4);
+        map.adc_stuck.push((1, 0.5));
+        let mut z = [0.1f32, 0.2, 0.3, 0.4];
+        map.apply_adc_stuck(&mut z, 12.0);
+        assert_eq!(z, [0.1, 6.0, 0.3, 0.4]);
+        // Unbounded converters fall back to unit full scale.
+        let mut z2 = [0.0f32; 4];
+        map.apply_adc_stuck(&mut z2, f32::INFINITY);
+        assert_eq!(z2[1], 0.5);
+    }
+
+    #[test]
+    fn programming_failures_are_deterministic_and_eventually_pass() {
+        let plan = FaultPlan {
+            seed: 9,
+            programming_failure: 0.5,
+            ..FaultPlan::none()
+        };
+        let map = plan.instantiate(3, 16, 16);
+        let outcomes: Vec<bool> =
+            (0..16).map(|a| map.programming_attempt_fails(a)).collect();
+        let again: Vec<bool> =
+            (0..16).map(|a| map.programming_attempt_fails(a)).collect();
+        assert_eq!(outcomes, again);
+        assert!(outcomes.iter().any(|&f| f), "some attempts fail at 50%");
+        assert!(outcomes.iter().any(|&f| !f), "some attempts succeed at 50%");
+    }
+
+    #[test]
+    fn dead_line_rates_hit_expected_counts() {
+        let plan = FaultPlan {
+            seed: 11,
+            dead_row: 0.5,
+            dead_col: 0.5,
+            ..FaultPlan::none()
+        };
+        let map = plan.instantiate(0, 200, 200);
+        assert!((60..140).contains(&map.dead_rows().len()));
+        assert!((60..140).contains(&map.dead_cols().len()));
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod crossbar;
+pub mod fault;
 mod pair;
 mod pcm;
 mod reram;
@@ -46,6 +47,7 @@ mod sliced;
 pub use crossbar::{
     program_matrix, program_matrix_verified, read_matrix, read_matrix_mean, ProgrammedMatrix,
 };
+pub use fault::{CellFault, FaultPlan, TileFaultMap};
 pub use pair::ConductancePair;
 pub use pcm::{DriftModel, PcmModel, ProgrammedCell, ReadNoiseModel, WriteVerifyOutcome};
 pub use reram::ReramModel;

@@ -1,0 +1,257 @@
+//! Fault-injection study: accuracy vs hard-fault rate, with and without
+//! NORA smoothing and with and without ABFT detection + tile recovery.
+//!
+//! Each sweep point imprints a seeded [`FaultPlan`] (stuck cells plus dead
+//! lines and stuck ADC channels) on every physical tile of the deployment
+//! and measures next-token accuracy four ways: {naive, NORA} × {unprotected,
+//! protected}. Protected runs use [`FaultTolerance::protected`] — ABFT
+//! checksum columns, bounded re-programming, spare-tile remap, and exact
+//! digital fallback — and the rows carry the recovery telemetry (flags,
+//! spares, fallbacks) so the cost of protection is visible next to the
+//! accuracy it buys.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::{FaultPlan, FaultTolerance, TileConfig, TileEventKind};
+use nora_core::RescalePlan;
+use nora_nn::deploy::AnalogTransformerLm;
+
+/// Configuration of the fault-injection sweep.
+#[derive(Debug, Clone)]
+pub struct FaultStudyConfig {
+    /// Base tile configuration (default: the paper's Table II).
+    pub tile: TileConfig,
+    /// Stuck-cell rates to sweep (fraction of cells, split evenly between
+    /// stuck-at-Gmin and stuck-at-Gmax).
+    pub cell_rates: Vec<f64>,
+    /// Dead row / dead column / stuck-ADC rate as a fraction of the cell
+    /// rate at each sweep point (line faults are rarer than cell faults).
+    pub line_rate_ratio: f64,
+    /// Deployment seed (also salts the per-point fault-plan seed).
+    pub seed: u64,
+}
+
+impl Default for FaultStudyConfig {
+    fn default() -> Self {
+        Self {
+            tile: TileConfig::paper_default(),
+            cell_rates: vec![0.0, 0.002, 0.005, 0.01, 0.02],
+            line_rate_ratio: 0.1,
+            seed: 0xfa17,
+        }
+    }
+}
+
+/// One (model, fault rate, plan, protection) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStudyRow {
+    /// Model name.
+    pub model: String,
+    /// Stuck-cell rate of this sweep point.
+    pub cell_rate: f64,
+    /// Dead-line / stuck-ADC rate of this sweep point.
+    pub line_rate: f64,
+    /// Rescale plan: `"naive"` or `"nora"`.
+    pub plan: String,
+    /// Whether ABFT + recovery was active.
+    pub protected: bool,
+    /// FP32 digital baseline accuracy.
+    pub digital: f64,
+    /// Analog next-token accuracy at this point.
+    pub accuracy: f64,
+    /// ABFT / silent-detector flags raised across all layers.
+    pub flags: u64,
+    /// Spare tiles consumed by remapping.
+    pub spares_used: u32,
+    /// Tile slots that ended on exact digital fallback.
+    pub fallbacks: usize,
+    /// Layers that could not be programmed at all and run digitally.
+    pub degraded_layers: usize,
+}
+
+impl FaultStudyRow {
+    /// Accuracy loss vs the digital baseline, percentage points.
+    pub fn loss_pp(&self) -> f64 {
+        100.0 * (self.digital - self.accuracy)
+    }
+
+    /// Renders rows as the fault-study table.
+    pub fn table(rows: &[FaultStudyRow]) -> Table {
+        let mut t = Table::new(&[
+            "model", "cell_rate", "plan", "abft", "digital%", "accuracy%", "loss_pp", "flags",
+            "spares", "fallbacks",
+        ])
+        .with_title("Fault study — accuracy vs hard-fault rate, ±NORA, ±ABFT+recovery");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("{:.3}", r.cell_rate),
+                r.plan.clone(),
+                if r.protected { "on" } else { "off" }.to_string(),
+                pct(r.digital),
+                pct(r.accuracy),
+                format!("{:+.1}", r.loss_pp()),
+                r.flags.to_string(),
+                r.spares_used.to_string(),
+                r.fallbacks.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[FaultStudyRow]) -> String {
+        let mut out = String::from(
+            "model,cell_rate,line_rate,plan,protected,digital,accuracy,\
+             flags,spares_used,fallbacks,degraded_layers\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.cell_rate,
+                r.line_rate,
+                r.plan,
+                r.protected,
+                r.digital,
+                r.accuracy,
+                r.flags,
+                r.spares_used,
+                r.fallbacks,
+                r.degraded_layers,
+            ));
+        }
+        out
+    }
+}
+
+fn measure(
+    analog: &mut AnalogTransformerLm,
+    p: &PreparedModel,
+    plan_name: &str,
+    cell_rate: f64,
+    line_rate: f64,
+    protected: bool,
+) -> FaultStudyRow {
+    let accuracy = analog_accuracy(analog, &p.episodes);
+    let flags = analog
+        .fault_events()
+        .iter()
+        .filter(|(_, e)| matches!(e.kind, TileEventKind::Flagged { .. }))
+        .count() as u64;
+    FaultStudyRow {
+        model: p.zoo.name.clone(),
+        cell_rate,
+        line_rate,
+        plan: plan_name.to_string(),
+        protected,
+        digital: p.digital_acc,
+        accuracy,
+        flags,
+        spares_used: analog.spares_used(),
+        fallbacks: analog.digital_fallback_count(),
+        degraded_layers: analog.degraded_layers().len(),
+    }
+}
+
+/// Runs the fault sweep for every prepared model.
+pub fn fault_study(prepared: &[PreparedModel], cfg: &FaultStudyConfig) -> Vec<FaultStudyRow> {
+    let mut rows = Vec::new();
+    for (i, &cell_rate) in cfg.cell_rates.iter().enumerate() {
+        let line_rate = cell_rate * cfg.line_rate_ratio;
+        // One defect draw per sweep point, shared by all four deployments so
+        // the ±NORA / ±ABFT comparison sees identical hardware.
+        let fault_seed = cfg.seed ^ ((i as u64 + 1) << 32);
+        for p in prepared {
+            for (plan_name, plan) in
+                [("naive", RescalePlan::naive()), ("nora", p.nora_plan.clone())]
+            {
+                for protected in [false, true] {
+                    let policy = if protected {
+                        FaultTolerance::protected()
+                    } else {
+                        FaultTolerance::off()
+                    };
+                    let tile = cfg
+                        .tile
+                        .clone()
+                        .with_fault_plan(FaultPlan::uniform(cell_rate, line_rate, fault_seed))
+                        .with_fault_tolerance(policy);
+                    let mut analog = plan.deploy(&p.zoo.model, tile, cfg.seed ^ 0x22);
+                    rows.push(measure(
+                        &mut analog,
+                        p,
+                        plan_name,
+                        cell_rate,
+                        line_rate,
+                        protected,
+                    ));
+                }
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn sweep_covers_all_cells_and_reports_recovery() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 77), 40, 6)];
+        let cfg = FaultStudyConfig {
+            tile: TileConfig::paper_default().with_tile_size(64, 65),
+            cell_rates: vec![0.0, 0.02],
+            line_rate_ratio: 0.1,
+            seed: 21,
+        };
+        let rows = fault_study(&prepared, &cfg);
+        // 2 rates × 1 model × 2 plans × 2 protection settings.
+        assert_eq!(rows.len(), 8);
+        assert!(rows
+            .iter()
+            .all(|r| r.accuracy.is_finite() && (0.0..=1.0).contains(&r.accuracy)));
+        // Fault-free points never trip detection or consume spares.
+        for r in rows.iter().filter(|r| r.cell_rate == 0.0) {
+            assert_eq!((r.flags, r.spares_used, r.fallbacks), (0, 0, 0), "{r:?}");
+        }
+        // At 2% stuck cells the protected runs must notice and recover.
+        let faulty_protected: Vec<_> = rows
+            .iter()
+            .filter(|r| r.cell_rate > 0.0 && r.protected)
+            .collect();
+        assert!(faulty_protected.iter().all(|r| r.flags > 0), "no flags");
+        assert!(
+            faulty_protected
+                .iter()
+                .all(|r| r.spares_used > 0 || r.fallbacks > 0),
+            "no recovery actions"
+        );
+        // Recovery should not hurt: protected ≥ unprotected at the same
+        // point (tiny-model accuracy is noisy, so allow a small slack).
+        for fp in &faulty_protected {
+            let un = rows
+                .iter()
+                .find(|r| {
+                    r.cell_rate == fp.cell_rate && r.plan == fp.plan && !r.protected
+                })
+                .unwrap();
+            assert!(
+                fp.accuracy + 0.05 >= un.accuracy,
+                "protected {} vs unprotected {} ({})",
+                fp.accuracy,
+                un.accuracy,
+                fp.plan
+            );
+        }
+        let table = FaultStudyRow::table(&rows).render();
+        assert!(table.contains("abft"));
+        let csv = FaultStudyRow::csv(&rows);
+        assert_eq!(csv.lines().count(), 9);
+        assert!(csv.starts_with("model,cell_rate"));
+    }
+}

@@ -3,6 +3,7 @@
 mod distributions;
 mod drift;
 mod extensions;
+mod faults;
 mod layers;
 mod management;
 mod mitigation;
@@ -21,6 +22,7 @@ pub use distributions::{
     kde_report, kurtosis_report, rescale_report, KdeReport, KurtosisRow, RescaleRow,
 };
 pub use drift::{drift_study, DriftConfig, DriftRow};
+pub use faults::{fault_study, FaultStudyConfig, FaultStudyRow};
 pub use mitigation::{mitigation, MitigationConfig, MitigationRow};
 pub use overall::{overall, OverallConfig, OverallRow};
 pub use prepare::{prepare, prepare_built, PreparedModel};

@@ -12,7 +12,9 @@
 
 use crate::attention::AttnProj;
 use crate::model::{KvCache, LinearId, LinearKind, TransformerLm};
-use nora_cim::{AnalogLinear, DriftCompensation, ForwardStats, TileConfig};
+use nora_cim::{
+    AnalogLinear, CimError, DriftCompensation, ForwardStats, TileConfig, TileEvent, TileHealth,
+};
 use nora_tensor::Matrix;
 use std::collections::HashMap;
 
@@ -41,6 +43,7 @@ pub type SmoothingMap = HashMap<LinearId, Vec<f32>>;
 pub struct AnalogTransformerLm {
     model: TransformerLm,
     analog: HashMap<LinearId, AnalogLinear>,
+    degraded: Vec<(LinearId, CimError)>,
 }
 
 impl AnalogTransformerLm {
@@ -49,6 +52,12 @@ impl AnalogTransformerLm {
     ///
     /// The digital parts of the model are cloned; the analog linears are
     /// programmed once at construction (weights × smoothing → conductances).
+    ///
+    /// Deployment degrades rather than aborts: a linear whose tiles cannot
+    /// be programmed (e.g. unrecoverable [`nora_cim::FaultPlan`]
+    /// programming failures) is left on the exact digital path and recorded
+    /// in [`AnalogTransformerLm::degraded_layers`]. Use
+    /// [`AnalogTransformerLm::try_new`] for strict all-or-nothing semantics.
     pub fn new(
         model: &TransformerLm,
         config: TileConfig,
@@ -56,6 +65,22 @@ impl AnalogTransformerLm {
         seed: u64,
     ) -> Self {
         Self::with_layer_filter(model, config, smoothing, seed, |_| true)
+    }
+
+    /// Strict variant of [`AnalogTransformerLm::new`]: returns the first
+    /// per-layer construction error instead of degrading that layer to
+    /// digital execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CimError`] of the first linear that failed to deploy.
+    pub fn try_new(
+        model: &TransformerLm,
+        config: TileConfig,
+        smoothing: &SmoothingMap,
+        seed: u64,
+    ) -> Result<Self, CimError> {
+        Self::deploy(model, config, smoothing, seed, |_| true, true)
     }
 
     /// Like [`AnalogTransformerLm::new`], but maps only the linears for
@@ -69,7 +94,27 @@ impl AnalogTransformerLm {
         seed: u64,
         filter: impl Fn(LinearId) -> bool,
     ) -> Self {
+        match Self::deploy(model, config, smoothing, seed, filter, false) {
+            Ok(deployed) => deployed,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Shared deployment loop. In lenient mode (`strict = false`), a layer
+    /// whose physical tiles cannot be programmed degrades to the digital
+    /// path with the failure recorded; *configuration* errors (invalid tile
+    /// config, mismatched smoothing, empty weights) still surface, because
+    /// they indicate caller bugs rather than hardware faults.
+    fn deploy(
+        model: &TransformerLm,
+        config: TileConfig,
+        smoothing: &SmoothingMap,
+        seed: u64,
+        filter: impl Fn(LinearId) -> bool,
+        strict: bool,
+    ) -> Result<Self, CimError> {
         let mut analog = HashMap::new();
+        let mut degraded = Vec::new();
         for id in model.linear_ids() {
             if !filter(id) {
                 continue;
@@ -80,20 +125,83 @@ impl AnalogTransformerLm {
             let s = smoothing.get(&id).map(|v| v.as_slice());
             let layer_seed =
                 seed ^ ((id.block as u64 + 1) << 20) ^ ((id.kind as u64 + 1) << 8);
-            analog.insert(
-                id,
-                AnalogLinear::with_smoothing(weights, Some(bias), s, config.clone(), layer_seed),
-            );
+            match AnalogLinear::try_with_smoothing(
+                weights,
+                Some(bias),
+                s,
+                config.clone(),
+                layer_seed,
+            ) {
+                Ok(layer) => {
+                    analog.insert(id, layer);
+                }
+                Err(err) if !strict && matches!(err, CimError::ProgrammingFailed { .. }) => {
+                    // Graceful degradation: the layer stays on the exact
+                    // digital path (forward already falls back for unmapped
+                    // ids) and the failure is recorded instead of aborting.
+                    degraded.push((id, err));
+                }
+                Err(err) => return Err(err),
+            }
         }
-        Self {
+        Ok(Self {
             model: model.clone(),
             analog,
-        }
+            degraded,
+        })
     }
 
     /// Number of linears actually mapped to analog tiles.
     pub fn analog_layer_count(&self) -> usize {
         self.analog.len()
+    }
+
+    /// Linears that could not be programmed at deployment and run digitally
+    /// instead, with the error that condemned them (construction order).
+    pub fn degraded_layers(&self) -> &[(LinearId, CimError)] {
+        &self.degraded
+    }
+
+    /// All tile degradation events recorded so far across the analog
+    /// layers (checksum flags, re-programmings, remaps, fallbacks), sorted
+    /// by (block, kind) and within a layer in occurrence order.
+    pub fn fault_events(&self) -> Vec<(LinearId, TileEvent)> {
+        let mut ids = self.model.linear_ids();
+        ids.retain(|id| self.analog.contains_key(id));
+        ids.into_iter()
+            .flat_map(|id| {
+                self.analog[&id]
+                    .events()
+                    .iter()
+                    .map(move |&event| (id, event))
+            })
+            .collect()
+    }
+
+    /// Tile health trackers of every analog layer, keyed by linear id and
+    /// listed in the layer's grid order.
+    pub fn tile_health(&self) -> Vec<(LinearId, Vec<TileHealth>)> {
+        let mut ids = self.model.linear_ids();
+        ids.retain(|id| self.analog.contains_key(id));
+        ids.into_iter()
+            .map(|id| (id, self.analog[&id].tile_health()))
+            .collect()
+    }
+
+    /// Spare physical tiles consumed by remapping, summed over layers.
+    pub fn spares_used(&self) -> u32 {
+        self.analog.values().map(AnalogLinear::spares_used).sum()
+    }
+
+    /// Tile slots currently served by exact digital fallback, summed over
+    /// layers (deployment-degraded layers from
+    /// [`AnalogTransformerLm::degraded_layers`] are *not* counted — they
+    /// have no tiles at all).
+    pub fn digital_fallback_count(&self) -> usize {
+        self.analog
+            .values()
+            .map(AnalogLinear::digital_fallback_count)
+            .sum()
     }
 
     /// The underlying digital model (used for the digital sub-operations).
@@ -356,6 +464,79 @@ mod tests {
         let tokens = [3usize, 1, 4];
         // No analog layer: forward must be bit-exact digital.
         assert_eq!(none.forward(&tokens), model.forward(&tokens));
+    }
+
+    #[test]
+    fn unprogrammable_layers_degrade_to_digital_instead_of_aborting() {
+        let model = tiny_model(15);
+        let mut cfg = TileConfig::paper_default().with_tile_size(64, 64);
+        cfg.fault_plan = Some(nora_cim::FaultPlan {
+            seed: 1,
+            programming_failure: 1.0, // every attempt fails, no recovery policy
+            ..nora_cim::FaultPlan::none()
+        });
+        let mut analog = AnalogTransformerLm::new(&model, cfg.clone(), &SmoothingMap::new(), 16);
+        assert_eq!(analog.analog_layer_count(), 0);
+        assert_eq!(analog.degraded_layers().len(), 6);
+        assert!(analog
+            .degraded_layers()
+            .iter()
+            .all(|(_, e)| matches!(e, CimError::ProgrammingFailed { .. })));
+        // Fully degraded ⇒ bit-exact digital execution.
+        let tokens = [2usize, 7, 1];
+        assert_eq!(analog.forward(&tokens), model.forward(&tokens));
+        // Strict construction surfaces the same failure as an error.
+        assert!(matches!(
+            AnalogTransformerLm::try_new(&model, cfg, &SmoothingMap::new(), 16),
+            Err(CimError::ProgrammingFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn protected_deployment_recovers_dead_tiles_in_field() {
+        let model = tiny_model(17);
+        let mut cfg = TileConfig::paper_default().with_tile_size(16, 17);
+        cfg.fault_plan = Some(nora_cim::FaultPlan {
+            seed: 2,
+            tile_dropout: 1.0, // every physical tile is dead
+            ..nora_cim::FaultPlan::none()
+        });
+        cfg.fault_tolerance = nora_cim::FaultTolerance::protected();
+        let mut analog = AnalogTransformerLm::new(&model, cfg, &SmoothingMap::new(), 18);
+        assert_eq!(analog.analog_layer_count(), 6);
+        assert!(analog.degraded_layers().is_empty());
+        let tokens = [1usize, 3, 5, 2];
+        let y = analog.forward(&tokens);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        // The silent-tile detector must have condemned every slot to exact
+        // digital fallback, so a second forward matches the digital model.
+        let events = analog.fault_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|(_, e)| matches!(
+            e.kind,
+            nora_cim::TileEventKind::DigitalFallback
+        )));
+        assert!(analog.digital_fallback_count() > 0);
+        let d = model.forward(&tokens);
+        assert!(analog.forward(&tokens).mse(&d) < 1e-9);
+        assert!(analog
+            .tile_health()
+            .iter()
+            .flat_map(|(_, hs)| hs.iter())
+            .any(|h| h.state == nora_cim::HealthState::Condemned));
+    }
+
+    #[test]
+    fn healthy_deployment_records_no_fault_events() {
+        let model = tiny_model(19);
+        let mut cfg = TileConfig::paper_default().with_tile_size(64, 65);
+        cfg.fault_tolerance = nora_cim::FaultTolerance::protected();
+        let mut analog = AnalogTransformerLm::new(&model, cfg, &SmoothingMap::new(), 20);
+        analog.forward(&[4usize, 2, 6, 1]);
+        assert!(analog.degraded_layers().is_empty());
+        assert!(analog.fault_events().is_empty());
+        assert_eq!(analog.spares_used(), 0);
+        assert_eq!(analog.digital_fallback_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Empirical ABFT false-positive probe: healthy tiles under the full
+//! Table II noise inventory must essentially never flag.
+use nora::cim::{AnalogTile, FaultTolerance, TileConfig};
+use nora::tensor::rng::Rng;
+use nora::tensor::Matrix;
+
+fn main() {
+    let mut worst = 0.0f32;
+    let mut flags = 0u32;
+    let mut batches = 0u32;
+    for seed in 0..100u64 {
+        let mut rng = Rng::seed_from(seed);
+        let w = Matrix::random_normal(64, 32, 0.0, 0.3, &mut rng);
+        let x = Matrix::random_normal(8, 64, 0.0, 1.0, &mut rng);
+        let mut cfg = TileConfig::paper_default().with_tile_size(64, 33);
+        cfg.fault_tolerance = FaultTolerance::protected();
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(seed ^ 999));
+        for _ in 0..20 {
+            let (_, r) = tile.forward_checked(&x);
+            worst = worst.max(r.worst_ratio);
+            flags += u32::from(r.suspicious);
+            batches += 1;
+        }
+    }
+    println!("healthy: {flags}/{batches} batches flagged, worst ratio {worst}");
+}

@@ -1,0 +1,164 @@
+//! Acceptance scenario for the fault-injection + graceful-degradation
+//! subsystem, plus edge-case coverage for IR-drop and the S-shape
+//! nonlinearity under degenerate inputs and tile shapes.
+
+use nora::cim::{AnalogLinear, AnalogTile, FaultTolerance, TileConfig, TileEventKind};
+use nora::device::FaultPlan;
+use nora::tensor::{rng::Rng, Matrix};
+
+/// ≥1% stuck cells plus dead lines, as the acceptance scenario requires.
+fn acceptance_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 14,
+        stuck_low: 0.008,
+        stuck_high: 0.008,
+        dead_col: 0.03,
+        ..FaultPlan::none()
+    }
+}
+
+fn setup(seed: u64) -> (Matrix, Matrix) {
+    let mut rng = Rng::seed_from(seed);
+    let w = Matrix::random_normal(64, 64, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(32, 64, 0.0, 1.0, &mut rng);
+    (w, x)
+}
+
+#[test]
+fn acceptance_plan_draws_stuck_cells_and_a_dead_column() {
+    // The plan must actually materialise ≥1% stuck cells and at least one
+    // dead column on the physical tiles the layer below will use.
+    let map = acceptance_plan().instantiate(0, 32, 33);
+    let cells = 32 * 33;
+    assert!(
+        map.stuck_cell_count() as f64 >= 0.01 * cells as f64,
+        "{} stuck cells of {cells}",
+        map.stuck_cell_count()
+    );
+    assert!(!map.dead_cols().is_empty(), "no dead column drawn");
+}
+
+#[test]
+fn unprotected_faulty_layer_stays_finite() {
+    let (w, x) = setup(1);
+    let cfg = TileConfig::paper_default()
+        .with_tile_size(32, 32)
+        .with_fault_plan(acceptance_plan());
+    let mut layer = AnalogLinear::new(w, None, cfg, 2);
+    let y = layer.forward(&x);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    // No detection without the policy: nothing recorded, nothing recovered.
+    assert!(layer.events().is_empty());
+    assert_eq!(layer.digital_fallback_count(), 0);
+}
+
+#[test]
+fn protected_faulty_layer_flags_and_recovers_within_2x_of_fault_free() {
+    let (w, x) = setup(3);
+    let y_ref = x.matmul(&w);
+
+    // Fault-free noisy baseline under the same tile geometry (33 columns so
+    // the data width matches the protected deployment's 32 + checksum).
+    let clean_cfg = TileConfig::paper_default().with_tile_size(32, 33);
+    let mse_clean = AnalogLinear::new(w.clone(), None, clean_cfg.clone(), 4)
+        .forward(&x)
+        .mse(&y_ref);
+
+    let cfg = clean_cfg
+        .with_fault_plan(acceptance_plan())
+        .with_fault_tolerance(FaultTolerance::protected());
+    let mut layer = AnalogLinear::new(w, None, cfg, 4);
+    let y = layer.forward(&x);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+
+    // ABFT (or the construction self-test) must have flagged faulty tiles…
+    assert!(
+        layer
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TileEventKind::Flagged { .. })),
+        "no tile was flagged: {:?}",
+        layer.events()
+    );
+    // …and recovery (remap and/or digital fallback) must have engaged.
+    assert!(
+        layer.spares_used() > 0 || layer.digital_fallback_count() > 0,
+        "no recovery action recorded"
+    );
+    let mse = y.mse(&y_ref);
+    assert!(
+        mse <= 2.0 * mse_clean,
+        "post-recovery mse {mse} vs fault-free baseline {mse_clean}"
+    );
+}
+
+// ---- IR-drop / nonlinearity edge cases -------------------------------
+
+/// Paper-default config with IR-drop and the S-shape nonlinearity turned
+/// well above their defaults, so the edge inputs exercise both models.
+fn harsh_cfg(rows: usize, cols: usize) -> TileConfig {
+    let mut cfg = TileConfig::paper_default().with_tile_size(rows, cols);
+    cfg.ir_drop *= 4.0;
+    cfg.s_shape *= 4.0;
+    cfg
+}
+
+#[test]
+fn zero_input_vector_yields_zero_output() {
+    let mut rng = Rng::seed_from(11);
+    let w = Matrix::random_normal(16, 8, 0.0, 0.3, &mut rng);
+    let mut tile = AnalogTile::new(w, None, harsh_cfg(16, 8), Rng::seed_from(12));
+    let x = Matrix::zeros(3, 16);
+    let y = tile.forward(&x);
+    assert!(y.as_slice().iter().all(|&v| v == 0.0), "{:?}", y.as_slice());
+}
+
+#[test]
+fn full_saturation_input_stays_finite_and_bounded() {
+    let mut rng = Rng::seed_from(13);
+    let w = Matrix::random_normal(16, 8, 0.0, 0.3, &mut rng);
+    let cfg = harsh_cfg(16, 8);
+    let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(14));
+    // Every input at ±1e4: the DAC clips, the array saturates, IR-drop and
+    // the S-shape compress — the output must stay finite and cannot exceed
+    // what a saturated, noiseless array could produce.
+    let x = Matrix::from_vec(
+        2,
+        16,
+        (0..32)
+            .map(|i| if i % 2 == 0 { 1e4 } else { -1e4 })
+            .collect(),
+    );
+    let y = tile.forward(&x);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    let exact_scale = x.matmul(&w).as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    assert!(
+        y.as_slice().iter().all(|v| v.abs() <= 2.0 * exact_scale),
+        "saturated output exceeds physical bound"
+    );
+}
+
+#[test]
+fn one_by_n_and_n_by_one_tiles_roundtrip() {
+    let mut rng = Rng::seed_from(15);
+    // 1×N: a single input line drives all columns (worst case for the
+    // IR-drop model's per-segment accumulation).
+    let w_row = Matrix::random_normal(1, 8, 0.0, 0.5, &mut rng);
+    let mut tile = AnalogTile::new(w_row.clone(), None, harsh_cfg(1, 8), Rng::seed_from(16));
+    let x = Matrix::from_vec(4, 1, vec![1.0, -2.0, 0.5, 0.0]);
+    let y = tile.forward(&x);
+    let y_ref = x.matmul(&w_row);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    assert!(y.mse(&y_ref) < 0.1, "1xN mse {}", y.mse(&y_ref));
+
+    // N×1: a single column (with ABFT this becomes 2 physical columns).
+    let w_col = Matrix::random_normal(8, 1, 0.0, 0.5, &mut rng);
+    let cfg = harsh_cfg(8, 2).with_fault_tolerance(FaultTolerance::protected());
+    let mut layer = AnalogLinear::new(w_col.clone(), None, cfg, 17);
+    let x = Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng);
+    let y = layer.forward(&x);
+    let y_ref = x.matmul(&w_col);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    assert!(y.mse(&y_ref) < 0.1, "Nx1 mse {}", y.mse(&y_ref));
+    assert!(layer.events().is_empty(), "healthy N×1 must not flag");
+}
