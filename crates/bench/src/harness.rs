@@ -9,7 +9,11 @@
 //!
 //! * `NORA_BENCH_FAST=1` — shrink the measurement window (smoke runs / CI).
 //! * `NORA_BENCH_MS=<n>` — explicit measurement window in milliseconds.
+//! * `NORA_BENCH_JSON=<path>` — append one JSON-lines record per
+//!   measurement (`{"name", "ns_per_iter", "iters", "threads"}`), so runs
+//!   at different thread counts can be committed and diffed as baselines.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Measurement window per benchmark.
@@ -72,7 +76,44 @@ pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Measurement {
         "bench: {name:<44} {:>14.1} ns/iter  ({} iters)",
         m.ns_per_iter, m.iters
     );
+    append_json_record(name, &m);
     m
+}
+
+/// Appends the measurement as a JSON-lines record to `NORA_BENCH_JSON`, if
+/// set. I/O errors are reported on stderr but never fail the bench run.
+fn append_json_record(name: &str, m: &Measurement) {
+    let Ok(path) = std::env::var("NORA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // Bench names are ASCII identifiers; escape the JSON specials anyway so
+    // a stray quote cannot corrupt the file.
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let record = format!(
+        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.1},\"iters\":{},\"threads\":{}}}\n",
+        m.ns_per_iter,
+        m.iters,
+        nora_parallel::max_threads()
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(record.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("bench: failed to append to NORA_BENCH_JSON={path}: {e}");
+    }
 }
 
 /// Like [`bench`] with an element-throughput line (elements per iteration).
@@ -97,6 +138,31 @@ mod tests {
         assert!(m.iters >= 1);
         assert!(m.ns_per_iter >= 0.0);
         assert!(acc > 0);
+    }
+
+    #[test]
+    fn json_records_append_with_thread_count() {
+        let path = std::env::temp_dir().join(format!("nora_bench_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("NORA_BENCH_MS", "5");
+        std::env::set_var("NORA_BENCH_JSON", &path);
+        bench("json_probe_a", || {
+            std::hint::black_box(1 + 1);
+        });
+        bench("json_probe_b", || {
+            std::hint::black_box(2 + 2);
+        });
+        std::env::remove_var("NORA_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests in this binary may bench concurrently while the env
+        // var is set; assert on our own records only.
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("json_probe")).collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"name\":\"json_probe_a\""));
+        assert!(lines[0].contains("\"ns_per_iter\":"));
+        assert!(lines[0].contains("\"iters\":"));
+        assert!(lines[1].contains("\"threads\":"));
     }
 
     #[test]

@@ -331,29 +331,41 @@ impl AnalogLinear {
         let batch = x.rows();
         let recovery = self.config.fault_tolerance.is_active();
         let mut y = Matrix::zeros(batch, self.d_out);
-        for idx in 0..self.entries.len() {
+        // Phase 1 — independent tile forwards, fanned across worker threads.
+        // Each entry owns its tile, RNG stream, and statistics, so the
+        // per-tile results are bit-identical at any thread count.
+        let parts: Vec<(Matrix, Option<AbftReport>)> =
+            nora_parallel::map_slice_mut(&mut self.entries, |_, e| {
+                let x_slice = x.submatrix(0, batch, e.r0, e.r0 + e.rows());
+                match &mut e.slot {
+                    TileSlot::Digital(w) => (x_slice.matmul(w), None),
+                    TileSlot::Analog(tile) => {
+                        if recovery {
+                            let (part, report) = tile.forward_checked(&x_slice);
+                            let bad = report.suspicious.then_some(report);
+                            (part, bad)
+                        } else {
+                            (tile.forward(&x_slice), None)
+                        }
+                    }
+                }
+            });
+        // Phase 2 — serial, in grid-index order: recovery of flagged tiles
+        // (which mutates the shared event log / spare pool, so its ordering
+        // must not depend on thread scheduling) and digital accumulation of
+        // the partial sums (fixed FP summation order).
+        for (idx, (part, flagged)) in parts.into_iter().enumerate() {
             let (r0, c0, rows) = {
                 let e = &self.entries[idx];
                 (e.r0, e.c0, e.rows())
             };
-            let x_slice = x.submatrix(0, batch, r0, r0 + rows);
-            let outcome = match &mut self.entries[idx].slot {
-                TileSlot::Digital(w) => (x_slice.matmul(w), None),
-                TileSlot::Analog(tile) => {
-                    if recovery {
-                        let (part, report) = tile.forward_checked(&x_slice);
-                        let bad = report.suspicious.then_some(report);
-                        (part, bad)
-                    } else {
-                        (tile.forward(&x_slice), None)
-                    }
+            let part = match flagged {
+                Some(report) => {
+                    let x_slice = x.submatrix(0, batch, r0, r0 + rows);
+                    self.recover_entry(idx, &x_slice, part, report)
                 }
+                None => part,
             };
-            let part = match outcome {
-                (part, Some(report)) => self.recover_entry(idx, &x_slice, part, report),
-                (part, None) => part,
-            };
-            // Digital accumulation of tile partial sums.
             for i in 0..batch {
                 let dst = &mut y.row_mut(i)[c0..c0 + part.cols()];
                 for (d, &p) in dst.iter_mut().zip(part.row(i)) {

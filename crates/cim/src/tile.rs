@@ -202,6 +202,30 @@ pub struct AnalogTile {
     adc_lsb: f32,
     rng: Rng,
     stats: ForwardStats,
+    /// Reusable temporaries for the conversion hot loop (no behavioral
+    /// effect — every buffer is cleared or fully overwritten before use).
+    scratch: Scratch,
+}
+
+/// Scratch arena for [`AnalogTile::forward_checked`] and the conversion
+/// chain: one allocation per buffer for the lifetime of the tile instead of
+/// one per sample (or per read-averaging repeat / bit plane).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Smoothed input `x / s` (length `rows`).
+    x_s: Vec<f32>,
+    /// DAC output in the analog path (length `rows`).
+    x_hat: Vec<f32>,
+    /// Averaged/combined conversion output (length `w_eff.cols()`).
+    z: Vec<f32>,
+    /// Single-repeat output during read averaging.
+    z_rep: Vec<f32>,
+    /// One ±1/0 wordline plane in bit-serial mode (length `rows`).
+    plane: Vec<f32>,
+    /// Per-plane MAC output in bit-serial mode.
+    zk: Vec<f32>,
+    /// Quantized signed input levels in bit-serial mode.
+    levels: Vec<i32>,
 }
 
 impl AnalogTile {
@@ -410,6 +434,7 @@ impl AnalogTile {
             adc_lsb,
             rng,
             stats: ForwardStats::default(),
+            scratch: Scratch::default(),
             config,
         })
     }
@@ -543,7 +568,10 @@ impl AnalogTile {
             BoundManagement::Iterative { max_rounds } => max_rounds,
         };
 
-        let mut x_s = vec![0.0f32; self.rows()];
+        let mut x_s = std::mem::take(&mut self.scratch.x_s);
+        x_s.clear();
+        x_s.resize(self.rows(), 0.0);
+        let mut z = std::mem::take(&mut self.scratch.z);
         for i in 0..batch {
             // Divide by the smoothing vector (Eq. 7: x / (α' s)).
             for (k, (&xv, &sv)) in x.row(i).iter().zip(&self.s).enumerate() {
@@ -558,7 +586,7 @@ impl AnalogTile {
 
             let mut round = 0u32;
             loop {
-                let (z, clipped, saturated) = self.convert_once(&x_s, alpha);
+                let (clipped, saturated) = self.convert_once(&x_s, alpha, &mut z);
                 let final_round = saturated == 0 || round >= max_retries;
                 if final_round {
                     self.stats.clipped_inputs += clipped as u64;
@@ -609,6 +637,8 @@ impl AnalogTile {
                 self.stats.bound_mgmt_retries += 1;
             }
         }
+        self.scratch.x_s = x_s;
+        self.scratch.z = z;
         if self.abft.is_some() {
             let policy = &self.config.fault_tolerance;
             // Silent-tile detector: a fully dead tile has a *consistent*
@@ -682,78 +712,81 @@ impl AnalogTile {
         }
     }
 
-    /// One DAC→MAC→ADC pass at a fixed `α`, returning the normalised
-    /// outputs plus the clip/saturation counts.
-    /// One conversion, averaged over `read_averaging` repeats.
-    fn convert_once(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
+    /// One DAC→MAC→ADC pass at a fixed `α`, averaged over `read_averaging`
+    /// repeats. Writes the normalised outputs into `z` (cleared first) and
+    /// returns the clip/saturation counts.
+    fn convert_once(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
         let repeats = self.config.read_averaging.max(1);
-        let (mut z, clipped, saturated) = if repeats == 1 {
-            self.convert_single(x_s, alpha)
-        } else {
-            let (mut z, clipped, mut saturated) = self.convert_single(x_s, alpha);
+        let (clipped, mut saturated) = self.convert_single(x_s, alpha, z);
+        if repeats > 1 {
+            let mut zr = std::mem::take(&mut self.scratch.z_rep);
             for _ in 1..repeats {
-                let (zr, _, sat) = self.convert_single(x_s, alpha);
+                let (_, sat) = self.convert_single(x_s, alpha, &mut zr);
                 for (a, &b) in z.iter_mut().zip(&zr) {
                     *a += b;
                 }
                 saturated += sat;
             }
+            self.scratch.z_rep = zr;
             let inv = 1.0 / repeats as f32;
-            for v in &mut z {
+            for v in z.iter_mut() {
                 *v *= inv;
             }
-            (z, clipped, saturated / repeats as usize)
-        };
+            saturated /= repeats as usize;
+        }
         // A stuck ADC channel reports its latched code regardless of the
         // bitline current (and of averaging — every repeat reads the same
         // code).
         if let Some(map) = &self.fault_map {
-            map.apply_adc_stuck(&mut z, self.config.adc_bound);
+            map.apply_adc_stuck(z, self.config.adc_bound);
         }
-        (z, clipped, saturated)
+        (clipped, saturated)
     }
 
-    /// A single unaveraged conversion round.
-    fn convert_single(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
+    /// A single unaveraged conversion round, written into `z`.
+    fn convert_single(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
         match self.config.input_encoding {
-            crate::config::InputEncoding::Analog => self.convert_analog(x_s, alpha),
+            crate::config::InputEncoding::Analog => self.convert_analog(x_s, alpha, z),
             crate::config::InputEncoding::BitSerial { bits } => {
-                self.convert_bit_serial(x_s, alpha, bits)
+                self.convert_bit_serial(x_s, alpha, bits, z)
             }
         }
     }
 
     /// Multi-level analog input drive: one DAC conversion per input.
-    fn convert_analog(&mut self, x_s: &[f32], alpha: f32) -> (Vec<f32>, usize, usize) {
-        let cfg = &self.config;
+    fn convert_analog(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
         // DAC stage.
-        let mut x_hat: Vec<f32> = x_s.iter().map(|&v| v / alpha).collect();
+        let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+        x_hat.clear();
+        x_hat.extend(x_s.iter().map(|&v| v / alpha));
         let clipped = self.dac.convert_slice(&mut x_hat);
         // Additive input noise (mixed-signal components after the DAC).
-        if cfg.in_noise > 0.0 {
+        if self.config.in_noise > 0.0 {
+            let sigma = self.config.in_noise;
             for v in &mut x_hat {
-                *v += self.rng.normal(0.0, cfg.in_noise);
+                *v += self.rng.normal(0.0, sigma);
             }
         }
         // S-shape transfer of the input drivers.
-        crate::nonlinearity::s_shape_slice(&mut x_hat, cfg.s_shape);
+        crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
 
-        // Analog MAC over the effective weights.
-        let mut z = self.w_eff.vecmat(&x_hat);
+        // Analog MAC over the effective weights (dense kernel: activations
+        // after DAC + noise + S-shape are almost never exact zeros).
+        self.w_eff.vecmat_into(&x_hat, z);
 
         // Short-term read noise: each cell's conductance jitters per cycle,
         // so output j picks up Σ_k ξ_kj · x̂_k, a Gaussian with std
         // σ_w · ‖x̂‖₂. Sampling that aggregate directly is statistically
         // exact and O(cols) instead of O(rows × cols).
-        if cfg.w_noise > 0.0 {
+        if self.config.w_noise > 0.0 {
             let x_l2 = x_hat
                 .iter()
                 .map(|&v| (v as f64) * (v as f64))
                 .sum::<f64>()
                 .sqrt() as f32;
             if x_l2 > 0.0 {
-                let sigma = cfg.w_noise * x_l2;
-                for v in &mut z {
+                let sigma = self.config.w_noise * x_l2;
+                for v in z.iter_mut() {
                     *v += self.rng.normal(0.0, sigma);
                 }
             }
@@ -763,17 +796,19 @@ impl AnalogTile {
         if !self.ir.is_off() {
             let u: f32 =
                 x_hat.iter().map(|v| v.abs()).sum::<f32>() / x_hat.len().max(1) as f32;
-            self.ir.apply(&mut z, &self.ir_factors, u);
+            self.ir.apply(z, &self.ir_factors, u);
         }
 
         // Additive output noise (ADC front-end), then the ADC itself.
-        if cfg.out_noise > 0.0 {
-            for v in &mut z {
-                *v += self.rng.normal(0.0, cfg.out_noise);
+        if self.config.out_noise > 0.0 {
+            let sigma = self.config.out_noise;
+            for v in z.iter_mut() {
+                *v += self.rng.normal(0.0, sigma);
             }
         }
-        let saturated = self.adc.convert_slice(&mut z);
-        (z, clipped, saturated)
+        let saturated = self.adc.convert_slice(z);
+        self.scratch.x_hat = x_hat;
+        (clipped, saturated)
     }
 
     /// Bit-serial input drive (ISAAC-style): the scaled input is quantized
@@ -787,7 +822,8 @@ impl AnalogTile {
         x_s: &[f32],
         alpha: f32,
         bits: u32,
-    ) -> (Vec<f32>, usize, usize) {
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
         let planes = bits - 1;
         let full_scale = ((1u32 << planes) - 1) as f32;
         // Quantize the scaled input to signed integers in [-full_scale,
@@ -795,29 +831,32 @@ impl AnalogTile {
         // path.
         let bound = self.config.dac_bound;
         let mut clipped = 0usize;
-        let levels: Vec<i32> = x_s
-            .iter()
-            .map(|&v| {
-                let scaled = v / alpha;
-                if scaled.abs() > bound {
-                    clipped += 1;
-                }
-                let c = if scaled.is_nan() {
-                    0.0
-                } else {
-                    scaled.clamp(-bound, bound)
-                };
-                (c / bound * full_scale).round() as i32
-            })
-            .collect();
+        let mut levels = std::mem::take(&mut self.scratch.levels);
+        levels.clear();
+        levels.extend(x_s.iter().map(|&v| {
+            let scaled = v / alpha;
+            if scaled.abs() > bound {
+                clipped += 1;
+            }
+            let c = if scaled.is_nan() {
+                0.0
+            } else {
+                scaled.clamp(-bound, bound)
+            };
+            (c / bound * full_scale).round() as i32
+        }));
 
         // The calibrated gain of a binary driver under the S-shape transfer.
         let drive_gain = crate::nonlinearity::s_shape(1.0, self.config.s_shape);
 
         let cols = self.cols();
-        let mut z = vec![0.0f32; cols];
+        z.clear();
+        z.resize(cols, 0.0);
         let mut saturated = 0usize;
-        let mut plane: Vec<f32> = vec![0.0; levels.len()];
+        let mut plane = std::mem::take(&mut self.scratch.plane);
+        plane.clear();
+        plane.resize(levels.len(), 0.0);
+        let mut zk = std::mem::take(&mut self.scratch.zk);
         for k in 0..planes {
             let mask = 1i32 << k;
             for (p, &m) in plane.iter_mut().zip(&levels) {
@@ -831,7 +870,10 @@ impl AnalogTile {
                     *p += self.rng.normal(0.0, self.config.in_noise);
                 }
             }
-            let mut zk = self.w_eff.vecmat(&plane);
+            // Wordline planes are genuinely sparse (≈half the lines idle per
+            // bit position when in_noise is zero), so the sparse-aware
+            // kernel wins here — unlike the dense analog path.
+            self.w_eff.vecmat_sparse_into(&plane, &mut zk);
             if self.config.w_noise > 0.0 {
                 let l2 = plane
                     .iter()
@@ -862,7 +904,10 @@ impl AnalogTile {
                 *acc += v * weight;
             }
         }
-        (z, clipped, saturated)
+        self.scratch.levels = levels;
+        self.scratch.plane = plane;
+        self.scratch.zk = zk;
+        (clipped, saturated)
     }
 
     /// Mean relative programmed conductance `mean(|ŵ|)` — drives array

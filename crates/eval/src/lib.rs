@@ -21,4 +21,5 @@
 pub mod noise_level;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod tasks;

@@ -70,37 +70,43 @@ impl DriftRow {
 }
 
 /// Runs the drift study on every prepared model.
+///
+/// Each (model, plan, compensation, time) point deploys its own layer from
+/// an explicit seed, so the grid runs through
+/// [`crate::sweep::parallel_sweep`] with the legacy nesting order preserved
+/// in the task list — rows are bit-identical to a serial run.
 pub fn drift_study(prepared: &[PreparedModel], cfg: &DriftConfig) -> Vec<DriftRow> {
-    let mut rows = Vec::new();
+    let mut tasks = Vec::new();
     for p in prepared {
         for (plan_name, plan) in [
             ("naive", RescalePlan::naive()),
             ("nora", p.nora_plan.clone()),
         ] {
             for &comp in &[false, true] {
-                let compensation = if comp {
-                    DriftCompensation::GlobalScale
-                } else {
-                    DriftCompensation::None
-                };
                 for &t in &cfg.times {
-                    let mut analog =
-                        plan.deploy(&p.zoo.model, cfg.tile.clone(), cfg.seed ^ 0x33);
-                    analog.apply_drift(t, compensation);
-                    let accuracy = analog_accuracy(&mut analog, &p.episodes);
-                    rows.push(DriftRow {
-                        model: p.zoo.name.clone(),
-                        t_seconds: t,
-                        plan: plan_name,
-                        compensated: comp,
-                        accuracy,
-                        digital: p.digital_acc,
-                    });
+                    tasks.push((p, plan_name, plan.clone(), comp, t));
                 }
             }
         }
     }
-    rows
+    crate::sweep::parallel_sweep(&tasks, |(p, plan_name, plan, comp, t)| {
+        let compensation = if *comp {
+            DriftCompensation::GlobalScale
+        } else {
+            DriftCompensation::None
+        };
+        let mut analog = plan.deploy(&p.zoo.model, cfg.tile.clone(), cfg.seed ^ 0x33);
+        analog.apply_drift(*t, compensation);
+        let accuracy = analog_accuracy(&mut analog, &p.episodes);
+        DriftRow {
+            model: p.zoo.name.clone(),
+            t_seconds: *t,
+            plan: plan_name,
+            compensated: *comp,
+            accuracy,
+            digital: p.digital_acc,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -156,8 +156,13 @@ fn measure(
 }
 
 /// Runs the fault sweep for every prepared model.
+///
+/// Sweep points deploy and measure independently, so they execute through
+/// [`crate::sweep::parallel_sweep`]; the task list keeps the legacy rate →
+/// model → plan → protection nesting order, so the rows come back in the
+/// same order (and bit-identical) regardless of the thread count.
 pub fn fault_study(prepared: &[PreparedModel], cfg: &FaultStudyConfig) -> Vec<FaultStudyRow> {
-    let mut rows = Vec::new();
+    let mut tasks = Vec::new();
     for (i, &cell_rate) in cfg.cell_rates.iter().enumerate() {
         let line_rate = cell_rate * cfg.line_rate_ratio;
         // One defect draw per sweep point, shared by all four deployments so
@@ -168,30 +173,28 @@ pub fn fault_study(prepared: &[PreparedModel], cfg: &FaultStudyConfig) -> Vec<Fa
                 [("naive", RescalePlan::naive()), ("nora", p.nora_plan.clone())]
             {
                 for protected in [false, true] {
-                    let policy = if protected {
-                        FaultTolerance::protected()
-                    } else {
-                        FaultTolerance::off()
-                    };
-                    let tile = cfg
-                        .tile
-                        .clone()
-                        .with_fault_plan(FaultPlan::uniform(cell_rate, line_rate, fault_seed))
-                        .with_fault_tolerance(policy);
-                    let mut analog = plan.deploy(&p.zoo.model, tile, cfg.seed ^ 0x22);
-                    rows.push(measure(
-                        &mut analog,
-                        p,
-                        plan_name,
-                        cell_rate,
-                        line_rate,
-                        protected,
-                    ));
+                    tasks.push((cell_rate, line_rate, fault_seed, p, plan_name, plan.clone(), protected));
                 }
             }
         }
     }
-    rows
+    crate::sweep::parallel_sweep(
+        &tasks,
+        |(cell_rate, line_rate, fault_seed, p, plan_name, plan, protected)| {
+            let policy = if *protected {
+                FaultTolerance::protected()
+            } else {
+                FaultTolerance::off()
+            };
+            let tile = cfg
+                .tile
+                .clone()
+                .with_fault_plan(FaultPlan::uniform(*cell_rate, *line_rate, *fault_seed))
+                .with_fault_tolerance(policy);
+            let mut analog = plan.deploy(&p.zoo.model, tile, cfg.seed ^ 0x22);
+            measure(&mut analog, p, plan_name, *cell_rate, *line_rate, *protected)
+        },
+    )
 }
 
 #[cfg(test)]

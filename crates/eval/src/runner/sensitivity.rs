@@ -47,6 +47,11 @@ pub struct SensitivityPoint {
 
 /// Runs the Fig. 3 sweep: for every model × noise × MSE level, deploy
 /// naively with *only* that noise active and measure the accuracy drop.
+///
+/// The grid points are independent (each deploys from its own seed), so
+/// they run through [`crate::sweep::parallel_sweep`]; the task list is
+/// materialised in the legacy noise → model → MSE nesting order, keeping
+/// the returned rows bit-identical to a serial run.
 pub fn sensitivity(
     prepared: &[PreparedModel],
     cfg: &SensitivityConfig,
@@ -54,7 +59,7 @@ pub fn sensitivity(
     let workload = RefWorkload::default_reference(cfg.seed);
     let grid = paper_mse_grid(cfg.mse_points);
     // Severity calibration is model-independent: do it once per (noise, mse).
-    let mut points = Vec::new();
+    let mut tasks = Vec::new();
     for &noise in &cfg.noises {
         let severities: Vec<f32> = grid
             .iter()
@@ -62,22 +67,23 @@ pub fn sensitivity(
             .collect();
         for p in prepared {
             for (&target_mse, &severity) in grid.iter().zip(&severities) {
-                let tile = noise.configure(severity);
-                let mut analog =
-                    RescalePlan::naive().deploy(&p.zoo.model, tile, cfg.seed ^ 0x11);
-                let accuracy = analog_accuracy(&mut analog, &p.episodes);
-                points.push(SensitivityPoint {
-                    model: p.zoo.name.clone(),
-                    noise,
-                    target_mse,
-                    severity,
-                    accuracy,
-                    drop_pp: accuracy_drop_pp(p.digital_acc, accuracy),
-                });
+                tasks.push((noise, p, target_mse, severity));
             }
         }
     }
-    points
+    crate::sweep::parallel_sweep(&tasks, |&(noise, p, target_mse, severity)| {
+        let tile = noise.configure(severity);
+        let mut analog = RescalePlan::naive().deploy(&p.zoo.model, tile, cfg.seed ^ 0x11);
+        let accuracy = analog_accuracy(&mut analog, &p.episodes);
+        SensitivityPoint {
+            model: p.zoo.name.clone(),
+            noise,
+            target_mse,
+            severity,
+            accuracy,
+            drop_pp: accuracy_drop_pp(p.digital_acc, accuracy),
+        }
+    })
 }
 
 impl SensitivityPoint {

@@ -1,0 +1,33 @@
+//! Parallel sweep executor for experiment drivers.
+//!
+//! Every paper study is a grid of independent `(config, seed)` points: each
+//! point deploys its own analog model from an explicit seed and measures it
+//! on shared read-only episodes. [`parallel_sweep`] runs those points across
+//! worker threads and returns the results **in task order**, so a driver
+//! that materialises its task list in the legacy nesting order produces a
+//! row vector bit-identical to the old serial loops — at any thread count.
+
+/// Maps `f` over `points` in parallel, returning results in input order.
+///
+/// `NORA_THREADS=1` (or [`nora_parallel::with_threads`]`(1, ..)`) reduces
+/// this to a plain serial iteration. Each point is evaluated exactly once by
+/// exactly one thread; `f` must not rely on shared mutable state.
+pub fn parallel_sweep<T: Sync, R: Send>(points: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    nora_parallel::map_indexed(points.len(), |i| f(&points[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_task_order_at_any_thread_count() {
+        let tasks: Vec<u64> = (0..37).collect();
+        let serial = nora_parallel::with_threads(1, || parallel_sweep(&tasks, |&t| t * t + 1));
+        for threads in [2, 4, 8] {
+            let par =
+                nora_parallel::with_threads(threads, || parallel_sweep(&tasks, |&t| t * t + 1));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+}

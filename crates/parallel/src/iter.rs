@@ -1,0 +1,236 @@
+//! Ordered parallel iteration helpers.
+//!
+//! All helpers distribute item indices through a shared atomic counter
+//! (cheap dynamic load balancing — expensive items don't stall a static
+//! partition) and write results into **index-addressed slots**, so the
+//! returned order is always the input order regardless of which worker
+//! finished first.
+
+use crate::pool::run_on;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Raw pointer wrapper that may cross threads. Safety rests on the caller
+/// guaranteeing disjoint index access (each index claimed exactly once via
+/// the atomic counter).
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — a bare `base.0` capture would grab the un-`Sync` raw
+    /// pointer itself.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Picks the participant count for `n` items on the current thread.
+fn threads_for(n: usize) -> usize {
+    crate::max_threads().min(n)
+}
+
+/// Calls `f(i)` for every `i in 0..n`, distributing indices across threads.
+///
+/// With one thread (or one item) this is exactly `for i in 0..n { f(i) }`.
+pub fn for_each_index(n: usize, f: impl Fn(usize) + Sync) {
+    let threads = threads_for(n);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    run_on(threads, &|| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        f(i);
+    });
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+pub fn map_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` needs no initialisation; length == capacity.
+    unsafe { slots.set_len(n) };
+    let base = SendPtr(slots.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    run_on(threads, &|| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let value = f(i);
+        // SAFETY: index `i` was claimed by exactly this thread, so the slot
+        // write is unaliased; `run_on` returns only after all writes.
+        unsafe { (*base.get().add(i)).write(value) };
+    });
+    // SAFETY: every slot in 0..n was written exactly once (the counter hands
+    // each index to one worker and `run_on` waited for all of them);
+    // `Vec<MaybeUninit<R>>` and `Vec<R>` share the same layout.
+    unsafe {
+        let ptr = slots.as_mut_ptr().cast::<R>();
+        let cap = slots.capacity();
+        std::mem::forget(slots);
+        Vec::from_raw_parts(ptr, n, cap)
+    }
+}
+
+/// Maps `f(index, &mut item)` over a mutable slice, returning results in
+/// index order. Each item is visited by exactly one thread.
+pub fn map_slice_mut<T: Send, R: Send>(
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let base = SendPtr(items.as_mut_ptr());
+    map_indexed(n, |i| {
+        // SAFETY: `map_indexed` hands index `i` to exactly one thread, so
+        // the `&mut` borrows are disjoint; the slice outlives the call.
+        let item = unsafe { &mut *base.get().add(i) };
+        f(i, item)
+    })
+}
+
+/// Maps `f` over an owned `Vec`, consuming the items, results in index
+/// order.
+pub fn map_vec<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    map_slice_mut(&mut slots, |_, slot| {
+        f(slot.take().expect("each slot is taken exactly once"))
+    })
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` (the last may be
+/// shorter) and calls `f(chunk_index, chunk)` for each, in parallel.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let total = data.len();
+    let n_chunks = total.div_ceil(chunk_len);
+    let threads = threads_for(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    for_each_index(n_chunks, |i| {
+        let start = i * chunk_len;
+        let len = chunk_len.min(total - start);
+        // SAFETY: chunk `i` covers `start..start + len`, disjoint from every
+        // other chunk; each chunk index is claimed by exactly one thread.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        f(i, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = with_threads(threads, || map_indexed(100, |i| i * 3));
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_index_covers_every_index_once() {
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            for_each_index(64, |i| {
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn map_slice_mut_mutates_and_returns_in_order() {
+        let mut items: Vec<u64> = (0..50).collect();
+        let doubled = with_threads(4, || {
+            map_slice_mut(&mut items, |i, v| {
+                *v += 1;
+                (i as u64) * 2
+            })
+        });
+        assert_eq!(items, (1..=50).collect::<Vec<u64>>());
+        assert_eq!(doubled, (0..50).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_vec_consumes_in_order() {
+        let items: Vec<String> = (0..20).map(|i| format!("s{i}")).collect();
+        let out = with_threads(3, || map_vec(items, |s| s + "!"));
+        assert_eq!(out[7], "s7!");
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        let mut data = vec![0u32; 103];
+        with_threads(4, || {
+            for_each_chunk_mut(&mut data, 10, |ci, chunk| {
+                for v in chunk {
+                    *v += 1 + ci as u32;
+                }
+            });
+        });
+        // Every element touched exactly once, with its chunk's value.
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (i / 10) as u32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        assert!(map_indexed(0, |i| i).is_empty());
+        let mut empty: Vec<u8> = Vec::new();
+        for_each_chunk_mut(&mut empty, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                map_indexed(16, |i| {
+                    if i == 7 {
+                        panic!("item 7 failed");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+}

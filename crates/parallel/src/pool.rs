@@ -1,0 +1,227 @@
+//! Persistent worker pool with scoped job submission.
+//!
+//! Workers are spawned lazily on first use, parked on a shared queue, and
+//! reused for the lifetime of the process — so a hot loop (e.g. one analog
+//! layer forward per token) pays a latch handshake per call, not a thread
+//! spawn. Borrow-scoped closures are supported the same way scoped thread
+//! pools do it: the submitting call erases the closure's lifetime and then
+//! blocks until every helper has finished, so the borrow can never dangle.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared job queue the workers park on.
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+struct Pool {
+    queue: Arc<Queue>,
+    /// Workers spawned so far (grows to the largest requested count).
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set while this thread is executing inside a parallel section —
+    /// permanently on pool workers, temporarily on a caller participating in
+    /// its own `run_on`. Nested helpers observe it and run serially.
+    static IN_SECTION: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn in_parallel_section() -> bool {
+    IN_SECTION.with(Cell::get)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn ensure_workers(wanted: usize) {
+    let p = pool();
+    let mut count = p.spawned.lock().expect("pool lock");
+    while *count < wanted {
+        let queue = Arc::clone(&p.queue);
+        std::thread::Builder::new()
+            .name(format!("nora-par-{count}"))
+            .spawn(move || worker_loop(&queue))
+            .expect("failed to spawn pool worker");
+        *count += 1;
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    IN_SECTION.with(|c| c.set(true));
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().expect("pool lock");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break job;
+                }
+                jobs = queue.ready.wait(jobs).expect("pool lock");
+            }
+        };
+        job();
+    }
+}
+
+/// Completion latch: counts helper jobs down and carries the first panic.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch lock");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch lock");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch lock");
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("latch lock");
+        slot.get_or_insert(payload);
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().expect("latch lock").take()
+    }
+}
+
+/// Executes `body` concurrently on `threads` participants (the calling
+/// thread plus `threads − 1` pool workers) and returns once **all** of them
+/// have finished. Panics in any participant are re-raised on the caller
+/// after the section has fully drained.
+///
+/// `body` is typically a worker function that claims item indices from a
+/// shared atomic counter — see [`crate::for_each_index`]. Inside the
+/// section, [`crate::max_threads`] reports 1, so nested parallel calls
+/// degrade to serial loops instead of deadlocking the pool.
+pub fn run_on(threads: usize, body: &(dyn Fn() + Sync)) {
+    let helpers = threads.saturating_sub(1);
+    if helpers == 0 || in_parallel_section() {
+        body();
+        return;
+    }
+    ensure_workers(helpers);
+    let latch = Arc::new(Latch::new(helpers));
+    // SAFETY: the only references smuggled past the borrow checker are
+    // `body` and `latch` captures inside the queued jobs. `run_on` does not
+    // return (and cannot unwind) before `latch.wait()` observes every job's
+    // `count_down`, which each job performs only after its last use of
+    // `body`. The borrow therefore strictly outlives all uses.
+    let body_static: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(body) };
+    {
+        let p = pool();
+        let mut jobs = p.queue.jobs.lock().expect("pool lock");
+        for _ in 0..helpers {
+            let latch = Arc::clone(&latch);
+            jobs.push_back(Box::new(move || {
+                if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(body_static)) {
+                    latch.record_panic(payload);
+                }
+                latch.count_down();
+            }));
+        }
+        drop(jobs);
+        p.queue.ready.notify_all();
+    }
+    // The caller participates too, with nested parallelism suppressed.
+    IN_SECTION.with(|c| c.set(true));
+    let caller = panic::catch_unwind(AssertUnwindSafe(body));
+    IN_SECTION.with(|c| c.set(false));
+    latch.wait();
+    if let Err(payload) = caller {
+        panic::resume_unwind(payload);
+    }
+    if let Some(payload) = latch.take_panic() {
+        panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_participants_run() {
+        let hits = AtomicUsize::new(0);
+        run_on(4, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        run_on(1, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            assert!(!in_parallel_section(), "inline call is not a section");
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_sections_degrade_to_serial() {
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        run_on(3, &|| {
+            outer.fetch_add(1, Ordering::SeqCst);
+            assert!(in_parallel_section());
+            // A nested call must run inline exactly once per participant.
+            run_on(3, &|| {
+                inner.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(outer.load(Ordering::SeqCst), 3);
+        assert_eq!(inner.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_drain() {
+        let result = panic::catch_unwind(|| {
+            run_on(4, &|| panic!("worker exploded"));
+        });
+        assert!(result.is_err());
+        // Pool must remain usable after a panicked section.
+        let hits = AtomicUsize::new(0);
+        run_on(4, &|| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}

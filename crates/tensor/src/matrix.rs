@@ -209,6 +209,11 @@ impl Matrix {
 
     /// Fallible matrix product.
     ///
+    /// Output rows are independent, so for products above a work threshold
+    /// they are computed in parallel row chunks (see [`nora_parallel`]).
+    /// Each output element keeps a single `k`-ascending accumulation chain,
+    /// so the result is bit-identical at any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if the inner dimensions disagree.
@@ -216,19 +221,30 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: streams over rhs rows, vectorises the inner axpy.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        let threads = nora_parallel::max_threads();
+        // Below ~1 Mflop the latch handshake costs more than it saves.
+        let parallel = threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS;
+        if parallel {
+            // Small chunks (≈4 per thread) so a slow chunk can't stall the
+            // section; each chunk owns whole output rows, so writes are
+            // disjoint and per-element FP order is unchanged.
+            let rows_per_chunk = m.div_ceil(threads * 4).max(1);
+            nora_parallel::for_each_chunk_mut(&mut out.data, rows_per_chunk * n, |ci, chunk| {
+                for (dr, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let i = ci * rows_per_chunk + dr;
+                    row_times_matrix(&self.data[i * k..(i + 1) * k], &rhs.data, n, out_row);
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
+            });
+        } else {
+            for i in 0..m {
+                row_times_matrix(
+                    &self.data[i * k..(i + 1) * k],
+                    &rhs.data,
+                    n,
+                    &mut out.data[i * n..(i + 1) * n],
+                );
             }
         }
         Ok(out)
@@ -256,11 +272,27 @@ impl Matrix {
     ///
     /// This is the activation-side orientation used by linear layers:
     /// `y = x · W` with `x` of length `rows` and result of length `cols`.
+    /// Dense kernel — every `x[k]` is multiplied through, with no
+    /// zero-skip branch; for genuinely sparse inputs (e.g. bit-serial
+    /// planes) use [`Matrix::vecmat_sparse`].
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn vecmat(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.vecmat_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::vecmat`] writing into a caller-owned buffer, so hot loops
+    /// can reuse the allocation. The buffer is cleared and resized to
+    /// `cols`; its prior contents do not affect the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(
             x.len(),
             self.rows,
@@ -268,7 +300,42 @@ impl Matrix {
             x.len(),
             self.rows
         );
-        let mut out = vec![0.0f32; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
+        row_times_matrix(x, &self.data, self.cols, out);
+    }
+
+    /// Sparse-aware variant of [`Matrix::vecmat`]: rows whose coefficient
+    /// is exactly `0.0` are skipped entirely. Profitable only when a large
+    /// fraction of `x` is exact zeros (e.g. bit-plane slices in bit-serial
+    /// conversion); on dense activations the branch costs more than it
+    /// saves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat_sparse(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.vecmat_sparse_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::vecmat_sparse`] writing into a caller-owned buffer. The
+    /// buffer is cleared and resized to `cols` before accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat_sparse_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "vecmat: vector length {} vs rows {}",
+            x.len(),
+            self.rows
+        );
+        out.clear();
+        out.resize(self.cols, 0.0);
         for (k, &a) in x.iter().enumerate() {
             if a == 0.0 {
                 continue;
@@ -278,7 +345,6 @@ impl Matrix {
                 *o += a * b;
             }
         }
-        out
     }
 
     /// Elementwise sum.
@@ -509,6 +575,53 @@ impl Matrix {
     }
 }
 
+/// Minimum `m·k·n` product for parallel matmul — below this the pool latch
+/// handshake dominates the kernel time.
+const PAR_MIN_FLOPS: usize = 1 << 20;
+
+/// Register-tile width of the GEMM/GEMV kernel (f32 lanes kept live across
+/// the `k` loop).
+const GEMM_JT: usize = 16;
+
+/// Shared row kernel: `out_row = a_row · b`, where `b` is row-major
+/// `a_row.len() × n` and `out_row` has length `n`.
+///
+/// Columns are processed in register tiles of [`GEMM_JT`] accumulators so
+/// the compiler can keep the partial sums in vector registers across the
+/// whole `k` loop (one load of `a_row[k]` feeds 16 lanes). Each output
+/// element is produced by a single `k`-ascending chain of `acc += a * b`
+/// updates — the same floating-point evaluation order as the scalar
+/// two-loop form, so tiling does not change results bitwise.
+fn row_times_matrix(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
+    debug_assert_eq!(out_row.len(), n);
+    debug_assert_eq!(b.len(), a_row.len() * n);
+    let mut j0 = 0;
+    while j0 + GEMM_JT <= n {
+        let mut acc = [0.0f32; GEMM_JT];
+        for (k, &a) in a_row.iter().enumerate() {
+            let blk: &[f32; GEMM_JT] = b[k * n + j0..k * n + j0 + GEMM_JT]
+                .try_into()
+                .expect("block width is GEMM_JT");
+            for (o, &v) in acc.iter_mut().zip(blk) {
+                *o += a * v;
+            }
+        }
+        out_row[j0..j0 + GEMM_JT].copy_from_slice(&acc);
+        j0 += GEMM_JT;
+    }
+    if j0 < n {
+        let rem = n - j0;
+        let mut acc = [0.0f32; GEMM_JT];
+        for (k, &a) in a_row.iter().enumerate() {
+            let tail = &b[k * n + j0..k * n + n];
+            for (o, &v) in acc[..rem].iter_mut().zip(tail) {
+                *o += a * v;
+            }
+        }
+        out_row[j0..].copy_from_slice(&acc[..rem]);
+    }
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
@@ -708,5 +821,40 @@ mod tests {
     fn map_applies_function() {
         let a = sample().map(|v| v * v);
         assert_eq!(a.row(0), &[1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        // 64×128 · 128×129 = ~1.06 Mflop — above the parallel threshold —
+        // with a non-multiple-of-16 column count to cover the remainder
+        // tile. Exact (bitwise) equality is required, not approximate.
+        let mut rng = Rng::seed_from(11);
+        let a = Matrix::random_normal(64, 128, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(128, 129, 0.0, 1.0, &mut rng);
+        let serial = nora_parallel::with_threads(1, || a.matmul(&b));
+        for threads in [2, 4, 8] {
+            let par = nora_parallel::with_threads(threads, || a.matmul(&b));
+            assert_eq!(serial.as_slice(), par.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn vecmat_dense_and_sparse_agree() {
+        let mut rng = Rng::seed_from(12);
+        let w = Matrix::random_normal(70, 33, 0.0, 1.0, &mut rng);
+        // Mixed exact-zero / dense input exercises the skip branch.
+        let x: Vec<f32> = (0..70)
+            .map(|i| if i % 3 == 0 { 0.0 } else { rng.normal(0.0, 1.0) })
+            .collect();
+        let dense = w.vecmat(&x);
+        let sparse = w.vecmat_sparse(&x);
+        assert_eq!(dense.len(), sparse.len());
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert_eq!(d, s);
+        }
+        // Buffer reuse path matches and reuses the allocation.
+        let mut buf = vec![9.0f32; 7];
+        w.vecmat_into(&x, &mut buf);
+        assert_eq!(buf, dense);
     }
 }

@@ -2,11 +2,14 @@
 //! identical inputs must produce bit-identical experiment results across
 //! runs — the property that makes the `results/` files reproducible.
 
-use nora::cim::{NonIdeality, TileConfig};
+use nora::cim::{AnalogLinear, AnalogTile, FaultPlan, FaultTolerance, NonIdeality, TileConfig};
 use nora::core::{calibrate, RescalePlan, SmoothingConfig};
 use nora::eval::noise_level::{severity_for_mse, RefWorkload};
 use nora::eval::tasks::analog_accuracy;
 use nora::nn::zoo::{tiny_spec, ModelFamily};
+use nora::parallel::with_threads;
+use nora::tensor::rng::Rng;
+use nora::tensor::Matrix;
 
 #[test]
 fn zoo_builds_are_bit_reproducible() {
@@ -59,4 +62,126 @@ fn different_deployment_seeds_give_different_noise() {
         analog.forward(&episodes[0].tokens)
     };
     assert_ne!(acc(1), acc(2), "deployment seeds must decorrelate noise");
+}
+
+// ---- parallel execution: bit-identity at any thread count ---------------
+
+/// The layer fans tile forwards across worker threads; each tile owns its
+/// RNG stream, so a noisy multi-tile forward must be bit-identical at any
+/// thread count.
+#[test]
+fn multi_tile_forward_bit_identical_across_thread_counts() {
+    let mut rng = Rng::seed_from(500);
+    let w = Matrix::random_normal(96, 96, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(8, 96, 0.0, 1.0, &mut rng);
+    let cfg = TileConfig::paper_default().with_tile_size(32, 32); // 3×3 grid
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut layer = AnalogLinear::new(w.clone(), None, cfg.clone(), 501);
+            layer.forward(&x)
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run(threads), "threads={threads}");
+    }
+}
+
+/// Same property under an active fault plan: recovery (re-program → remap →
+/// digital fallback) is serialized in grid order after the parallel fan-out,
+/// so outputs, the event log, tile health, and spare usage must all match
+/// the single-threaded run exactly.
+#[test]
+fn faulty_protected_run_identical_across_thread_counts() {
+    let mut rng = Rng::seed_from(502);
+    let w = Matrix::random_normal(64, 64, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(32, 64, 0.0, 1.0, &mut rng);
+    let mut cfg = TileConfig::paper_default().with_tile_size(32, 33);
+    cfg.fault_plan = Some(FaultPlan {
+        seed: 2,
+        stuck_low: 0.02,
+        stuck_high: 0.02,
+        ..FaultPlan::none()
+    });
+    cfg.fault_tolerance = FaultTolerance::protected();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut layer = AnalogLinear::new(w.clone(), None, cfg.clone(), 503);
+            let y = layer.forward(&x);
+            (
+                y,
+                layer.events().to_vec(),
+                layer.tile_health(),
+                layer.spares_used(),
+            )
+        })
+    };
+    let serial = run(1);
+    assert!(
+        !serial.1.is_empty(),
+        "4% stuck cells must trigger recovery events"
+    );
+    for threads in [2, 4, 8] {
+        let par = run(threads);
+        assert_eq!(serial.0, par.0, "outputs, threads={threads}");
+        assert_eq!(serial.1, par.1, "event log, threads={threads}");
+        assert_eq!(serial.2, par.2, "tile health, threads={threads}");
+        assert_eq!(serial.3, par.3, "spares used, threads={threads}");
+    }
+}
+
+/// Model-level check: full transformer logits through a NORA deployment are
+/// unchanged by the thread count.
+#[test]
+fn model_logits_bit_identical_across_thread_counts() {
+    let zoo = tiny_spec(ModelFamily::OptLike, 504).build();
+    let tokens = [1usize, 4, 2, 9, 3];
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut analog =
+                RescalePlan::naive().deploy(&zoo.model, TileConfig::paper_default(), 505);
+            analog.forward(&tokens)
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run(threads), "threads={threads}");
+    }
+}
+
+/// Per-tile RNG streams are forked from the layer seed, not drawn from a
+/// shared sequence — so the order in which tiles execute cannot leak into
+/// the noise. Run two noisy tiles in both orders and compare.
+#[test]
+fn tile_rng_streams_independent_of_execution_order() {
+    let mut rng = Rng::seed_from(506);
+    let w1 = Matrix::random_normal(32, 32, 0.0, 0.3, &mut rng);
+    let w2 = Matrix::random_normal(32, 32, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(4, 32, 0.0, 1.0, &mut rng);
+    let mut root = Rng::seed_from(507);
+    let mut a1 = AnalogTile::new(w1, None, TileConfig::paper_default(), root.fork(1));
+    let mut b1 = AnalogTile::new(w2, None, TileConfig::paper_default(), root.fork(2));
+    let (mut a2, mut b2) = (a1.clone(), b1.clone());
+    // Order A then B…
+    let (ya1, yb1) = (a1.forward(&x), b1.forward(&x));
+    // …vs B then A.
+    let (yb2, ya2) = (b2.forward(&x), a2.forward(&x));
+    assert_eq!(ya1, ya2, "tile A output depends on execution order");
+    assert_eq!(yb1, yb2, "tile B output depends on execution order");
+}
+
+/// Eval sweeps run points in parallel but merge rows in task order: a small
+/// drift study must produce identical rows at 1 and 4 threads.
+#[test]
+fn eval_sweep_rows_identical_across_thread_counts() {
+    use nora::eval::runner::{drift_study, prepare, DriftConfig};
+    let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 508), 30, 3)];
+    let cfg = DriftConfig {
+        times: vec![20.0, 3600.0],
+        tile: TileConfig::paper_default().with_tile_size(64, 64),
+        seed: 509,
+    };
+    let serial = with_threads(1, || drift_study(&prepared, &cfg));
+    let par = with_threads(4, || drift_study(&prepared, &cfg));
+    assert_eq!(serial, par);
 }
