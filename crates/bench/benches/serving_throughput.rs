@@ -1,0 +1,85 @@
+//! Batched serving throughput: tokens/sec and per-request latency through
+//! the `nora-serve` continuous-batching engine, digital and analog.
+//!
+//! Each measurement serves the same corpus-derived workload end to end, so
+//! `ns/iter` is the wall-clock cost of draining the whole queue and the
+//! `Melem/s` line is aggregate generated tokens per second. Batch width 1
+//! is the no-batching baseline; widths 4 and 8 show the continuous-batching
+//! speedup. Set `NORA_BENCH_JSON` to append records (with the active
+//! `NORA_THREADS`) for committed baselines.
+
+use nora_bench::harness::bench_throughput;
+use nora_cim::TileConfig;
+use nora_core::RescalePlan;
+use nora_eval::serving::{serve_workload, ServingWorkload};
+use nora_nn::corpus::{Corpus, CorpusConfig};
+use nora_nn::generate::Sampling;
+use nora_nn::{ModelConfig, TransformerLm};
+use nora_serve::{AnalogBackend, DigitalBackend};
+use nora_tensor::rng::Rng;
+
+fn main() {
+    let cfg = ModelConfig {
+        vocab: 32,
+        max_seq: 24,
+        d_model: 64,
+        heads: 4,
+        d_ff: 256,
+        layers: 2,
+    };
+    let model = TransformerLm::new(cfg, &mut Rng::seed_from(11));
+    let mut corpus = Corpus::new(CorpusConfig::new(cfg.vocab, cfg.max_seq, 12));
+    // 12 requests of 4-token prompts, 28 new tokens each: long enough that
+    // every sequence slides past `max_seq` and exercises window rebasing.
+    let workload =
+        ServingWorkload::from_corpus(&mut corpus, 12, 4, 28, Sampling::Temperature(1.2));
+    let tokens: u64 = workload
+        .requests
+        .iter()
+        .map(|r| r.max_new_tokens as u64)
+        .sum();
+
+    for batch in [1usize, 4, 8] {
+        let name = format!("serve_digital_12req_batch{batch}");
+        let mut last = None;
+        bench_throughput(&name, tokens, || {
+            let (results, summary) =
+                serve_workload(DigitalBackend::new(&model), &workload, batch);
+            last = Some((results, summary));
+            std::hint::black_box(&last);
+        });
+        if let Some((results, summary)) = &last {
+            let mean_service_us = results
+                .iter()
+                .map(|r| r.latency.service.as_secs_f64() * 1e6)
+                .sum::<f64>()
+                / results.len() as f64;
+            let mean_wait_us = results
+                .iter()
+                .map(|r| r.latency.queue_wait.as_secs_f64() * 1e6)
+                .sum::<f64>()
+                / results.len() as f64;
+            println!(
+                "bench: {name:<44} {:>14.1} tok/s engine  ({mean_service_us:.0} us service, \
+                 {mean_wait_us:.0} us queue wait, {} decode steps)",
+                summary.tokens_per_sec, summary.decode_steps
+            );
+        }
+    }
+
+    let mut analog = RescalePlan::naive().deploy(&model, TileConfig::paper_default(), 13);
+    let name = "serve_analog_12req_batch8";
+    let mut last = None;
+    bench_throughput(name, tokens, || {
+        let (results, summary) =
+            serve_workload(AnalogBackend::new(&mut analog), &workload, 8);
+        last = Some((results, summary));
+        std::hint::black_box(&last);
+    });
+    if let Some((_, summary)) = &last {
+        println!(
+            "bench: {name:<44} {:>14.1} tok/s engine  ({} decode steps)",
+            summary.tokens_per_sec, summary.decode_steps
+        );
+    }
+}

@@ -54,10 +54,14 @@ impl Dac {
     }
 
     /// Converts a slice in place, returning the number of clipped entries.
+    ///
+    /// NaN inputs count as clipped: they convert to 0 (so they cannot
+    /// poison the analog accumulation), but a poisoned input vector must
+    /// not report a clean conversion.
     pub fn convert_slice(&self, xs: &mut [f32]) -> usize {
         let mut clipped = 0;
         for v in xs {
-            if v.abs() > self.bound {
+            if v.is_nan() || v.abs() > self.bound {
                 clipped += 1;
             }
             *v = self.convert(*v);
@@ -107,10 +111,14 @@ impl Adc {
     }
 
     /// Converts a slice in place, returning the number of saturated entries.
+    ///
+    /// Only strict overflow (`|v| > bound`) counts: a reading exactly at
+    /// full scale is in range, and counting it would spuriously trigger
+    /// iterative bound-management α-doubling retries.
     pub fn convert_slice(&self, xs: &mut [f32]) -> usize {
         let mut saturated = 0;
         for v in xs.iter_mut() {
-            if v.abs() >= self.bound {
+            if v.abs() > self.bound {
                 saturated += 1;
             }
             let clipped = if v.is_nan() {
@@ -150,20 +158,42 @@ mod tests {
 
     #[test]
     fn dac_counts_clipping() {
+        // 7-bit mid-rise: clipped values land on ±(bound − step/2), the
+        // extreme representable level, not on the rail.
         let dac = Dac::new(Resolution::bits(7), 1.0);
+        let extreme = 1.0 - (2.0 / 128.0) / 2.0;
         let mut xs = [0.5f32, 2.0, -3.0, 0.9];
         let clipped = dac.convert_slice(&mut xs);
         assert_eq!(clipped, 2);
-        assert_eq!(xs[1], 1.0);
-        assert_eq!(xs[2], -1.0);
+        assert_eq!(xs[1], extreme);
+        assert_eq!(xs[2], -extreme);
+    }
+
+    #[test]
+    fn dac_counts_nan_as_clipped() {
+        // Regression: NaN inputs convert to 0 but must not report a clean
+        // conversion — a poisoned vector is a clipping event.
+        let dac = Dac::new(Resolution::bits(7), 1.0);
+        let mut xs = [0.5f32, f32::NAN, -0.25, f32::NAN];
+        let clipped = dac.convert_slice(&mut xs);
+        assert_eq!(clipped, 2);
+        assert_eq!(xs[1], 0.0);
+        assert_eq!(xs[3], 0.0);
+        // Ideal (non-quantizing) DACs account NaN the same way.
+        let ideal = Dac::new(Resolution::Ideal, 1.0);
+        let mut ys = [f32::NAN, 0.3];
+        assert_eq!(ideal.convert_slice(&mut ys), 1);
+        assert_eq!(ys[0], 0.0);
     }
 
     #[test]
     fn adc_counts_saturation() {
+        // Exactly-full-scale (12.0) is in range: only strict overflow
+        // saturates. Regression for the `>=` boundary.
         let adc = Adc::new(Resolution::bits(7), 12.0);
         let mut xs = [3.0f32, 12.0, -20.0, 11.9];
         let sat = adc.convert_slice(&mut xs);
-        assert_eq!(sat, 2);
+        assert_eq!(sat, 1);
         assert!(xs.iter().all(|v| v.abs() <= 12.0));
     }
 

@@ -1154,6 +1154,27 @@ mod tests {
     }
 
     #[test]
+    fn exact_full_scale_output_triggers_no_bound_management_retry() {
+        // Regression for the ADC `>=` saturation boundary: a noiseless 1×1
+        // tile with w = 1 and AbsMax noise management drives x̂ = 1, so the
+        // pre-ADC read-out is exactly the ADC bound. Full scale is in
+        // range — the iterative bound-management loop must accept it on
+        // round 0 instead of burning α-doubling retries.
+        let mut cfg = TileConfig::ideal();
+        cfg.adc_bound = 1.0;
+        cfg.bound_management = BoundManagement::Iterative { max_rounds: 4 };
+        let w = Matrix::from_vec(1, 1, vec![1.0]);
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(21));
+        let x = Matrix::from_vec(2, 1, vec![0.75, -0.5]);
+        let y = tile.forward(&x);
+        // Ideal converters: the tile computes the exact product.
+        assert_eq!(y[(0, 0)], 0.75);
+        assert_eq!(y[(1, 0)], -0.5);
+        assert_eq!(tile.stats().bound_mgmt_retries, 0);
+        assert_eq!(tile.stats().saturated_outputs, 0);
+    }
+
+    #[test]
     fn stats_accumulate_and_reset() {
         let (w, x) = random_setup(19, 16, 8);
         let mut tile =

@@ -14,6 +14,9 @@
 //!   and the drift study (§VII).
 //! * [`report`] — plain-text table rendering shared by the `nora-bench`
 //!   binaries and `EXPERIMENTS.md`.
+//! * [`serving`] — batched multi-request serving workloads over
+//!   [`nora_serve::GenerationEngine`]: consistency against solo decoding
+//!   and aggregate throughput accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,5 +24,6 @@
 pub mod noise_level;
 pub mod report;
 pub mod runner;
+pub mod serving;
 pub mod sweep;
 pub mod tasks;

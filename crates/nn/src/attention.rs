@@ -1,6 +1,7 @@
 //! Causal multi-head self-attention with manual backprop.
 
 use crate::linear::DigitalLinear;
+use crate::model::KvView;
 use crate::param::Param;
 use crate::softmax::softmax_rows;
 use nora_tensor::rng::Rng;
@@ -143,18 +144,22 @@ impl MultiHeadAttention {
     /// Single-query attention over cached keys/values (the KV-cache decode
     /// path): `q` is the projected query of the newest token (length `d`),
     /// `k_cache`/`v_cache` hold the projected keys/values of all tokens so
-    /// far **including** the newest (each `t × d`). Returns the attention
-    /// context (length `d`) for the newest position.
+    /// far **including** the newest (each `t × d`, in logical oldest-first
+    /// order). Returns the attention context (length `d`) for the newest
+    /// position. Accepts [`KvView`]s so a ring-buffered [`crate::KvCache`]
+    /// can expose its window without copying; use [`KvView::full`] to attend
+    /// over a plain matrix.
     ///
     /// # Panics
     ///
     /// Panics if the shapes disagree.
-    pub fn attend_one(&self, q: &[f32], k_cache: &Matrix, v_cache: &Matrix) -> Vec<f32> {
+    pub fn attend_one(&self, q: &[f32], k_cache: KvView<'_>, v_cache: KvView<'_>) -> Vec<f32> {
         let d = self.dim();
         assert_eq!(q.len(), d, "query width mismatch");
-        assert_eq!(k_cache.shape(), v_cache.shape(), "cache shape mismatch");
+        assert_eq!(k_cache.len(), v_cache.len(), "cache length mismatch");
         assert_eq!(k_cache.cols(), d, "cache width mismatch");
-        let t = k_cache.rows();
+        assert_eq!(v_cache.cols(), d, "cache width mismatch");
+        let t = k_cache.len();
         assert!(t > 0, "empty kv cache");
         let hd = d / self.heads;
         let scale = 1.0 / (hd as f32).sqrt();

@@ -253,13 +253,16 @@ impl AnalogTransformerLm {
     ///
     /// # Panics
     ///
-    /// Panics if the cache is full or mismatched, or `token` is out of
-    /// vocabulary.
+    /// On a full cache the ring evicts the oldest position instead of
+    /// panicking, exactly as in the digital [`TransformerLm::decode_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is mismatched or `token` is out of vocabulary.
     pub fn decode_step(&mut self, token: usize, cache: &mut KvCache) -> Vec<f32> {
         use nora_tensor::Matrix as M;
-        assert!(cache.has_capacity(), "kv cache is full");
         let model = &self.model;
-        let pos = cache.len();
+        let pos = cache.next_position();
         let d = model.config().d_model;
         let mut x = M::zeros(1, d);
         {
@@ -283,7 +286,7 @@ impl AnalogTransformerLm {
             let k = run(b, LinearKind::K, &block.attn.wk, &ln1_out);
             let v = run(b, LinearKind::V, &block.attn.wv, &ln1_out);
             cache.append(b, k.row(0), v.row(0));
-            let (kc, vc) = cache.block(b);
+            let (kc, vc) = cache.view(b);
 
             let context = block.attn.attend_one(q.row(0), kc, vc);
             let context = M::from_vec(1, d, context);

@@ -19,7 +19,13 @@ pub enum Sampling {
     Temperature(f32),
 }
 
-fn sample_from_logits(last_logits: &[f32], sampling: Sampling, rng: &mut Rng) -> usize {
+/// Samples the next token id from a logit row under `sampling`.
+///
+/// Greedy ignores `rng` entirely (ties break toward the lower id);
+/// temperature sampling draws one index from the softmax of
+/// `logits / t`. Shared by the decode loops here and by the serving
+/// engine's per-request samplers.
+pub fn sample_logits(last_logits: &[f32], sampling: Sampling, rng: &mut Rng) -> usize {
     match sampling {
         Sampling::Greedy => last_logits
             .iter()
@@ -61,7 +67,7 @@ pub fn generate_digital(
     for _ in 0..new_tokens {
         let start = tokens.len().saturating_sub(max_seq);
         let logits = model.forward(&tokens[start..]);
-        let next = sample_from_logits(logits.row(logits.rows() - 1), sampling, rng);
+        let next = sample_logits(logits.row(logits.rows() - 1), sampling, rng);
         tokens.push(next);
     }
     tokens
@@ -86,20 +92,27 @@ pub fn generate_analog(
     for _ in 0..new_tokens {
         let start = tokens.len().saturating_sub(max_seq);
         let logits = analog.forward(&tokens[start..]);
-        let next = sample_from_logits(logits.row(logits.rows() - 1), sampling, rng);
+        let next = sample_logits(logits.row(logits.rows() - 1), sampling, rng);
         tokens.push(next);
     }
     tokens
 }
 
 /// KV-cached greedy/temperature generation with the FP32 digital model:
-/// `O(L)` per token instead of `O(L²)`. The prompt plus generated text must
-/// fit in the model's `max_seq`.
+/// `O(L)` per token instead of `O(L²)` while the context fits the window.
+///
+/// Matches [`generate_digital`] exactly, including *past* `max_seq`: once
+/// the context outgrows the window, each step rebases the cache — reset and
+/// re-decode the last `max_seq − 1` tokens before decoding the newest — so
+/// every token sees exactly the truncated context `generate_digital` would
+/// forward. Rebasing costs `O(max_seq)` decode steps per token, the same
+/// asymptotics as the uncached loop; pure ring eviction (just calling
+/// [`TransformerLm::decode_step`] on a full cache) would stay `O(1)` but
+/// keeps evicted-era positional phases and diverges from truncation.
 ///
 /// # Panics
 ///
-/// Panics if `prompt` is empty or `prompt.len() + new_tokens` exceeds
-/// `max_seq`.
+/// Panics if `prompt` is empty.
 pub fn generate_digital_cached(
     model: &TransformerLm,
     prompt: &[usize],
@@ -108,22 +121,69 @@ pub fn generate_digital_cached(
     rng: &mut Rng,
 ) -> Vec<usize> {
     assert!(!prompt.is_empty(), "empty prompt");
-    assert!(
-        prompt.len() + new_tokens <= model.config().max_seq,
-        "cached generation cannot exceed max_seq"
-    );
+    let window = model.config().max_seq;
     let mut cache = crate::model::KvCache::new(model);
     let mut tokens = prompt.to_vec();
     let mut logits = Vec::new();
-    for &t in prompt {
+    // Prefill with the last `window` prompt tokens — all generate_digital's
+    // first forward would see.
+    for &t in &tokens[tokens.len().saturating_sub(window)..] {
         logits = model.decode_step(t, &mut cache);
     }
     for _ in 0..new_tokens {
-        let next = sample_from_logits(&logits, sampling, rng);
+        let next = sample_logits(&logits, sampling, rng);
         tokens.push(next);
-        if cache.has_capacity() {
-            logits = model.decode_step(next, &mut cache);
+        if !cache.has_capacity() {
+            // Window full: rebase onto the truncated context so `next`
+            // decodes against exactly tokens[len-window..len-1].
+            cache.reset();
+            let len = tokens.len();
+            for &t in &tokens[len - window..len - 1] {
+                model.decode_step(t, &mut cache);
+            }
         }
+        logits = model.decode_step(next, &mut cache);
+    }
+    tokens
+}
+
+/// KV-cached generation on an analog deployment, with the same
+/// sliding-window rebase semantics as [`generate_digital_cached`].
+///
+/// The cached K/V rows are the *analog* projections. On noisy tiles the
+/// token stream is not expected to equal [`generate_analog`]'s (each path
+/// consumes tile noise in a different order); on ideal tiles the two agree
+/// under greedy decoding up to the usual decode-vs-forward float tolerance.
+///
+/// # Panics
+///
+/// Panics if `prompt` is empty.
+pub fn generate_analog_cached(
+    analog: &mut AnalogTransformerLm,
+    prompt: &[usize],
+    new_tokens: usize,
+    sampling: Sampling,
+    rng: &mut Rng,
+) -> Vec<usize> {
+    assert!(!prompt.is_empty(), "empty prompt");
+    let window = analog.digital_model().config().max_seq;
+    let mut cache = crate::model::KvCache::new(analog.digital_model());
+    let mut tokens = prompt.to_vec();
+    let mut logits = Vec::new();
+    for &t in &tokens[tokens.len().saturating_sub(window)..] {
+        logits = analog.decode_step(t, &mut cache);
+    }
+    for _ in 0..new_tokens {
+        let next = sample_logits(&logits, sampling, rng);
+        tokens.push(next);
+        if !cache.has_capacity() {
+            cache.reset();
+            let len = tokens.len();
+            for &t in &tokens[len - window..len - 1] {
+                analog.decode_step(t, &mut cache);
+            }
+        }
+        logits = analog.decode_step(next, &mut cache);
     }
     tokens
 }
@@ -201,10 +261,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot exceed max_seq")]
-    fn cached_generation_rejects_overflow() {
+    fn cached_generation_slides_past_max_seq_matching_truncation() {
+        // max_seq 16: prompt 10 + 30 new tokens runs well past the window.
+        // The cached loop must keep matching generate_digital's truncation
+        // semantics instead of panicking.
+        let m = model();
+        let mut rng = Rng::seed_from(13);
+        let full = generate_digital(&m, &[1; 10], 30, Sampling::Greedy, &mut rng.clone());
+        let cached = generate_digital_cached(&m, &[1; 10], 30, Sampling::Greedy, &mut rng);
+        assert_eq!(full.len(), 40);
+        assert_eq!(full, cached);
+    }
+
+    #[test]
+    fn cached_generation_slides_with_long_prompt_and_temperature() {
+        // Prompt longer than max_seq: prefill must truncate to the window,
+        // and the shared rng must stay in lockstep under sampling.
         let m = model(); // max_seq 16
-        generate_digital_cached(&m, &[1; 10], 10, Sampling::Greedy, &mut Rng::seed_from(0));
+        let prompt: Vec<usize> = (0..24).map(|i| i % 16).collect();
+        let mut rng = Rng::seed_from(14);
+        let full =
+            generate_digital(&m, &prompt, 12, Sampling::Temperature(1.3), &mut rng.clone());
+        let cached =
+            generate_digital_cached(&m, &prompt, 12, Sampling::Temperature(1.3), &mut rng);
+        assert_eq!(full, cached);
+    }
+
+    #[test]
+    fn analog_cached_generation_slides_on_ideal_tiles() {
+        // Ideal tiles are deterministic, so the cached analog loop must
+        // match the cached digital loop greedy-for-greedy past the window.
+        let m = model();
+        let mut analog =
+            AnalogTransformerLm::new(&m, TileConfig::ideal(), &SmoothingMap::new(), 15);
+        let mut rng = Rng::seed_from(16);
+        let dig =
+            generate_digital_cached(&m, &[3, 1, 4], 25, Sampling::Greedy, &mut rng.clone());
+        let ana =
+            generate_analog_cached(&mut analog, &[3, 1, 4], 25, Sampling::Greedy, &mut rng);
+        assert_eq!(dig, ana);
     }
 
     #[test]

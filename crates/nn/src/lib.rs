@@ -61,6 +61,6 @@ pub use block::TransformerBlock;
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;
 pub use linear::DigitalLinear;
-pub use model::{KvCache, LinearId, LinearKind, ModelConfig, TransformerLm};
+pub use model::{KvCache, KvView, LinearId, LinearKind, ModelConfig, TransformerLm};
 pub use param::Param;
 pub use softmax::{cross_entropy, softmax_rows};

@@ -128,69 +128,195 @@ impl ModelConfig {
 /// Avoids re-running attention over the whole context at every generated
 /// token: each [`TransformerLm::decode_step`] appends one projected K/V row
 /// per block and attends only from the newest query.
+///
+/// Storage is a **fixed-capacity ring buffer**: the `capacity × d_model`
+/// K/V matrices are allocated once at construction, appends are `O(1)`
+/// row writes (no reallocation per token), and appending to a *full*
+/// cache evicts the oldest position instead of panicking. Eviction keeps
+/// each surviving row's original projection (including the positional
+/// phase it was computed at — new tokens past capacity are embedded at
+/// the final position); callers that need the exact truncation semantics
+/// of [`crate::generate::generate_digital`] rebase via [`KvCache::reset`]
+/// instead, as [`crate::generate::generate_digital_cached`] does.
 #[derive(Debug, Clone)]
 pub struct KvCache {
-    /// `(keys, values)` per block, each `t × d_model`.
+    /// `(keys, values)` per block, each `capacity × d_model` preallocated.
     blocks: Vec<(Matrix, Matrix)>,
-    positions: usize,
-    max_seq: usize,
+    /// Completed (advanced) positions currently cached, `≤ capacity`.
+    len: usize,
+    /// Physical row of logical position 0.
+    start: usize,
+    /// Ring capacity (the sliding-window length), `≤ max_seq`.
+    capacity: usize,
+    /// Whether the current decode step has appended but not yet advanced.
+    pending: bool,
+    /// Total positions evicted by ring wrap-around since construction.
+    evicted: u64,
 }
 
 impl KvCache {
-    /// An empty cache for `model`.
+    /// An empty cache for `model`, windowed at the model's `max_seq`.
     pub fn new(model: &TransformerLm) -> Self {
+        Self::with_capacity(model, model.config().max_seq)
+    }
+
+    /// An empty cache holding at most `capacity` positions (a sliding
+    /// window shorter than the model's `max_seq`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds the model's `max_seq`
+    /// (positions past `max_seq` have no positional embedding).
+    pub fn with_capacity(model: &TransformerLm, capacity: usize) -> Self {
+        assert!(
+            capacity >= 1 && capacity <= model.config().max_seq,
+            "kv capacity must be in 1..=max_seq ({}), got {capacity}",
+            model.config().max_seq
+        );
         let d = model.config().d_model;
         Self {
             blocks: (0..model.config().layers)
-                .map(|_| (Matrix::zeros(0, d), Matrix::zeros(0, d)))
+                .map(|_| (Matrix::zeros(capacity, d), Matrix::zeros(capacity, d)))
                 .collect(),
-            positions: 0,
-            max_seq: model.config().max_seq,
+            len: 0,
+            start: 0,
+            capacity,
+            pending: false,
+            evicted: 0,
         }
     }
 
     /// Number of tokens currently cached.
     pub fn len(&self) -> usize {
-        self.positions
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.positions == 0
+        self.len == 0
     }
 
-    /// Whether another token still fits under the model's `max_seq`.
+    /// Maximum number of cached positions (the sliding-window length).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether another token fits without evicting the oldest position.
     pub fn has_capacity(&self) -> bool {
-        self.positions < self.max_seq
+        self.len < self.capacity
     }
 
-    /// Borrow of one block's `(keys, values)` caches.
-    pub(crate) fn block(&self, b: usize) -> (&Matrix, &Matrix) {
+    /// Total positions evicted by ring wrap-around since the last reset.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Clears the cache in place (storage is retained). Used to rebase a
+    /// sliding window onto a fresh context.
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.start = 0;
+        self.pending = false;
+        self.evicted = 0;
+    }
+
+    /// Position index (row of the positional-embedding table) at which the
+    /// *next* appended token executes. Saturates at `capacity − 1` once the
+    /// window is full: evicted history cannot shift the surviving rows'
+    /// phases, so new tokens keep decoding at the final position.
+    pub fn next_position(&self) -> usize {
+        self.len.min(self.capacity - 1)
+    }
+
+    /// Ring view of one block's `(keys, values)` in logical (oldest-first)
+    /// order, including a pending un-advanced append to that block.
+    pub(crate) fn view(&self, b: usize) -> (KvView<'_>, KvView<'_>) {
+        let (len, start) = if self.pending {
+            if self.len == self.capacity {
+                // The pending append overwrote the oldest row at `start`.
+                (self.capacity, (self.start + 1) % self.capacity)
+            } else {
+                (self.len + 1, self.start)
+            }
+        } else {
+            (self.len, self.start)
+        };
         let (k, v) = &self.blocks[b];
-        (k, v)
+        (KvView::new(k, start, len), KvView::new(v, start, len))
     }
 
     /// Marks one more position as cached (every block must have been
-    /// appended exactly once since the last advance).
+    /// appended exactly once since the last advance). On a full cache this
+    /// rotates the ring, evicting the oldest position.
     pub(crate) fn advance(&mut self) {
-        self.positions += 1;
-        debug_assert!(self
-            .blocks
-            .iter()
-            .all(|(k, _)| k.rows() == self.positions));
+        self.pending = false;
+        if self.len < self.capacity {
+            self.len += 1;
+        } else {
+            self.start = (self.start + 1) % self.capacity;
+            self.evicted += 1;
+        }
     }
 
     pub(crate) fn append(&mut self, block: usize, k: &[f32], v: &[f32]) {
+        self.pending = true;
+        // On a full ring `(start + len) % capacity == start`: the newest row
+        // overwrites the oldest in place.
+        let phys = (self.start + self.len) % self.capacity;
         let (kc, vc) = &mut self.blocks[block];
-        let d = kc.cols();
-        let mut grown_k = Matrix::zeros(kc.rows() + 1, d);
-        grown_k.set_submatrix(0, 0, kc);
-        grown_k.row_mut(kc.rows()).copy_from_slice(k);
-        *kc = grown_k;
-        let mut grown_v = Matrix::zeros(vc.rows() + 1, d);
-        grown_v.set_submatrix(0, 0, vc);
-        grown_v.row_mut(vc.rows()).copy_from_slice(v);
-        *vc = grown_v;
+        kc.row_mut(phys).copy_from_slice(k);
+        vc.row_mut(phys).copy_from_slice(v);
+    }
+}
+
+/// Oldest-first view of the rows a [`KvCache`] block currently holds,
+/// resolving the ring indirection (logical row `i` lives at physical row
+/// `(start + i) % capacity`). Consumed by
+/// [`crate::MultiHeadAttention::attend_one`].
+#[derive(Debug, Clone, Copy)]
+pub struct KvView<'a> {
+    mat: &'a Matrix,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> KvView<'a> {
+    /// A view of the first `len` logical rows of `mat` starting at physical
+    /// row `start` (wrapping).
+    pub fn new(mat: &'a Matrix, start: usize, len: usize) -> Self {
+        assert!(len <= mat.rows(), "view of {len} rows in {}", mat.rows());
+        assert!(start < mat.rows().max(1), "start {start} out of ring");
+        Self { mat, start, len }
+    }
+
+    /// A non-wrapping view of an entire matrix (logical == physical order).
+    pub fn full(mat: &'a Matrix) -> Self {
+        Self {
+            mat,
+            start: 0,
+            len: mat.rows(),
+        }
+    }
+
+    /// Number of logical rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row width.
+    pub fn cols(&self) -> usize {
+        self.mat.cols()
+    }
+
+    /// Logical row `i` (oldest first).
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        debug_assert!(i < self.len, "row {i} of {}", self.len);
+        self.mat.row((self.start + i) % self.mat.rows())
     }
 }
 
@@ -416,10 +542,17 @@ impl TransformerLm {
     /// exactly the same final-position logits as [`TransformerLm::forward`]
     /// on the whole sequence.
     ///
+    /// On a *full* cache the step does not panic: the ring evicts the oldest
+    /// position and the new token executes at the final positional slot.
+    /// This is an approximation of window truncation (surviving K/V rows
+    /// keep their original positional phases); use
+    /// [`crate::generate::generate_digital_cached`] for generation that
+    /// matches [`crate::generate::generate_digital`]'s truncation exactly.
+    ///
     /// # Panics
     ///
-    /// Panics if the cache is full (`positions == max_seq`), was built for a
-    /// different architecture, or `token` is out of vocabulary.
+    /// Panics if the cache was built for a different architecture or
+    /// `token` is out of vocabulary.
     ///
     /// # Example
     ///
@@ -438,9 +571,8 @@ impl TransformerLm {
     /// # let _ = logits_a;
     /// ```
     pub fn decode_step(&self, token: usize, cache: &mut KvCache) -> Vec<f32> {
-        assert!(cache.has_capacity(), "kv cache is full");
         assert_eq!(cache.blocks.len(), self.blocks.len(), "cache/model mismatch");
-        let pos = cache.positions;
+        let pos = cache.next_position();
         let d = self.config.d_model;
         // Embed the single token at its position.
         let mut x = Matrix::zeros(1, d);
@@ -458,7 +590,7 @@ impl TransformerLm {
             let k = block.attn.wk.forward(&ln1_out);
             let v = block.attn.wv.forward(&ln1_out);
             cache.append(b, k.row(0), v.row(0));
-            let (kc, vc) = &cache.blocks[b];
+            let (kc, vc) = cache.view(b);
             let context = block.attn.attend_one(q.row(0), kc, vc);
             let attn_out = block
                 .attn
@@ -469,7 +601,7 @@ impl TransformerLm {
             let h = block.fc1.forward(&ln2_out).map(|v| v.max(0.0));
             x = x1.add(&block.fc2.forward(&h));
         }
-        cache.positions += 1;
+        cache.advance();
         let x = self.final_ln.forward_inference(&x);
         self.head.forward(&x).into_vec()
     }
@@ -571,14 +703,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "kv cache is full")]
-    fn decode_step_respects_max_seq() {
+    fn decode_step_evicts_instead_of_panicking_past_max_seq() {
         let mut rng = Rng::seed_from(22);
         let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let max_seq = model.config().max_seq;
         let mut cache = KvCache::new(&model);
-        for _ in 0..=model.config().max_seq {
-            model.decode_step(1, &mut cache);
+        for step in 0..=max_seq + 2 {
+            let logits = model.decode_step(1 + step % 3, &mut cache);
+            assert_eq!(logits.len(), model.config().vocab);
         }
+        assert_eq!(cache.len(), max_seq);
+        assert!(!cache.has_capacity());
+        assert_eq!(cache.evicted(), 3);
+    }
+
+    #[test]
+    fn windowed_cache_ring_matches_serial_refill_on_survivors() {
+        // After eviction, the surviving logical rows must be exactly the
+        // rows that a fresh cache would hold after appending the same
+        // trailing K/V data — the ring indirection is invisible.
+        let mut rng = Rng::seed_from(23);
+        let model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let window = 4;
+        let mut ring = KvCache::with_capacity(&model, window);
+        let tokens: Vec<usize> = (0..9).map(|i| (i * 5 + 1) % 16).collect();
+        for &t in &tokens {
+            model.decode_step(t, &mut ring);
+        }
+        assert_eq!(ring.len(), window);
+        assert_eq!(ring.evicted(), (tokens.len() - window) as u64);
+        // Views expose the last `window` appended rows, oldest first.
+        let (kv, _) = ring.view(0);
+        assert_eq!(kv.len(), window);
+        // Re-decode only the final token into a clone whose ring head is
+        // elsewhere: its newest row must equal the ring's newest row.
+        let mut replay = ring.clone();
+        replay.reset();
+        for &t in &tokens[tokens.len() - window..] {
+            model.decode_step(t, &mut replay);
+        }
+        let (rk, _) = replay.view(0);
+        // Newest K row matches: the final token was embedded at position
+        // window-1 in both caches (ring saturates next_position there).
+        assert_eq!(kv.row(window - 1), rk.row(window - 1));
     }
 
     #[test]

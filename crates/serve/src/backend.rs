@@ -1,0 +1,121 @@
+//! Decode backends: how one batched round of per-sequence steps executes.
+
+use nora_nn::deploy::AnalogTransformerLm;
+use nora_nn::{KvCache, TransformerLm};
+
+/// One sequence's work item for a batched decode round.
+///
+/// `refill` (when present) rebases the cache before the step: the cache is
+/// reset and the listed tokens are re-decoded so that `token` executes
+/// against exactly that truncated context. This is how both prompt prefill
+/// and sliding-window eviction are expressed — admission refills with the
+/// prompt head, a full cache refills with the last `window − 1` context
+/// tokens, matching [`nora_nn::generate::generate_digital_cached`].
+pub struct SlotStep<'a> {
+    /// Token to decode last; its logits are the step's output.
+    pub token: usize,
+    /// Context to re-decode from a reset cache before `token`, if any.
+    pub refill: Option<&'a [usize]>,
+    /// The sequence's private KV cache.
+    pub cache: &'a mut KvCache,
+    /// Next-token logits, filled in by the backend.
+    pub logits: Vec<f32>,
+    /// Decode steps executed for this item (1 + refill length), filled in
+    /// by the backend; feeds per-request latency accounting.
+    pub decoded: u64,
+}
+
+impl SlotStep<'_> {
+    fn run_digital(&mut self, model: &TransformerLm) {
+        let mut decoded = 0u64;
+        if let Some(context) = self.refill {
+            self.cache.reset();
+            for &t in context {
+                model.decode_step(t, self.cache);
+                decoded += 1;
+            }
+        }
+        self.logits = model.decode_step(self.token, self.cache);
+        self.decoded = decoded + 1;
+    }
+
+    fn run_analog(&mut self, analog: &mut AnalogTransformerLm) {
+        let mut decoded = 0u64;
+        if let Some(context) = self.refill {
+            self.cache.reset();
+            for &t in context {
+                analog.decode_step(t, self.cache);
+                decoded += 1;
+            }
+        }
+        self.logits = analog.decode_step(self.token, self.cache);
+        self.decoded = decoded + 1;
+    }
+}
+
+/// Executes batched decode rounds against a shared model deployment.
+pub trait Backend {
+    /// The digital architecture being served (used by the engine to size
+    /// KV caches and validate tokens).
+    fn model(&self) -> &TransformerLm;
+
+    /// Runs every step of one round, filling each item's `logits` and
+    /// `decoded`. Implementations must be deterministic in slot order:
+    /// identical inputs produce identical outputs at any thread count.
+    fn run_round(&mut self, steps: &mut [SlotStep<'_>]);
+}
+
+/// FP32 digital backend: steps are independent pure functions of the shared
+/// `&TransformerLm`, so the round fans out across [`nora_parallel`] workers.
+/// Results land in slot order whatever the schedule, keeping the workspace
+/// bit-identity contract (same outputs at any `NORA_THREADS`).
+pub struct DigitalBackend<'m> {
+    model: &'m TransformerLm,
+}
+
+impl<'m> DigitalBackend<'m> {
+    /// A backend serving `model`.
+    pub fn new(model: &'m TransformerLm) -> Self {
+        Self { model }
+    }
+}
+
+impl Backend for DigitalBackend<'_> {
+    fn model(&self) -> &TransformerLm {
+        self.model
+    }
+
+    fn run_round(&mut self, steps: &mut [SlotStep<'_>]) {
+        let model = self.model;
+        nora_parallel::map_slice_mut(steps, |_, step| step.run_digital(model));
+    }
+}
+
+/// Analog backend: the deployment's tile RNG streams advance as a side
+/// effect of every forward, so the round runs **serially in slot order** —
+/// the noise each sequence sees is then a pure function of the admission
+/// order, independent of thread count. (Parallelism still happens *inside*
+/// each step: `AnalogLinear::forward` fans its tile grid across workers
+/// under the same bit-identity contract.)
+pub struct AnalogBackend<'m> {
+    analog: &'m mut AnalogTransformerLm,
+}
+
+impl<'m> AnalogBackend<'m> {
+    /// A backend serving the analog deployment `analog`.
+    pub fn new(analog: &'m mut AnalogTransformerLm) -> Self {
+        Self { analog }
+    }
+}
+
+impl Backend for AnalogBackend<'_> {
+    fn model(&self) -> &TransformerLm {
+        self.analog.digital_model()
+    }
+
+    fn run_round(&mut self, steps: &mut [SlotStep<'_>]) {
+        for step in steps {
+            step.run_analog(self.analog);
+        }
+    }
+}

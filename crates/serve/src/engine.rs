@@ -1,0 +1,576 @@
+//! Continuous-batching generation engine over a shared deployment.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use nora_nn::generate::{sample_logits, Sampling};
+use nora_nn::KvCache;
+use nora_tensor::rng::Rng;
+
+use crate::backend::{Backend, SlotStep};
+
+/// One generation request: a prompt to continue for `max_new_tokens`.
+#[derive(Debug, Clone)]
+pub struct GenRequest {
+    /// Prompt token ids (must be non-empty, all within the model vocab).
+    pub prompt: Vec<usize>,
+    /// Number of tokens to generate.
+    pub max_new_tokens: usize,
+    /// Sampling strategy (default greedy).
+    pub sampling: Sampling,
+    /// Seed of the request's private sampler RNG. Greedy ignores it;
+    /// temperature sampling with the same seed reproduces
+    /// [`nora_nn::generate::generate_digital_cached`] run with
+    /// `Rng::seed_from(seed)`.
+    pub seed: u64,
+}
+
+impl GenRequest {
+    /// A greedy request with sampler seed 0.
+    pub fn new(prompt: Vec<usize>, max_new_tokens: usize) -> Self {
+        Self {
+            prompt,
+            max_new_tokens,
+            sampling: Sampling::Greedy,
+            seed: 0,
+        }
+    }
+
+    /// Sets the sampling strategy.
+    pub fn with_sampling(mut self, sampling: Sampling) -> Self {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Sets the sampler RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum number of concurrently decoding sequences; further requests
+    /// queue FIFO until a slot frees up.
+    pub max_batch: usize,
+    /// Sliding-window length of each sequence's KV cache. `None` (default)
+    /// uses the model's `max_seq` — the window that makes the engine match
+    /// [`nora_nn::generate::generate_digital`]'s truncation exactly.
+    pub window: Option<usize>,
+}
+
+impl EngineConfig {
+    /// Config with the given batch width and the default window.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        Self {
+            max_batch,
+            window: None,
+        }
+    }
+
+    /// Overrides the per-sequence KV window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::with_max_batch(8)
+    }
+}
+
+/// Wall-clock latency breakdown of one completed request.
+///
+/// Telemetry only: timings vary run to run, while the token outputs stay
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLatency {
+    /// Submission → admission into a decode slot.
+    pub queue_wait: Duration,
+    /// Admission → final token.
+    pub service: Duration,
+}
+
+impl RequestLatency {
+    /// Submission → final token.
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.service
+    }
+}
+
+/// One completed request.
+#[derive(Debug, Clone)]
+pub struct GenResult {
+    /// Engine-assigned request id (submission order, starting at 0).
+    pub id: u64,
+    /// Prompt followed by the generated continuation.
+    pub tokens: Vec<usize>,
+    /// Length of the prompt prefix of `tokens`.
+    pub prompt_len: usize,
+    /// Wall-clock latency breakdown.
+    pub latency: RequestLatency,
+    /// Model decode steps spent on this request (prefill + decode +
+    /// sliding-window rebase work).
+    pub decode_steps: u64,
+}
+
+impl GenResult {
+    /// The generated continuation (without the prompt).
+    pub fn generated(&self) -> &[usize] {
+        &self.tokens[self.prompt_len..]
+    }
+}
+
+/// Aggregate engine telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Generated (sampled) tokens across completed and in-flight requests.
+    pub generated_tokens: u64,
+    /// Model decode steps executed (prefill + decode + rebase).
+    pub decode_steps: u64,
+    /// Batched decode rounds run.
+    pub rounds: u64,
+    /// Wall-clock time spent inside [`GenerationEngine::step`].
+    pub busy: Duration,
+}
+
+impl EngineReport {
+    /// Aggregate generated tokens per second of engine busy time.
+    pub fn tokens_per_sec(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.generated_tokens as f64 / secs
+        }
+    }
+}
+
+struct Pending {
+    id: u64,
+    request: GenRequest,
+    submitted: Instant,
+}
+
+struct Slot {
+    id: u64,
+    tokens: Vec<usize>,
+    prompt_len: usize,
+    remaining: usize,
+    sampling: Sampling,
+    rng: Rng,
+    cache: KvCache,
+    /// Next-token logits; empty until the slot's prefill round ran.
+    logits: Vec<f32>,
+    /// Token sampled this round, awaiting its decode.
+    sampled: Option<usize>,
+    submitted: Instant,
+    admitted: Instant,
+    decode_steps: u64,
+}
+
+/// Continuous-batching engine: admits queued requests into up to
+/// `max_batch` slots, runs lockstep decode rounds over a shared backend,
+/// and retires requests the moment their last token is sampled.
+///
+/// Each [`GenerationEngine::step`] call performs one round: admit (prefill
+/// new slots), sample, retire, decode. Token outputs are deterministic —
+/// a fixed submission sequence yields the same results at any
+/// `NORA_THREADS` and any interleaving of `submit` with `step` (admission
+/// is FIFO and each slot owns its cache and sampler RNG).
+pub struct GenerationEngine<B: Backend> {
+    backend: B,
+    config: EngineConfig,
+    queue: VecDeque<Pending>,
+    slots: Vec<Slot>,
+    finished: Vec<GenResult>,
+    next_id: u64,
+    generated_tokens: u64,
+    decode_steps: u64,
+    rounds: u64,
+    busy: Duration,
+    completed: u64,
+}
+
+impl<B: Backend> GenerationEngine<B> {
+    /// An idle engine over `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or the configured window exceeds the
+    /// model's `max_seq`.
+    pub fn new(backend: B, config: EngineConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        if let Some(w) = config.window {
+            let max_seq = backend.model().config().max_seq;
+            assert!(
+                w >= 1 && w <= max_seq,
+                "window must be in 1..=max_seq ({max_seq}), got {w}"
+            );
+        }
+        Self {
+            backend,
+            config,
+            queue: VecDeque::new(),
+            slots: Vec::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            generated_tokens: 0,
+            decode_steps: 0,
+            rounds: 0,
+            busy: Duration::ZERO,
+            completed: 0,
+        }
+    }
+
+    /// Enqueues `request` and returns its engine-assigned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or contains out-of-vocab tokens.
+    pub fn submit(&mut self, request: GenRequest) -> u64 {
+        assert!(!request.prompt.is_empty(), "empty prompt");
+        let vocab = self.backend.model().config().vocab;
+        assert!(
+            request.prompt.iter().all(|&t| t < vocab),
+            "prompt token out of vocab ({vocab})"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending {
+            id,
+            request,
+            submitted: Instant::now(),
+        });
+        id
+    }
+
+    /// Requests admitted or queued but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() + self.queue.len()
+    }
+
+    /// One admit → sample → retire → decode round. Returns `true` if any
+    /// work remains in flight afterwards.
+    pub fn step(&mut self) -> bool {
+        let round_start = Instant::now();
+        self.admit();
+
+        // Sample one token for every slot whose logits are ready, then
+        // retire the requests that just produced their final token (their
+        // slot frees up for the next round's admissions).
+        for slot in &mut self.slots {
+            if slot.logits.is_empty() {
+                continue; // freshly admitted: prefill happens this round
+            }
+            let next = sample_logits(&slot.logits, slot.sampling, &mut slot.rng);
+            slot.tokens.push(next);
+            slot.remaining -= 1;
+            slot.sampled = Some(next);
+            self.generated_tokens += 1;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.slots.len() {
+            if self.slots[i].remaining == 0 {
+                let slot = self.slots.remove(i);
+                self.finish(slot, now);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Decode round: freshly admitted slots prefill (refill from an
+        // empty cache), slots whose window is full rebase onto the
+        // truncated context — both through the same refill mechanism, so
+        // every sequence follows generate_digital_cached exactly.
+        let window = self
+            .config
+            .window
+            .unwrap_or(self.backend.model().config().max_seq);
+        let mut steps: Vec<SlotStep<'_>> = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            let len = slot.tokens.len();
+            let (token, refill) = if slot.logits.is_empty() {
+                let start = len.saturating_sub(window);
+                (slot.tokens[len - 1], Some(&slot.tokens[start..len - 1]))
+            } else {
+                let token = slot.sampled.take().expect("sampled token");
+                let refill = if slot.cache.has_capacity() {
+                    None
+                } else {
+                    Some(&slot.tokens[len - window..len - 1])
+                };
+                (token, refill)
+            };
+            steps.push(SlotStep {
+                token,
+                refill,
+                cache: &mut slot.cache,
+                logits: Vec::new(),
+                decoded: 0,
+            });
+        }
+        if !steps.is_empty() {
+            self.backend.run_round(&mut steps);
+            self.rounds += 1;
+        }
+        let outcomes: Vec<(Vec<f32>, u64)> =
+            steps.into_iter().map(|s| (s.logits, s.decoded)).collect();
+        for (slot, (logits, decoded)) in self.slots.iter_mut().zip(outcomes) {
+            debug_assert!(!logits.is_empty(), "backend must fill logits");
+            slot.logits = logits;
+            slot.decode_steps += decoded;
+            self.decode_steps += decoded;
+        }
+
+        self.busy += round_start.elapsed();
+        !self.slots.is_empty() || !self.queue.is_empty()
+    }
+
+    /// Runs rounds until every submitted request completed, then returns
+    /// all accumulated results in submission order.
+    pub fn run_to_completion(&mut self) -> Vec<GenResult> {
+        while self.step() {}
+        self.take_results()
+    }
+
+    /// Drains completed requests accumulated so far, in submission order.
+    pub fn take_results(&mut self) -> Vec<GenResult> {
+        let mut results = std::mem::take(&mut self.finished);
+        results.sort_by_key(|r| r.id);
+        results
+    }
+
+    /// Aggregate telemetry snapshot.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            requests: self.completed,
+            generated_tokens: self.generated_tokens,
+            decode_steps: self.decode_steps,
+            rounds: self.rounds,
+            busy: self.busy,
+        }
+    }
+
+    fn admit(&mut self) {
+        while self.slots.len() < self.config.max_batch {
+            let Some(pending) = self.queue.pop_front() else {
+                break;
+            };
+            let now = Instant::now();
+            let Pending {
+                id,
+                request,
+                submitted,
+            } = pending;
+            if request.max_new_tokens == 0 {
+                let prompt_len = request.prompt.len();
+                self.finished.push(GenResult {
+                    id,
+                    tokens: request.prompt,
+                    prompt_len,
+                    latency: RequestLatency {
+                        queue_wait: now.duration_since(submitted),
+                        service: Duration::ZERO,
+                    },
+                    decode_steps: 0,
+                });
+                self.completed += 1;
+                continue;
+            }
+            let cache = match self.config.window {
+                Some(w) => KvCache::with_capacity(self.backend.model(), w),
+                None => KvCache::new(self.backend.model()),
+            };
+            self.slots.push(Slot {
+                id,
+                prompt_len: request.prompt.len(),
+                tokens: request.prompt,
+                remaining: request.max_new_tokens,
+                sampling: request.sampling,
+                rng: Rng::seed_from(request.seed),
+                cache,
+                logits: Vec::new(),
+                sampled: None,
+                submitted,
+                admitted: now,
+                decode_steps: 0,
+            });
+        }
+    }
+
+    fn finish(&mut self, slot: Slot, now: Instant) {
+        self.finished.push(GenResult {
+            id: slot.id,
+            tokens: slot.tokens,
+            prompt_len: slot.prompt_len,
+            latency: RequestLatency {
+                queue_wait: slot.admitted.duration_since(slot.submitted),
+                service: now.duration_since(slot.admitted),
+            },
+            decode_steps: slot.decode_steps,
+        });
+        self.completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DigitalBackend;
+    use nora_nn::generate::generate_digital_cached;
+    use nora_nn::{ModelConfig, TransformerLm};
+
+    fn model() -> TransformerLm {
+        TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(1))
+    }
+
+    #[test]
+    fn batch_of_one_matches_generate_digital_cached() {
+        let m = model();
+        for sampling in [Sampling::Greedy, Sampling::Temperature(1.1)] {
+            let reference = generate_digital_cached(
+                &m,
+                &[2, 7, 1],
+                24, // runs past max_seq 16: exercises the sliding window
+                sampling,
+                &mut Rng::seed_from(9),
+            );
+            let mut engine =
+                GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(1));
+            engine.submit(
+                GenRequest::new(vec![2, 7, 1], 24)
+                    .with_sampling(sampling)
+                    .with_seed(9),
+            );
+            let results = engine.run_to_completion();
+            assert_eq!(results.len(), 1);
+            assert_eq!(results[0].tokens, reference, "{sampling:?}");
+        }
+    }
+
+    #[test]
+    fn batched_requests_match_their_solo_runs() {
+        // Continuous batching must not leak state between sequences: each
+        // request's output equals its own single-request run.
+        let m = model();
+        let prompts: Vec<Vec<usize>> = (0..10)
+            .map(|i| vec![(i * 3 + 1) % 16, (i * 5 + 2) % 16])
+            .collect();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(4));
+        for (i, p) in prompts.iter().enumerate() {
+            engine.submit(
+                GenRequest::new(p.clone(), 6 + i % 5)
+                    .with_sampling(Sampling::Temperature(1.4))
+                    .with_seed(100 + i as u64),
+            );
+        }
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), prompts.len());
+        for (i, r) in results.iter().enumerate() {
+            let solo = generate_digital_cached(
+                &m,
+                &prompts[i],
+                6 + i % 5,
+                Sampling::Temperature(1.4),
+                &mut Rng::seed_from(100 + i as u64),
+            );
+            assert_eq!(r.tokens, solo, "request {i}");
+            assert_eq!(r.prompt_len, prompts[i].len());
+            assert_eq!(r.generated().len(), 6 + i % 5);
+        }
+    }
+
+    #[test]
+    fn queueing_past_max_batch_is_fifo_and_complete() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(2));
+        let ids: Vec<u64> = (0..7)
+            .map(|i| engine.submit(GenRequest::new(vec![1 + i % 4], 3)))
+            .collect();
+        assert_eq!(engine.in_flight(), 7);
+        let results = engine.run_to_completion();
+        assert_eq!(results.iter().map(|r| r.id).collect::<Vec<_>>(), ids);
+        assert_eq!(engine.in_flight(), 0);
+        let report = engine.report();
+        assert_eq!(report.requests, 7);
+        assert_eq!(report.generated_tokens, 7 * 3);
+        assert!(report.decode_steps >= report.generated_tokens);
+    }
+
+    #[test]
+    fn mid_flight_submission_is_served() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::default());
+        engine.submit(GenRequest::new(vec![3, 1], 8));
+        engine.step();
+        engine.step();
+        engine.submit(GenRequest::new(vec![5], 2));
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 2);
+        let solo = generate_digital_cached(&m, &[5], 2, Sampling::Greedy, &mut Rng::seed_from(0));
+        assert_eq!(results[1].tokens, solo);
+    }
+
+    #[test]
+    fn zero_token_request_completes_immediately() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::default());
+        engine.submit(GenRequest::new(vec![4, 2], 0));
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].tokens, vec![4, 2]);
+        assert!(results[0].generated().is_empty());
+    }
+
+    #[test]
+    fn short_window_engine_stays_consistent() {
+        // A window below max_seq still serves without panicking and stays
+        // deterministic across identical runs.
+        let m = model();
+        let run = || {
+            let mut engine = GenerationEngine::new(
+                DigitalBackend::new(&m),
+                EngineConfig::with_max_batch(3).with_window(5),
+            );
+            for i in 0..5 {
+                engine.submit(GenRequest::new(vec![1 + i, 2], 12));
+            }
+            engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| r.tokens)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected_at_submit() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::default());
+        engine.submit(GenRequest::new(vec![], 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_prompt_rejected_at_submit() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::default());
+        engine.submit(GenRequest::new(vec![999], 4));
+    }
+}

@@ -19,11 +19,18 @@ pub enum Rounding {
     Stochastic,
 }
 
-/// A symmetric uniform quantizer over `[-bound, bound]` with `steps` levels.
+/// A symmetric uniform mid-rise quantizer over `[-bound, bound]` with
+/// exactly `steps` representable levels.
 ///
 /// With `steps = 2^b` this models a `b`-bit converter (the paper's Table II
-/// uses 7-bit = 128 steps). Values outside the range clip to `±bound` —
-/// this clipping is exactly the "outlier" failure mode NORA addresses.
+/// uses 7-bit = 128 steps). The levels sit at `±(k + ½)·step` for
+/// `k = 0..steps/2`, so the extreme levels are `±(bound − step/2)` — just
+/// inside the rails, as on real mid-rise converter ladders; the rails
+/// themselves are *not* representable. Exact zero passes through unchanged
+/// (an undriven line/unprogrammed device carries no signal, and zero
+/// padding or post-ReLU sparsity must stay exact). Values outside the range
+/// clip toward the extreme levels — this clipping is exactly the "outlier"
+/// failure mode NORA addresses.
 ///
 /// # Example
 ///
@@ -32,7 +39,8 @@ pub enum Rounding {
 /// let q = Quantizer::new(128, 1.0);
 /// let y = q.quantize(0.3333);
 /// assert!((y - 0.3333).abs() <= q.step() / 2.0 + 1e-6);
-/// assert_eq!(q.quantize(7.0), 1.0); // clips
+/// assert_eq!(q.quantize(7.0), 1.0 - q.step() / 2.0); // clips inside the rail
+/// assert_eq!(q.quantize(0.0), 0.0); // exact zero is preserved
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantizer {
@@ -57,10 +65,9 @@ impl Quantizer {
         Self {
             steps,
             bound,
-            // `steps` levels over a 2*bound span leave steps-1 gaps... the
-            // hardware convention (and AIHWKIT's) is step = 2*bound/steps,
-            // i.e. a mid-rise quantizer whose extreme levels sit just inside
-            // the rails.
+            // Hardware convention: step = 2*bound/steps, a mid-rise grid of
+            // `steps` levels at ±(k + ½)·step whose extremes sit just
+            // inside the rails.
             step: 2.0 * bound / steps as f32,
             rounding: Rounding::Nearest,
         }
@@ -133,23 +140,35 @@ impl Quantizer {
 
     fn quantize_nearest(&self, x: f32) -> f32 {
         let x = self.clip(x);
-        let level = (x / self.step).round();
-        let max_level = (self.steps / 2) as f32;
-        (level.clamp(-max_level, max_level)) * self.step
+        if x == 0.0 {
+            return 0.0; // undriven line: exact zero stays representable
+        }
+        // Nearest mid-rise level to |x| is (floor(|x|/step) + ½)·step,
+        // capped at the extreme level just inside the rail. `signum` keeps
+        // the map odd-symmetric.
+        let half = (self.steps / 2) as f32;
+        let mag = ((x.abs() / self.step).floor() + 0.5).min(half - 0.5);
+        mag * self.step * x.signum()
     }
 
     fn quantize_stochastic(&self, x: f32, rng: &mut Rng) -> f32 {
         let x = self.clip(x);
-        let pos = x / self.step;
+        if x == 0.0 {
+            return 0.0;
+        }
+        // Mid-rise levels are (m + ½)·step for integer m; x sits between
+        // m = floor(x/step − ½) and m + 1. Rounding up with the fractional
+        // probability keeps the expectation exactly x away from the rails.
+        let half = (self.steps / 2) as f32;
+        let pos = x / self.step - 0.5;
         let floor = pos.floor();
         let frac = pos - floor;
-        let level = if rng.next_f32() < frac {
+        let m = if rng.next_f32() < frac {
             floor + 1.0
         } else {
             floor
         };
-        let max_level = (self.steps / 2) as f32;
-        level.clamp(-max_level, max_level) * self.step
+        (m.clamp(-half, half - 1.0) + 0.5) * self.step
     }
 
     /// Quantizes a slice in place.
@@ -200,9 +219,49 @@ mod tests {
 
     #[test]
     fn quantize_clips_out_of_range() {
+        // steps=16, bound=2 → step=0.25, extreme level 2 − 0.125 = 1.875:
+        // out-of-range values clip to the level just inside the rail, not
+        // onto the rail itself.
         let q = Quantizer::new(16, 2.0);
-        assert_eq!(q.quantize(100.0), 2.0);
-        assert_eq!(q.quantize(-100.0), -2.0);
+        assert_eq!(q.quantize(100.0), 2.0 - q.step() / 2.0);
+        assert_eq!(q.quantize(-100.0), -(2.0 - q.step() / 2.0));
+        assert_eq!(q.quantize(2.0), 2.0 - q.step() / 2.0);
+    }
+
+    #[test]
+    fn grid_has_exactly_steps_levels_and_no_rails() {
+        // Regression for the level-count off-by-one: a `steps`-level grid
+        // must expose exactly `steps` distinct nonzero outputs, none of
+        // them on the rails, for both rounding modes.
+        for steps in [4u32, 16, 128] {
+            let q = Quantizer::new(steps, 1.0);
+            let mut levels: Vec<f32> = Vec::new();
+            let mut x = -1.2f32;
+            while x <= 1.2 {
+                let y = q.quantize(if x == 0.0 { 1e-9 } else { x });
+                if !levels.contains(&y) {
+                    levels.push(y);
+                }
+                x += 1e-3;
+            }
+            assert_eq!(levels.len(), steps as usize, "steps={steps}");
+            assert!(levels.iter().all(|&l| l.abs() < 1.0), "rail level");
+            // Levels sit at ±(k + ½)·step.
+            for &l in &levels {
+                let k = l.abs() / q.step() - 0.5;
+                assert!((k - k.round()).abs() < 1e-4, "off-grid level {l}");
+            }
+        }
+        // Stochastic rounding snaps to the same grid.
+        let q = Quantizer::new(8, 1.0).with_rounding(Rounding::Stochastic);
+        let mut rng = Rng::seed_from(7);
+        for i in 0..500 {
+            let x = (i as f32 / 250.0) - 1.0;
+            let y = q.quantize_with(if x == 0.0 { 1e-9 } else { x }, &mut rng);
+            let k = y.abs() / q.step() - 0.5;
+            assert!((k - k.round()).abs() < 1e-4, "off-grid stochastic {y}");
+            assert!(y.abs() < 1.0);
+        }
     }
 
     #[test]

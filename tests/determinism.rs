@@ -170,6 +170,49 @@ fn tile_rng_streams_independent_of_execution_order() {
     assert_eq!(yb1, yb2, "tile B output depends on execution order");
 }
 
+/// Serving-engine check: a batched analog decode — continuous batching over
+/// a NORA deployment with noisy tiles, sliding windows engaged — yields the
+/// same token streams and tile statistics at any thread count. Slots run
+/// serially in slot order (the tile RNG advances per forward); only each
+/// step's internal tile grid fans out.
+#[test]
+fn batched_analog_decode_bit_identical_across_thread_counts() {
+    use nora::nn::generate::Sampling;
+    use nora::serve::{AnalogBackend, EngineConfig, GenRequest, GenerationEngine};
+    let zoo = tiny_spec(ModelFamily::OptLike, 510).build();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut analog =
+                RescalePlan::naive().deploy(&zoo.model, TileConfig::paper_default(), 511);
+            let mut engine = GenerationEngine::new(
+                AnalogBackend::new(&mut analog),
+                EngineConfig::with_max_batch(8),
+            );
+            for i in 0..10u64 {
+                engine.submit(
+                    GenRequest::new(vec![1 + (i as usize) % 6], 20)
+                        .with_sampling(Sampling::Temperature(1.3))
+                        .with_seed(600 + i),
+                );
+            }
+            let tokens: Vec<Vec<usize>> = engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| r.tokens)
+                .collect();
+            drop(engine);
+            (tokens, analog.stats())
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial.0.len(), 10);
+    for threads in [2, 4] {
+        let par = run(threads);
+        assert_eq!(serial.0, par.0, "token streams, threads={threads}");
+        assert_eq!(serial.1, par.1, "tile stats, threads={threads}");
+    }
+}
+
 /// Eval sweeps run points in parallel but merge rows in task order: a small
 /// drift study must produce identical rows at 1 and 4 threads.
 #[test]

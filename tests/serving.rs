@@ -1,0 +1,181 @@
+//! Integration tests for the batched serving engine: consistency with the
+//! single-sequence decode loops, sliding-window semantics past `max_seq`,
+//! and bit-identity at any thread count for both backends.
+
+use nora::cim::TileConfig;
+use nora::core::RescalePlan;
+use nora::nn::deploy::{AnalogTransformerLm, SmoothingMap};
+use nora::nn::generate::{
+    generate_digital, generate_digital_cached, Sampling,
+};
+use nora::nn::{ModelConfig, TransformerLm};
+use nora::parallel::with_threads;
+use nora::serve::{AnalogBackend, DigitalBackend, EngineConfig, GenRequest, GenerationEngine};
+use nora::tensor::rng::Rng;
+
+fn model() -> TransformerLm {
+    TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(40))
+}
+
+/// Sliding-window cached generation no longer panics past `max_seq` and
+/// reproduces `generate_digital`'s truncation semantics greedily.
+#[test]
+fn cached_generation_exceeding_max_seq_matches_uncached() {
+    let m = model(); // max_seq 16
+    let prompt = [2usize, 9, 4, 7];
+    let mut rng = Rng::seed_from(41);
+    let uncached = generate_digital(&m, &prompt, 48, Sampling::Greedy, &mut rng.clone());
+    let cached = generate_digital_cached(&m, &prompt, 48, Sampling::Greedy, &mut rng);
+    assert_eq!(uncached.len(), prompt.len() + 48);
+    assert_eq!(uncached, cached);
+}
+
+/// A batch of one goes through the engine token-for-token like the
+/// single-sequence cached loop, including past the window.
+#[test]
+fn engine_batch_of_one_matches_generate_digital_cached() {
+    let m = model();
+    for (sampling, seed) in [
+        (Sampling::Greedy, 0u64),
+        (Sampling::Temperature(1.2), 77),
+    ] {
+        let solo = generate_digital_cached(
+            &m,
+            &[5, 3, 11],
+            30,
+            sampling,
+            &mut Rng::seed_from(seed),
+        );
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(1));
+        engine.submit(
+            GenRequest::new(vec![5, 3, 11], 30)
+                .with_sampling(sampling)
+                .with_seed(seed),
+        );
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].tokens, solo, "{sampling:?}");
+    }
+}
+
+fn workload() -> Vec<GenRequest> {
+    (0..12)
+        .map(|i| {
+            GenRequest::new(vec![1 + i % 7, (3 * i + 2) % 16], 18 + i % 4)
+                .with_sampling(if i % 2 == 0 {
+                    Sampling::Greedy
+                } else {
+                    Sampling::Temperature(1.5)
+                })
+                .with_seed(200 + i as u64)
+        })
+        .collect()
+}
+
+/// ≥ 8 concurrent digital sequences produce bit-identical token streams at
+/// any thread count: the decode rounds fan out across `nora-parallel`
+/// workers but every sequence owns its cache and sampler.
+#[test]
+fn digital_engine_bit_identical_across_thread_counts() {
+    let m = model();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut engine = GenerationEngine::new(
+                DigitalBackend::new(&m),
+                EngineConfig::with_max_batch(8),
+            );
+            for request in workload() {
+                engine.submit(request);
+            }
+            engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| (r.id, r.tokens))
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial.len(), 12);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run(threads), "threads={threads}");
+    }
+}
+
+/// Same property on an analog deployment with the paper's noisy tiles: the
+/// engine runs slots serially in slot order (tile RNG state is shared), and
+/// each decode step's internal tile fan-out is bit-identical at any thread
+/// count — so the full batched serve is too.
+#[test]
+fn analog_engine_bit_identical_across_thread_counts() {
+    let m = model();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut analog =
+                RescalePlan::naive().deploy(&m, TileConfig::paper_default(), 900);
+            let mut engine = GenerationEngine::new(
+                AnalogBackend::new(&mut analog),
+                EngineConfig::with_max_batch(8),
+            );
+            for request in workload() {
+                engine.submit(request);
+            }
+            engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| (r.id, r.tokens))
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run(1);
+    assert_eq!(serial.len(), 12);
+    for threads in [2, 4] {
+        assert_eq!(serial, run(threads), "threads={threads}");
+    }
+}
+
+/// On ideal (noise-free) tiles, serving through the analog engine agrees
+/// with the digital engine request-for-request under greedy decoding.
+#[test]
+fn analog_engine_on_ideal_tiles_matches_digital_engine() {
+    let m = model();
+    let requests: Vec<GenRequest> = (0..9)
+        .map(|i| GenRequest::new(vec![2 + i % 5], 20))
+        .collect();
+    let mut digital_engine =
+        GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(3));
+    let mut analog = AnalogTransformerLm::new(&m, TileConfig::ideal(), &SmoothingMap::new(), 7);
+    let mut analog_engine =
+        GenerationEngine::new(AnalogBackend::new(&mut analog), EngineConfig::with_max_batch(3));
+    for request in requests {
+        digital_engine.submit(request.clone());
+        analog_engine.submit(request);
+    }
+    let digital_tokens: Vec<Vec<usize>> = digital_engine
+        .run_to_completion()
+        .into_iter()
+        .map(|r| r.tokens)
+        .collect();
+    let analog_tokens: Vec<Vec<usize>> = analog_engine
+        .run_to_completion()
+        .into_iter()
+        .map(|r| r.tokens)
+        .collect();
+    assert_eq!(digital_tokens, analog_tokens);
+}
+
+/// The eval-layer consistency check: a corpus-derived workload served at
+/// batch width 5 matches every request's solo cached run.
+#[test]
+fn eval_serving_consistency_is_clean() {
+    use nora::eval::serving::{digital_serving_consistency, ServingWorkload};
+    use nora::nn::corpus::{Corpus, CorpusConfig};
+    let m = model();
+    let mut corpus = Corpus::new(CorpusConfig::new(16, 16, 8));
+    let workload =
+        ServingWorkload::from_corpus(&mut corpus, 10, 3, 22, Sampling::Temperature(1.1));
+    let summary = digital_serving_consistency(&m, &workload, 5);
+    assert_eq!(summary.requests, 10);
+    assert_eq!(summary.mismatches, 0);
+    assert_eq!(summary.generated_tokens, 10 * 22);
+}
