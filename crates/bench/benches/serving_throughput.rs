@@ -31,8 +31,7 @@ fn main() {
     let mut corpus = Corpus::new(CorpusConfig::new(cfg.vocab, cfg.max_seq, 12));
     // 12 requests of 4-token prompts, 28 new tokens each: long enough that
     // every sequence slides past `max_seq` and exercises window rebasing.
-    let workload =
-        ServingWorkload::from_corpus(&mut corpus, 12, 4, 28, Sampling::Temperature(1.2));
+    let workload = ServingWorkload::from_corpus(&mut corpus, 12, 4, 28, Sampling::Temperature(1.2));
     let tokens: u64 = workload
         .requests
         .iter()
@@ -43,8 +42,7 @@ fn main() {
         let name = format!("serve_digital_12req_batch{batch}");
         let mut last = None;
         bench_throughput(&name, tokens, || {
-            let (results, summary) =
-                serve_workload(DigitalBackend::new(&model), &workload, batch);
+            let (results, summary) = serve_workload(DigitalBackend::new(&model), &workload, batch);
             last = Some((results, summary));
             std::hint::black_box(&last);
         });
@@ -71,8 +69,7 @@ fn main() {
     let name = "serve_analog_12req_batch8";
     let mut last = None;
     bench_throughput(name, tokens, || {
-        let (results, summary) =
-            serve_workload(AnalogBackend::new(&mut analog), &workload, 8);
+        let (results, summary) = serve_workload(AnalogBackend::new(&mut analog), &workload, 8);
         last = Some((results, summary));
         std::hint::black_box(&last);
     });
@@ -82,4 +79,11 @@ fn main() {
             summary.tokens_per_sec, summary.decode_steps
         );
     }
+
+    // Batch-of-1 analog decode: the single-token KV-cached step that the
+    // serving engine issues per slot, measured bare (no engine scaffolding).
+    let mut cache = nora_nn::KvCache::new(&model);
+    bench_throughput("analog_decode_step_batch1", 1, || {
+        std::hint::black_box(analog.decode_step(3, &mut cache));
+    });
 }

@@ -26,15 +26,39 @@ fn tile_forward() {
 
         let paper_cfg = TileConfig::paper_default().with_tile_size(size, size);
         let mut paper = AnalogTile::new(w.clone(), None, paper_cfg, Rng::seed_from(3));
-        bench_throughput(&format!("tile_forward/paper_noise/{size}"), elements, || {
-            std::hint::black_box(paper.forward(&x));
-        });
+        bench_throughput(
+            &format!("tile_forward/paper_noise/{size}"),
+            elements,
+            || {
+                std::hint::black_box(paper.forward(&x));
+            },
+        );
 
         let mut serial_cfg = TileConfig::paper_default().with_tile_size(size, size);
         serial_cfg.input_encoding = nora_cim::InputEncoding::BitSerial { bits: 7 };
         let mut serial = AnalogTile::new(w.clone(), None, serial_cfg, Rng::seed_from(4));
         bench_throughput(&format!("tile_forward/bit_serial/{size}"), elements, || {
             std::hint::black_box(serial.forward(&x));
+        });
+    }
+}
+
+/// Read-averaged forward at the paper's 512×512 tile: `read_averaging`
+/// repeats every conversion and averages the ADC codes, so this case is
+/// dominated by the per-repeat cost the fast path hoists (DAC, S-shape,
+/// clean MVM, IR-drop factors are deterministic when `in_noise == 0`).
+fn tile_forward_averaged() {
+    let size = 512usize;
+    let mut rng = Rng::seed_from(7);
+    let w = Matrix::random_normal(size, size, 0.0, 0.2, &mut rng);
+    let x = Matrix::random_normal(8, size, 0.0, 1.0, &mut rng);
+    let elements = (8 * size * size) as u64;
+    for &ra in &[1u32, 4, 16] {
+        let mut cfg = TileConfig::paper_default().with_tile_size(size, size);
+        cfg.read_averaging = ra;
+        let mut tile = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(8));
+        bench_throughput(&format!("tile_forward_averaged/{ra}"), elements, || {
+            std::hint::black_box(tile.forward(&x));
         });
     }
 }
@@ -58,5 +82,6 @@ fn tile_programming_variants() {
 
 fn main() {
     tile_forward();
+    tile_forward_averaged();
     tile_programming_variants();
 }

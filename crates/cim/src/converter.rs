@@ -110,6 +110,28 @@ impl Adc {
         self.bound
     }
 
+    /// Converts one reading (saturate + quantize), returning the output
+    /// code and whether the reading strictly overflowed the bound.
+    ///
+    /// NaN readings convert to code 0 without counting as saturated, the
+    /// same accounting as [`convert_slice`](Adc::convert_slice) — which is
+    /// implemented on top of this helper, as is the fused conversion
+    /// epilogue in the tile fast path.
+    #[inline]
+    pub fn convert(&self, v: f32) -> (f32, bool) {
+        let saturated = v.abs() > self.bound;
+        let clipped = if v.is_nan() {
+            0.0
+        } else {
+            v.clamp(-self.bound, self.bound)
+        };
+        let code = match &self.quantizer {
+            Some(q) => q.quantize(clipped),
+            None => clipped,
+        };
+        (code, saturated)
+    }
+
     /// Converts a slice in place, returning the number of saturated entries.
     ///
     /// Only strict overflow (`|v| > bound`) counts: a reading exactly at
@@ -118,18 +140,9 @@ impl Adc {
     pub fn convert_slice(&self, xs: &mut [f32]) -> usize {
         let mut saturated = 0;
         for v in xs.iter_mut() {
-            if v.abs() > self.bound {
-                saturated += 1;
-            }
-            let clipped = if v.is_nan() {
-                0.0
-            } else {
-                v.clamp(-self.bound, self.bound)
-            };
-            *v = match &self.quantizer {
-                Some(q) => q.quantize(clipped),
-                None => clipped,
-            };
+            let (code, sat) = self.convert(*v);
+            saturated += sat as usize;
+            *v = code;
         }
         saturated
     }

@@ -83,8 +83,27 @@ impl IrDropModel {
         }
         let u = mean_abs_input.clamp(0.0, 1.0);
         for (v, &f) in z.iter_mut().zip(column_factors) {
-            *v *= 1.0 - (f * u).min(0.9);
+            *v *= Self::droop_multiplier(f, u);
         }
+    }
+
+    /// The multiplicative droop [`apply`](IrDropModel::apply) would use for
+    /// one column at activity `mean_abs_input` — exposed so a fused
+    /// conversion epilogue can apply the droop per element instead of in a
+    /// dedicated sweep. Returns 1 when the model is off.
+    #[inline]
+    pub fn multiplier(&self, column_factor: f32, mean_abs_input: f32) -> f32 {
+        if self.is_off() {
+            return 1.0;
+        }
+        Self::droop_multiplier(column_factor, mean_abs_input.clamp(0.0, 1.0))
+    }
+
+    /// Shared per-element droop expression of `apply`/`multiplier`
+    /// (`u` pre-clamped to `[0, 1]`).
+    #[inline]
+    fn droop_multiplier(column_factor: f32, u: f32) -> f32 {
+        1.0 - (column_factor * u).min(0.9)
     }
 }
 

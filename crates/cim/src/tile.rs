@@ -205,6 +205,11 @@ pub struct AnalogTile {
     /// Reusable temporaries for the conversion hot loop (no behavioral
     /// effect — every buffer is cleared or fully overwritten before use).
     scratch: Scratch,
+    /// Test-only switch routing conversions through the naive, unfused
+    /// per-stage reference implementation. The equivalence tests flip it on
+    /// a cloned tile to prove the fast path bit-identical.
+    #[cfg(test)]
+    reference_path: bool,
 }
 
 /// Scratch arena for [`AnalogTile::forward_checked`] and the conversion
@@ -220,12 +225,31 @@ struct Scratch {
     z: Vec<f32>,
     /// Single-repeat output during read averaging.
     z_rep: Vec<f32>,
+    /// Hoisted DAC output under read averaging (length `rows`).
+    x_dac: Vec<f32>,
+    /// Hoisted clean MVM result under read averaging (length
+    /// `w_eff.cols()`).
+    z_clean: Vec<f32>,
+    /// Buffered short-term read-noise draws for the fused epilogue.
+    wn: Vec<f32>,
+    /// Buffered output-noise draws for the fused epilogue.
+    on: Vec<f32>,
     /// One ±1/0 wordline plane in bit-serial mode (length `rows`).
     plane: Vec<f32>,
     /// Per-plane MAC output in bit-serial mode.
     zk: Vec<f32>,
     /// Quantized signed input levels in bit-serial mode.
     levels: Vec<i32>,
+}
+
+/// Silent-tile detector accumulators over a forward batch, in rescaled
+/// output units: the checksum output a clean tile would have produced, the
+/// checksum output actually observed, and the noise allowance.
+#[derive(Debug, Default)]
+struct SilentAcc {
+    pred: f64,
+    actual: f64,
+    noise: f64,
 }
 
 impl AnalogTile {
@@ -358,11 +382,8 @@ impl AnalogTile {
                         config.slice_radix,
                         &mut dev_rng,
                     );
-                    let eff = nora_device::read_sliced_mean(
-                        &prog,
-                        device.as_ref(),
-                        REFERENCE_READ_TIME,
-                    );
+                    let eff =
+                        nora_device::read_sliced_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
                     (eff, Some(ProgrammedWeights::Sliced(prog)))
                 } else {
                     let prog = program_matrix_verified(
@@ -371,8 +392,7 @@ impl AnalogTile {
                         config.write_verify_iters,
                         &mut dev_rng,
                     );
-                    let eff =
-                        read_matrix_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
+                    let eff = read_matrix_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
                     (eff, Some(ProgrammedWeights::Plain(prog)))
                 }
             }
@@ -435,6 +455,8 @@ impl AnalogTile {
             rng,
             stats: ForwardStats::default(),
             scratch: Scratch::default(),
+            #[cfg(test)]
+            reference_path: false,
             config,
         })
     }
@@ -550,95 +572,138 @@ impl AnalogTile {
             self.rows()
         );
         let batch = x.rows();
-        let cols = self.cols();
-        let total_cols = self.w_eff.cols();
-        let mut y = Matrix::zeros(batch, cols);
+        let mut y = Matrix::zeros(batch, self.cols());
         let mut report = AbftReport {
             enabled: self.abft.is_some(),
             ..AbftReport::default()
         };
-        // Silent-tile detector accumulators over the batch, in rescaled
-        // output units: the checksum output a clean tile would produce, the
-        // checksum output actually observed, and the noise allowance.
-        let mut silent_pred = 0.0f64;
-        let mut silent_actual = 0.0f64;
-        let mut silent_noise = 0.0f64;
+        let mut silent = SilentAcc::default();
+        for i in 0..batch {
+            self.forward_row(x.row(i), y.row_mut(i), &mut report, &mut silent);
+        }
+        self.finish_report(&mut report, &silent);
+        (y, report)
+    }
+
+    /// Single-sample forward into a caller-provided buffer: `x` is one
+    /// input row of length `rows`, `out` is cleared and resized to `cols`.
+    /// Bit-identical to [`AnalogTile::forward_checked`] on the equivalent
+    /// `1 × rows` batch — this is the decode fast path that lets callers
+    /// skip the per-step input/output `Matrix` allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn forward_row_checked(&mut self, x: &[f32], out: &mut Vec<f32>) -> AbftReport {
+        assert_eq!(
+            x.len(),
+            self.rows(),
+            "input width {} vs tile rows {}",
+            x.len(),
+            self.rows()
+        );
+        out.clear();
+        out.resize(self.cols(), 0.0);
+        let mut report = AbftReport {
+            enabled: self.abft.is_some(),
+            ..AbftReport::default()
+        };
+        let mut silent = SilentAcc::default();
+        self.forward_row(x, out, &mut report, &mut silent);
+        self.finish_report(&mut report, &silent);
+        report
+    }
+
+    /// Runs one input row through the full conversion + bound-management
+    /// chain, writing the rescaled outputs into `out` (length `cols`,
+    /// pre-zeroed — an all-zero input leaves it untouched).
+    fn forward_row(
+        &mut self,
+        xrow: &[f32],
+        out: &mut [f32],
+        report: &mut AbftReport,
+        silent: &mut SilentAcc,
+    ) {
+        let cols = self.cols();
+        let total_cols = self.w_eff.cols();
         let max_retries = match self.config.bound_management {
             BoundManagement::None => 0,
             BoundManagement::Iterative { max_rounds } => max_rounds,
         };
-
         let mut x_s = std::mem::take(&mut self.scratch.x_s);
         x_s.clear();
         x_s.resize(self.rows(), 0.0);
         let mut z = std::mem::take(&mut self.scratch.z);
-        for i in 0..batch {
-            // Divide by the smoothing vector (Eq. 7: x / (α' s)).
-            for (k, (&xv, &sv)) in x.row(i).iter().zip(&self.s).enumerate() {
-                x_s[k] = xv / sv;
-            }
-            let mut alpha = self.config.noise_management.alpha(&x_s);
-            self.stats.samples += 1;
-            if alpha.is_nan() || alpha <= 0.0 {
-                // All-zero input (or degenerate policy): output row is zero.
-                continue;
-            }
+        // Divide by the smoothing vector (Eq. 7: x / (α' s)).
+        for (k, (&xv, &sv)) in xrow.iter().zip(&self.s).enumerate() {
+            x_s[k] = xv / sv;
+        }
+        let mut alpha = self.config.noise_management.alpha(&x_s);
+        self.stats.samples += 1;
+        if alpha.is_nan() || alpha <= 0.0 {
+            // All-zero input (or degenerate policy): output row stays zero.
+            self.scratch.x_s = x_s;
+            self.scratch.z = z;
+            return;
+        }
 
-            let mut round = 0u32;
-            loop {
-                let (clipped, saturated) = self.convert_once(&x_s, alpha, &mut z);
-                let final_round = saturated == 0 || round >= max_retries;
-                if final_round {
-                    self.stats.clipped_inputs += clipped as u64;
-                    self.stats.total_inputs += self.rows() as u64;
-                    self.stats.saturated_outputs += saturated as u64;
-                    self.stats.total_outputs += total_cols as u64;
-                    // Rescale back: y_ij = α_i γ_j ẑ_ij (Eq. 3 / Eq. 8).
-                    let out = y.row_mut(i);
-                    for j in 0..cols {
-                        out[j] = z[j] * alpha * self.gamma[j];
-                        self.stats.rescale_sum += (alpha * self.gamma[j]) as f64;
-                    }
-                    self.stats.rescale_count += cols as u64;
-                    if let Some(ab) = &self.abft {
-                        let gamma_c = self.gamma[cols];
-                        let pred: f64 = x_s
-                            .iter()
-                            .zip(&ab.check_w)
-                            .map(|(&xv, &cv)| (xv as f64) * (cv as f64))
-                            .sum();
-                        // Noise floor of one averaged checksum code:
-                        // quantisation contributes ±lsb/2 and the additive
-                        // output noise is divided by the read averaging.
-                        let ra = self.config.read_averaging.max(1) as f32;
-                        let floor = (self.adc_lsb / 2.0)
-                            .max(self.config.out_noise / ra.sqrt())
-                            .max(1e-9);
-                        // `pred` is already in rescaled output units: the α
-                        // of the input normalisation cancels against the α
-                        // of the output rescale.
-                        silent_pred += pred.abs();
-                        silent_actual += f64::from((z[cols] * alpha * gamma_c).abs());
-                        silent_noise += f64::from(alpha * gamma_c * floor);
-                        // A sample with rail-level ADC codes is unverifiable:
-                        // clipping breaks the checksum identity without any
-                        // hardware fault (bound management has already used
-                        // its retries by this point), so checking it would
-                        // condemn healthy tiles on saturating workloads.
-                        if saturated == 0 {
-                            self.abft_check_row(&x_s, alpha, &z, out, &mut report);
-                        }
-                    }
-                    break;
+        let mut round = 0u32;
+        loop {
+            let (clipped, saturated) = self.convert_once(&x_s, alpha, &mut z);
+            let final_round = saturated == 0 || round >= max_retries;
+            if final_round {
+                self.stats.clipped_inputs += clipped as u64;
+                self.stats.total_inputs += self.rows() as u64;
+                self.stats.saturated_outputs += saturated as u64;
+                self.stats.total_outputs += total_cols as u64;
+                // Rescale back: y_ij = α_i γ_j ẑ_ij (Eq. 3 / Eq. 8).
+                for j in 0..cols {
+                    out[j] = z[j] * alpha * self.gamma[j];
+                    self.stats.rescale_sum += (alpha * self.gamma[j]) as f64;
                 }
-                // Bound management: widen the input range and redo.
-                alpha *= 2.0;
-                round += 1;
-                self.stats.bound_mgmt_retries += 1;
+                self.stats.rescale_count += cols as u64;
+                if let Some(ab) = &self.abft {
+                    let gamma_c = self.gamma[cols];
+                    let pred: f64 = x_s
+                        .iter()
+                        .zip(&ab.check_w)
+                        .map(|(&xv, &cv)| (xv as f64) * (cv as f64))
+                        .sum();
+                    // Noise floor of one averaged checksum code:
+                    // quantisation contributes ±lsb/2 and the additive
+                    // output noise is divided by the read averaging.
+                    let ra = self.config.read_averaging.max(1) as f32;
+                    let floor = (self.adc_lsb / 2.0)
+                        .max(self.config.out_noise / ra.sqrt())
+                        .max(1e-9);
+                    // `pred` is already in rescaled output units: the α
+                    // of the input normalisation cancels against the α
+                    // of the output rescale.
+                    silent.pred += pred.abs();
+                    silent.actual += f64::from((z[cols] * alpha * gamma_c).abs());
+                    silent.noise += f64::from(alpha * gamma_c * floor);
+                    // A sample with rail-level ADC codes is unverifiable:
+                    // clipping breaks the checksum identity without any
+                    // hardware fault (bound management has already used
+                    // its retries by this point), so checking it would
+                    // condemn healthy tiles on saturating workloads.
+                    if saturated == 0 {
+                        self.abft_check_row(&x_s, alpha, &z, out, report);
+                    }
+                }
+                break;
             }
+            // Bound management: widen the input range and redo.
+            alpha *= 2.0;
+            round += 1;
+            self.stats.bound_mgmt_retries += 1;
         }
         self.scratch.x_s = x_s;
         self.scratch.z = z;
+    }
+
+    /// Finalizes the silent-tile verdict over the batch's accumulators.
+    fn finish_report(&self, report: &mut AbftReport, silent: &SilentAcc) {
         if self.abft.is_some() {
             let policy = &self.config.fault_tolerance;
             // Silent-tile detector: a fully dead tile has a *consistent*
@@ -649,13 +714,11 @@ impl AnalogTile {
             // near it. (Comparing energies rather than raw codes keeps
             // tiles with legitimately tiny outputs — e.g. naive deployments
             // whose γ is dominated by outlier channels — unflagged.)
-            report.silent = silent_pred > 4.0 * silent_noise
-                && silent_actual < 0.25 * silent_pred;
+            report.silent = silent.pred > 4.0 * silent.noise && silent.actual < 0.25 * silent.pred;
             let frac_flag = report.violations as f64
                 > f64::from(policy.flag_fraction) * report.rows_checked as f64;
             report.suspicious = report.silent || (report.violations >= 1 && frac_flag);
         }
-        (y, report)
     }
 
     /// The per-sample ABFT residual test (see [`AbftState`]).
@@ -715,25 +778,46 @@ impl AnalogTile {
     /// One DAC→MAC→ADC pass at a fixed `α`, averaged over `read_averaging`
     /// repeats. Writes the normalised outputs into `z` (cleared first) and
     /// returns the clip/saturation counts.
+    ///
+    /// Under read averaging the saturation count is the **per-repeat
+    /// maximum**: a repeat that saturates means the physical read-out hit
+    /// the rails, and bound management must widen the range even when the
+    /// other repeats stayed in range. (Integer-averaging the counts would
+    /// round 15 saturated reads out of 16 down to zero and silently skip
+    /// the retry.)
     fn convert_once(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
-        let repeats = self.config.read_averaging.max(1);
-        let (clipped, mut saturated) = self.convert_single(x_s, alpha, z);
-        if repeats > 1 {
+        #[cfg(test)]
+        if self.reference_path {
+            return self.convert_once_reference(x_s, alpha, z);
+        }
+        let repeats = self.config.read_averaging.max(1) as usize;
+        let analog = matches!(
+            self.config.input_encoding,
+            crate::config::InputEncoding::Analog
+        );
+        let (clipped, saturated) = if repeats == 1 {
+            self.convert_single(x_s, alpha, z)
+        } else if analog {
+            self.convert_analog_averaged(x_s, alpha, z, repeats)
+        } else {
+            // Bit-serial planes rebuild the full wordline sweep per repeat;
+            // only the ADC-code accumulation is shared with the analog path.
+            let (clipped, mut saturated) = self.convert_single(x_s, alpha, z);
             let mut zr = std::mem::take(&mut self.scratch.z_rep);
             for _ in 1..repeats {
                 let (_, sat) = self.convert_single(x_s, alpha, &mut zr);
                 for (a, &b) in z.iter_mut().zip(&zr) {
                     *a += b;
                 }
-                saturated += sat;
+                saturated = saturated.max(sat);
             }
             self.scratch.z_rep = zr;
             let inv = 1.0 / repeats as f32;
             for v in z.iter_mut() {
                 *v *= inv;
             }
-            saturated /= repeats as usize;
-        }
+            (clipped, saturated)
+        };
         // A stuck ADC channel reports its latched code regardless of the
         // bitline current (and of averaging — every repeat reads the same
         // code).
@@ -753,6 +837,101 @@ impl AnalogTile {
         }
     }
 
+    /// Adds `N(0, σ)` to every element of `xs`.
+    ///
+    /// The samples are drawn with the batched [`Rng::fill_normal`] into a
+    /// scratch buffer and then added — the same values, in the same draw
+    /// order, as a per-element `*v += rng.normal(0.0, sigma)` loop.
+    fn add_noise(&mut self, xs: &mut [f32], sigma: f32) {
+        let mut buf = std::mem::take(&mut self.scratch.wn);
+        buf.clear();
+        buf.resize(xs.len(), 0.0);
+        self.rng.fill_normal(&mut buf, 0.0, sigma);
+        for (v, &n) in xs.iter_mut().zip(&buf) {
+            *v += n;
+        }
+        self.scratch.wn = buf;
+    }
+
+    /// σ of the aggregated short-term read noise for drive vector `x_hat`:
+    /// each cell's conductance jitters per read cycle, so output `j` picks
+    /// up `Σ_k ξ_kj · x̂_k`, a Gaussian with std `σ_w · ‖x̂‖₂`. Sampling
+    /// that aggregate directly is statistically exact and `O(cols)` instead
+    /// of `O(rows × cols)`. Returns 0 when the stage is inactive.
+    fn read_noise_sigma(&self, x_hat: &[f32]) -> f32 {
+        if self.config.w_noise <= 0.0 {
+            return 0.0;
+        }
+        let x_l2 = x_hat
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32;
+        if x_l2 > 0.0 {
+            self.config.w_noise * x_l2
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean `|x̂|` of the driven wordlines — the IR-drop model's congestion
+    /// proxy. Returns 0 when IR drop is off (the value is unused then).
+    fn mean_drive(&self, x_hat: &[f32]) -> f32 {
+        if self.ir.is_off() {
+            return 0.0;
+        }
+        x_hat.iter().map(|v| v.abs()).sum::<f32>() / x_hat.len().max(1) as f32
+    }
+
+    /// The stochastic back half of one conversion round, fused into a
+    /// single pass over `z`: read-noise add, IR-drop droop, output-noise
+    /// add, ADC saturate+quantize. Returns the saturation count.
+    ///
+    /// The noise is drawn into scratch buffers *before* the arithmetic
+    /// pass — all read-noise draws first, then all output-noise draws —
+    /// which preserves the exact RNG draw order of the unfused per-stage
+    /// sweeps. Each element then sees the identical operation chain
+    /// (`+ wn[j]`, `× droop_j`, `+ on[j]`, ADC) the sweeps would apply, so
+    /// fusing changes nothing bitwise while touching `z` once instead of
+    /// four times.
+    fn fused_epilogue(&mut self, z: &mut [f32], sigma_w: f32, u: f32) -> usize {
+        let n = z.len();
+        let has_w = sigma_w > 0.0;
+        let has_o = self.config.out_noise > 0.0;
+        let has_ir = !self.ir.is_off();
+        let mut wn = std::mem::take(&mut self.scratch.wn);
+        let mut on = std::mem::take(&mut self.scratch.on);
+        if has_w {
+            wn.clear();
+            wn.resize(n, 0.0);
+            self.rng.fill_normal(&mut wn, 0.0, sigma_w);
+        }
+        if has_o {
+            on.clear();
+            on.resize(n, 0.0);
+            self.rng.fill_normal(&mut on, 0.0, self.config.out_noise);
+        }
+        let mut saturated = 0usize;
+        for (j, v) in z.iter_mut().enumerate() {
+            let mut r = *v;
+            if has_w {
+                r += wn[j];
+            }
+            if has_ir {
+                r *= self.ir.multiplier(self.ir_factors[j], u);
+            }
+            if has_o {
+                r += on[j];
+            }
+            let (code, sat) = self.adc.convert(r);
+            saturated += sat as usize;
+            *v = code;
+        }
+        self.scratch.wn = wn;
+        self.scratch.on = on;
+        saturated
+    }
+
     /// Multi-level analog input drive: one DAC conversion per input.
     fn convert_analog(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
         // DAC stage.
@@ -763,9 +942,7 @@ impl AnalogTile {
         // Additive input noise (mixed-signal components after the DAC).
         if self.config.in_noise > 0.0 {
             let sigma = self.config.in_noise;
-            for v in &mut x_hat {
-                *v += self.rng.normal(0.0, sigma);
-            }
+            self.add_noise(&mut x_hat, sigma);
         }
         // S-shape transfer of the input drivers.
         crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
@@ -774,41 +951,96 @@ impl AnalogTile {
         // after DAC + noise + S-shape are almost never exact zeros).
         self.w_eff.vecmat_into(&x_hat, z);
 
-        // Short-term read noise: each cell's conductance jitters per cycle,
-        // so output j picks up Σ_k ξ_kj · x̂_k, a Gaussian with std
-        // σ_w · ‖x̂‖₂. Sampling that aggregate directly is statistically
-        // exact and O(cols) instead of O(rows × cols).
-        if self.config.w_noise > 0.0 {
-            let x_l2 = x_hat
-                .iter()
-                .map(|&v| (v as f64) * (v as f64))
-                .sum::<f64>()
-                .sqrt() as f32;
-            if x_l2 > 0.0 {
-                let sigma = self.config.w_noise * x_l2;
-                for v in z.iter_mut() {
-                    *v += self.rng.normal(0.0, sigma);
-                }
-            }
-        }
-
-        // IR-drop droop.
-        if !self.ir.is_off() {
-            let u: f32 =
-                x_hat.iter().map(|v| v.abs()).sum::<f32>() / x_hat.len().max(1) as f32;
-            self.ir.apply(z, &self.ir_factors, u);
-        }
-
-        // Additive output noise (ADC front-end), then the ADC itself.
-        if self.config.out_noise > 0.0 {
-            let sigma = self.config.out_noise;
-            for v in z.iter_mut() {
-                *v += self.rng.normal(0.0, sigma);
-            }
-        }
-        let saturated = self.adc.convert_slice(z);
+        let sigma_w = self.read_noise_sigma(&x_hat);
+        let u = self.mean_drive(&x_hat);
         self.scratch.x_hat = x_hat;
+        let saturated = self.fused_epilogue(z, sigma_w, u);
         (clipped, saturated)
+    }
+
+    /// Read-averaged analog conversion with the deterministic stages
+    /// hoisted out of the repeat loop.
+    ///
+    /// The DAC sees the same `x_s/α` every repeat and consumes no RNG
+    /// draws, so its output (and clip count) is computed once. With no
+    /// additive input noise the S-shaped drive vector — and therefore the
+    /// clean MVM `ŵ·x̂`, the read-noise σ and the IR-drop congestion — are
+    /// also repeat-invariant, collapsing each repeat to "clean z + fresh
+    /// noise + IR droop + ADC". None of the hoisted stages draws from the
+    /// RNG, and the per-repeat draw order (read noise, then output noise)
+    /// matches the unhoisted chain, so the noise stream is untouched and
+    /// the averaged codes are bit-identical to running the full chain
+    /// `repeats` times.
+    fn convert_analog_averaged(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+        repeats: usize,
+    ) -> (usize, usize) {
+        let mut x_dac = std::mem::take(&mut self.scratch.x_dac);
+        x_dac.clear();
+        x_dac.extend(x_s.iter().map(|&v| v / alpha));
+        let clipped = self.dac.convert_slice(&mut x_dac);
+
+        let mut zr = std::mem::take(&mut self.scratch.z_rep);
+        let mut saturated = 0usize;
+        if self.config.in_noise > 0.0 {
+            // Partial hoist: input noise makes the driven vector (and so
+            // the MVM) stochastic, so each repeat rebuilds it from the
+            // cached DAC output and runs a full MVM.
+            let sigma_in = self.config.in_noise;
+            for rep in 0..repeats {
+                let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+                x_hat.clear();
+                x_hat.extend_from_slice(&x_dac);
+                self.add_noise(&mut x_hat, sigma_in);
+                crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
+                self.w_eff.vecmat_into(&x_hat, &mut zr);
+                let sigma_w = self.read_noise_sigma(&x_hat);
+                let u = self.mean_drive(&x_hat);
+                self.scratch.x_hat = x_hat;
+                let sat = self.fused_epilogue(&mut zr, sigma_w, u);
+                saturated = saturated.max(sat);
+                Self::accumulate_repeat(z, &zr, rep);
+            }
+        } else {
+            // Full hoist: S-shape, clean MVM, read-noise σ and mean drive
+            // once; `read_averaging = n` costs one GEMV instead of `n`.
+            crate::nonlinearity::s_shape_slice(&mut x_dac, self.config.s_shape);
+            let mut z_clean = std::mem::take(&mut self.scratch.z_clean);
+            self.w_eff.vecmat_into(&x_dac, &mut z_clean);
+            let sigma_w = self.read_noise_sigma(&x_dac);
+            let u = self.mean_drive(&x_dac);
+            for rep in 0..repeats {
+                zr.clear();
+                zr.extend_from_slice(&z_clean);
+                let sat = self.fused_epilogue(&mut zr, sigma_w, u);
+                saturated = saturated.max(sat);
+                Self::accumulate_repeat(z, &zr, rep);
+            }
+            self.scratch.z_clean = z_clean;
+        }
+        self.scratch.z_rep = zr;
+        self.scratch.x_dac = x_dac;
+        let inv = 1.0 / repeats as f32;
+        for v in z.iter_mut() {
+            *v *= inv;
+        }
+        (clipped, saturated)
+    }
+
+    /// Adds repeat `rep`'s codes into the running sum `z`, in repeat order
+    /// — the same `z = c₀; z += c₁; …` chain as the unhoisted loop.
+    fn accumulate_repeat(z: &mut Vec<f32>, zr: &[f32], rep: usize) {
+        if rep == 0 {
+            z.clear();
+            z.extend_from_slice(zr);
+        } else {
+            for (a, &b) in z.iter_mut().zip(zr) {
+                *a += b;
+            }
+        }
     }
 
     /// Bit-serial input drive (ISAAC-style): the scaled input is quantized
@@ -865,39 +1097,22 @@ impl AnalogTile {
                 } else {
                     0.0
                 };
-                // Additive input noise perturbs every driven wordline phase.
-                if self.config.in_noise > 0.0 {
-                    *p += self.rng.normal(0.0, self.config.in_noise);
-                }
+            }
+            // Additive input noise perturbs every driven wordline phase
+            // (batched draw — same per-line sequence as the scalar loop).
+            if self.config.in_noise > 0.0 {
+                let sigma = self.config.in_noise;
+                self.add_noise(&mut plane, sigma);
             }
             // Wordline planes are genuinely sparse (≈half the lines idle per
             // bit position when in_noise is zero), so the sparse-aware
             // kernel wins here — unlike the dense analog path.
             self.w_eff.vecmat_sparse_into(&plane, &mut zk);
-            if self.config.w_noise > 0.0 {
-                let l2 = plane
-                    .iter()
-                    .map(|&v| (v as f64) * (v as f64))
-                    .sum::<f64>()
-                    .sqrt() as f32;
-                if l2 > 0.0 {
-                    let sigma = self.config.w_noise * l2;
-                    for v in &mut zk {
-                        *v += self.rng.normal(0.0, sigma);
-                    }
-                }
-            }
-            if !self.ir.is_off() {
-                let u: f32 =
-                    plane.iter().map(|v| v.abs()).sum::<f32>() / plane.len().max(1) as f32;
-                self.ir.apply(&mut zk, &self.ir_factors, u);
-            }
-            if self.config.out_noise > 0.0 {
-                for v in &mut zk {
-                    *v += self.rng.normal(0.0, self.config.out_noise);
-                }
-            }
-            saturated += self.adc.convert_slice(&mut zk);
+            // Per-plane read noise / IR droop / output noise / ADC, fused
+            // exactly as in the analog path (the plane is the drive vector).
+            let sigma_w = self.read_noise_sigma(&plane);
+            let u = self.mean_drive(&plane);
+            saturated += self.fused_epilogue(&mut zk, sigma_w, u);
             // Digital shift-add, undoing the calibrated binary drive gain.
             let weight = (mask as f32) / full_scale * bound / drive_gain;
             for (acc, &v) in z.iter_mut().zip(&zk) {
@@ -916,8 +1131,7 @@ impl AnalogTile {
         if self.w_eff.is_empty() {
             return 0.0;
         }
-        self.w_eff.as_slice().iter().map(|v| v.abs()).sum::<f32>()
-            / self.w_eff.len() as f32
+        self.w_eff.as_slice().iter().map(|v| v.abs()).sum::<f32>() / self.w_eff.len() as f32
     }
 
     /// First-order energy/latency estimate of all executions recorded in
@@ -948,9 +1162,7 @@ impl AnalogTile {
             .expect("programmed tile implies a device model");
         let mut dev_rng = self.rng.fork(0xd21f);
         self.w_eff = match prog {
-            ProgrammedWeights::Plain(p) => {
-                read_matrix(p, device.as_ref(), t_seconds, &mut dev_rng)
-            }
+            ProgrammedWeights::Plain(p) => read_matrix(p, device.as_ref(), t_seconds, &mut dev_rng),
             ProgrammedWeights::Sliced(s) => {
                 read_sliced(s, device.as_ref(), t_seconds, &mut dev_rng)
             }
@@ -966,16 +1178,194 @@ impl AnalogTile {
             map.apply_to_weights(&mut self.w_eff);
         }
         if compensation == DriftCompensation::GlobalScale {
-            let now: f64 = self
-                .w_eff
-                .as_slice()
-                .iter()
-                .map(|&v| v.abs() as f64)
-                .sum();
+            let now: f64 = self.w_eff.as_slice().iter().map(|&v| v.abs() as f64).sum();
             if now > 0.0 && self.prog_abs_sum > 0.0 {
                 self.w_eff.scale_assign((self.prog_abs_sum / now) as f32);
             }
         }
+    }
+}
+
+/// Naive reference conversion path, used by the equivalence tests to prove
+/// the hoisted/fused fast path bit-identical: one full per-stage chain per
+/// read-averaging repeat, scalar per-element noise draws, no hoisting, no
+/// fusing. This is the shipping implementation from before the fast path,
+/// with the same per-repeat-maximum saturation accounting.
+#[cfg(test)]
+impl AnalogTile {
+    /// Routes all subsequent conversions through the reference path.
+    fn use_reference_path(&mut self) {
+        self.reference_path = true;
+    }
+
+    fn convert_once_reference(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
+        let repeats = self.config.read_averaging.max(1);
+        let (clipped, mut saturated) = self.convert_single_reference(x_s, alpha, z);
+        if repeats > 1 {
+            let mut zr = std::mem::take(&mut self.scratch.z_rep);
+            for _ in 1..repeats {
+                let (_, sat) = self.convert_single_reference(x_s, alpha, &mut zr);
+                for (a, &b) in z.iter_mut().zip(&zr) {
+                    *a += b;
+                }
+                saturated = saturated.max(sat);
+            }
+            self.scratch.z_rep = zr;
+            let inv = 1.0 / repeats as f32;
+            for v in z.iter_mut() {
+                *v *= inv;
+            }
+        }
+        if let Some(map) = &self.fault_map {
+            map.apply_adc_stuck(z, self.config.adc_bound);
+        }
+        (clipped, saturated)
+    }
+
+    fn convert_single_reference(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
+        match self.config.input_encoding {
+            crate::config::InputEncoding::Analog => self.convert_analog_reference(x_s, alpha, z),
+            crate::config::InputEncoding::BitSerial { bits } => {
+                self.convert_bit_serial_reference(x_s, alpha, bits, z)
+            }
+        }
+    }
+
+    fn convert_analog_reference(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
+        let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+        x_hat.clear();
+        x_hat.extend(x_s.iter().map(|&v| v / alpha));
+        let clipped = self.dac.convert_slice(&mut x_hat);
+        if self.config.in_noise > 0.0 {
+            let sigma = self.config.in_noise;
+            for v in &mut x_hat {
+                *v += self.rng.normal(0.0, sigma);
+            }
+        }
+        crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
+        self.w_eff.vecmat_into(&x_hat, z);
+        if self.config.w_noise > 0.0 {
+            let x_l2 = x_hat
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt() as f32;
+            if x_l2 > 0.0 {
+                let sigma = self.config.w_noise * x_l2;
+                for v in z.iter_mut() {
+                    *v += self.rng.normal(0.0, sigma);
+                }
+            }
+        }
+        if !self.ir.is_off() {
+            let u: f32 = x_hat.iter().map(|v| v.abs()).sum::<f32>() / x_hat.len().max(1) as f32;
+            self.ir.apply(z, &self.ir_factors, u);
+        }
+        if self.config.out_noise > 0.0 {
+            let sigma = self.config.out_noise;
+            for v in z.iter_mut() {
+                *v += self.rng.normal(0.0, sigma);
+            }
+        }
+        let saturated = self.adc.convert_slice(z);
+        self.scratch.x_hat = x_hat;
+        (clipped, saturated)
+    }
+
+    fn convert_bit_serial_reference(
+        &mut self,
+        x_s: &[f32],
+        alpha: f32,
+        bits: u32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
+        let planes = bits - 1;
+        let full_scale = ((1u32 << planes) - 1) as f32;
+        let bound = self.config.dac_bound;
+        let mut clipped = 0usize;
+        let mut levels = std::mem::take(&mut self.scratch.levels);
+        levels.clear();
+        levels.extend(x_s.iter().map(|&v| {
+            let scaled = v / alpha;
+            if scaled.abs() > bound {
+                clipped += 1;
+            }
+            let c = if scaled.is_nan() {
+                0.0
+            } else {
+                scaled.clamp(-bound, bound)
+            };
+            (c / bound * full_scale).round() as i32
+        }));
+        let drive_gain = crate::nonlinearity::s_shape(1.0, self.config.s_shape);
+        let cols = self.cols();
+        z.clear();
+        z.resize(cols, 0.0);
+        let mut saturated = 0usize;
+        let mut plane = std::mem::take(&mut self.scratch.plane);
+        plane.clear();
+        plane.resize(levels.len(), 0.0);
+        let mut zk = std::mem::take(&mut self.scratch.zk);
+        for k in 0..planes {
+            let mask = 1i32 << k;
+            for (p, &m) in plane.iter_mut().zip(&levels) {
+                *p = if m.abs() & mask != 0 {
+                    m.signum() as f32 * drive_gain
+                } else {
+                    0.0
+                };
+                if self.config.in_noise > 0.0 {
+                    *p += self.rng.normal(0.0, self.config.in_noise);
+                }
+            }
+            self.w_eff.vecmat_sparse_into(&plane, &mut zk);
+            if self.config.w_noise > 0.0 {
+                let l2 = plane
+                    .iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt() as f32;
+                if l2 > 0.0 {
+                    let sigma = self.config.w_noise * l2;
+                    for v in &mut zk {
+                        *v += self.rng.normal(0.0, sigma);
+                    }
+                }
+            }
+            if !self.ir.is_off() {
+                let u: f32 = plane.iter().map(|v| v.abs()).sum::<f32>() / plane.len().max(1) as f32;
+                self.ir.apply(&mut zk, &self.ir_factors, u);
+            }
+            if self.config.out_noise > 0.0 {
+                for v in &mut zk {
+                    *v += self.rng.normal(0.0, self.config.out_noise);
+                }
+            }
+            saturated += self.adc.convert_slice(&mut zk);
+            let weight = (mask as f32) / full_scale * bound / drive_gain;
+            for (acc, &v) in z.iter_mut().zip(&zk) {
+                *acc += v * weight;
+            }
+        }
+        self.scratch.levels = levels;
+        self.scratch.plane = plane;
+        self.scratch.zk = zk;
+        (clipped, saturated)
     }
 }
 
@@ -1007,8 +1397,7 @@ mod tests {
         // NORA rescaling is mathematically exact absent non-idealities.
         let (w, x) = random_setup(3, 32, 16);
         let s: Vec<f32> = (0..32).map(|i| 0.25 + (i % 7) as f32 * 0.5).collect();
-        let mut tile =
-            AnalogTile::new(w.clone(), Some(&s), TileConfig::ideal(), Rng::seed_from(4));
+        let mut tile = AnalogTile::new(w.clone(), Some(&s), TileConfig::ideal(), Rng::seed_from(4));
         let y = tile.forward(&x);
         let y_ref = x.matmul(&w);
         assert!(y.mse(&y_ref) < 1e-9, "mse {}", y.mse(&y_ref));
@@ -1031,8 +1420,7 @@ mod tests {
     #[test]
     fn zero_input_row_gives_zero_output() {
         let (w, _) = random_setup(7, 16, 8);
-        let mut tile =
-            AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(8));
+        let mut tile = AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(8));
         let x = Matrix::zeros(2, 16);
         let y = tile.forward(&x);
         assert!(y.as_slice().iter().all(|&v| v == 0.0));
@@ -1177,8 +1565,7 @@ mod tests {
     #[test]
     fn stats_accumulate_and_reset() {
         let (w, x) = random_setup(19, 16, 8);
-        let mut tile =
-            AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(20));
+        let mut tile = AnalogTile::new(w, None, TileConfig::paper_default(), Rng::seed_from(20));
         tile.forward(&x);
         assert_eq!(tile.stats().samples, 8);
         assert!(tile.stats().mean_rescale() > 0.0);
@@ -1367,6 +1754,167 @@ mod tests {
         assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
     }
 
+    /// The tentpole equivalence property: the hoisted/fused conversion fast
+    /// path must be **bit-identical** to the naive reference (one full
+    /// per-stage chain per read-averaging repeat, scalar noise draws) for
+    /// every read-averaging depth, with and without input noise, hard
+    /// faults, and bit-serial encoding. The reference tile is a clone, so
+    /// both start from the same RNG state and programmed weights; any
+    /// divergence in RNG draw order or arithmetic shows up as a bit
+    /// mismatch.
+    #[test]
+    fn averaged_fast_path_matches_naive_reference() {
+        use crate::config::InputEncoding;
+        let (w, x) = random_setup(201, 48, 24);
+        for encoding in [InputEncoding::Analog, InputEncoding::BitSerial { bits: 7 }] {
+            for ra in [1u32, 4, 16] {
+                for in_noise in [0.0f32, 0.02] {
+                    for faults in [false, true] {
+                        let mut cfg = TileConfig::paper_default().with_tile_size(48, 24);
+                        cfg.input_encoding = encoding;
+                        cfg.read_averaging = ra;
+                        cfg.in_noise = in_noise;
+                        if faults {
+                            cfg.fault_plan = Some(FaultPlan {
+                                seed: 3,
+                                stuck_low: 0.01,
+                                stuck_high: 0.01,
+                                adc_stuck: 0.05,
+                                ..FaultPlan::none()
+                            });
+                        }
+                        let ctx = format!(
+                            "encoding {encoding:?} ra {ra} in_noise {in_noise} faults {faults}"
+                        );
+                        let mut fast = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(202));
+                        let mut naive = fast.clone();
+                        naive.use_reference_path();
+                        let y_fast = fast.forward(&x);
+                        let y_ref = naive.forward(&x);
+                        for (i, (a, b)) in
+                            y_fast.as_slice().iter().zip(y_ref.as_slice()).enumerate()
+                        {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{ctx}: output {i} diverged: fast {a} vs reference {b}"
+                            );
+                        }
+                        assert_eq!(fast.stats(), naive.stats(), "{ctx}: stats diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The equivalence sweep again, but with ABFT enabled: the checksum
+    /// column rides through the fused epilogue and the per-row residual
+    /// check, so fast and reference paths must agree on outputs, stats,
+    /// and the report.
+    #[test]
+    fn abft_fast_path_matches_reference() {
+        use crate::health::FaultTolerance;
+        // Analog encoding only: ABFT + bit-serial is unsupported (the
+        // checksum column is not carried through the plane sweep).
+        let (w, x) = random_setup(211, 48, 24);
+        for ra in [1u32, 4, 16] {
+            for in_noise in [0.0f32, 0.02] {
+                let mut cfg = TileConfig::paper_default().with_tile_size(48, 25);
+                cfg.read_averaging = ra;
+                cfg.in_noise = in_noise;
+                cfg.fault_tolerance = FaultTolerance::protected();
+                let ctx = format!("ra {ra} in_noise {in_noise}");
+                let mut fast = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(202));
+                let mut naive = fast.clone();
+                naive.use_reference_path();
+                let y_fast = fast.forward(&x);
+                let y_ref = naive.forward(&x);
+                for (i, (a, b)) in y_fast.as_slice().iter().zip(y_ref.as_slice()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{ctx}: output {i} diverged: fast {a} vs ref {b}"
+                    );
+                }
+                assert_eq!(fast.stats(), naive.stats(), "{ctx}: stats diverged");
+            }
+        }
+    }
+
+    /// ABFT equivalence under heavy saturation: outlier-scaled weights and
+    /// inputs rail the ADC (checksum column included), so bound management
+    /// retries on most samples and the saturated-sample skip of the
+    /// residual check is exercised on both paths.
+    #[test]
+    fn saturating_abft_fast_path_matches_reference() {
+        use crate::health::FaultTolerance;
+        // Outlier-heavy weights + inputs: the checksum column and several
+        // outputs saturate, driving bound-management retries every sample.
+        let mut rng = Rng::seed_from(91);
+        let rows = 64;
+        let cols = 32;
+        let mut wv = vec![0.0f32; rows * cols];
+        rng.fill_normal(&mut wv, 0.0, 1.0);
+        for (i, v) in wv.iter_mut().enumerate() {
+            if i % 37 == 0 {
+                *v *= 40.0;
+            }
+        }
+        let w = Matrix::from_vec(rows, cols, wv);
+        let mut xv = vec![0.0f32; 16 * rows];
+        rng.fill_normal(&mut xv, 0.0, 1.0);
+        for (i, v) in xv.iter_mut().enumerate() {
+            if i % 23 == 0 {
+                *v *= 60.0;
+            }
+        }
+        let x = Matrix::from_vec(16, rows, xv);
+        let mut cfg = TileConfig::paper_default().with_tile_size(rows, cols + 1);
+        cfg.fault_tolerance = FaultTolerance::protected();
+        let mut fast = AnalogTile::new(w.clone(), None, cfg, Rng::seed_from(92));
+        let mut naive_t = fast.clone();
+        naive_t.use_reference_path();
+        let (yf, rf) = fast.forward_checked(&x);
+        let (yr, rr) = naive_t.forward_checked(&x);
+        for (i, (a, b)) in yf.as_slice().iter().zip(yr.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "output {i}: fast {a} vs ref {b}");
+        }
+        assert_eq!(fast.stats(), naive_t.stats(), "stats diverged");
+        assert_eq!(
+            (rf.violations, rf.rows_checked, rf.suspicious),
+            (rr.violations, rr.rows_checked, rr.suspicious)
+        );
+    }
+
+    /// Regression for the read-averaging saturation bug: the per-conversion
+    /// saturation count used to be integer-averaged over the repeats
+    /// (`saturated /= repeats`), so e.g. 4 saturated repeats out of 8
+    /// reported 0 and bound management never retried. The count is now the
+    /// per-repeat maximum. This tile's clean read-out sits exactly at the
+    /// ADC rail, so with σ_out = 0.5 roughly half the repeats saturate —
+    /// under the old accounting the α-doubling retry was silently skipped.
+    #[test]
+    fn read_averaging_saturation_triggers_bound_management() {
+        let mut cfg = TileConfig::ideal();
+        cfg.out_noise = 0.5;
+        cfg.adc = Resolution::bits(9);
+        cfg.adc_bound = 1.0;
+        cfg.read_averaging = 8;
+        cfg.bound_management = BoundManagement::Iterative { max_rounds: 3 };
+        cfg.noise_management = NoiseManagement::AbsMax;
+        let w = Matrix::from_vec(1, 1, vec![0.5]);
+        let mut tile = AnalogTile::new(w, None, cfg, Rng::seed_from(303));
+        // α = |x| = 0.9 under AbsMax, so x̂ = 1 and the clean read-out is
+        // exactly the ADC bound; every saturation event is noise-driven.
+        let x = Matrix::from_vec(1, 1, vec![0.9]);
+        tile.forward(&x);
+        assert!(
+            tile.stats().bound_mgmt_retries >= 1,
+            "noise-driven per-repeat saturation must trigger a retry: {:?}",
+            tile.stats()
+        );
+    }
+
     #[test]
     fn read_averaging_does_not_help_quantization() {
         let (w, x) = random_setup(73, 48, 24);
@@ -1382,7 +1930,10 @@ mod tests {
         let averaged = mse_with_reads(8);
         // Deterministic quantization error: averaging identical rounds is
         // a no-op.
-        assert!((averaged / single - 1.0).abs() < 1e-6, "{single} vs {averaged}");
+        assert!(
+            (averaged / single - 1.0).abs() < 1e-6,
+            "{single} vs {averaged}"
+        );
     }
 
     #[test]
@@ -1415,7 +1966,10 @@ mod tests {
         let fresh = tile.forward(&x).mse(&y_ref);
         tile.apply_drift(86_400.0, DriftCompensation::None);
         let drifted = tile.forward(&x).mse(&y_ref);
-        assert!(drifted > fresh, "drift should still degrade: {fresh} vs {drifted}");
+        assert!(
+            drifted > fresh,
+            "drift should still degrade: {fresh} vs {drifted}"
+        );
     }
 
     #[test]
@@ -1491,8 +2045,7 @@ mod tests {
         // No false positives across many batches under the full paper noise
         // inventory (programming noise, read noise, output noise, ADC, IR).
         let (w, x) = random_setup(103, 64, 32);
-        let mut tile =
-            AnalogTile::new(w, None, protected_cfg(64, 33), Rng::seed_from(104));
+        let mut tile = AnalogTile::new(w, None, protected_cfg(64, 33), Rng::seed_from(104));
         for _ in 0..20 {
             let (_, report) = tile.forward_checked(&x);
             assert!(
@@ -1649,11 +2202,14 @@ mod tests {
         let mut b =
             AnalogTile::try_new_at(w.clone(), None, cfg.clone(), Rng::seed_from(120), site(1))
                 .unwrap();
-        let mut a2 =
-            AnalogTile::try_new_at(w, None, cfg, Rng::seed_from(120), site(0)).unwrap();
+        let mut a2 = AnalogTile::try_new_at(w, None, cfg, Rng::seed_from(120), site(0)).unwrap();
         let ya = a.forward(&x);
         assert_eq!(ya, a2.forward(&x), "same physical id → same defects");
-        assert_ne!(ya, b.forward(&x), "different physical id → different defects");
+        assert_ne!(
+            ya,
+            b.forward(&x),
+            "different physical id → different defects"
+        );
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl AnalogTransformerLm {
             let weights = lin.weight.value.clone();
             let bias = lin.bias.value.row(0).to_vec();
             let s = smoothing.get(&id).map(|v| v.as_slice());
-            let layer_seed =
-                seed ^ ((id.block as u64 + 1) << 20) ^ ((id.kind as u64 + 1) << 8);
+            let layer_seed = seed ^ ((id.block as u64 + 1) << 20) ^ ((id.kind as u64 + 1) << 8);
             match AnalogLinear::try_with_smoothing(
                 weights,
                 Some(bias),
@@ -274,12 +273,13 @@ impl AnalogTransformerLm {
             }
         }
         let analog = &mut self.analog;
-        let mut run = |b: usize, kind: LinearKind, digital: &crate::DigitalLinear, input: &M| {
-            match analog.get_mut(&LinearId::new(b, kind)) {
+        let mut run =
+            |b: usize, kind: LinearKind, digital: &crate::DigitalLinear, input: &M| match analog
+                .get_mut(&LinearId::new(b, kind))
+            {
                 Some(layer) => layer.forward(input),
                 None => digital.forward(input),
-            }
-        };
+            };
         for (b, block) in model.blocks.iter().enumerate() {
             let ln1_out = block.ln1.forward_inference(&x);
             let q = run(b, LinearKind::Q, &block.attn.wq, &ln1_out);
@@ -291,10 +291,16 @@ impl AnalogTransformerLm {
             let context = block.attn.attend_one(q.row(0), kc, vc);
             let context = M::from_vec(1, d, context);
             let attn_out = run(b, LinearKind::Out, &block.attn.wo, &context);
-            let x1 = x.add(&attn_out);
+            // Residual adds and ReLU run in place (same operand order, so
+            // bit-identical) — single-token decode is allocation-sensitive.
+            let mut x1 = x;
+            x1.add_assign(&attn_out);
             let ln2_out = block.ln2.forward_inference(&x1);
-            let h = run(b, LinearKind::Fc1, &block.fc1, &ln2_out).map(|v| v.max(0.0));
-            x = x1.add(&run(b, LinearKind::Fc2, &block.fc2, &h));
+            let mut h = run(b, LinearKind::Fc1, &block.fc1, &ln2_out);
+            h.map_assign(|v| v.max(0.0));
+            let f = run(b, LinearKind::Fc2, &block.fc2, &h);
+            x = x1;
+            x.add_assign(&f);
         }
         cache.advance();
         let x = model.final_ln.forward_inference(&x);
@@ -389,8 +395,7 @@ mod tests {
             let d_in = model.linear(id).d_in();
             smoothing.insert(id, (0..d_in).map(|i| 0.5 + (i % 3) as f32).collect());
         }
-        let mut analog =
-            AnalogTransformerLm::new(&model, TileConfig::ideal(), &smoothing, 4);
+        let mut analog = AnalogTransformerLm::new(&model, TileConfig::ideal(), &smoothing, 4);
         let tokens = [3usize, 1, 4, 1, 5];
         let d = model.forward(&tokens);
         let a = analog.forward(&tokens);
@@ -515,10 +520,9 @@ mod tests {
         // digital fallback, so a second forward matches the digital model.
         let events = analog.fault_events();
         assert!(!events.is_empty());
-        assert!(events.iter().any(|(_, e)| matches!(
-            e.kind,
-            nora_cim::TileEventKind::DigitalFallback
-        )));
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e.kind, nora_cim::TileEventKind::DigitalFallback)));
         assert!(analog.digital_fallback_count() > 0);
         let d = model.forward(&tokens);
         assert!(analog.forward(&tokens).mse(&d) < 1e-9);

@@ -46,6 +46,7 @@ pub use iter::{for_each_chunk_mut, for_each_index, map_indexed, map_slice_mut, m
 pub use pool::run_on;
 
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 thread_local! {
     /// Per-thread override installed by [`with_threads`].
@@ -53,10 +54,36 @@ thread_local! {
 }
 
 /// Number of logical CPUs visible to the process (at least 1).
+///
+/// Cached after the first query: `available_parallelism` consults cgroup
+/// quota files on Linux, which costs microseconds per call — enough to
+/// dominate a small GEMV when every `matmul`/`map_slice_mut` re-resolves
+/// the thread count on its hot path.
 pub fn available() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `NORA_THREADS`/[`available`] resolution, cached for the process lifetime.
+/// The environment variable is a launch-time knob (tests use the race-free
+/// [`with_threads`] override instead of mutating it), so reading it once is
+/// sound — and keeps the per-call cost of [`max_threads`] to two
+/// thread-local reads.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("NORA_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(available),
+        Err(_) => available(),
+    })
 }
 
 /// The thread count parallel helpers will use on this thread.
@@ -72,15 +99,7 @@ pub fn max_threads() -> usize {
     if let Some(n) = OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    match std::env::var("NORA_THREADS") {
-        Ok(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or_else(available),
-        Err(_) => available(),
-    }
+    default_threads()
 }
 
 /// Runs `f` with the thread count pinned to `n` on the current thread.

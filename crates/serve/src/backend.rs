@@ -94,9 +94,11 @@ impl Backend for DigitalBackend<'_> {
 /// Analog backend: the deployment's tile RNG streams advance as a side
 /// effect of every forward, so the round runs **serially in slot order** —
 /// the noise each sequence sees is then a pure function of the admission
-/// order, independent of thread count. (Parallelism still happens *inside*
-/// each step: `AnalogLinear::forward` fans its tile grid across workers
-/// under the same bit-identity contract.)
+/// order, independent of thread count. Each step is a single-token decode,
+/// which rides `AnalogLinear::forward`'s batch-of-1 fast path: tiles read
+/// their input band in place and reuse one scratch buffer per layer instead
+/// of allocating per-tile submatrices every step, and the per-tile results
+/// still combine in grid order under the bit-identity contract.
 pub struct AnalogBackend<'m> {
     analog: &'m mut AnalogTransformerLm,
 }

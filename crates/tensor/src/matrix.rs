@@ -510,8 +510,7 @@ impl Matrix {
         assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for (ro, r) in (r0..r1).enumerate() {
-            out.row_mut(ro)
-                .copy_from_slice(&self.row(r)[c0..c1]);
+            out.row_mut(ro).copy_from_slice(&self.row(r)[c0..c1]);
         }
         out
     }
@@ -583,19 +582,47 @@ const PAR_MIN_FLOPS: usize = 1 << 20;
 /// the `k` loop).
 const GEMM_JT: usize = 16;
 
+/// Wide-tile width: two [`GEMM_JT`] accumulator blocks advanced together so
+/// a single `a_row[k]` load feeds 32 output lanes per `k` step.
+const GEMM_JW: usize = 2 * GEMM_JT;
+
 /// Shared row kernel: `out_row = a_row · b`, where `b` is row-major
 /// `a_row.len() × n` and `out_row` has length `n`.
 ///
-/// Columns are processed in register tiles of [`GEMM_JT`] accumulators so
-/// the compiler can keep the partial sums in vector registers across the
-/// whole `k` loop (one load of `a_row[k]` feeds 16 lanes). Each output
-/// element is produced by a single `k`-ascending chain of `acc += a * b`
-/// updates — the same floating-point evaluation order as the scalar
-/// two-loop form, so tiling does not change results bitwise.
+/// Columns are processed in register tiles of [`GEMM_JW`] accumulators
+/// (two [`GEMM_JT`] blocks, falling back to one block and then a masked
+/// tail at the right edge) so the compiler can keep the partial sums in
+/// vector registers across the whole `k` loop — one load of `a_row[k]`
+/// feeds every live lane. Each output element is produced by a single
+/// `k`-ascending chain of `acc += a * b` updates — the same floating-point
+/// evaluation order as the scalar two-loop form, so tiling does not change
+/// results bitwise.
 fn row_times_matrix(a_row: &[f32], b: &[f32], n: usize, out_row: &mut [f32]) {
     debug_assert_eq!(out_row.len(), n);
     debug_assert_eq!(b.len(), a_row.len() * n);
     let mut j0 = 0;
+    while j0 + GEMM_JW <= n {
+        let mut lo = [0.0f32; GEMM_JT];
+        let mut hi = [0.0f32; GEMM_JT];
+        for (k, &a) in a_row.iter().enumerate() {
+            let row = k * n + j0;
+            let blk0: &[f32; GEMM_JT] = b[row..row + GEMM_JT]
+                .try_into()
+                .expect("block width is GEMM_JT");
+            let blk1: &[f32; GEMM_JT] = b[row + GEMM_JT..row + GEMM_JW]
+                .try_into()
+                .expect("block width is GEMM_JT");
+            for (o, &v) in lo.iter_mut().zip(blk0) {
+                *o += a * v;
+            }
+            for (o, &v) in hi.iter_mut().zip(blk1) {
+                *o += a * v;
+            }
+        }
+        out_row[j0..j0 + GEMM_JT].copy_from_slice(&lo);
+        out_row[j0 + GEMM_JT..j0 + GEMM_JW].copy_from_slice(&hi);
+        j0 += GEMM_JW;
+    }
     while j0 + GEMM_JT <= n {
         let mut acc = [0.0f32; GEMM_JT];
         for (k, &a) in a_row.iter().enumerate() {
@@ -626,14 +653,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -844,7 +877,13 @@ mod tests {
         let w = Matrix::random_normal(70, 33, 0.0, 1.0, &mut rng);
         // Mixed exact-zero / dense input exercises the skip branch.
         let x: Vec<f32> = (0..70)
-            .map(|i| if i % 3 == 0 { 0.0 } else { rng.normal(0.0, 1.0) })
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    rng.normal(0.0, 1.0)
+                }
+            })
             .collect();
         let dense = w.vecmat(&x);
         let sparse = w.vecmat_sparse(&x);

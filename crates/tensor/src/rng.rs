@@ -63,10 +63,7 @@ impl Rng {
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -119,18 +116,31 @@ impl Rng {
         }
     }
 
-    /// Standard normal sample via the Box–Muller transform.
-    pub fn standard_normal(&mut self) -> f32 {
-        if let Some(z) = self.spare_normal.take() {
-            return z as f32;
-        }
+    /// Draws one Box–Muller pair `(r·cosθ, r·sinθ)` in `f64`.
+    ///
+    /// Consumes exactly two uniform draws. Shared by [`standard_normal`]
+    /// (which stashes the second value as the spare) and [`fill_normal`]
+    /// (which writes both), so the two paths produce bit-identical samples.
+    ///
+    /// [`standard_normal`]: Rng::standard_normal
+    /// [`fill_normal`]: Rng::fill_normal
+    fn box_muller_pair(&mut self) -> (f64, f64) {
         // Draw u1 in (0,1] to keep ln(u1) finite.
         let u1 = 1.0 - self.next_f64();
         let u2 = self.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare_normal = Some(r * theta.sin());
-        (r * theta.cos()) as f32
+        (r * theta.cos(), r * theta.sin())
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z as f32;
+        }
+        let (z0, z1) = self.box_muller_pair();
+        self.spare_normal = Some(z1);
+        z0 as f32
     }
 
     /// Normal sample with the given mean and standard deviation.
@@ -147,6 +157,43 @@ impl Rng {
     pub fn fill_standard_normal(&mut self, buf: &mut [f32]) {
         for v in buf {
             *v = self.standard_normal();
+        }
+    }
+
+    /// Fills `buf` with `N(mean, std²)` samples, batched.
+    ///
+    /// Produces the **exact same draw sequence** as calling
+    /// [`normal`](Rng::normal)`(mean, std)` once per element: a pending
+    /// Box–Muller spare is consumed first (only if `buf` is non-empty),
+    /// interior elements are filled in cosine/sine pairs, and an odd tail
+    /// draws one more pair, writes the cosine half, and stashes the sine
+    /// half as the spare for the *next* normal draw. Interleaving
+    /// `fill_normal` with scalar `normal` calls therefore never perturbs
+    /// the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or non-finite.
+    pub fn fill_normal(&mut self, buf: &mut [f32], mean: f32, std: f32) {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0");
+        if buf.is_empty() {
+            return;
+        }
+        let mut rest = buf;
+        if let Some(z) = self.spare_normal.take() {
+            rest[0] = mean + std * (z as f32);
+            rest = &mut rest[1..];
+        }
+        let mut pairs = rest.chunks_exact_mut(2);
+        for pair in &mut pairs {
+            let (z0, z1) = self.box_muller_pair();
+            pair[0] = mean + std * (z0 as f32);
+            pair[1] = mean + std * (z1 as f32);
+        }
+        if let [last] = pairs.into_remainder() {
+            let (z0, z1) = self.box_muller_pair();
+            *last = mean + std * (z0 as f32);
+            self.spare_normal = Some(z1);
         }
     }
 
@@ -352,6 +399,72 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 10);
         assert!(picks.iter().all(|&i| i < 50));
+    }
+
+    /// `fill_normal` must reproduce the scalar `normal()` draw sequence
+    /// exactly, for every slice length and spare-value state. The property
+    /// is checked by interleaving batched and scalar draws in the same
+    /// pattern on two generators seeded identically: one uses `fill_normal`
+    /// for the batches, the other loops `normal()`. Any divergence in spare
+    /// handling (consuming a spare on an empty slice, dropping the odd
+    /// tail's sine half, ...) breaks the lockstep within one round.
+    #[test]
+    fn fill_normal_matches_scalar_sequence() {
+        let mut batched = Rng::seed_from(99);
+        let mut scalar = Rng::seed_from(99);
+        let (mean, std) = (0.25f32, 1.5f32);
+        // Lengths chosen to hit: empty slice (must not consume a spare),
+        // odd/even lengths with and without a pending spare, length 1.
+        let lengths = [3usize, 0, 4, 1, 0, 5, 2, 7, 1, 6];
+        for (round, &len) in lengths.iter().enumerate() {
+            let mut got = vec![0.0f32; len];
+            batched.fill_normal(&mut got, mean, std);
+            let want: Vec<f32> = (0..len).map(|_| scalar.normal(mean, std)).collect();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "round {round} len {len} elem {i}: {g} != {w}"
+                );
+            }
+            // Interleave scalar draws so rounds alternate spare state.
+            let a = batched.normal(mean, std);
+            let b = scalar.normal(mean, std);
+            assert_eq!(a.to_bits(), b.to_bits(), "interleaved draw, round {round}");
+        }
+        // Both generators must end in the same state (raw stream + spare).
+        assert_eq!(batched, scalar);
+    }
+
+    /// Same property without interleaved scalar draws: back-to-back batches
+    /// whose odd lengths force the spare to carry across call boundaries.
+    #[test]
+    fn fill_normal_back_to_back_batches_match_scalar() {
+        let mut batched = Rng::seed_from(7_654);
+        let mut scalar = Rng::seed_from(7_654);
+        for &len in &[5usize, 3, 0, 1, 8, 1, 1, 2] {
+            let mut got = vec![0.0f32; len];
+            batched.fill_normal(&mut got, -1.0, 0.04);
+            for (i, g) in got.iter().enumerate() {
+                let w = scalar.normal(-1.0, 0.04);
+                assert_eq!(g.to_bits(), w.to_bits(), "len {len} elem {i}");
+            }
+        }
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn fill_normal_zero_std_is_constant() {
+        let mut rng = Rng::seed_from(2);
+        let mut buf = vec![9.0f32; 6];
+        rng.fill_normal(&mut buf, 4.0, 0.0);
+        assert!(buf.iter().all(|&v| v == 4.0), "{buf:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite")]
+    fn fill_normal_negative_std_panics() {
+        Rng::seed_from(0).fill_normal(&mut [0.0; 2], 0.0, -1.0);
     }
 
     #[test]
