@@ -8,10 +8,10 @@
 //! speedup. Set `NORA_BENCH_JSON` to append records (with the active
 //! `NORA_THREADS`) for committed baselines.
 
-use nora_bench::harness::bench_throughput;
+use nora_bench::harness::{bench_throughput, export_metrics, metrics_out};
 use nora_cim::TileConfig;
 use nora_core::RescalePlan;
-use nora_eval::serving::{serve_workload, ServingWorkload};
+use nora_eval::serving::{serve_workload, serve_workload_recorded, ServingWorkload};
 use nora_nn::corpus::{Corpus, CorpusConfig};
 use nora_nn::generate::Sampling;
 use nora_nn::{ModelConfig, TransformerLm};
@@ -86,4 +86,17 @@ fn main() {
     bench_throughput("analog_decode_step_batch1", 1, || {
         std::hint::black_box(analog.decode_step(3, &mut cache));
     });
+
+    // Operational metrics sidecar (`--metrics-out` / `NORA_METRICS_OUT`):
+    // one extra instrumented pass over the analog workload, exporting the
+    // engine's serve.* metrics plus the deployment's cumulative conversion
+    // and health stats from the timed iterations above.
+    if metrics_out().is_some() {
+        let mut metrics = nora_obs::Metrics::new();
+        let (_, summary) =
+            serve_workload_recorded(AnalogBackend::new(&mut analog), &workload, 8, &mut metrics);
+        std::hint::black_box(summary);
+        analog.export_metrics(&mut metrics);
+        export_metrics("serve_analog_12req_batch8", &metrics);
+    }
 }

@@ -12,6 +12,10 @@
 //! * `NORA_BENCH_JSON=<path>` — append one JSON-lines record per
 //!   measurement (`{"name", "ns_per_iter", "iters", "threads"}`), so runs
 //!   at different thread counts can be committed and diffed as baselines.
+//! * `--metrics-out <path>` (or `NORA_METRICS_OUT=<path>`) — append the
+//!   operational metrics a bench collected (tile conversion stats, engine
+//!   latency histograms, …) as a JSON-lines sidecar next to the timing
+//!   records; see [`export_metrics`].
 
 use std::io::Write;
 use std::time::{Duration, Instant};
@@ -116,6 +120,73 @@ fn append_json_record(name: &str, m: &Measurement) {
     }
 }
 
+/// Destination for the operational metrics sidecar, if requested.
+///
+/// Checks the bench binary's argument list for `--metrics-out=<path>` or
+/// `--metrics-out <path>` (cargo forwards arguments after `--`), then falls
+/// back to the `NORA_METRICS_OUT` environment variable. Returns `None` when
+/// neither is present, in which case benches skip metrics export entirely.
+pub fn metrics_out() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            if !path.is_empty() {
+                return Some(path.to_string());
+            }
+        } else if arg == "--metrics-out" {
+            if let Some(path) = args.next() {
+                if !path.is_empty() {
+                    return Some(path);
+                }
+            }
+        }
+    }
+    std::env::var("NORA_METRICS_OUT").ok().filter(|p| !p.is_empty())
+}
+
+/// Appends `metrics` to the sidecar named by [`metrics_out`], prefixed by a
+/// `{"type":"bench","name":...,"threads":...}` marker line so records from
+/// several benches (or thread counts) can share one file. A no-op when no
+/// destination is configured; I/O errors are reported on stderr but never
+/// fail the bench run.
+pub fn export_metrics(bench_name: &str, metrics: &nora_obs::Metrics) {
+    let Some(path) = metrics_out() else {
+        return;
+    };
+    let escaped: String = bench_name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let marker = format!(
+        "{{\"type\":\"bench\",\"name\":\"{escaped}\",\"threads\":{}}}\n",
+        nora_parallel::max_threads()
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(marker.as_bytes()))
+        .and_then(|()| {
+            use nora_obs::Recorder;
+            let mut rec = nora_obs::JsonLinesRecorder::append_to(std::path::Path::new(&path))?;
+            metrics.emit(&mut rec);
+            rec.flush()?;
+            let (_, err) = rec.into_inner();
+            match err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+    if let Err(e) = result {
+        eprintln!("bench: failed to append metrics to {path}: {e}");
+    }
+}
+
 /// Like [`bench`] with an element-throughput line (elements per iteration).
 pub fn bench_throughput<F: FnMut()>(name: &str, elements: u64, f: F) -> Measurement {
     let m = bench(name, f);
@@ -163,6 +234,32 @@ mod tests {
         assert!(lines[0].contains("\"ns_per_iter\":"));
         assert!(lines[0].contains("\"iters\":"));
         assert!(lines[1].contains("\"threads\":"));
+    }
+
+    #[test]
+    fn metrics_sidecar_appends_marker_and_records() {
+        // The test binary's argv has no --metrics-out flag, so the
+        // environment fallback is what this exercises.
+        assert!(metrics_out().is_none());
+        let path = std::env::temp_dir().join(format!("nora_metrics_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("NORA_METRICS_OUT", &path);
+        let mut m = nora_obs::Metrics::new();
+        m.add("probe.counter", 3);
+        m.observe("probe.rate", nora_obs::edges::RATE, 0.02);
+        export_metrics("probe_bench", &m);
+        std::env::remove_var("NORA_METRICS_OUT");
+        let text = std::fs::read_to_string(&path).expect("sidecar written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"type\":\"bench\""));
+        assert!(lines[0].contains("\"name\":\"probe_bench\""));
+        assert!(lines[0].contains("\"threads\":"));
+        assert!(text.contains("\"name\":\"probe.counter\""));
+        assert!(text.contains("\"value\":3"));
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"name\":\"probe.rate\""));
     }
 
     #[test]

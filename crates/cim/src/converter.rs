@@ -8,6 +8,31 @@
 use crate::config::Resolution;
 use nora_tensor::quant::Quantizer;
 
+/// Canonical observability metric names of the conversion stages.
+///
+/// [`crate::ForwardStats::export_metrics`] publishes the per-tile counters
+/// under these names; the rate metrics are fixed-edge histograms over
+/// [`nora_obs::edges::RATE`]. Keeping the names here, next to the
+/// converters that produce the raw counts, makes them part of the
+/// conversion-stage API: exporters, dashboards and tests reference these
+/// constants instead of retyping strings.
+pub mod metrics {
+    /// DAC inputs that clipped at the rails (NaN inputs count as clipped).
+    pub const DAC_CLIPPED: &str = "cim.dac.clipped_inputs";
+    /// Total DAC inputs presented.
+    pub const DAC_TOTAL: &str = "cim.dac.total_inputs";
+    /// Per-export DAC clip fraction (histogram).
+    pub const DAC_CLIP_RATE: &str = "cim.dac.clip_rate";
+    /// ADC outputs that saturated (strict overflow beyond full scale).
+    pub const ADC_SATURATED: &str = "cim.adc.saturated_outputs";
+    /// Total ADC outputs produced.
+    pub const ADC_TOTAL: &str = "cim.adc.total_outputs";
+    /// Per-export ADC saturation fraction (histogram).
+    pub const ADC_SATURATION_RATE: &str = "cim.adc.saturation_rate";
+    /// Physical conversion repeats executed (read averaging × rounds).
+    pub const READ_REPEATS: &str = "cim.read.repeats";
+}
+
 /// Digital-to-analog converter at the tile input.
 ///
 /// Values are expected pre-scaled into `[-bound, bound]`; anything outside

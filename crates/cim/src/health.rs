@@ -206,6 +206,46 @@ pub struct AbftReport {
     pub suspicious: bool,
 }
 
+impl TileEventKind {
+    /// Canonical `cim.health.*` counter name of this ladder transition.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            TileEventKind::Flagged { .. } => "cim.health.flagged",
+            TileEventKind::ProgrammingFailed { .. } => "cim.health.programming_failed",
+            TileEventKind::Reprogrammed { .. } => "cim.health.reprogrammed",
+            TileEventKind::Remapped { .. } => "cim.health.remapped",
+            TileEventKind::DigitalFallback => "cim.health.digital_fallback",
+            TileEventKind::Unrecovered => "cim.health.unrecovered",
+        }
+    }
+}
+
+/// Counts the fault-recovery ladder transitions of `events` into `m`, one
+/// counter per [`TileEventKind`] (names from
+/// [`TileEventKind::metric_name`]).
+///
+/// `events` is already in deterministic occurrence order — recovery runs
+/// serially in grid order after each parallel fan-out — so the exported
+/// counters are identical at any `NORA_THREADS` level.
+pub fn export_events(events: &[TileEvent], m: &mut nora_obs::Metrics) {
+    for event in events {
+        m.add(event.kind.metric_name(), 1);
+    }
+}
+
+/// Exports the lifecycle state census of `health` (one entry per tile
+/// slot, in grid order) into `m` as `cim.health.slots_*` counters.
+pub fn export_health(health: &[TileHealth], m: &mut nora_obs::Metrics) {
+    for h in health {
+        let name = match h.state {
+            HealthState::Healthy => "cim.health.slots_healthy",
+            HealthState::Suspect => "cim.health.slots_suspect",
+            HealthState::Condemned => "cim.health.slots_condemned",
+        };
+        m.add(name, 1);
+    }
+}
+
 impl TileHealth {
     /// Records a checksum flag and moves a healthy slot to suspect.
     pub fn record_flag(&mut self) {

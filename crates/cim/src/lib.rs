@@ -65,7 +65,8 @@ pub use config::{InputEncoding, Resolution, TileConfig, WeightSource};
 pub use energy::{AreaModel, EnergyModel, EnergyReport};
 pub use error::CimError;
 pub use health::{
-    AbftReport, FaultTolerance, HealthState, TileEvent, TileEventKind, TileHealth, TileSite,
+    export_events, export_health, AbftReport, FaultTolerance, HealthState, TileEvent,
+    TileEventKind, TileHealth, TileSite,
 };
 pub use linear::AnalogLinear;
 // Re-exported so downstream crates can build a [`TileConfig`] fault plan

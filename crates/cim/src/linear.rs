@@ -573,6 +573,22 @@ impl AnalogLinear {
         }
     }
 
+    /// Exports the layer's observability metrics into `m`: conversion
+    /// stats merged across tiles in grid order, fault-recovery ladder
+    /// transitions in occurrence order, the slot health census, digital
+    /// fallbacks, and spares consumed.
+    ///
+    /// Every value derives from state the layer already tracks — the
+    /// export reads counters, draws no RNG, and is identical at any
+    /// `NORA_THREADS` level.
+    pub fn export_metrics(&self, m: &mut nora_obs::Metrics) {
+        self.stats().export_metrics(m);
+        crate::health::export_events(&self.events, m);
+        crate::health::export_health(&self.tile_health(), m);
+        m.add("cim.health.digital_fallback_slots", self.digital_fallback_count() as u64);
+        m.add("cim.health.spares_used", u64::from(self.spares_used));
+    }
+
     /// Applies conductance drift at `t_seconds` to every analog tile
     /// (digital-fallback slots are unaffected by definition).
     pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {

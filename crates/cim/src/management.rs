@@ -91,6 +91,20 @@ impl BoundManagement {
     }
 }
 
+/// Canonical counter name of extra conversion rounds forced by bound
+/// management (the α-doubling retries of the `Iterative` policy).
+pub const RETRIES_METRIC: &str = "cim.bound_mgmt.retries";
+
+/// Publishes a bound-management retry count into `m` under
+/// [`RETRIES_METRIC`].
+///
+/// The count comes from the deterministic per-tile
+/// [`crate::ForwardStats::bound_mgmt_retries`] counters, so exports merged
+/// in grid order agree at any `NORA_THREADS` level.
+pub fn export_bound_management(retries: u64, m: &mut nora_obs::Metrics) {
+    m.add(RETRIES_METRIC, retries);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,11 @@ pub struct ForwardStats {
     pub total_outputs: u64,
     /// Extra conversion rounds forced by bound management.
     pub bound_mgmt_retries: u64,
+    /// Physical conversion repeats executed: `read_averaging` per
+    /// conversion round, summed over rounds (bound-management retries
+    /// included) — the operational cost knob behind the `1/√n` noise
+    /// suppression.
+    pub read_repeats: u64,
     /// Sum over all outputs of the rescale factor `α_i · γ_j`.
     pub rescale_sum: f64,
     /// Number of rescale factors accumulated.
@@ -92,8 +97,32 @@ impl ForwardStats {
         self.saturated_outputs += other.saturated_outputs;
         self.total_outputs += other.total_outputs;
         self.bound_mgmt_retries += other.bound_mgmt_retries;
+        self.read_repeats += other.read_repeats;
         self.rescale_sum += other.rescale_sum;
         self.rescale_count += other.rescale_count;
+    }
+
+    /// Exports these counters into `m` under the canonical `cim.*` metric
+    /// names (see [`crate::converter::metrics`] and [`crate::management`]).
+    ///
+    /// Every exported value derives from the deterministic counters above,
+    /// so registries built from stats merged in grid order compare equal at
+    /// any `NORA_THREADS` level.
+    pub fn export_metrics(&self, m: &mut nora_obs::Metrics) {
+        use crate::converter::metrics as names;
+        m.add("cim.forward.samples", self.samples);
+        m.add(names::DAC_CLIPPED, self.clipped_inputs);
+        m.add(names::DAC_TOTAL, self.total_inputs);
+        m.add(names::ADC_SATURATED, self.saturated_outputs);
+        m.add(names::ADC_TOTAL, self.total_outputs);
+        m.add(names::READ_REPEATS, self.read_repeats);
+        m.observe(names::DAC_CLIP_RATE, nora_obs::edges::RATE, self.input_clip_rate());
+        m.observe(
+            names::ADC_SATURATION_RATE,
+            nora_obs::edges::RATE,
+            self.adc_saturation_rate(),
+        );
+        crate::management::export_bound_management(self.bound_mgmt_retries, m);
     }
 }
 
@@ -504,6 +533,13 @@ impl AnalogTile {
         self.stats = ForwardStats::default();
     }
 
+    /// Exports the tile's accumulated conversion stats into `m` under the
+    /// canonical `cim.*` names. Read-only and RNG-free: attaching
+    /// observation never perturbs the tile's outputs.
+    pub fn export_metrics(&self, m: &mut nora_obs::Metrics) {
+        self.stats.export_metrics(m);
+    }
+
     /// Executes a noisy GEMV batch: `x` is `batch × rows`, the result is
     /// `batch × cols`, approximating `x · W` under the configured
     /// non-idealities.
@@ -650,6 +686,7 @@ impl AnalogTile {
         let mut round = 0u32;
         loop {
             let (clipped, saturated) = self.convert_once(&x_s, alpha, &mut z);
+            self.stats.read_repeats += u64::from(self.config.read_averaging.max(1));
             let final_round = saturated == 0 || round >= max_retries;
             if final_round {
                 self.stats.clipped_inputs += clipped as u64;

@@ -280,4 +280,24 @@ mod tests {
         assert!(mean_ratio < 1.0, "mean ratio {mean_ratio}");
         assert!(!RescaleRow::table(&rows).is_empty());
     }
+
+    #[test]
+    fn reports_cover_every_layer_and_are_deterministic() {
+        let p = prepared();
+        let layers = p.zoo.model.linear_ids().len();
+        let tile = TileConfig::paper_default().with_tile_size(64, 64);
+        let rescale = rescale_report(&p, tile.clone(), 4);
+        assert_eq!(rescale.len(), layers, "one rescale row per linear layer");
+        assert_eq!(rescale, rescale_report(&p, tile, 4), "rescale rows drift");
+
+        let kde = kde_report(&p, None);
+        assert_eq!(kde, kde_report(&p, None), "KDE report drifts across runs");
+        assert!(kde.grid.windows(2).all(|w| w[0] < w[1]), "grid not sorted");
+        let densities = kde.act_density.iter().chain(&kde.weight_density);
+        assert!(densities.clone().all(|&d| d.is_finite() && d >= 0.0));
+        // Both KDEs integrate to ≈ 1 over the grid.
+        let dx = f64::from(kde.grid[1] - kde.grid[0]);
+        let mass: f64 = kde.act_density.iter().sum::<f64>() * dx;
+        assert!((mass - 1.0).abs() < 0.1, "act density mass {mass}");
+    }
 }

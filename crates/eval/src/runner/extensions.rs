@@ -265,4 +265,18 @@ mod tests {
         }
         assert!(!EnergyRow::table(&rows).is_empty());
     }
+
+    #[test]
+    fn extension_rows_are_deterministic() {
+        // Every extension driver deploys from explicit seeds, so repeated
+        // runs over the same prepared model must yield identical rows —
+        // the property that keeps the committed `results/` files stable.
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 324), 30, 4)];
+        assert_eq!(cross_device(&prepared, 5), cross_device(&prepared, 5));
+        assert_eq!(energy_study(&prepared, 5), energy_study(&prepared, 5));
+        assert_eq!(
+            digital_quant_baseline(&prepared, &[8], 5),
+            digital_quant_baseline(&prepared, &[8], 5)
+        );
+    }
 }

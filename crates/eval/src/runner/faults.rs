@@ -257,4 +257,23 @@ mod tests {
         assert_eq!(csv.lines().count(), 9);
         assert!(csv.starts_with("model,cell_rate"));
     }
+
+    /// Golden-schema check: the committed `results/fault_study.csv` was
+    /// written with the current CSV schema. A column rename or reorder must
+    /// fail here until the results file is regenerated alongside it.
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = FaultStudyRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/fault_study.csv"
+        ))
+        .expect("committed results/fault_study.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/fault_study.csv header drifted from FaultStudyRow::csv"
+        );
+    }
 }

@@ -131,4 +131,46 @@ mod tests {
         );
         assert!(MitigationRow::table(&rows).render().contains("out_noise"));
     }
+
+    #[test]
+    fn rows_cover_every_model_noise_pair() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 101), 40, 4)];
+        let cfg = MitigationConfig {
+            noises: vec![
+                NonIdeality::AdditiveOutputNoise,
+                NonIdeality::ShortTermReadNoise,
+            ],
+            target_mse: MITIGATION_MSE,
+            seed: 10,
+        };
+        let rows = mitigation(&prepared, &cfg);
+        assert_eq!(rows.len(), cfg.noises.len() * prepared.len());
+        for (row, &noise) in rows.iter().zip(&cfg.noises) {
+            assert_eq!(row.noise, noise, "rows must keep the config's noise order");
+            assert!(row.severity > 0.0);
+            assert!(row.recovery().is_finite());
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_monotonically_with_matched_mse() {
+        // The accuracy-vs-noise curve must trend downward: raising the
+        // matched reference MSE by an order of magnitude cannot *improve*
+        // naive analog accuracy (small slack absorbs seed noise).
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 102), 60, 4)];
+        let at_mse = |mse: f64| {
+            let cfg = MitigationConfig {
+                noises: vec![NonIdeality::AdditiveOutputNoise],
+                target_mse: mse,
+                seed: 11,
+            };
+            mitigation(&prepared, &cfg)[0].naive
+        };
+        let low = at_mse(MITIGATION_MSE);
+        let high = at_mse(MITIGATION_MSE * 10.0);
+        assert!(
+            high <= low + 0.05,
+            "accuracy rose with noise: {low} @1x vs {high} @10x MSE"
+        );
+    }
 }

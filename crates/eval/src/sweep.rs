@@ -7,6 +7,8 @@
 //! that materialises its task list in the legacy nesting order produces a
 //! row vector bit-identical to the old serial loops — at any thread count.
 
+use nora_obs::{edges, Metrics, Stopwatch};
+
 /// Maps `f` over `points` in parallel, returning results in input order.
 ///
 /// `NORA_THREADS=1` (or [`nora_parallel::with_threads`]`(1, ..)`) reduces
@@ -14,6 +16,34 @@
 /// exactly one thread; `f` must not rely on shared mutable state.
 pub fn parallel_sweep<T: Sync, R: Send>(points: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     nora_parallel::map_indexed(points.len(), |i| f(&points[i]))
+}
+
+/// Like [`parallel_sweep`], additionally timing every sweep point and
+/// merging the spans into `metrics` **in task order** (never wall-clock
+/// completion order, which would differ across thread counts).
+///
+/// Records `eval.sweep.points` (a deterministic counter) and
+/// `eval.sweep.point_secs` (a latency histogram whose *count* is
+/// deterministic; the timings themselves are telemetry). The results are
+/// bit-identical to [`parallel_sweep`]: each worker's extra work is one
+/// [`Stopwatch`] read, with no RNG involvement.
+pub fn parallel_sweep_recorded<T: Sync, R: Send>(
+    points: &[T],
+    metrics: &mut Metrics,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let timed: Vec<(R, f64)> = nora_parallel::map_indexed(points.len(), |i| {
+        let span = Stopwatch::start();
+        let result = f(&points[i]);
+        (result, span.elapsed_secs())
+    });
+    let mut results = Vec::with_capacity(timed.len());
+    for (result, secs) in timed {
+        metrics.add("eval.sweep.points", 1);
+        metrics.observe("eval.sweep.point_secs", edges::LATENCY_SECS, secs);
+        results.push(result);
+    }
+    results
 }
 
 #[cfg(test)]
@@ -28,6 +58,24 @@ mod tests {
             let par =
                 nora_parallel::with_threads(threads, || parallel_sweep(&tasks, |&t| t * t + 1));
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn recorded_sweep_matches_plain_sweep_and_counts_points() {
+        let tasks: Vec<u64> = (0..23).collect();
+        let plain = parallel_sweep(&tasks, |&t| t * 3);
+        for threads in [1, 4] {
+            let mut metrics = Metrics::new();
+            let recorded = nora_parallel::with_threads(threads, || {
+                parallel_sweep_recorded(&tasks, &mut metrics, |&t| t * 3)
+            });
+            assert_eq!(recorded, plain, "threads={threads}");
+            assert_eq!(metrics.counter("eval.sweep.points"), 23);
+            assert_eq!(
+                metrics.histogram("eval.sweep.point_secs").unwrap().count(),
+                23
+            );
         }
     }
 }

@@ -348,6 +348,30 @@ impl AnalogTransformerLm {
         }
     }
 
+    /// Exports the deployment's observability metrics into `m`:
+    /// conversion stats merged in (block, kind) layer order then grid
+    /// order, ladder transitions in occurrence order, the slot health
+    /// census, spares, and deployment-time digital degradations.
+    pub fn export_metrics(&self, m: &mut nora_obs::Metrics) {
+        let mut total = ForwardStats::default();
+        for (_, stats) in self.per_layer_stats() {
+            total.merge(&stats);
+        }
+        total.export_metrics(m);
+        for (_, event) in self.fault_events() {
+            m.add(event.kind.metric_name(), 1);
+        }
+        for (_, health) in self.tile_health() {
+            nora_cim::export_health(&health, m);
+        }
+        m.add(
+            "cim.health.digital_fallback_slots",
+            self.digital_fallback_count() as u64,
+        );
+        m.add("cim.health.spares_used", u64::from(self.spares_used()));
+        m.add("nn.deploy.degraded_layers", self.degraded.len() as u64);
+    }
+
     /// Applies conductance drift at `t_seconds` to every analog layer.
     pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
         for layer in self.analog.values_mut() {

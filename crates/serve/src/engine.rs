@@ -1,10 +1,11 @@
 //! Continuous-batching generation engine over a shared deployment.
 
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use nora_nn::generate::{sample_logits, Sampling};
 use nora_nn::KvCache;
+use nora_obs::{edges, Metrics, Recorder, Stopwatch};
 use nora_tensor::rng::Rng;
 
 use crate::backend::{Backend, SlotStep};
@@ -136,14 +137,22 @@ pub struct EngineReport {
     pub decode_steps: u64,
     /// Batched decode rounds run.
     pub rounds: u64,
-    /// Wall-clock time spent inside [`GenerationEngine::step`].
+    /// Wall-clock time spent inside [`GenerationEngine::step`], including
+    /// admission bookkeeping and steps where nothing decoded.
     pub busy: Duration,
+    /// Wall-clock time spent in rounds that actually ran model work —
+    /// the throughput denominator.
+    pub service: Duration,
 }
 
 impl EngineReport {
-    /// Aggregate generated tokens per second of engine busy time.
+    /// Aggregate generated tokens per second of engine *service* time.
+    ///
+    /// Service time only counts rounds that ran model work: idle `step`
+    /// calls and the admission-queue bookkeeping of requests that never
+    /// reached a slot don't dilute the rate.
     pub fn tokens_per_sec(&self) -> f64 {
-        let secs = self.busy.as_secs_f64();
+        let secs = self.service.as_secs_f64();
         if secs <= 0.0 {
             0.0
         } else {
@@ -155,7 +164,7 @@ impl EngineReport {
 struct Pending {
     id: u64,
     request: GenRequest,
-    submitted: Instant,
+    queued: Stopwatch,
 }
 
 struct Slot {
@@ -170,8 +179,12 @@ struct Slot {
     logits: Vec<f32>,
     /// Token sampled this round, awaiting its decode.
     sampled: Option<usize>,
-    submitted: Instant,
-    admitted: Instant,
+    /// Submission → admission (measured at admit time).
+    queue_wait: Duration,
+    /// Span running since admission.
+    service: Stopwatch,
+    /// Admission → first logits, once the prefill round completed.
+    prefill: Option<Duration>,
     decode_steps: u64,
 }
 
@@ -195,7 +208,10 @@ pub struct GenerationEngine<B: Backend> {
     decode_steps: u64,
     rounds: u64,
     busy: Duration,
+    service: Duration,
     completed: u64,
+    metrics: Metrics,
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl<B: Backend> GenerationEngine<B> {
@@ -225,8 +241,37 @@ impl<B: Backend> GenerationEngine<B> {
             decode_steps: 0,
             rounds: 0,
             busy: Duration::ZERO,
+            service: Duration::ZERO,
             completed: 0,
+            metrics: Metrics::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a streaming [`Recorder`] receiving per-request span events
+    /// as requests finish (in the engine's deterministic retirement
+    /// order). Token outputs are unaffected: observation draws no RNG and
+    /// never reorders work — see the `nora-obs` bit-identity contract.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the streaming recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// The engine's aggregated metrics so far: `serve.*` counters (request
+    /// and token totals — deterministic at any `NORA_THREADS`) and latency
+    /// histograms (wall-clock telemetry).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Emits the aggregated metrics into `rec` (counters then histograms,
+    /// in name order).
+    pub fn export_metrics(&self, rec: &mut dyn Recorder) {
+        self.metrics.emit(rec);
     }
 
     /// Enqueues `request` and returns its engine-assigned id.
@@ -246,7 +291,7 @@ impl<B: Backend> GenerationEngine<B> {
         self.queue.push_back(Pending {
             id,
             request,
-            submitted: Instant::now(),
+            queued: Stopwatch::start(),
         });
         id
     }
@@ -259,8 +304,9 @@ impl<B: Backend> GenerationEngine<B> {
     /// One admit → sample → retire → decode round. Returns `true` if any
     /// work remains in flight afterwards.
     pub fn step(&mut self) -> bool {
-        let round_start = Instant::now();
+        let round_start = Stopwatch::start();
         self.admit();
+        let service_start = Stopwatch::start();
 
         // Sample one token for every slot whose logits are ready, then
         // retire the requests that just produced their final token (their
@@ -275,12 +321,11 @@ impl<B: Backend> GenerationEngine<B> {
             slot.sampled = Some(next);
             self.generated_tokens += 1;
         }
-        let now = Instant::now();
         let mut i = 0;
         while i < self.slots.len() {
             if self.slots[i].remaining == 0 {
                 let slot = self.slots.remove(i);
-                self.finish(slot, now);
+                self.finish(slot);
             } else {
                 i += 1;
             }
@@ -317,7 +362,8 @@ impl<B: Backend> GenerationEngine<B> {
                 decoded: 0,
             });
         }
-        if !steps.is_empty() {
+        let ran_round = !steps.is_empty();
+        if ran_round {
             self.backend.run_round(&mut steps);
             self.rounds += 1;
         }
@@ -328,6 +374,25 @@ impl<B: Backend> GenerationEngine<B> {
             slot.logits = logits;
             slot.decode_steps += decoded;
             self.decode_steps += decoded;
+            if slot.prefill.is_none() {
+                // This round produced the slot's first logits.
+                let prefill = slot.service.elapsed();
+                slot.prefill = Some(prefill);
+                self.metrics.observe(
+                    "serve.prefill_secs",
+                    edges::LATENCY_SECS,
+                    prefill.as_secs_f64(),
+                );
+            }
+        }
+        if ran_round {
+            // Only rounds that ran model work count towards service time
+            // (and so towards the tokens/sec denominator).
+            let service = service_start.elapsed();
+            self.service += service;
+            self.metrics.add("serve.rounds", 1);
+            self.metrics
+                .observe("serve.round_secs", edges::LATENCY_SECS, service.as_secs_f64());
         }
 
         self.busy += round_start.elapsed();
@@ -356,6 +421,7 @@ impl<B: Backend> GenerationEngine<B> {
             decode_steps: self.decode_steps,
             rounds: self.rounds,
             busy: self.busy,
+            service: self.service,
         }
     }
 
@@ -364,22 +430,23 @@ impl<B: Backend> GenerationEngine<B> {
             let Some(pending) = self.queue.pop_front() else {
                 break;
             };
-            let now = Instant::now();
             let Pending {
                 id,
                 request,
-                submitted,
+                queued,
             } = pending;
             if request.max_new_tokens == 0 {
                 let prompt_len = request.prompt.len();
+                let latency = RequestLatency {
+                    queue_wait: queued.elapsed(),
+                    service: Duration::ZERO,
+                };
+                self.record_finish(&latency, 0, 0);
                 self.finished.push(GenResult {
                     id,
                     tokens: request.prompt,
                     prompt_len,
-                    latency: RequestLatency {
-                        queue_wait: now.duration_since(submitted),
-                        service: Duration::ZERO,
-                    },
+                    latency,
                     decode_steps: 0,
                 });
                 self.completed += 1;
@@ -399,25 +466,60 @@ impl<B: Backend> GenerationEngine<B> {
                 cache,
                 logits: Vec::new(),
                 sampled: None,
-                submitted,
-                admitted: now,
+                queue_wait: queued.elapsed(),
+                service: Stopwatch::start(),
+                prefill: None,
                 decode_steps: 0,
             });
         }
     }
 
-    fn finish(&mut self, slot: Slot, now: Instant) {
+    fn finish(&mut self, slot: Slot) {
+        let latency = RequestLatency {
+            queue_wait: slot.queue_wait,
+            service: slot.service.elapsed(),
+        };
+        let generated = (slot.tokens.len() - slot.prompt_len) as u64;
+        self.record_finish(&latency, generated, slot.decode_steps);
+        if let Some(prefill) = slot.prefill {
+            let decode = latency.service.saturating_sub(prefill);
+            self.metrics
+                .observe("serve.decode_secs", edges::LATENCY_SECS, decode.as_secs_f64());
+        }
         self.finished.push(GenResult {
             id: slot.id,
             tokens: slot.tokens,
             prompt_len: slot.prompt_len,
-            latency: RequestLatency {
-                queue_wait: slot.admitted.duration_since(slot.submitted),
-                service: now.duration_since(slot.admitted),
-            },
+            latency,
             decode_steps: slot.decode_steps,
         });
         self.completed += 1;
+    }
+
+    /// Aggregates one retirement into the engine metrics and streams the
+    /// request's spans to the attached recorder, if any.
+    fn record_finish(&mut self, latency: &RequestLatency, generated: u64, decode_steps: u64) {
+        self.metrics.add("serve.requests", 1);
+        self.metrics.add("serve.generated_tokens", generated);
+        self.metrics.observe(
+            "serve.queue_wait_secs",
+            edges::LATENCY_SECS,
+            latency.queue_wait.as_secs_f64(),
+        );
+        self.metrics.observe(
+            "serve.service_secs",
+            edges::LATENCY_SECS,
+            latency.service.as_secs_f64(),
+        );
+        self.metrics
+            .observe("serve.decode_steps", edges::COUNT, decode_steps as f64);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.span(
+                "serve.request.queue_wait",
+                latency.queue_wait.as_nanos() as u64,
+            );
+            rec.span("serve.request.service", latency.service.as_nanos() as u64);
+        }
     }
 }
 
@@ -554,6 +656,77 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tokens_per_sec_counts_service_time_only() {
+        // max_batch = 1 with 3 queued requests: while request 0 decodes,
+        // requests 1 and 2 sit in the admission queue. Their queue-wait —
+        // and any idle `step` call — must not dilute the throughput
+        // denominator.
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(1));
+        for i in 0..3 {
+            engine.submit(GenRequest::new(vec![1 + i], 5));
+        }
+        let results = engine.run_to_completion();
+        assert_eq!(results.len(), 3);
+        let report = engine.report();
+        assert!(report.service <= report.busy);
+        assert!(report.service > Duration::ZERO);
+        let tps = report.tokens_per_sec();
+        assert!(tps > 0.0);
+        assert!(
+            (tps - report.generated_tokens as f64 / report.service.as_secs_f64()).abs() < 1e-9
+        );
+        // Regression: idle steps used to grow `busy` (the old denominator),
+        // shrinking the reported rate with every drained-engine poll.
+        for _ in 0..64 {
+            engine.step();
+        }
+        let after = engine.report();
+        assert!(after.busy > report.busy, "idle steps still accrue busy");
+        assert_eq!(after.service, report.service);
+        assert_eq!(after.tokens_per_sec(), tps);
+    }
+
+    /// A clonable handle to a shared in-memory recorder, so the test can
+    /// inspect what the engine streamed after handing ownership over.
+    #[derive(Default, Clone)]
+    struct SharedRecorder(std::rc::Rc<std::cell::RefCell<nora_obs::MemoryRecorder>>);
+
+    impl Recorder for SharedRecorder {
+        fn span(&mut self, name: &str, nanos: u64) {
+            self.0.borrow_mut().span(name, nanos);
+        }
+    }
+
+    #[test]
+    fn metrics_aggregate_requests_and_latency_spans() {
+        let m = model();
+        let mut engine =
+            GenerationEngine::new(DigitalBackend::new(&m), EngineConfig::with_max_batch(2));
+        let shared = SharedRecorder::default();
+        engine.set_recorder(Box::new(shared.clone()));
+        engine.submit(GenRequest::new(vec![1, 2], 4));
+        engine.submit(GenRequest::new(vec![3], 6));
+        engine.submit(GenRequest::new(vec![4], 0)); // completes at admit
+        engine.run_to_completion();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.counter("serve.requests"), 3);
+        assert_eq!(metrics.counter("serve.generated_tokens"), 10);
+        assert!(metrics.counter("serve.rounds") >= 6);
+        assert_eq!(metrics.histogram("serve.queue_wait_secs").unwrap().count(), 3);
+        assert_eq!(metrics.histogram("serve.service_secs").unwrap().count(), 3);
+        // Only the two decoding requests have a prefill/decode split.
+        assert_eq!(metrics.histogram("serve.prefill_secs").unwrap().count(), 2);
+        assert_eq!(metrics.histogram("serve.decode_secs").unwrap().count(), 2);
+        assert!(engine.take_recorder().is_some());
+        let mem = shared.0.borrow();
+        // Two spans (queue_wait + service) per finished request.
+        assert_eq!(mem.spans.len(), 6);
+        assert!(mem.spans.iter().any(|(n, _)| n == "serve.request.service"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub use nora_core as core;
 pub use nora_device as device;
 pub use nora_eval as eval;
 pub use nora_nn as nn;
+pub use nora_obs as obs;
 pub use nora_parallel as parallel;
 pub use nora_serve as serve;
 pub use nora_tensor as tensor;

@@ -213,6 +213,108 @@ fn batched_analog_decode_bit_identical_across_thread_counts() {
     }
 }
 
+// ---- observability: recording must never perturb the computation --------
+
+/// Attaching observation to the analog pipeline — exporting per-tile
+/// conversion stats into a metrics registry and emitting them through a
+/// recording [`nora::obs::Recorder`] — must leave the forward outputs
+/// bit-identical, and the registry itself (counters *and* the deterministic
+/// rate histograms) must compare equal at every thread count.
+#[test]
+fn observed_analog_forward_identical_across_thread_counts() {
+    use nora::obs::{MemoryRecorder, Metrics};
+    let mut rng = Rng::seed_from(520);
+    let w = Matrix::random_normal(96, 96, 0.0, 0.3, &mut rng);
+    let x = Matrix::random_normal(8, 96, 0.0, 1.0, &mut rng);
+    let cfg = TileConfig::paper_default().with_tile_size(32, 32); // 3×3 grid
+    let run = |threads: usize, observe: bool| {
+        with_threads(threads, || {
+            let mut layer = AnalogLinear::new(w.clone(), None, cfg.clone(), 521);
+            let y = layer.forward(&x);
+            let metrics = observe.then(|| {
+                let mut m = Metrics::new();
+                layer.export_metrics(&mut m);
+                let mut rec = MemoryRecorder::default();
+                m.emit(&mut rec);
+                assert_eq!(
+                    rec.counters.get("cim.dac.total_inputs"),
+                    Some(&m.counter("cim.dac.total_inputs"))
+                );
+                m
+            });
+            (y, metrics)
+        })
+    };
+    let (y_plain, _) = run(1, false);
+    let (y_serial, metrics_serial) = run(1, true);
+    assert_eq!(y_plain, y_serial, "observation changed the outputs");
+    let metrics_serial = metrics_serial.unwrap();
+    assert!(metrics_serial.counter("cim.forward.samples") > 0);
+    for threads in [2, 4, 8] {
+        let (y, metrics) = run(threads, true);
+        assert_eq!(y_plain, y, "outputs, threads={threads}");
+        assert_eq!(
+            metrics_serial,
+            metrics.unwrap(),
+            "metrics registry, threads={threads}"
+        );
+    }
+}
+
+/// Serving-engine contract: attaching a recording [`nora::obs::Recorder`]
+/// must leave every generated token stream bit-identical, and the engine's
+/// aggregated counters (requests, tokens, rounds — not the wall-clock
+/// histograms, which are telemetry) must agree at every thread count,
+/// observed or not.
+#[test]
+fn observed_serving_identical_across_thread_counts() {
+    use nora::nn::generate::Sampling;
+    use nora::obs::MemoryRecorder;
+    use nora::serve::{AnalogBackend, EngineConfig, GenRequest, GenerationEngine};
+    let zoo = tiny_spec(ModelFamily::OptLike, 522).build();
+    let run = |threads: usize, observe: bool| {
+        with_threads(threads, || {
+            let mut analog =
+                RescalePlan::naive().deploy(&zoo.model, TileConfig::paper_default(), 523);
+            let mut engine = GenerationEngine::new(
+                AnalogBackend::new(&mut analog),
+                EngineConfig::with_max_batch(4),
+            );
+            if observe {
+                engine.set_recorder(Box::new(MemoryRecorder::default()));
+            }
+            for i in 0..8u64 {
+                engine.submit(
+                    GenRequest::new(vec![1 + (i as usize) % 5], 16)
+                        .with_sampling(Sampling::Temperature(1.3))
+                        .with_seed(700 + i),
+                );
+            }
+            let tokens: Vec<Vec<usize>> = engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| r.tokens)
+                .collect();
+            (tokens, engine.metrics().counter_snapshot())
+        })
+    };
+    let (tokens_plain, counters_plain) = run(1, false);
+    let (tokens_serial, counters_serial) = run(1, true);
+    assert_eq!(tokens_plain, tokens_serial, "recorder changed the tokens");
+    assert_eq!(
+        counters_plain, counters_serial,
+        "recorder changed the aggregated counters"
+    );
+    assert!(counters_serial
+        .iter()
+        .any(|(name, value)| name == "serve.requests" && *value == 8));
+    for threads in [2, 4, 8] {
+        let (tokens, counters) = run(threads, true);
+        assert_eq!(tokens_plain, tokens, "token streams, threads={threads}");
+        assert_eq!(counters_serial, counters, "counters, threads={threads}");
+    }
+}
+
 /// Eval sweeps run points in parallel but merge rows in task order: a small
 /// drift study must produce identical rows at 1 and 4 threads.
 #[test]

@@ -1,0 +1,279 @@
+//! Statistical conformance of every stochastic stage in the analog stack.
+//!
+//! Each analog non-ideality claims a precise distribution: the noise stages
+//! are zero-mean Gaussians with documented σ, programming error follows the
+//! device model's `prog_sigma` polynomial, and the converters are symmetric
+//! mid-rise quantizers with uniform in-range error. These tests check each
+//! claim against its analytic form — sample moments within `4σ` estimator
+//! bounds and a Kolmogorov–Smirnov distance bound against the Gaussian CDF
+//! — over several seeds, so a regression in any sampler or noise-injection
+//! path (not just a changed draw order) fails loudly.
+//!
+//! All tolerances are derived from the sample count, never tuned per seed:
+//! mean within `4/√n` (in σ units), variance within `4·√(2/n)` relative,
+//! KS distance below `2/√n` (the asymptotic 1e-7 quantile of the
+//! Kolmogorov distribution).
+
+use nora::cim::converter::{Adc, Dac};
+use nora::cim::{AnalogTile, Resolution, TileConfig};
+use nora::device::PcmModel;
+use nora::tensor::quant::Quantizer;
+use nora::tensor::{rng::Rng, Matrix};
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of `erf` (|ε| < 1.5e-7,
+/// far below the KS resolution of ~1e-2 at our sample sizes).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Asserts that `samples` (already normalised to zero mean, unit variance
+/// under the null) conform to the standard normal: moments and KS distance.
+fn assert_standard_normal(mut samples: Vec<f64>, label: &str) {
+    let n = samples.len();
+    assert!(n >= 1000, "{label}: need a real sample size, got {n}");
+    let nf = n as f64;
+    let mean = samples.iter().sum::<f64>() / nf;
+    let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / (nf - 1.0);
+
+    let mean_tol = 4.0 / nf.sqrt();
+    assert!(
+        mean.abs() < mean_tol,
+        "{label}: mean {mean:.4} beyond ±{mean_tol:.4}"
+    );
+    let var_tol = 4.0 * (2.0 / nf).sqrt();
+    assert!(
+        (var - 1.0).abs() < var_tol,
+        "{label}: variance {var:.4} beyond 1 ± {var_tol:.4}"
+    );
+
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut ks = 0.0f64;
+    for (i, &s) in samples.iter().enumerate() {
+        let cdf = normal_cdf(s);
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        ks = ks.max((cdf - lo).abs()).max((hi - cdf).abs());
+    }
+    let ks_tol = 2.0 / nf.sqrt();
+    assert!(
+        ks < ks_tol,
+        "{label}: KS distance {ks:.4} beyond {ks_tol:.4}"
+    );
+}
+
+#[test]
+fn fill_normal_conforms_to_gaussian() {
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from(seed);
+        let mut buf = vec![0.0f32; 16384];
+        rng.fill_normal(&mut buf, 0.25, 2.0);
+        let samples = buf.iter().map(|&v| (f64::from(v) - 0.25) / 2.0).collect();
+        assert_standard_normal(samples, &format!("fill_normal seed {seed}"));
+    }
+}
+
+/// A deterministic input row spanning `[-1, 1]` with `max |v| = 1`, so the
+/// AbsMax noise-management α is exactly 1 and output units equal input
+/// units on an identity-weight tile.
+fn probe_row(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|j| 2.0 * j as f32 / (n - 1) as f32 - 1.0)
+        .collect()
+}
+
+fn identity_tile(cfg: TileConfig, seed: u64, n: usize) -> AnalogTile {
+    let mut w = Matrix::zeros(n, n);
+    for k in 0..n {
+        w[(k, k)] = 1.0;
+    }
+    AnalogTile::new(w, None, cfg, Rng::seed_from(seed))
+}
+
+/// Runs `batch` copies of `row` through `tile` and returns the per-output
+/// deviations from `expect`, normalised by `sigma`.
+fn stage_samples(tile: &mut AnalogTile, row: &[f32], expect: &[f32], sigma: f32, batch: usize) -> Vec<f64> {
+    let n = row.len();
+    let mut x = Matrix::zeros(batch, n);
+    for i in 0..batch {
+        x.row_mut(i).copy_from_slice(row);
+    }
+    let y = tile.forward(&x);
+    let mut samples = Vec::with_capacity(batch * n);
+    for i in 0..batch {
+        for (j, &e) in expect.iter().enumerate() {
+            samples.push(f64::from(y[(i, j)] - e) / f64::from(sigma));
+        }
+    }
+    samples
+}
+
+#[test]
+fn additive_input_noise_stage_is_gaussian_with_configured_sigma() {
+    // With ideal converters, identity weights and α = 1, the in-noise stage
+    // is the only stochastic term: y_j = x_j + σ_in·ξ_j.
+    let n = 64;
+    let sigma = 0.05f32;
+    let row = probe_row(n);
+    for seed in SEEDS {
+        let mut cfg = TileConfig::ideal();
+        cfg.in_noise = sigma;
+        let mut tile = identity_tile(cfg, seed, n);
+        let samples = stage_samples(&mut tile, &row, &row, sigma, 200);
+        assert_standard_normal(samples, &format!("in_noise seed {seed}"));
+    }
+}
+
+#[test]
+fn short_term_read_noise_aggregates_to_sigma_w_times_drive_norm() {
+    // The fused read-noise stage samples the aggregate Σ_k ξ_kj·x̂_k
+    // directly as N(0, σ_w·‖x̂‖₂). For x = 1⃗ (α = 1, x̂ = 1⃗, ‖x̂‖₂ = √n)
+    // on identity weights: y_j = 1 + σ_w·√n·ξ_j.
+    let n = 64;
+    let sigma_w = 0.02f32;
+    let row = vec![1.0f32; n];
+    let sigma_agg = sigma_w * (n as f32).sqrt();
+    for seed in SEEDS {
+        let mut cfg = TileConfig::ideal();
+        cfg.w_noise = sigma_w;
+        let mut tile = identity_tile(cfg, seed, n);
+        let samples = stage_samples(&mut tile, &row, &row, sigma_agg, 200);
+        assert_standard_normal(samples, &format!("read_noise seed {seed}"));
+    }
+}
+
+#[test]
+fn additive_output_noise_stage_is_gaussian_with_configured_sigma() {
+    // y_j = x_j + α·σ_out·ξ_j with α = 1 on the probe row.
+    let n = 64;
+    let sigma = 0.04f32;
+    let row = probe_row(n);
+    for seed in SEEDS {
+        let mut cfg = TileConfig::ideal();
+        cfg.out_noise = sigma;
+        let mut tile = identity_tile(cfg, seed, n);
+        let samples = stage_samples(&mut tile, &row, &row, sigma, 200);
+        assert_standard_normal(samples, &format!("out_noise seed {seed}"));
+    }
+}
+
+#[test]
+fn programming_noise_matches_device_model_sigma() {
+    // Single-shot programming at mid conductance: g ~ N(g_target, σ_prog)
+    // with σ_prog from the device polynomial. 12.5 µS sits ~13σ from both
+    // rails, so the [0, g_max] clamp never bites.
+    let pcm = PcmModel::default();
+    let g_target = 0.5 * pcm.g_max;
+    let sigma = pcm.prog_sigma(g_target);
+    assert!(sigma > 0.0);
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from(seed);
+        let samples: Vec<f64> = (0..8000)
+            .map(|_| {
+                let cell = pcm.program_single_shot(g_target, &mut rng);
+                f64::from(cell.g_prog - g_target) / f64::from(sigma)
+            })
+            .collect();
+        assert_standard_normal(samples, &format!("programming_noise seed {seed}"));
+    }
+}
+
+#[test]
+fn mid_rise_quantizer_grid_and_error_bounds() {
+    let q = Quantizer::new(128, 1.0);
+    let step = q.step();
+    assert!((step - 2.0 / 128.0).abs() < 1e-7);
+
+    // Exact zero passes through unchanged — sparsity must stay exact.
+    assert_eq!(q.quantize(0.0), 0.0);
+
+    // The representable levels are ±(k + ½)·Δ and are fixed points.
+    for k in 0..64u32 {
+        let level = (k as f32 + 0.5) * step;
+        assert!((q.quantize(level) - level).abs() < 1e-6, "level +{k}");
+        assert!((q.quantize(-level) + level).abs() < 1e-6, "level -{k}");
+    }
+    // The rails themselves are not representable: they snap just inside.
+    assert_eq!(q.quantize(1.0), 1.0 - step / 2.0);
+    assert_eq!(q.quantize(-1.0), -(1.0 - step / 2.0));
+
+    // Any in-range input lands within Δ/2 of its source.
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1.0, 1.0);
+            let err = q.quantize(x) - x;
+            assert!(
+                err.abs() <= step / 2.0 + 1e-6,
+                "error {err} beyond half-step at {x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantizer_error_is_uniform_over_the_step() {
+    // For inputs uniform over the interior of the range, quantization error
+    // is uniform on [-Δ/2, Δ/2]: mean 0, variance Δ²/12.
+    let q = Quantizer::new(128, 1.0);
+    let step = f64::from(q.step());
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from(seed);
+        let n = 40_000;
+        let errs: Vec<f64> = (0..n)
+            .map(|_| {
+                let x = rng.uniform(-0.9, 0.9);
+                f64::from(q.quantize(x) - x)
+            })
+            .collect();
+        let nf = n as f64;
+        let mean = errs.iter().sum::<f64>() / nf;
+        let var = errs.iter().map(|&e| (e - mean) * (e - mean)).sum::<f64>() / (nf - 1.0);
+        let ideal_var = step * step / 12.0;
+        // Uniform errors have std Δ/√12; the mean estimator's std is that
+        // over √n. Variance of the sample variance for uniform error is
+        // (μ₄ − σ⁴)/n with μ₄ = Δ⁴/80, i.e. ≈ 0.8·σ⁴·(2/n).
+        let mean_tol = 4.0 * (ideal_var / nf).sqrt();
+        assert!(
+            mean.abs() < mean_tol,
+            "seed {seed}: mean error {mean} beyond ±{mean_tol}"
+        );
+        let var_tol = 4.0 * (2.0 / nf).sqrt() * ideal_var;
+        assert!(
+            (var - ideal_var).abs() < var_tol,
+            "seed {seed}: error variance {var} vs uniform {ideal_var}"
+        );
+    }
+}
+
+#[test]
+fn converters_clip_and_saturate_at_their_bounds() {
+    let dac = Dac::new(Resolution::bits(7), 1.0);
+    let q = Quantizer::new(128, 1.0);
+    // Out-of-range values clip to the extreme representable level; NaN
+    // converts to 0 but is still reported as clipped.
+    assert_eq!(dac.convert(7.0), 1.0 - q.step() / 2.0);
+    assert_eq!(dac.convert(f32::NAN), 0.0);
+    let mut xs = [0.3, 7.0, f32::NAN, -0.2];
+    assert_eq!(dac.convert_slice(&mut xs), 2);
+
+    let adc = Adc::new(Resolution::bits(7), 12.0);
+    let lsb = 24.0 / 128.0;
+    let (code, sat) = adc.convert(100.0);
+    assert!(sat, "beyond full scale must saturate");
+    assert!((code - (12.0 - lsb / 2.0)).abs() < 1e-5);
+    let (code, sat) = adc.convert(0.5);
+    assert!(!sat);
+    assert!((code - 0.5).abs() <= lsb / 2.0 + 1e-6);
+}
