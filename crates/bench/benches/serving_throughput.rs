@@ -11,11 +11,13 @@
 use nora_bench::harness::{bench_throughput, export_metrics, metrics_out};
 use nora_cim::TileConfig;
 use nora_core::RescalePlan;
-use nora_eval::serving::{serve_workload, serve_workload_recorded, ServingWorkload};
+use nora_eval::serving::{
+    serve_workload, serve_workload_configured, serve_workload_recorded, ServingWorkload,
+};
 use nora_nn::corpus::{Corpus, CorpusConfig};
 use nora_nn::generate::Sampling;
 use nora_nn::{ModelConfig, TransformerLm};
-use nora_serve::{AnalogBackend, DigitalBackend};
+use nora_serve::{AnalogBackend, DigitalBackend, EngineConfig, MaintenanceConfig};
 use nora_tensor::rng::Rng;
 
 fn main() {
@@ -87,6 +89,36 @@ fn main() {
         std::hint::black_box(analog.decode_step(3, &mut cache));
     });
 
+    // Maintained (drift-aware) analog serving: same workload, with the
+    // virtual clock and maintenance scheduler active — drift re-reads, α̂
+    // recalibration and background rotation all run inside the engine's
+    // service window, so the gap to `serve_analog_12req_batch8` is the
+    // wall-clock price of the mitigation ladder. Separate deployment so
+    // the drift-free cases above stay untouched.
+    let mut drifted = RescalePlan::naive().deploy(&model, TileConfig::paper_default(), 13);
+    let maintenance = MaintenanceConfig::new(500.0, 25_000.0)
+        .with_recalibration(100_000.0)
+        .with_rotation(5_000.0);
+    let name = "serve_analog_drift_12req_batch8";
+    let mut last = None;
+    bench_throughput(name, tokens, || {
+        let mut scratch = nora_obs::Metrics::new();
+        let (results, summary) = serve_workload_configured(
+            AnalogBackend::new(&mut drifted),
+            &workload,
+            EngineConfig::with_max_batch(8).with_maintenance(maintenance),
+            &mut scratch,
+        );
+        last = Some((results, summary));
+        std::hint::black_box(&last);
+    });
+    if let Some((_, summary)) = &last {
+        println!(
+            "bench: {name:<44} {:>14.1} tok/s engine  ({} decode steps)",
+            summary.tokens_per_sec, summary.decode_steps
+        );
+    }
+
     // Operational metrics sidecar (`--metrics-out` / `NORA_METRICS_OUT`):
     // one extra instrumented pass over the analog workload, exporting the
     // engine's serve.* metrics plus the deployment's cumulative conversion
@@ -98,5 +130,16 @@ fn main() {
         std::hint::black_box(summary);
         analog.export_metrics(&mut metrics);
         export_metrics("serve_analog_12req_batch8", &metrics);
+
+        let mut metrics = nora_obs::Metrics::new();
+        let (_, summary) = serve_workload_configured(
+            AnalogBackend::new(&mut drifted),
+            &workload,
+            EngineConfig::with_max_batch(8).with_maintenance(maintenance),
+            &mut metrics,
+        );
+        std::hint::black_box(summary);
+        drifted.export_metrics(&mut metrics);
+        export_metrics("serve_analog_drift_12req_batch8", &metrics);
     }
 }

@@ -68,7 +68,7 @@ pub use health::{
     export_events, export_health, AbftReport, FaultTolerance, HealthState, TileEvent,
     TileEventKind, TileHealth, TileSite,
 };
-pub use linear::AnalogLinear;
+pub use linear::{AnalogLinear, RecalOutcome};
 // Re-exported so downstream crates can build a [`TileConfig`] fault plan
 // without depending on `nora-device` directly.
 pub use nora_device::{CellFault, FaultPlan, TileFaultMap};

@@ -89,6 +89,23 @@ pub struct AnalogLinear {
     next_spare_id: u64,
     /// Reusable per-tile output buffer for the batch-of-1 decode fast path.
     row_scratch: Vec<f32>,
+    /// When set, flagged tiles are *not* recovered inline during a forward:
+    /// the flag is recorded and the degraded partial sums are served, while
+    /// an external maintenance scheduler drains [`AnalogLinear::suspect_tiles`]
+    /// via [`AnalogLinear::rotate_tile`] in the background.
+    deferred_recovery: bool,
+}
+
+/// Outcome of one [`AnalogLinear::recalibrate`] probe pass over the layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecalOutcome {
+    /// Global correction factor α̂ applied to every analog tile.
+    pub alpha: f32,
+    /// Healthy analog tiles whose probe fed the estimate.
+    pub probed: usize,
+    /// Analog tiles excluded from the estimate because their health state
+    /// is quarantined (Suspect or Condemned).
+    pub excluded: usize,
 }
 
 /// Escalated programming settings for retry attempt `tries` (0 = first try,
@@ -272,6 +289,7 @@ impl AnalogLinear {
             spares_used,
             next_spare_id,
             row_scratch: Vec::new(),
+            deferred_recovery: false,
         })
     }
 
@@ -366,6 +384,13 @@ impl AnalogLinear {
                 (e.r0, e.c0, e.rows())
             };
             let part = match flagged {
+                Some(report) if self.deferred_recovery => {
+                    // Degraded mode: note the flag for the maintenance
+                    // scheduler and serve the faulty partial sums as-is —
+                    // admission never stops for an inline ladder.
+                    self.note_flag(idx, &report);
+                    part
+                }
                 Some(report) => {
                     let x_slice = x.submatrix(0, batch, r0, r0 + rows);
                     self.recover_entry(idx, &x_slice, part, report)
@@ -416,14 +441,19 @@ impl AnalogLinear {
                 }
             };
             if let Some(report) = flagged {
-                // Rare path: recovery mutates the shared event log / spare
-                // pool, so hand it the same Matrix views the batched path
-                // would use.
-                let x_slice = x.submatrix(0, 1, r0, r0 + rows);
-                let faulty = Matrix::from_vec(1, part.len(), part.clone());
-                let recovered = self.recover_entry(idx, &x_slice, faulty, report);
-                part.clear();
-                part.extend_from_slice(recovered.row(0));
+                if self.deferred_recovery {
+                    // Degraded mode: flag and serve the faulty partial sums.
+                    self.note_flag(idx, &report);
+                } else {
+                    // Rare path: recovery mutates the shared event log / spare
+                    // pool, so hand it the same Matrix views the batched path
+                    // would use.
+                    let x_slice = x.submatrix(0, 1, r0, r0 + rows);
+                    let faulty = Matrix::from_vec(1, part.len(), part.clone());
+                    let recovered = self.recover_entry(idx, &x_slice, faulty, report);
+                    part.clear();
+                    part.extend_from_slice(recovered.row(0));
+                }
             }
             let dst = &mut y.row_mut(0)[c0..c0 + part.len()];
             for (d, &p) in dst.iter_mut().zip(&part) {
@@ -596,6 +626,251 @@ impl AnalogLinear {
             if let TileSlot::Analog(tile) = &mut e.slot {
                 tile.apply_drift(t_seconds, compensation);
             }
+        }
+    }
+
+    /// Online field-drift step: advances every analog tile to virtual time
+    /// `now` via [`AnalogTile::drift_to`] — each tile re-reads at `now`
+    /// minus its own programming epoch, so freshly rotated tiles drift from
+    /// their rotation time, not from deployment. Digital-fallback slots are
+    /// unaffected by definition.
+    pub fn drift_to(&mut self, now: f64, compensation: DriftCompensation) {
+        for e in &mut self.entries {
+            if let TileSlot::Analog(tile) = &mut e.slot {
+                tile.drift_to(now, compensation);
+            }
+        }
+    }
+
+    /// Switches the layer between inline recovery (default; flagged tiles
+    /// are recovered within the triggering forward) and deferred mode,
+    /// where forwards only record flags and an external scheduler rotates
+    /// suspects in the background.
+    pub fn set_deferred_recovery(&mut self, deferred: bool) {
+        self.deferred_recovery = deferred;
+    }
+
+    /// Whether deferred recovery is active.
+    pub fn deferred_recovery(&self) -> bool {
+        self.deferred_recovery
+    }
+
+    /// Captures each analog tile's recalibration reference (idempotent per
+    /// tile — see [`AnalogTile::capture_probe_reference`]).
+    pub fn capture_probe_references(&mut self) {
+        for e in &mut self.entries {
+            if let TileSlot::Analog(tile) = &mut e.slot {
+                tile.capture_probe_reference();
+            }
+        }
+    }
+
+    /// One probe recalibration pass: re-measures the probe magnitude of
+    /// every **healthy** analog tile with a captured reference, estimates
+    /// the global conductance decay `α̂ = Σ reference / Σ measured`, and
+    /// installs the correction on *all* analog tiles (quarantined tiles
+    /// drifted by the same global factor — they are excluded only from the
+    /// estimate, so their corrupted readings cannot skew it).
+    ///
+    /// Returns `None` when no healthy tile with a reference exists (the
+    /// layer is then left untouched).
+    pub fn recalibrate(&mut self) -> Option<RecalOutcome> {
+        let mut ref_sum = 0.0f64;
+        let mut meas_sum = 0.0f64;
+        let mut probed = 0usize;
+        let mut excluded = 0usize;
+        for e in &mut self.entries {
+            let TileSlot::Analog(tile) = &mut e.slot else {
+                continue;
+            };
+            if e.health.state != HealthState::Healthy {
+                excluded += 1;
+                continue;
+            }
+            let Some(reference) = tile.probe_reference() else {
+                continue;
+            };
+            ref_sum += reference;
+            meas_sum += tile.probe_magnitude();
+            probed += 1;
+        }
+        if probed == 0 || meas_sum <= 0.0 || ref_sum <= 0.0 {
+            return None;
+        }
+        // Clamp to a sane correction range: a tile fleet that decayed past
+        // 4× (or somehow *grew*) is a hardware problem recalibration cannot
+        // paper over.
+        let alpha = ((ref_sum / meas_sum) as f32).clamp(0.25, 4.0);
+        for e in &mut self.entries {
+            if let TileSlot::Analog(tile) = &mut e.slot {
+                tile.apply_recal_scale(alpha);
+            }
+        }
+        Some(RecalOutcome {
+            alpha,
+            probed,
+            excluded,
+        })
+    }
+
+    /// Grid indices of analog slots currently flagged Suspect — the
+    /// maintenance scheduler's rotation work list.
+    pub fn suspect_tiles(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(e.slot, TileSlot::Analog(_)) && e.health.state == HealthState::Suspect
+            })
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Completes a background rotation of slot `idx` at virtual time `now`:
+    /// the block is re-programmed (write–verify) onto a **spare** array
+    /// first — the degraded array never re-enters service — then, with
+    /// spares exhausted, onto the current array with escalated programming,
+    /// and finally falls back to exact digital execution (policy
+    /// permitting). A successfully rotated slot earns its `Healthy` state
+    /// back: the fresh array passed the deterministic self-test, its drift
+    /// epoch restarts at `now`, and a new recalibration reference is
+    /// captured. Returns `true` iff the slot is served by a healthy analog
+    /// tile afterwards.
+    pub fn rotate_tile(&mut self, idx: usize, now: f64) -> bool {
+        let policy = self.config.fault_tolerance.clone();
+        if !policy.is_active() || idx >= self.entries.len() {
+            return false;
+        }
+        if matches!(self.entries[idx].slot, TileSlot::Digital(_)) {
+            return false;
+        }
+        let block = self.blocks[idx].clone();
+        let entry = &mut self.entries[idx];
+        let s_slice = self
+            .smoothing
+            .as_ref()
+            .map(|s| s[entry.r0..entry.r0 + block.rows()].to_vec());
+        // Phase 1 — spare arrays: each failed spare (programming failure or
+        // self-test flag) consumes the next one.
+        while self.spares_used < policy.spare_tiles {
+            self.spares_used += 1;
+            entry.physical_id = self.next_spare_id;
+            self.next_spare_id += 1;
+            entry.health.remaps += 1;
+            let attempt = entry.health.next_attempt();
+            let site = TileSite {
+                physical_id: entry.physical_id,
+                programming_attempt: attempt,
+            };
+            match AnalogTile::try_new_at(
+                block.clone(),
+                s_slice.as_deref(),
+                self.config.clone(),
+                attempt_rng(&entry.rng_template, attempt),
+                site,
+            ) {
+                Ok(mut tile) => {
+                    if !tile.self_test().suspicious {
+                        self.events.push(TileEvent {
+                            grid_index: idx,
+                            physical_id: entry.physical_id,
+                            kind: TileEventKind::Remapped {
+                                spare_id: entry.physical_id,
+                            },
+                        });
+                        tile.set_programmed_at(now);
+                        tile.capture_probe_reference();
+                        entry.health.state = HealthState::Healthy;
+                        entry.slot = TileSlot::Analog(Box::new(tile));
+                        return true;
+                    }
+                }
+                Err(CimError::ProgrammingFailed { .. }) => {
+                    self.events.push(TileEvent {
+                        grid_index: idx,
+                        physical_id: entry.physical_id,
+                        kind: TileEventKind::ProgrammingFailed { attempt },
+                    });
+                }
+                Err(_) => break,
+            }
+        }
+        // Phase 2 — escalated re-programming of the current array.
+        for tries in 0..=policy.max_reprogram_retries {
+            let attempt = entry.health.next_attempt();
+            let cfg = escalate(&self.config, tries);
+            let site = TileSite {
+                physical_id: entry.physical_id,
+                programming_attempt: attempt,
+            };
+            match AnalogTile::try_new_at(
+                block.clone(),
+                s_slice.as_deref(),
+                cfg,
+                attempt_rng(&entry.rng_template, attempt),
+                site,
+            ) {
+                Ok(mut tile) => {
+                    if !tile.self_test().suspicious {
+                        self.events.push(TileEvent {
+                            grid_index: idx,
+                            physical_id: entry.physical_id,
+                            kind: TileEventKind::Reprogrammed { attempt },
+                        });
+                        tile.set_programmed_at(now);
+                        tile.capture_probe_reference();
+                        entry.health.state = HealthState::Healthy;
+                        entry.slot = TileSlot::Analog(Box::new(tile));
+                        return true;
+                    }
+                }
+                Err(CimError::ProgrammingFailed { .. }) => {
+                    self.events.push(TileEvent {
+                        grid_index: idx,
+                        physical_id: entry.physical_id,
+                        kind: TileEventKind::ProgrammingFailed { attempt },
+                    });
+                }
+                Err(_) => break,
+            }
+        }
+        // Phase 3 — graceful degradation.
+        entry.health.state = HealthState::Condemned;
+        if policy.digital_fallback {
+            self.events.push(TileEvent {
+                grid_index: idx,
+                physical_id: entry.physical_id,
+                kind: TileEventKind::DigitalFallback,
+            });
+            entry.slot = TileSlot::Digital(block);
+        } else {
+            self.events.push(TileEvent {
+                grid_index: idx,
+                physical_id: entry.physical_id,
+                kind: TileEventKind::Unrecovered,
+            });
+        }
+        false
+    }
+
+    /// Records a checksum violation in deferred mode: the health ladder
+    /// advances every time, but the `Flagged` event is emitted only on the
+    /// Healthy → Suspect transition (one event per degradation episode, not
+    /// one per served round).
+    fn note_flag(&mut self, idx: usize, report: &AbftReport) {
+        let entry = &mut self.entries[idx];
+        let was_healthy = entry.health.state == HealthState::Healthy;
+        entry.health.record_flag();
+        if was_healthy {
+            self.events.push(TileEvent {
+                grid_index: idx,
+                physical_id: entry.physical_id,
+                kind: TileEventKind::Flagged {
+                    violations: report.violations,
+                    rows: report.rows_checked,
+                    silent: report.silent,
+                },
+            });
         }
     }
 

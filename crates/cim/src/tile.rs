@@ -227,6 +227,17 @@ pub struct AnalogTile {
     fault_map: Option<TileFaultMap>,
     /// Physical placement (drives the defect draw).
     site: TileSite,
+    /// Virtual time (seconds) at which the conductances were programmed;
+    /// [`AnalogTile::drift_to`] reads at `now − programmed_at`. Zero for
+    /// deployment-time programming.
+    programmed_at: f64,
+    /// Cumulative output correction installed by probe recalibration
+    /// ([`AnalogTile::apply_recal_scale`]); reapplied after every drift
+    /// re-read so online compensation survives [`AnalogTile::drift_to`].
+    recal_scale: f32,
+    /// Reference probe magnitude captured by
+    /// [`AnalogTile::capture_probe_reference`], if any.
+    probe_ref: Option<f64>,
     /// ADC step size in normalised accumulation units (0 when ideal).
     adc_lsb: f32,
     rng: Rng,
@@ -480,6 +491,9 @@ impl AnalogTile {
             abft,
             fault_map,
             site,
+            programmed_at: 0.0,
+            recal_scale: 1.0,
+            probe_ref: None,
             adc_lsb,
             rng,
             stats: ForwardStats::default(),
@@ -563,6 +577,26 @@ impl AnalogTile {
         if self.abft.is_none() {
             return AbftReport::default();
         }
+        let x = self.probe_batch();
+        let saved = self.stats;
+        // A one-off diagnostic can afford heavy read averaging: it divides
+        // the stochastic part of the residual budget (and so the detection
+        // threshold) by 4×, while the *systematic* residual of stuck cells
+        // and dead lines is untouched — faults far too small to trip the
+        // runtime 6σ check stand out clearly under the probe.
+        let runtime_ra = self.config.read_averaging;
+        self.config.read_averaging = runtime_ra.max(16);
+        let (_, report) = self.forward_checked(&x);
+        self.config.read_averaging = runtime_ra;
+        self.stats = saved;
+        report
+    }
+
+    /// The deterministic, sign-diverse probe batch shared by
+    /// [`AnalogTile::self_test`] and [`AnalogTile::probe_magnitude`]: every
+    /// input line carries strong signal on every row, so the response
+    /// cannot be vacuously small.
+    fn probe_batch(&self) -> Matrix {
         const PROBE_ROWS: usize = 16;
         let d = self.rows();
         let mut x = Matrix::zeros(PROBE_ROWS, d);
@@ -577,18 +611,66 @@ impl AnalogTile {
                 };
             }
         }
+        x
+    }
+
+    /// Measured response magnitude `Σ|y|` of the deterministic probe batch
+    /// over the data columns, through the full noisy conversion path at
+    /// escalated read averaging. The ratio of two such measurements on the
+    /// same tile tracks the global conductance decay between them (the
+    /// systematic conversion offsets — quantization, IR-drop — cancel),
+    /// which is what the online α̂ recalibration needs. Advances the tile's
+    /// noise streams like any forward; the accumulated statistics are
+    /// restored afterwards.
+    pub fn probe_magnitude(&mut self) -> f64 {
+        let x = self.probe_batch();
         let saved = self.stats;
-        // A one-off diagnostic can afford heavy read averaging: it divides
-        // the stochastic part of the residual budget (and so the detection
-        // threshold) by 4×, while the *systematic* residual of stuck cells
-        // and dead lines is untouched — faults far too small to trip the
-        // runtime 6σ check stand out clearly under the probe.
         let runtime_ra = self.config.read_averaging;
         self.config.read_averaging = runtime_ra.max(16);
-        let (_, report) = self.forward_checked(&x);
+        let (y, _) = self.forward_checked(&x);
         self.config.read_averaging = runtime_ra;
         self.stats = saved;
-        report
+        y.as_slice().iter().map(|&v| v.abs() as f64).sum()
+    }
+
+    /// Captures the current probe magnitude as the recalibration reference
+    /// (idempotent: a reference already captured is kept, so the baseline
+    /// stays anchored at programming time).
+    pub fn capture_probe_reference(&mut self) {
+        if self.probe_ref.is_none() {
+            self.probe_ref = Some(self.probe_magnitude());
+        }
+    }
+
+    /// The captured recalibration reference, if any.
+    pub fn probe_reference(&self) -> Option<f64> {
+        self.probe_ref
+    }
+
+    /// Virtual time (seconds) at which this tile's conductances were
+    /// programmed. Zero for deployment-time programming; updated when a
+    /// rotation re-programs the slot mid-serve.
+    pub fn programmed_at(&self) -> f64 {
+        self.programmed_at
+    }
+
+    /// Marks the conductances as programmed at virtual time `now`, so
+    /// subsequent [`AnalogTile::drift_to`] calls read at `now − programmed_at`.
+    pub fn set_programmed_at(&mut self, now: f64) {
+        self.programmed_at = now;
+    }
+
+    /// Installs a multiplicative output correction `α̂` estimated by the
+    /// probe recalibration pass: the effective weights are rescaled in
+    /// place and the cumulative factor is remembered so drift re-reads
+    /// ([`AnalogTile::drift_to`]) keep the correction. Non-finite or
+    /// non-positive factors are ignored.
+    pub fn apply_recal_scale(&mut self, alpha: f32) {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return;
+        }
+        self.recal_scale *= alpha;
+        self.w_eff.scale_assign(alpha);
     }
 
     /// Like [`AnalogTile::forward`], additionally running the ABFT checksum
@@ -1190,6 +1272,29 @@ impl AnalogTile {
     /// rescaled by one global factor so that the summed absolute weight
     /// matches its value at programming time.
     pub fn apply_drift(&mut self, t_seconds: f64, compensation: DriftCompensation) {
+        // The offline study's drift re-read models a fresh deployment-time
+        // calibration pass, so the ABFT static correction is re-measured.
+        self.drift_read(t_seconds, compensation, true);
+    }
+
+    /// Online field-drift step: re-reads the conductances at virtual time
+    /// `now`, i.e. `now − programmed_at` seconds after this tile was last
+    /// programmed. Unlike [`AnalogTile::apply_drift`] the ABFT calibration
+    /// is **not** refreshed — in the field nobody re-runs the deployment
+    /// calibration, so the drift residual accrues against the stale
+    /// correction and eventually trips the checksum ladder, which is
+    /// exactly the trigger the maintenance scheduler listens for. Any
+    /// installed recalibration scale is reapplied after the re-read.
+    pub fn drift_to(&mut self, now: f64, compensation: DriftCompensation) {
+        // Never read before the reference read time: effective weights are
+        // defined at `REFERENCE_READ_TIME` and the drift factor clamps there
+        // anyway, so a rotation followed by a drift step in the same round
+        // re-reads the freshly programmed state.
+        let elapsed = (now - self.programmed_at).max(REFERENCE_READ_TIME);
+        self.drift_read(elapsed, compensation, false);
+    }
+
+    fn drift_read(&mut self, t_seconds: f64, compensation: DriftCompensation, recalibrate: bool) {
         let Some(prog) = &self.programmed else {
             return;
         };
@@ -1204,12 +1309,14 @@ impl AnalogTile {
                 read_sliced(s, device.as_ref(), t_seconds, &mut dev_rng)
             }
         };
-        // The drift re-read models a fresh calibration pass: the ABFT
-        // static correction is re-measured from the drifted (still healthy)
-        // conductances before the array's hard defects are re-imprinted —
-        // stuck cells do not drift away.
-        if let Some(ab) = &mut self.abft {
-            *ab = AbftState::calibrate(&self.w_eff, &self.gamma, self.data_cols);
+        // When requested, the re-read models a fresh calibration pass: the
+        // ABFT static correction is re-measured from the drifted (still
+        // healthy) conductances before the array's hard defects are
+        // re-imprinted — stuck cells do not drift away.
+        if recalibrate {
+            if let Some(ab) = &mut self.abft {
+                *ab = AbftState::calibrate(&self.w_eff, &self.gamma, self.data_cols);
+            }
         }
         if let Some(map) = &self.fault_map {
             map.apply_to_weights(&mut self.w_eff);
@@ -1219,6 +1326,9 @@ impl AnalogTile {
             if now > 0.0 && self.prog_abs_sum > 0.0 {
                 self.w_eff.scale_assign((self.prog_abs_sum / now) as f32);
             }
+        }
+        if self.recal_scale != 1.0 {
+            self.w_eff.scale_assign(self.recal_scale);
         }
     }
 }

@@ -1,0 +1,467 @@
+//! Long-horizon "serving day" study: accuracy and throughput over virtual
+//! time under PCM conductance drift, with and without online mitigation.
+//!
+//! Each arm serves a stream of workload segments through a maintained
+//! [`nora_serve::GenerationEngine`] over one analog deployment while the
+//! engine's virtual clock advances drift between decode rounds. The
+//! *mitigated* arm runs the full ladder — periodic α̂ probe recalibration
+//! plus background spare-tile rotation of drift-flagged tiles — while the
+//! *unmitigated* arm drifts under the identical schedule with both
+//! mitigations disabled. Between segments the engine is dropped (it
+//! mutably borrows the deployment for the accuracy probe) and its
+//! [`MaintenanceState`] carries the clock and in-flight rotations into the
+//! next segment, so the horizon reads as one long serve.
+//!
+//! Both arms share one programmed checkpoint per (model, fault rate): the
+//! deployment is programmed once and each arm restores a clone, so the
+//! comparison sees identical hardware — same defects, same programming
+//! errors, same per-cell drift dispersion streams.
+
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::serving::ServingWorkload;
+use crate::tasks::analog_accuracy;
+use nora_cim::{FaultPlan, FaultTolerance, TileConfig, TileEventKind};
+use nora_nn::deploy::AnalogTransformerLm;
+use nora_nn::generate::Sampling;
+use nora_obs::{edges, Metrics};
+use nora_serve::{AnalogBackend, EngineConfig, GenerationEngine, MaintenanceConfig};
+
+/// Configuration of the long-horizon drift-serving study.
+#[derive(Debug, Clone)]
+pub struct DriftServingConfig {
+    /// Base tile configuration (default: the paper's Table II).
+    pub tile: TileConfig,
+    /// Fault-tolerance policy for every arm (default:
+    /// [`FaultTolerance::protected`] with extra spare tiles, sized for a
+    /// full day of rotations).
+    pub fault_tolerance: FaultTolerance,
+    /// Stuck-cell rates to sweep (fraction of cells).
+    pub cell_rates: Vec<f64>,
+    /// Dead-line / stuck-ADC rate as a fraction of the cell rate.
+    pub line_rate_ratio: f64,
+    /// Virtual horizon in seconds (default 10⁶ s ≈ 11.6 days of decode).
+    pub horizon: f64,
+    /// Virtual seconds each model decode step advances the clock by.
+    pub secs_per_decode_step: f64,
+    /// Interval between drift re-reads (virtual seconds).
+    pub drift_interval: f64,
+    /// Interval between α̂ recalibration passes in the mitigated arm.
+    pub recalibration_interval: f64,
+    /// Virtual latency of one background spare-tile rotation.
+    pub rotation_latency: f64,
+    /// Requests per workload segment.
+    pub requests_per_segment: usize,
+    /// Prompt length of each request.
+    pub prompt_len: usize,
+    /// Continuation tokens per request.
+    pub new_tokens: usize,
+    /// Engine batch width.
+    pub max_batch: usize,
+    /// Deployment seed (also salts the per-rate fault-plan seed).
+    pub seed: u64,
+}
+
+impl Default for DriftServingConfig {
+    fn default() -> Self {
+        let mut fault_tolerance = FaultTolerance::protected();
+        // A long horizon consumes spares on drift-flagged rotations, not
+        // just on programming-time defects — provision accordingly.
+        fault_tolerance.spare_tiles = 4;
+        Self {
+            tile: TileConfig::paper_default(),
+            fault_tolerance,
+            cell_rates: vec![0.0, 0.01],
+            line_rate_ratio: 0.1,
+            horizon: 1e6,
+            secs_per_decode_step: 500.0,
+            drift_interval: 25_000.0,
+            recalibration_interval: 100_000.0,
+            rotation_latency: 5_000.0,
+            requests_per_segment: 6,
+            prompt_len: 3,
+            new_tokens: 24,
+            max_batch: 6,
+            seed: 0xd5e7,
+        }
+    }
+}
+
+/// One point on an arm's accuracy-over-time curve. Counters are cumulative
+/// from the start of the arm, so the final row of an arm summarizes its
+/// whole horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftServingRow {
+    /// Model name.
+    pub model: String,
+    /// Stuck-cell rate of this arm.
+    pub cell_rate: f64,
+    /// Whether online mitigation (recalibration + rotation) was active.
+    pub mitigated: bool,
+    /// Virtual seconds served when this row was measured.
+    pub t_virtual: f64,
+    /// Next-token accuracy of the deployment at `t_virtual`.
+    pub accuracy: f64,
+    /// FP32 digital baseline accuracy.
+    pub digital: f64,
+    /// Wall-clock generated tokens per second of the segment ending here
+    /// (0 for the t = 0 row). Telemetry only — run-to-run variable.
+    pub tokens_per_sec: f64,
+    /// ABFT flags raised so far.
+    pub flags: u64,
+    /// α̂ recalibration passes run so far.
+    pub recalibrations: u64,
+    /// Background tile rotations completed so far.
+    pub rotations: u64,
+    /// Decode rounds served degraded (suspect tiles in the batch or
+    /// rotations in flight) so far.
+    pub degraded_rounds: u64,
+    /// Spare tiles consumed so far.
+    pub spares_used: u32,
+    /// Tile slots currently on exact digital fallback.
+    pub fallbacks: usize,
+}
+
+impl DriftServingRow {
+    /// Renders rows as the drift-serving table.
+    pub fn table(rows: &[DriftServingRow]) -> Table {
+        let mut t = Table::new(&[
+            "model", "cell_rate", "mitigated", "t_ksec", "acc%", "loss_pp", "tok/s", "recal",
+            "rot", "spares", "fallbacks",
+        ])
+        .with_title("Drift serving — accuracy over a long horizon, ±online mitigation");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                format!("{:.3}", r.cell_rate),
+                if r.mitigated { "yes" } else { "no" }.to_string(),
+                format!("{:.0}", r.t_virtual / 1e3),
+                pct(r.accuracy),
+                format!("{:+.1}", 100.0 * (r.digital - r.accuracy)),
+                format!("{:.0}", r.tokens_per_sec),
+                r.recalibrations.to_string(),
+                r.rotations.to_string(),
+                r.spares_used.to_string(),
+                r.fallbacks.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[DriftServingRow]) -> String {
+        let mut out = String::from(
+            "model,cell_rate,mitigated,t_virtual,accuracy,digital,tokens_per_sec,\
+             flags,recalibrations,rotations,degraded_rounds,spares_used,fallbacks\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.cell_rate,
+                r.mitigated,
+                r.t_virtual,
+                r.accuracy,
+                r.digital,
+                r.tokens_per_sec,
+                r.flags,
+                r.recalibrations,
+                r.rotations,
+                r.degraded_rounds,
+                r.spares_used,
+                r.fallbacks,
+            ));
+        }
+        out
+    }
+}
+
+fn flag_count(analog: &AnalogTransformerLm) -> u64 {
+    analog
+        .fault_events()
+        .iter()
+        .filter(|(_, e)| matches!(e.kind, TileEventKind::Flagged { .. }))
+        .count() as u64
+}
+
+/// Serves one arm to the horizon, probing accuracy after every segment.
+fn run_arm(
+    p: &PreparedModel,
+    cell_rate: f64,
+    checkpoint: &AnalogTransformerLm,
+    mitigated: bool,
+    cfg: &DriftServingConfig,
+) -> (Vec<DriftServingRow>, Metrics) {
+    let mut metrics = Metrics::new();
+    let mut analog = checkpoint.clone();
+    // Both arms clone the held-out corpus at the same generator state, so
+    // they serve byte-identical workload segments.
+    let mut corpus = p.zoo.corpus.clone();
+    let maintenance = {
+        let base = MaintenanceConfig::new(cfg.secs_per_decode_step, cfg.drift_interval);
+        if mitigated {
+            base.with_recalibration(cfg.recalibration_interval)
+                .with_rotation(cfg.rotation_latency)
+        } else {
+            base
+        }
+    };
+    // t = 0 probe. Deferred recovery is not yet armed, so programming-time
+    // defects burn in through the inline ladder here — identically in both
+    // arms, mirroring a post-deployment acceptance test.
+    let t0 = analog_accuracy(&mut analog, &p.episodes);
+    let mut rows = vec![DriftServingRow {
+        model: p.zoo.name.clone(),
+        cell_rate,
+        mitigated,
+        t_virtual: 0.0,
+        accuracy: t0,
+        digital: p.digital_acc,
+        tokens_per_sec: 0.0,
+        flags: flag_count(&analog),
+        recalibrations: 0,
+        rotations: 0,
+        degraded_rounds: 0,
+        spares_used: analog.spares_used(),
+        fallbacks: analog.digital_fallback_count(),
+    }];
+    let mut state = None;
+    let (mut recal_total, mut rot_total, mut degraded_total) = (0u64, 0u64, 0u64);
+    // Hard cap against a degenerate clock mapping; the horizon check below
+    // is the intended exit.
+    for _ in 0..4096 {
+        let workload = ServingWorkload::from_corpus(
+            &mut corpus,
+            cfg.requests_per_segment,
+            cfg.prompt_len,
+            cfg.new_tokens,
+            Sampling::Temperature(1.2),
+        );
+        let mut engine = GenerationEngine::new(
+            AnalogBackend::new(&mut analog),
+            EngineConfig::with_max_batch(cfg.max_batch).with_maintenance(maintenance),
+        );
+        if let Some(s) = state.take() {
+            engine.resume_maintenance(s);
+        }
+        for request in &workload.requests {
+            engine.submit(request.clone());
+        }
+        engine.run_to_completion();
+        let now = engine.virtual_now();
+        let tokens_per_sec = engine.report().tokens_per_sec();
+        recal_total += engine.metrics().counter("serve.maint.recalibrations");
+        rot_total += engine.metrics().counter("serve.maint.rotations");
+        degraded_total += engine.metrics().counter("serve.maint.degraded_rounds");
+        metrics.merge(engine.metrics());
+        state = engine.take_maintenance_state();
+        drop(engine);
+        let accuracy = analog_accuracy(&mut analog, &p.episodes);
+        metrics.observe("eval.drift_serving.accuracy", edges::RATE, accuracy);
+        metrics.observe(
+            "eval.drift_serving.tokens_per_sec",
+            edges::THROUGHPUT,
+            tokens_per_sec,
+        );
+        rows.push(DriftServingRow {
+            model: p.zoo.name.clone(),
+            cell_rate,
+            mitigated,
+            t_virtual: now,
+            accuracy,
+            digital: p.digital_acc,
+            tokens_per_sec,
+            flags: flag_count(&analog),
+            recalibrations: recal_total,
+            rotations: rot_total,
+            degraded_rounds: degraded_total,
+            spares_used: analog.spares_used(),
+            fallbacks: analog.digital_fallback_count(),
+        });
+        if now >= cfg.horizon {
+            break;
+        }
+    }
+    (rows, metrics)
+}
+
+/// Runs the long-horizon serving study on every prepared model.
+///
+/// See [`drift_serving_study_recorded`]; this entry point drops the
+/// metrics.
+pub fn drift_serving_study(
+    prepared: &[PreparedModel],
+    cfg: &DriftServingConfig,
+) -> Vec<DriftServingRow> {
+    let mut scratch = Metrics::new();
+    drift_serving_study_recorded(prepared, cfg, &mut scratch)
+}
+
+/// Runs the long-horizon serving study, merging per-arm accuracy and
+/// throughput histograms plus the engines' `serve.maint.*` counters into
+/// `metrics`. Rows are identical to [`drift_serving_study`] — recording is
+/// observation-transparent.
+///
+/// Each (model, cell rate) pair is programmed **once**; both arms restore
+/// the checkpoint, so mitigated vs unmitigated is an apples-to-apples
+/// comparison on identical hardware. Arms run through
+/// [`crate::sweep::parallel_sweep`] and rows come back in task order
+/// (model → rate → unmitigated, mitigated) at any thread count.
+pub fn drift_serving_study_recorded(
+    prepared: &[PreparedModel],
+    cfg: &DriftServingConfig,
+    metrics: &mut Metrics,
+) -> Vec<DriftServingRow> {
+    let mut checkpoints = Vec::new();
+    for p in prepared {
+        for (i, &cell_rate) in cfg.cell_rates.iter().enumerate() {
+            let fault_seed = cfg.seed ^ ((i as u64 + 1) << 32);
+            let tile = cfg
+                .tile
+                .clone()
+                .with_fault_plan(FaultPlan::uniform(
+                    cell_rate,
+                    cell_rate * cfg.line_rate_ratio,
+                    fault_seed,
+                ))
+                .with_fault_tolerance(cfg.fault_tolerance.clone());
+            let analog = p.nora_plan.deploy(&p.zoo.model, tile, cfg.seed ^ 0x44);
+            checkpoints.push((p, cell_rate, analog));
+        }
+    }
+    let mut tasks = Vec::new();
+    for (p, cell_rate, checkpoint) in &checkpoints {
+        for mitigated in [false, true] {
+            tasks.push((*p, *cell_rate, checkpoint, mitigated));
+        }
+    }
+    let results = crate::sweep::parallel_sweep(&tasks, |(p, cell_rate, checkpoint, mitigated)| {
+        run_arm(p, *cell_rate, checkpoint, *mitigated, cfg)
+    });
+    let mut rows = Vec::new();
+    for (arm_rows, arm_metrics) in results {
+        rows.extend(arm_rows);
+        metrics.merge(&arm_metrics);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    fn small_cfg() -> DriftServingConfig {
+        DriftServingConfig {
+            tile: TileConfig::paper_default().with_tile_size(64, 64),
+            cell_rates: vec![0.0],
+            horizon: 200_000.0,
+            secs_per_decode_step: 500.0,
+            drift_interval: 10_000.0,
+            recalibration_interval: 50_000.0,
+            rotation_latency: 2_000.0,
+            requests_per_segment: 4,
+            new_tokens: 16,
+            max_batch: 4,
+            seed: 9,
+            ..DriftServingConfig::default()
+        }
+    }
+
+    #[test]
+    fn study_produces_monotone_curves_for_both_arms() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 113), 40, 4)];
+        let cfg = small_cfg();
+        let mut metrics = Metrics::new();
+        let rows = drift_serving_study_recorded(&prepared, &cfg, &mut metrics);
+        for mitigated in [false, true] {
+            let arm: Vec<_> = rows.iter().filter(|r| r.mitigated == mitigated).collect();
+            assert!(arm.len() >= 2, "arm needs a t=0 row and at least one segment");
+            assert_eq!(arm[0].t_virtual, 0.0);
+            assert!(arm.windows(2).all(|w| w[0].t_virtual < w[1].t_virtual));
+            assert!(arm.last().unwrap().t_virtual >= cfg.horizon);
+            assert!(arm.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
+        }
+        // Only the mitigated arm recalibrates.
+        let last = |m: bool| rows.iter().rfind(|r| r.mitigated == m).unwrap();
+        assert!(last(true).recalibrations > 0);
+        assert_eq!(last(false).recalibrations, 0);
+        assert_eq!(last(false).rotations, 0);
+        // The recorder saw one accuracy observation per post-segment probe.
+        let hist = metrics
+            .histograms()
+            .find(|(name, _)| *name == "eval.drift_serving.accuracy")
+            .expect("accuracy histogram")
+            .1;
+        let probes = rows.iter().filter(|r| r.t_virtual > 0.0).count() as u64;
+        assert_eq!(hist.count(), probes);
+        // Observation transparency: the recorder must not change the rows.
+        let unrecorded = drift_serving_study(&prepared, &cfg);
+        assert_eq!(unrecorded.len(), rows.len());
+        for (a, b) in unrecorded.iter().zip(&rows) {
+            // Wall-clock throughput is run-to-run variable; everything
+            // deterministic must match exactly.
+            assert_eq!(a.accuracy, b.accuracy, "{a:?} vs {b:?}");
+            assert_eq!(a.t_virtual, b.t_virtual);
+            assert_eq!(
+                (a.flags, a.recalibrations, a.rotations, a.degraded_rounds),
+                (b.flags, b.recalibrations, b.rotations, b.degraded_rounds)
+            );
+        }
+        assert!(DriftServingRow::table(&rows).render().contains("mitigated"));
+    }
+
+    /// Satellite regression: the α̂ probe must exclude quarantined tiles.
+    /// At 2% stuck cells the deferred-mode ladder flags tiles Suspect; a
+    /// recalibration pass right after must report them excluded and still
+    /// produce a sane global estimate from the healthy tiles.
+    #[test]
+    fn recalibration_excludes_quarantined_tiles_under_faults() {
+        let p = prepare(&tiny_spec(ModelFamily::OptLike, 114), 30, 4);
+        let tile = TileConfig::paper_default()
+            .with_tile_size(64, 64)
+            .with_fault_plan(FaultPlan::uniform(0.02, 0.002, 0xfee1))
+            .with_fault_tolerance(FaultTolerance::protected());
+        let mut analog = p.nora_plan.deploy(&p.zoo.model, tile, 11);
+        analog.set_deferred_recovery(true);
+        analog.capture_probe_references();
+        // Drive traffic so the ABFT ladder quarantines the faulty tiles.
+        let _ = analog_accuracy(&mut analog, &p.episodes);
+        assert!(
+            !analog.suspect_tiles().is_empty(),
+            "2% stuck cells should leave suspect tiles in deferred mode"
+        );
+        let outcomes = analog.recalibrate();
+        assert!(!outcomes.is_empty(), "no layer produced an estimate");
+        let excluded: usize = outcomes.iter().map(|(_, o)| o.excluded).sum();
+        assert!(excluded > 0, "quarantined tiles were not excluded");
+        for (id, o) in &outcomes {
+            assert!(o.probed > 0, "{id:?} estimated from zero tiles");
+            assert!(
+                (0.5..=2.0).contains(&o.alpha),
+                "{id:?} alpha {} skewed despite quarantine exclusion",
+                o.alpha
+            );
+        }
+    }
+
+    /// Golden-schema check: the committed `results/drift_serving.csv` was
+    /// written with the current CSV schema. A column rename or reorder must
+    /// fail here until the results file is regenerated alongside it.
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = DriftServingRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/drift_serving.csv"
+        ))
+        .expect("committed results/drift_serving.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/drift_serving.csv header drifted from DriftServingRow::csv"
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 mod distributions;
 mod drift;
+mod drift_serving;
 mod extensions;
 mod faults;
 mod layers;
@@ -22,6 +23,9 @@ pub use distributions::{
     kde_report, kurtosis_report, rescale_report, KdeReport, KurtosisRow, RescaleRow,
 };
 pub use drift::{drift_study, DriftConfig, DriftRow};
+pub use drift_serving::{
+    drift_serving_study, drift_serving_study_recorded, DriftServingConfig, DriftServingRow,
+};
 pub use faults::{fault_study, FaultStudyConfig, FaultStudyRow};
 pub use mitigation::{mitigation, MitigationConfig, MitigationRow};
 pub use overall::{overall, OverallConfig, OverallRow};

@@ -88,7 +88,24 @@ pub fn serve_workload_recorded<B: Backend>(
     max_batch: usize,
     metrics: &mut nora_obs::Metrics,
 ) -> (Vec<GenResult>, ServingSummary) {
-    let mut engine = GenerationEngine::new(backend, EngineConfig::with_max_batch(max_batch));
+    serve_workload_configured(
+        backend,
+        workload,
+        EngineConfig::with_max_batch(max_batch),
+        metrics,
+    )
+}
+
+/// Like [`serve_workload_recorded`], but with a caller-supplied
+/// [`EngineConfig`] — the entry point for maintained (drift-aware) serving
+/// runs, which need [`nora_serve::MaintenanceConfig`] attached.
+pub fn serve_workload_configured<B: Backend>(
+    backend: B,
+    workload: &ServingWorkload,
+    config: EngineConfig,
+    metrics: &mut nora_obs::Metrics,
+) -> (Vec<GenResult>, ServingSummary) {
+    let mut engine = GenerationEngine::new(backend, config);
     for request in &workload.requests {
         engine.submit(request.clone());
     }

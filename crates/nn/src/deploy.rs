@@ -379,6 +379,73 @@ impl AnalogTransformerLm {
         }
     }
 
+    /// Online field-drift step: advances every analog layer to virtual time
+    /// `now` (each tile re-reads relative to its own programming epoch, see
+    /// [`AnalogLinear::drift_to`]). Iteration order is irrelevant — every
+    /// tile owns its RNG stream.
+    pub fn drift_to(&mut self, now: f64, compensation: DriftCompensation) {
+        for layer in self.analog.values_mut() {
+            layer.drift_to(now, compensation);
+        }
+    }
+
+    /// Switches every analog layer between inline and deferred recovery
+    /// (see [`AnalogLinear::set_deferred_recovery`]).
+    pub fn set_deferred_recovery(&mut self, deferred: bool) {
+        for layer in self.analog.values_mut() {
+            layer.set_deferred_recovery(deferred);
+        }
+    }
+
+    /// Captures per-tile recalibration references on every analog layer
+    /// (idempotent per tile).
+    pub fn capture_probe_references(&mut self) {
+        for layer in self.analog.values_mut() {
+            layer.capture_probe_references();
+        }
+    }
+
+    /// Runs the probe recalibration pass on every analog layer, in (block,
+    /// kind) layer order, and returns each layer's outcome (layers with no
+    /// probe-able healthy tile are skipped).
+    pub fn recalibrate(&mut self) -> Vec<(LinearId, nora_cim::RecalOutcome)> {
+        let mut ids = self.model.linear_ids();
+        ids.retain(|id| self.analog.contains_key(id));
+        ids.into_iter()
+            .filter_map(|id| {
+                self.analog
+                    .get_mut(&id)
+                    .and_then(AnalogLinear::recalibrate)
+                    .map(|outcome| (id, outcome))
+            })
+            .collect()
+    }
+
+    /// Tile slots currently flagged Suspect across all analog layers, as
+    /// (layer id, grid index) pairs in (block, kind) then grid order — the
+    /// maintenance scheduler's rotation work list.
+    pub fn suspect_tiles(&self) -> Vec<(LinearId, usize)> {
+        let mut ids = self.model.linear_ids();
+        ids.retain(|id| self.analog.contains_key(id));
+        ids.into_iter()
+            .flat_map(|id| {
+                self.analog[&id]
+                    .suspect_tiles()
+                    .into_iter()
+                    .map(move |idx| (id, idx))
+            })
+            .collect()
+    }
+
+    /// Completes a background rotation of tile `idx` of layer `id` at
+    /// virtual time `now` (see [`AnalogLinear::rotate_tile`]). Returns
+    /// `true` iff the slot is served by a healthy analog tile afterwards.
+    pub fn rotate_tile(&mut self, id: LinearId, idx: usize, now: f64) -> bool {
+        self.analog
+            .get_mut(&id)
+            .is_some_and(|layer| layer.rotate_tile(idx, now))
+    }
+
     /// First-order analog energy/latency estimate summed over all layers
     /// (see [`nora_cim::energy`]).
     pub fn energy(&self, model: &nora_cim::EnergyModel) -> nora_cim::EnergyReport {

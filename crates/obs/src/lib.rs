@@ -55,6 +55,9 @@ pub mod edges {
     pub const RATE: &[f64] = &[0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0];
     /// Small integer counts (retry rounds, decode steps, …).
     pub const COUNT: &[f64] = &[0.5, 1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5, 128.5];
+    /// Throughputs in events per second (tokens/s over time, …), decade
+    /// buckets from 1/s to 1M/s.
+    pub const THROUGHPUT: &[f64] = &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6];
 }
 
 /// A monotone event counter.

@@ -1,7 +1,12 @@
 //! Decode backends: how one batched round of per-sequence steps executes.
 
+use nora_cim::DriftCompensation;
 use nora_nn::deploy::AnalogTransformerLm;
-use nora_nn::{KvCache, TransformerLm};
+use nora_nn::{KvCache, LinearId, TransformerLm};
+
+/// Handle naming one analog tile slot for maintenance operations: the
+/// owning linear layer and the slot's grid index within it.
+pub type TileRef = (LinearId, usize);
 
 /// One sequence's work item for a batched decode round.
 ///
@@ -63,6 +68,37 @@ pub trait Backend {
     /// `decoded`. Implementations must be deterministic in slot order:
     /// identical inputs produce identical outputs at any thread count.
     fn run_round(&mut self, steps: &mut [SlotStep<'_>]);
+
+    /// Prepares the deployment for drift-aware serving: switches tile
+    /// recovery to deferred mode (flags are recorded, the batch is never
+    /// blocked by an inline ladder) and captures the recalibration probe
+    /// references. Called once by the engine's maintenance scheduler before
+    /// the first maintained round. Default no-op — digital backends have no
+    /// conductances to maintain.
+    fn begin_maintenance(&mut self) {}
+
+    /// Advances conductance drift to virtual time `now_seconds`. Default
+    /// no-op.
+    fn drift_to(&mut self, _now_seconds: f64, _compensation: DriftCompensation) {}
+
+    /// Runs one α̂ probe recalibration pass; returns the number of layers
+    /// that produced an estimate. Default 0.
+    fn recalibrate(&mut self) -> usize {
+        0
+    }
+
+    /// Tile slots currently flagged Suspect, in deterministic (layer, grid)
+    /// order. Default empty.
+    fn suspect_tiles(&mut self) -> Vec<TileRef> {
+        Vec::new()
+    }
+
+    /// Completes a background rotation of `tile` at virtual time
+    /// `now_seconds`; returns `true` iff the slot is served by a healthy
+    /// analog tile afterwards. Default `false`.
+    fn rotate_tile(&mut self, _tile: TileRef, _now_seconds: f64) -> bool {
+        false
+    }
 }
 
 /// FP32 digital backend: steps are independent pure functions of the shared
@@ -119,5 +155,26 @@ impl Backend for AnalogBackend<'_> {
         for step in steps {
             step.run_analog(self.analog);
         }
+    }
+
+    fn begin_maintenance(&mut self) {
+        self.analog.set_deferred_recovery(true);
+        self.analog.capture_probe_references();
+    }
+
+    fn drift_to(&mut self, now_seconds: f64, compensation: DriftCompensation) {
+        self.analog.drift_to(now_seconds, compensation);
+    }
+
+    fn recalibrate(&mut self) -> usize {
+        self.analog.recalibrate().len()
+    }
+
+    fn suspect_tiles(&mut self) -> Vec<TileRef> {
+        self.analog.suspect_tiles()
+    }
+
+    fn rotate_tile(&mut self, (id, idx): TileRef, now_seconds: f64) -> bool {
+        self.analog.rotate_tile(id, idx, now_seconds)
     }
 }

@@ -3,12 +3,13 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use nora_cim::DriftCompensation;
 use nora_nn::generate::{sample_logits, Sampling};
 use nora_nn::KvCache;
 use nora_obs::{edges, Metrics, Recorder, Stopwatch};
 use nora_tensor::rng::Rng;
 
-use crate::backend::{Backend, SlotStep};
+use crate::backend::{Backend, SlotStep, TileRef};
 
 /// One generation request: a prompt to continue for `max_new_tokens`.
 #[derive(Debug, Clone)]
@@ -60,6 +61,9 @@ pub struct EngineConfig {
     /// uses the model's `max_seq` — the window that makes the engine match
     /// [`nora_nn::generate::generate_digital`]'s truncation exactly.
     pub window: Option<usize>,
+    /// Drift-aware maintenance schedule. `None` (default) serves frozen
+    /// conductances, exactly as before.
+    pub maintenance: Option<MaintenanceConfig>,
 }
 
 impl EngineConfig {
@@ -68,6 +72,7 @@ impl EngineConfig {
         Self {
             max_batch,
             window: None,
+            maintenance: None,
         }
     }
 
@@ -75,6 +80,122 @@ impl EngineConfig {
     pub fn with_window(mut self, window: usize) -> Self {
         self.window = Some(window);
         self
+    }
+
+    /// Enables the drift-aware maintenance scheduler.
+    pub fn with_maintenance(mut self, maintenance: MaintenanceConfig) -> Self {
+        self.maintenance = Some(maintenance);
+        self
+    }
+}
+
+/// Virtual-time maintenance schedule for drift-aware serving.
+///
+/// The engine keeps a deterministic virtual clock: every model decode step
+/// advances it by `secs_per_decode_step` virtual seconds, so the schedule
+/// is a pure function of the served token counts — the same workload
+/// produces the same drift/recalibration/rotation timeline at any
+/// `NORA_THREADS`, with or without a recorder attached.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// Virtual seconds each model decode step advances the clock by.
+    pub secs_per_decode_step: f64,
+    /// Interval between conductance drift re-reads (virtual seconds). The
+    /// physics run regardless of mitigation: disabling recalibration and
+    /// rotation models an *unmitigated* engine, not a drift-free one.
+    pub drift_interval: f64,
+    /// Compensation mode applied at each drift re-read.
+    /// [`DriftCompensation::None`] (default) leaves mitigation entirely to
+    /// the online ladder — `GlobalScale` would assume oracle knowledge of
+    /// the programmed state that field hardware does not have.
+    pub compensation: DriftCompensation,
+    /// Interval between α̂ probe recalibration passes (virtual seconds);
+    /// `None` disables online recalibration.
+    pub recalibration_interval: Option<f64>,
+    /// Virtual latency of one background spare-tile rotation; flagged
+    /// tiles keep serving (degraded) until their rotation completes. `None`
+    /// disables rotation entirely.
+    pub rotation_latency: Option<f64>,
+}
+
+impl MaintenanceConfig {
+    /// A schedule with the given clock mapping and drift cadence, and all
+    /// mitigation (recalibration, rotation) disabled.
+    pub fn new(secs_per_decode_step: f64, drift_interval: f64) -> Self {
+        Self {
+            secs_per_decode_step,
+            drift_interval,
+            compensation: DriftCompensation::None,
+            recalibration_interval: None,
+            rotation_latency: None,
+        }
+    }
+
+    /// Enables periodic α̂ probe recalibration every `interval` virtual
+    /// seconds.
+    pub fn with_recalibration(mut self, interval: f64) -> Self {
+        self.recalibration_interval = Some(interval);
+        self
+    }
+
+    /// Enables background spare-tile rotation with the given virtual
+    /// completion latency.
+    pub fn with_rotation(mut self, latency: f64) -> Self {
+        self.rotation_latency = Some(latency);
+        self
+    }
+
+    /// Overrides the compensation mode applied at drift re-reads.
+    pub fn with_compensation(mut self, compensation: DriftCompensation) -> Self {
+        self.compensation = compensation;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.secs_per_decode_step > 0.0 && self.secs_per_decode_step.is_finite(),
+            "secs_per_decode_step must be positive and finite"
+        );
+        assert!(
+            self.drift_interval > 0.0 && self.drift_interval.is_finite(),
+            "drift_interval must be positive and finite"
+        );
+        if let Some(r) = self.recalibration_interval {
+            assert!(r > 0.0 && r.is_finite(), "recalibration_interval must be positive");
+        }
+        if let Some(l) = self.rotation_latency {
+            assert!(l >= 0.0 && l.is_finite(), "rotation_latency must be non-negative");
+        }
+    }
+}
+
+/// Resumable state of the maintenance scheduler: the virtual clock, the
+/// next due times, and the in-flight background rotations. Detach it with
+/// [`GenerationEngine::take_maintenance_state`] when an engine is dropped
+/// mid-horizon (e.g. between workload segments that re-borrow the analog
+/// deployment) and hand it to the next engine via
+/// [`GenerationEngine::resume_maintenance`] — the schedule then continues
+/// as if it were one long serve.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceState {
+    now: f64,
+    next_drift: f64,
+    next_recal: f64,
+    /// In-flight background rotations as (tile, completion time), in
+    /// schedule order.
+    pending: Vec<(TileRef, f64)>,
+    started: bool,
+}
+
+impl MaintenanceState {
+    /// Virtual seconds served so far.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Background rotations currently in flight.
+    pub fn pending_rotations(&self) -> usize {
+        self.pending.len()
     }
 }
 
@@ -212,6 +333,7 @@ pub struct GenerationEngine<B: Backend> {
     completed: u64,
     metrics: Metrics,
     recorder: Option<Box<dyn Recorder>>,
+    maintenance: Option<MaintenanceState>,
 }
 
 impl<B: Backend> GenerationEngine<B> {
@@ -230,6 +352,10 @@ impl<B: Backend> GenerationEngine<B> {
                 "window must be in 1..=max_seq ({max_seq}), got {w}"
             );
         }
+        let maintenance = config.maintenance.as_ref().map(|m| {
+            m.validate();
+            MaintenanceState::default()
+        });
         Self {
             backend,
             config,
@@ -245,7 +371,34 @@ impl<B: Backend> GenerationEngine<B> {
             completed: 0,
             metrics: Metrics::new(),
             recorder: None,
+            maintenance,
         }
+    }
+
+    /// Virtual seconds served so far under the maintenance clock (0 when
+    /// maintenance is off or no round ran yet).
+    pub fn virtual_now(&self) -> f64 {
+        self.maintenance.as_ref().map_or(0.0, |s| s.now)
+    }
+
+    /// Detaches the maintenance scheduler state so a later engine over the
+    /// same deployment can continue the virtual timeline (see
+    /// [`MaintenanceState`]). Maintenance stops in this engine afterwards.
+    pub fn take_maintenance_state(&mut self) -> Option<MaintenanceState> {
+        self.maintenance.take()
+    }
+
+    /// Resumes a maintenance timeline detached from a previous engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this engine's config has no maintenance schedule.
+    pub fn resume_maintenance(&mut self, state: MaintenanceState) {
+        assert!(
+            self.config.maintenance.is_some(),
+            "resume_maintenance requires a maintenance config"
+        );
+        self.maintenance = Some(state);
     }
 
     /// Attaches a streaming [`Recorder`] receiving per-request span events
@@ -369,11 +522,13 @@ impl<B: Backend> GenerationEngine<B> {
         }
         let outcomes: Vec<(Vec<f32>, u64)> =
             steps.into_iter().map(|s| (s.logits, s.decoded)).collect();
+        let mut round_decoded = 0u64;
         for (slot, (logits, decoded)) in self.slots.iter_mut().zip(outcomes) {
             debug_assert!(!logits.is_empty(), "backend must fill logits");
             slot.logits = logits;
             slot.decode_steps += decoded;
             self.decode_steps += decoded;
+            round_decoded += decoded;
             if slot.prefill.is_none() {
                 // This round produced the slot's first logits.
                 let prefill = slot.service.elapsed();
@@ -386,6 +541,10 @@ impl<B: Backend> GenerationEngine<B> {
             }
         }
         if ran_round {
+            // Maintenance runs between decode rounds on the same hardware,
+            // so its cost lands inside the service window — the tokens/sec
+            // curve honestly reflects recalibration and rotation overhead.
+            self.run_maintenance(round_decoded);
             // Only rounds that ran model work count towards service time
             // (and so towards the tokens/sec denominator).
             let service = service_start.elapsed();
@@ -494,6 +653,86 @@ impl<B: Backend> GenerationEngine<B> {
             decode_steps: slot.decode_steps,
         });
         self.completed += 1;
+    }
+
+    /// One maintenance pass after a decode round: advance the virtual
+    /// clock by the round's decode steps, then run whatever the schedule
+    /// made due, in a fixed order — drift physics, rotation completions,
+    /// recalibration, new rotation scheduling. Everything here is a pure
+    /// function of token counts and deterministic tile state, so the
+    /// timeline is bit-identical at any `NORA_THREADS` and unaffected by
+    /// an attached recorder.
+    fn run_maintenance(&mut self, round_decoded: u64) {
+        let Some(mcfg) = self.config.maintenance else {
+            return;
+        };
+        let Some(state) = self.maintenance.as_mut() else {
+            return;
+        };
+        if !state.started {
+            state.started = true;
+            state.next_drift = mcfg.drift_interval;
+            state.next_recal = mcfg.recalibration_interval.unwrap_or(f64::INFINITY);
+            self.backend.begin_maintenance();
+        }
+        state.now += round_decoded as f64 * mcfg.secs_per_decode_step;
+
+        // Drift physics: one catch-up re-read at the current clock when a
+        // step (or several) became due — the tile state depends on absolute
+        // time, not on the number of intermediate reads.
+        if state.now >= state.next_drift {
+            self.backend.drift_to(state.now, mcfg.compensation);
+            self.metrics.add("serve.maint.drift_steps", 1);
+            while state.next_drift <= state.now {
+                state.next_drift += mcfg.drift_interval;
+            }
+        }
+
+        // Background rotations whose virtual latency elapsed complete now,
+        // in schedule order.
+        let mut i = 0;
+        while i < state.pending.len() {
+            if state.pending[i].1 <= state.now {
+                let (tile, _) = state.pending.remove(i);
+                let restored = self.backend.rotate_tile(tile, state.now);
+                self.metrics.add("serve.maint.rotations", 1);
+                if !restored {
+                    self.metrics.add("serve.maint.rotation_fallbacks", 1);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Periodic α̂ probe recalibration.
+        if state.now >= state.next_recal {
+            let layers = self.backend.recalibrate();
+            self.metrics.add("serve.maint.recalibrations", 1);
+            self.metrics.add("serve.maint.recalibrated_layers", layers as u64);
+            while state.next_recal <= state.now {
+                state.next_recal += mcfg
+                    .recalibration_interval
+                    .expect("recalibration was scheduled");
+            }
+        }
+
+        // Newly flagged tiles enter the rotation queue (when rotation is
+        // enabled); a tile already awaiting rotation is not re-queued.
+        let suspects = self.backend.suspect_tiles();
+        if let Some(latency) = mcfg.rotation_latency {
+            for tile in &suspects {
+                if !state.pending.iter().any(|(t, _)| t == tile) {
+                    state.pending.push((*tile, state.now + latency));
+                    self.metrics.add("serve.maint.rotations_scheduled", 1);
+                }
+            }
+        }
+
+        // Degraded-mode accounting: this round was served while flagged
+        // tiles were still in the batch (awaiting rotation, or unmitigated).
+        if !state.pending.is_empty() || !suspects.is_empty() {
+            self.metrics.add("serve.maint.degraded_rounds", 1);
+        }
     }
 
     /// Aggregates one retirement into the engine metrics and streams the
@@ -727,6 +966,36 @@ mod tests {
         // Two spans (queue_wait + service) per finished request.
         assert_eq!(mem.spans.len(), 6);
         assert!(mem.spans.iter().any(|(n, _)| n == "serve.request.service"));
+    }
+
+    #[test]
+    fn maintenance_clock_tracks_decode_steps() {
+        // The virtual clock is a pure function of decode work: on a digital
+        // backend (maintenance hooks are no-ops) it still advances by
+        // decode_steps × secs_per_decode_step, and detach/resume continues
+        // the timeline instead of restarting it.
+        let m = model();
+        let mcfg = MaintenanceConfig::new(250.0, 1000.0);
+        let mut engine = GenerationEngine::new(
+            DigitalBackend::new(&m),
+            EngineConfig::with_max_batch(2).with_maintenance(mcfg),
+        );
+        engine.submit(GenRequest::new(vec![1, 2, 3], 6));
+        engine.submit(GenRequest::new(vec![4], 9));
+        engine.run_to_completion();
+        let report = engine.report();
+        let expected = report.decode_steps as f64 * 250.0;
+        assert!((engine.virtual_now() - expected).abs() < 1e-6 * expected.max(1.0));
+        let state = engine.take_maintenance_state().expect("maintenance on");
+        assert_eq!(state.pending_rotations(), 0);
+        let mut next = GenerationEngine::new(
+            DigitalBackend::new(&m),
+            EngineConfig::with_max_batch(2).with_maintenance(mcfg),
+        );
+        next.resume_maintenance(state);
+        next.submit(GenRequest::new(vec![2], 4));
+        next.run_to_completion();
+        assert!(next.virtual_now() > expected);
     }
 
     #[test]

@@ -48,7 +48,8 @@
 mod backend;
 mod engine;
 
-pub use backend::{AnalogBackend, Backend, DigitalBackend, SlotStep};
+pub use backend::{AnalogBackend, Backend, DigitalBackend, SlotStep, TileRef};
 pub use engine::{
-    EngineConfig, EngineReport, GenRequest, GenResult, GenerationEngine, RequestLatency,
+    EngineConfig, EngineReport, GenRequest, GenResult, GenerationEngine, MaintenanceConfig,
+    MaintenanceState, RequestLatency,
 };
