@@ -82,6 +82,51 @@ fn main() {
         );
     }
 
+    // Mixed-tenant admission stress: 1000 requests across 4 tenants with
+    // cycling priorities, deadline hints, and three generation lengths,
+    // scheduled through the weighted-fair admission queue into batch-8
+    // continuous batching on the keyed analog deployment. `ns/iter` is the
+    // cost of draining the full mixed queue; the tok/s line is aggregate
+    // engine throughput under admission contention.
+    let mut mixed_corpus = Corpus::new(CorpusConfig::new(cfg.vocab, cfg.max_seq, 14));
+    let mixed = ServingWorkload::mixed_from_corpus(
+        &mut mixed_corpus,
+        1000,
+        4,
+        &[6, 18, 30],
+        4,
+        Sampling::Temperature(1.2),
+    );
+    let mixed_tokens: u64 = mixed
+        .requests
+        .iter()
+        .map(|r| r.max_new_tokens as u64)
+        .sum();
+    let mixed_config = || {
+        EngineConfig::with_max_batch(8)
+            .with_tenant_weight(1, 2.0)
+            .with_tenant_weight(3, 0.5)
+    };
+    let name = "serve_analog_mixed_1000req";
+    let mut last = None;
+    bench_throughput(name, mixed_tokens, || {
+        let mut scratch = nora_obs::Metrics::new();
+        let (results, summary) = serve_workload_configured(
+            AnalogBackend::new(&mut analog),
+            &mixed,
+            mixed_config(),
+            &mut scratch,
+        );
+        last = Some((results, summary));
+        std::hint::black_box(&last);
+    });
+    if let Some((_, summary)) = &last {
+        println!(
+            "bench: {name:<44} {:>14.1} tok/s engine  ({} decode steps)",
+            summary.tokens_per_sec, summary.decode_steps
+        );
+    }
+
     // Batch-of-1 analog decode: the single-token KV-cached step that the
     // serving engine issues per slot, measured bare (no engine scaffolding).
     let mut cache = nora_nn::KvCache::new(&model);
@@ -130,6 +175,18 @@ fn main() {
         std::hint::black_box(summary);
         analog.export_metrics(&mut metrics);
         export_metrics("serve_analog_12req_batch8", &metrics);
+
+        // Mixed-tenant pass: the exported engine metrics include the
+        // per-tenant `serve.tenant.{id}.queue_wait_secs` histograms.
+        let mut metrics = nora_obs::Metrics::new();
+        let (_, summary) = serve_workload_configured(
+            AnalogBackend::new(&mut analog),
+            &mixed,
+            mixed_config(),
+            &mut metrics,
+        );
+        std::hint::black_box(summary);
+        export_metrics("serve_analog_mixed_1000req", &metrics);
 
         let mut metrics = nora_obs::Metrics::new();
         let (_, summary) = serve_workload_configured(

@@ -10,8 +10,12 @@
 //! * `NORA_BENCH_FAST=1` — shrink the measurement window (smoke runs / CI).
 //! * `NORA_BENCH_MS=<n>` — explicit measurement window in milliseconds.
 //! * `NORA_BENCH_JSON=<path>` — append one JSON-lines record per
-//!   measurement (`{"name", "ns_per_iter", "iters", "threads"}`), so runs
+//!   measurement (`{"name", "ns_per_iter", "iters", "threads", "cores"}` —
+//!   the schema is append-only, so older baselines stay diffable), so runs
 //!   at different thread counts can be committed and diffed as baselines.
+//!   `threads` is the effective `NORA_THREADS` cap; `cores` is the host's
+//!   available parallelism, recording how much headroom the cap actually
+//!   had on the measuring machine.
 //! * `--metrics-out <path>` (or `NORA_METRICS_OUT=<path>`) — append the
 //!   operational metrics a bench collected (tile conversion stats, engine
 //!   latency histograms, …) as a JSON-lines sidecar next to the timing
@@ -105,10 +109,11 @@ fn append_json_record(name: &str, m: &Measurement) {
         })
         .collect();
     let record = format!(
-        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.1},\"iters\":{},\"threads\":{}}}\n",
+        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.1},\"iters\":{},\"threads\":{},\"cores\":{}}}\n",
         m.ns_per_iter,
         m.iters,
-        nora_parallel::max_threads()
+        nora_parallel::max_threads(),
+        nora_parallel::available()
     );
     let result = std::fs::OpenOptions::new()
         .create(true)
@@ -234,6 +239,7 @@ mod tests {
         assert!(lines[0].contains("\"ns_per_iter\":"));
         assert!(lines[0].contains("\"iters\":"));
         assert!(lines[1].contains("\"threads\":"));
+        assert!(lines[1].contains("\"cores\":"));
     }
 
     #[test]

@@ -68,10 +68,10 @@ pub use health::{
     export_events, export_health, AbftReport, FaultTolerance, HealthState, TileEvent,
     TileEventKind, TileHealth, TileSite,
 };
-pub use linear::{AnalogLinear, RecalOutcome};
+pub use linear::{AnalogLinear, KeyedCtx, RecalOutcome, TileEffect};
 // Re-exported so downstream crates can build a [`TileConfig`] fault plan
 // without depending on `nora-device` directly.
 pub use nora_device::{CellFault, FaultPlan, TileFaultMap};
 pub use management::{BoundManagement, NoiseManagement};
 pub use noise::NonIdeality;
-pub use tile::{AnalogTile, DriftCompensation, ForwardStats};
+pub use tile::{AnalogTile, DriftCompensation, ForwardStats, TileCtx};

@@ -3,12 +3,34 @@
 use crate::config::TileConfig;
 use crate::error::CimError;
 use crate::health::{AbftReport, HealthState, TileEvent, TileEventKind, TileHealth, TileSite};
-use crate::tile::{AnalogTile, DriftCompensation, ForwardStats};
+use crate::tile::{AnalogTile, DriftCompensation, ForwardStats, TileCtx};
 use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
 
 /// Stream tag for re-programming rng derivation ("RP").
 const REPROGRAM_STREAM: u64 = 0x5250_0000;
+
+/// Deferred side effect of one tile forward on the **keyed** (stateless)
+/// decode path: the statistics delta and any ABFT flag the tile would have
+/// applied to itself on the sequential path. Collected per caller during a
+/// parallel round and absorbed into the layer in a fixed (slot, grid)
+/// order via [`AnalogLinear::absorb_tile_effect`], so the layer's
+/// accumulated state is bit-identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct TileEffect {
+    entry: usize,
+    stats: ForwardStats,
+    report: Option<AbftReport>,
+}
+
+/// Reusable scratch arena for [`AnalogLinear::forward_single_keyed`]: the
+/// per-tile output buffer plus the tile-level conversion scratch. One per
+/// concurrent caller (serving slot); reused across layers and decode steps.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedCtx {
+    tile: TileCtx,
+    part: Vec<f32>,
+}
 
 /// How one grid slot currently executes its weight block.
 #[derive(Debug, Clone)]
@@ -87,6 +109,10 @@ pub struct AnalogLinear {
     events: Vec<TileEvent>,
     spares_used: u32,
     next_spare_id: u64,
+    /// Construction seed, kept as the layer-level component of the
+    /// counter-keyed noise streams (the keyed decode path derives each
+    /// row's stream from `(seed, grid coords, request seed, position)`).
+    seed: u64,
     /// Reusable per-tile output buffer for the batch-of-1 decode fast path.
     row_scratch: Vec<f32>,
     /// When set, flagged tiles are *not* recovered inline during a forward:
@@ -288,6 +314,7 @@ impl AnalogLinear {
             events,
             spares_used,
             next_spare_id,
+            seed,
             row_scratch: Vec::new(),
             deferred_recovery: false,
         })
@@ -357,23 +384,36 @@ impl AnalogLinear {
         let mut y = Matrix::zeros(batch, self.d_out);
         // Phase 1 — independent tile forwards, fanned across worker threads.
         // Each entry owns its tile, RNG stream, and statistics, so the
-        // per-tile results are bit-identical at any thread count.
-        let parts: Vec<(Matrix, Option<AbftReport>)> =
-            nora_parallel::map_slice_mut(&mut self.entries, |_, e| {
-                let x_slice = x.submatrix(0, batch, e.r0, e.r0 + e.rows());
-                match &mut e.slot {
-                    TileSlot::Digital(w) => (x_slice.matmul(w), None),
-                    TileSlot::Analog(tile) => {
-                        if recovery {
-                            let (part, report) = tile.forward_checked(&x_slice);
-                            let bad = report.suspicious.then_some(report);
-                            (part, bad)
-                        } else {
-                            (tile.forward(&x_slice), None)
-                        }
+        // per-tile results are bit-identical at any thread count. Tiny
+        // fan-outs (small grids, small batches) skip the pool handshake and
+        // run the exact serial loop instead — same bits either way.
+        let body = |_: usize, e: &mut TileEntry| {
+            let x_slice = x.submatrix(0, batch, e.r0, e.r0 + e.rows());
+            match &mut e.slot {
+                TileSlot::Digital(w) => (x_slice.matmul(w), None),
+                TileSlot::Analog(tile) => {
+                    if recovery {
+                        let (part, report) = tile.forward_checked(&x_slice);
+                        let bad = report.suspicious.then_some(report);
+                        (part, bad)
+                    } else {
+                        (tile.forward(&x_slice), None)
                     }
                 }
-            });
+            }
+        };
+        let per_tile_work = (batch
+            * self.config.tile_rows
+            * self.config.tile_cols
+            * self.config.read_averaging.max(1) as usize) as u64;
+        let parts: Vec<(Matrix, Option<AbftReport>)> =
+            if nora_parallel::threads_for_work(self.entries.len(), per_tile_work) <= 1 {
+                nora_parallel::with_threads(1, || {
+                    nora_parallel::map_slice_mut(&mut self.entries, body)
+                })
+            } else {
+                nora_parallel::map_slice_mut(&mut self.entries, body)
+            };
         // Phase 2 — serial, in grid-index order: recovery of flagged tiles
         // (which mutates the shared event log / spare pool, so its ordering
         // must not depend on thread scheduling) and digital accumulation of
@@ -467,6 +507,88 @@ impl AnalogLinear {
             }
         }
         y
+    }
+
+    /// Stateless batch-of-1 forward on **counter-keyed** noise streams: the
+    /// layer is shared immutably across concurrent callers (serving slots),
+    /// and each tile's noise sequence is derived from `(layer seed, tile
+    /// grid coordinates, noise_seed, position)` — a pure function of the
+    /// request's identity, independent of admission order, batch
+    /// composition and thread count.
+    ///
+    /// `y` (length `d_out`) is overwritten with the layer output. The
+    /// statistics deltas and ABFT flags each tile would have applied to
+    /// itself are appended to `effects` in grid order; callers absorb them
+    /// via [`AnalogLinear::absorb_tile_effect`] after the parallel round,
+    /// in a fixed (slot, grid) order. Unlike the sequential path there is
+    /// no inline recovery ladder: a flagged tile is recorded (deferred,
+    /// [`AnalogLinear::note_flag`]-style) for the external maintenance
+    /// scheduler to rotate between rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != d_in` or `y.len() != d_out`.
+    pub fn forward_single_keyed(
+        &self,
+        x: &[f32],
+        y: &mut [f32],
+        noise_seed: u64,
+        position: u64,
+        ctx: &mut KeyedCtx,
+        effects: &mut Vec<TileEffect>,
+    ) {
+        assert_eq!(x.len(), self.d_in, "input width mismatch");
+        assert_eq!(y.len(), self.d_out, "output width mismatch");
+        let recovery = self.config.fault_tolerance.is_active();
+        y.fill(0.0);
+        let part = &mut ctx.part;
+        for (idx, e) in self.entries.iter().enumerate() {
+            let (r0, c0, rows) = (e.r0, e.c0, e.rows());
+            let xin = &x[r0..r0 + rows];
+            match &e.slot {
+                TileSlot::Digital(w) => {
+                    w.vecmat_into(xin, part);
+                }
+                TileSlot::Analog(tile) => {
+                    let key = [
+                        self.seed,
+                        (r0 as u64) << 32 | c0 as u64,
+                        noise_seed,
+                        position,
+                    ];
+                    let (stats, report) =
+                        tile.forward_row_keyed(xin, part, &key, &mut ctx.tile);
+                    effects.push(TileEffect {
+                        entry: idx,
+                        stats,
+                        report: (recovery && report.suspicious).then_some(report),
+                    });
+                }
+            }
+            let dst = &mut y[c0..c0 + part.len()];
+            for (d, &p) in dst.iter_mut().zip(part.iter()) {
+                *d += p;
+            }
+        }
+        if let Some(b) = &self.bias {
+            for (v, &bv) in y.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+    }
+
+    /// Folds one keyed-path [`TileEffect`] back into the layer: the tile's
+    /// statistics delta is merged and any ABFT flag is recorded for the
+    /// maintenance scheduler (the keyed path never runs the inline recovery
+    /// ladder). Callers replay effects in a fixed (slot, grid) order, so
+    /// the layer state after a parallel round is thread-count invariant.
+    pub fn absorb_tile_effect(&mut self, effect: &TileEffect) {
+        if let TileSlot::Analog(tile) = &mut self.entries[effect.entry].slot {
+            tile.absorb_stats(&effect.stats);
+        }
+        if let Some(report) = &effect.report {
+            self.note_flag(effect.entry, report);
+        }
     }
 
     /// Runs the recovery ladder for a flagged slot and returns the partial

@@ -292,6 +292,51 @@ struct SilentAcc {
     noise: f64,
 }
 
+/// The noise generator of one conversion chain, bundling the draw source
+/// with the Gaussian sampler it uses:
+///
+/// * legacy streams (`icdf == false`) draw through the bit-pinned
+///   Box–Muller [`Rng::fill_normal`] sequence that all pre-existing
+///   results reproduce;
+/// * counter-keyed streams (`icdf == true`) are *new* sequences derived per
+///   `(deployment, tile, request, position)` key, free to use the ~4×
+///   cheaper inverse-CDF sampler.
+struct NoiseStream<'a> {
+    rng: &'a mut Rng,
+    icdf: bool,
+}
+
+impl NoiseStream<'_> {
+    fn fill_normal(&mut self, buf: &mut [f32], mean: f32, std: f32) {
+        if self.icdf {
+            self.rng.fill_normal_icdf(buf, mean, std);
+        } else {
+            self.rng.fill_normal(buf, mean, std);
+        }
+    }
+
+    /// Scalar draw for the unfused reference chain — same value, same
+    /// stream position, as a one-element [`NoiseStream::fill_normal`].
+    #[cfg(test)]
+    fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        if self.icdf {
+            mean + std * self.rng.standard_normal_icdf()
+        } else {
+            self.rng.normal(mean, std)
+        }
+    }
+}
+
+/// Reusable scratch arena for the **stateless keyed** forward path
+/// ([`AnalogTile::forward_row_keyed`]): the tile is shared immutably across
+/// callers, so each concurrent caller owns one of these instead of the
+/// tile's built-in scratch. Buffers grow to the largest tile they serve and
+/// are reused across tiles and decode steps.
+#[derive(Debug, Clone, Default)]
+pub struct TileCtx {
+    scratch: Scratch,
+}
+
 impl AnalogTile {
     /// Programs `weights` (shape `rows × cols`, arbitrary real values) onto
     /// a tile, optionally with a NORA smoothing vector `s` of length `rows`.
@@ -696,9 +741,34 @@ impl AnalogTile {
             ..AbftReport::default()
         };
         let mut silent = SilentAcc::default();
-        for i in 0..batch {
-            self.forward_row(x.row(i), y.row_mut(i), &mut report, &mut silent);
+        // Detach the execution state (noise stream, scratch arena, stats)
+        // so the conversion chain below is the same `&self` core the keyed
+        // path uses; re-attaching afterwards makes this wrapper
+        // bit-identical to the historical `&mut self` chain by
+        // construction.
+        let mut rng = std::mem::take(&mut self.rng);
+        let mut sc = std::mem::take(&mut self.scratch);
+        let mut stats = self.stats;
+        {
+            let mut ns = NoiseStream {
+                rng: &mut rng,
+                icdf: false,
+            };
+            for i in 0..batch {
+                self.forward_row_ex(
+                    &mut ns,
+                    &mut sc,
+                    &mut stats,
+                    x.row(i),
+                    y.row_mut(i),
+                    &mut report,
+                    &mut silent,
+                );
+            }
         }
+        self.rng = rng;
+        self.scratch = sc;
+        self.stats = stats;
         self.finish_report(&mut report, &silent);
         (y, report)
     }
@@ -727,16 +797,106 @@ impl AnalogTile {
             ..AbftReport::default()
         };
         let mut silent = SilentAcc::default();
-        self.forward_row(x, out, &mut report, &mut silent);
+        let mut rng = std::mem::take(&mut self.rng);
+        let mut sc = std::mem::take(&mut self.scratch);
+        let mut stats = self.stats;
+        {
+            let mut ns = NoiseStream {
+                rng: &mut rng,
+                icdf: false,
+            };
+            self.forward_row_ex(&mut ns, &mut sc, &mut stats, x, out, &mut report, &mut silent);
+        }
+        self.rng = rng;
+        self.scratch = sc;
+        self.stats = stats;
         self.finish_report(&mut report, &silent);
         report
+    }
+
+    /// Stateless single-sample forward for **counter-keyed** noise streams:
+    /// the batched-serving fast path that shares the tile immutably across
+    /// slot workers.
+    ///
+    /// The noise sequence for this row is a pure function of `key` —
+    /// callers compose it from `(deployment layer seed, tile grid
+    /// coordinates, request noise seed, decode position)` — so the output
+    /// is independent of admission order, batch composition and thread
+    /// count. Draws use the inverse-CDF Gaussian sampler (one `u64` per
+    /// sample) rather than legacy Box–Muller: keyed streams are a new,
+    /// documented bit-contract, distinct from the sequential streams that
+    /// [`AnalogTile::forward_checked`] preserves for compat mode.
+    ///
+    /// Nothing on the tile is touched: accumulated statistics come back as
+    /// a delta for the caller to [`AnalogTile::absorb_stats`] in a
+    /// deterministic (slot, grid) order, alongside the ABFT verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn forward_row_keyed(
+        &self,
+        x: &[f32],
+        out: &mut Vec<f32>,
+        key: &[u64],
+        ctx: &mut TileCtx,
+    ) -> (ForwardStats, AbftReport) {
+        assert_eq!(
+            x.len(),
+            self.rows(),
+            "input width {} vs tile rows {}",
+            x.len(),
+            self.rows()
+        );
+        out.clear();
+        out.resize(self.cols(), 0.0);
+        let mut report = AbftReport {
+            enabled: self.abft.is_some(),
+            ..AbftReport::default()
+        };
+        let mut silent = SilentAcc::default();
+        let mut stats = ForwardStats::default();
+        let mut rng = Rng::from_key(key);
+        let mut ns = NoiseStream {
+            rng: &mut rng,
+            icdf: true,
+        };
+        self.forward_row_ex(
+            &mut ns,
+            &mut ctx.scratch,
+            &mut stats,
+            x,
+            out,
+            &mut report,
+            &mut silent,
+        );
+        self.finish_report(&mut report, &silent);
+        (stats, report)
+    }
+
+    /// Folds a [`ForwardStats`] delta produced by the keyed forward path
+    /// into the tile's accumulated statistics. Callers absorb deltas in a
+    /// fixed (slot, grid) order after a parallel round, so the merged
+    /// counters are bit-identical at any thread count.
+    pub fn absorb_stats(&mut self, delta: &ForwardStats) {
+        self.stats.merge(delta);
     }
 
     /// Runs one input row through the full conversion + bound-management
     /// chain, writing the rescaled outputs into `out` (length `cols`,
     /// pre-zeroed — an all-zero input leaves it untouched).
-    fn forward_row(
-        &mut self,
+    ///
+    /// This is the shared `&self` core: the noise stream, scratch arena and
+    /// statistics accumulator travel as explicit parameters so the
+    /// sequential wrappers (tile-owned state, legacy draw order) and the
+    /// keyed path (per-caller state, derived streams) run the identical
+    /// arithmetic.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_row_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
+        stats: &mut ForwardStats,
         xrow: &[f32],
         out: &mut [f32],
         report: &mut AbftReport,
@@ -748,39 +908,39 @@ impl AnalogTile {
             BoundManagement::None => 0,
             BoundManagement::Iterative { max_rounds } => max_rounds,
         };
-        let mut x_s = std::mem::take(&mut self.scratch.x_s);
+        let mut x_s = std::mem::take(&mut sc.x_s);
         x_s.clear();
         x_s.resize(self.rows(), 0.0);
-        let mut z = std::mem::take(&mut self.scratch.z);
+        let mut z = std::mem::take(&mut sc.z);
         // Divide by the smoothing vector (Eq. 7: x / (α' s)).
         for (k, (&xv, &sv)) in xrow.iter().zip(&self.s).enumerate() {
             x_s[k] = xv / sv;
         }
         let mut alpha = self.config.noise_management.alpha(&x_s);
-        self.stats.samples += 1;
+        stats.samples += 1;
         if alpha.is_nan() || alpha <= 0.0 {
             // All-zero input (or degenerate policy): output row stays zero.
-            self.scratch.x_s = x_s;
-            self.scratch.z = z;
+            sc.x_s = x_s;
+            sc.z = z;
             return;
         }
 
         let mut round = 0u32;
         loop {
-            let (clipped, saturated) = self.convert_once(&x_s, alpha, &mut z);
-            self.stats.read_repeats += u64::from(self.config.read_averaging.max(1));
+            let (clipped, saturated) = self.convert_once_ex(ns, sc, &x_s, alpha, &mut z);
+            stats.read_repeats += u64::from(self.config.read_averaging.max(1));
             let final_round = saturated == 0 || round >= max_retries;
             if final_round {
-                self.stats.clipped_inputs += clipped as u64;
-                self.stats.total_inputs += self.rows() as u64;
-                self.stats.saturated_outputs += saturated as u64;
-                self.stats.total_outputs += total_cols as u64;
+                stats.clipped_inputs += clipped as u64;
+                stats.total_inputs += self.rows() as u64;
+                stats.saturated_outputs += saturated as u64;
+                stats.total_outputs += total_cols as u64;
                 // Rescale back: y_ij = α_i γ_j ẑ_ij (Eq. 3 / Eq. 8).
                 for j in 0..cols {
                     out[j] = z[j] * alpha * self.gamma[j];
-                    self.stats.rescale_sum += (alpha * self.gamma[j]) as f64;
+                    stats.rescale_sum += (alpha * self.gamma[j]) as f64;
                 }
-                self.stats.rescale_count += cols as u64;
+                stats.rescale_count += cols as u64;
                 if let Some(ab) = &self.abft {
                     let gamma_c = self.gamma[cols];
                     let pred: f64 = x_s
@@ -815,10 +975,10 @@ impl AnalogTile {
             // Bound management: widen the input range and redo.
             alpha *= 2.0;
             round += 1;
-            self.stats.bound_mgmt_retries += 1;
+            stats.bound_mgmt_retries += 1;
         }
-        self.scratch.x_s = x_s;
-        self.scratch.z = z;
+        sc.x_s = x_s;
+        sc.z = z;
     }
 
     /// Finalizes the silent-tile verdict over the batch's accumulators.
@@ -904,10 +1064,17 @@ impl AnalogTile {
     /// other repeats stayed in range. (Integer-averaging the counts would
     /// round 15 saturated reads out of 16 down to zero and silently skip
     /// the retry.)
-    fn convert_once(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
+    fn convert_once_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
         #[cfg(test)]
         if self.reference_path {
-            return self.convert_once_reference(x_s, alpha, z);
+            return self.convert_once_reference(ns, sc, x_s, alpha, z);
         }
         let repeats = self.config.read_averaging.max(1) as usize;
         let analog = matches!(
@@ -915,22 +1082,22 @@ impl AnalogTile {
             crate::config::InputEncoding::Analog
         );
         let (clipped, saturated) = if repeats == 1 {
-            self.convert_single(x_s, alpha, z)
+            self.convert_single_ex(ns, sc, x_s, alpha, z)
         } else if analog {
-            self.convert_analog_averaged(x_s, alpha, z, repeats)
+            self.convert_analog_averaged_ex(ns, sc, x_s, alpha, z, repeats)
         } else {
             // Bit-serial planes rebuild the full wordline sweep per repeat;
             // only the ADC-code accumulation is shared with the analog path.
-            let (clipped, mut saturated) = self.convert_single(x_s, alpha, z);
-            let mut zr = std::mem::take(&mut self.scratch.z_rep);
+            let (clipped, mut saturated) = self.convert_single_ex(ns, sc, x_s, alpha, z);
+            let mut zr = std::mem::take(&mut sc.z_rep);
             for _ in 1..repeats {
-                let (_, sat) = self.convert_single(x_s, alpha, &mut zr);
+                let (_, sat) = self.convert_single_ex(ns, sc, x_s, alpha, &mut zr);
                 for (a, &b) in z.iter_mut().zip(&zr) {
                     *a += b;
                 }
                 saturated = saturated.max(sat);
             }
-            self.scratch.z_rep = zr;
+            sc.z_rep = zr;
             let inv = 1.0 / repeats as f32;
             for v in z.iter_mut() {
                 *v *= inv;
@@ -947,29 +1114,34 @@ impl AnalogTile {
     }
 
     /// A single unaveraged conversion round, written into `z`.
-    fn convert_single(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
+    fn convert_single_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
         match self.config.input_encoding {
-            crate::config::InputEncoding::Analog => self.convert_analog(x_s, alpha, z),
+            crate::config::InputEncoding::Analog => self.convert_analog_ex(ns, sc, x_s, alpha, z),
             crate::config::InputEncoding::BitSerial { bits } => {
-                self.convert_bit_serial(x_s, alpha, bits, z)
+                self.convert_bit_serial_ex(ns, sc, x_s, alpha, bits, z)
             }
         }
     }
 
     /// Adds `N(0, σ)` to every element of `xs`.
     ///
-    /// The samples are drawn with the batched [`Rng::fill_normal`] into a
-    /// scratch buffer and then added — the same values, in the same draw
-    /// order, as a per-element `*v += rng.normal(0.0, sigma)` loop.
-    fn add_noise(&mut self, xs: &mut [f32], sigma: f32) {
-        let mut buf = std::mem::take(&mut self.scratch.wn);
+    /// The samples are drawn with the stream's batched fill into the `buf`
+    /// scratch vector and then added — the same values, in the same draw
+    /// order, as a per-element `*v += ns.normal(0.0, sigma)` loop.
+    fn add_noise_ex(ns: &mut NoiseStream<'_>, buf: &mut Vec<f32>, xs: &mut [f32], sigma: f32) {
         buf.clear();
         buf.resize(xs.len(), 0.0);
-        self.rng.fill_normal(&mut buf, 0.0, sigma);
-        for (v, &n) in xs.iter_mut().zip(&buf) {
+        ns.fill_normal(buf, 0.0, sigma);
+        for (v, &n) in xs.iter_mut().zip(buf.iter()) {
             *v += n;
         }
-        self.scratch.wn = buf;
     }
 
     /// σ of the aggregated short-term read noise for drive vector `x_hat`:
@@ -1013,22 +1185,28 @@ impl AnalogTile {
     /// (`+ wn[j]`, `× droop_j`, `+ on[j]`, ADC) the sweeps would apply, so
     /// fusing changes nothing bitwise while touching `z` once instead of
     /// four times.
-    fn fused_epilogue(&mut self, z: &mut [f32], sigma_w: f32, u: f32) -> usize {
+    fn fused_epilogue_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
+        z: &mut [f32],
+        sigma_w: f32,
+        u: f32,
+    ) -> usize {
         let n = z.len();
         let has_w = sigma_w > 0.0;
         let has_o = self.config.out_noise > 0.0;
         let has_ir = !self.ir.is_off();
-        let mut wn = std::mem::take(&mut self.scratch.wn);
-        let mut on = std::mem::take(&mut self.scratch.on);
+        let Scratch { wn, on, .. } = sc;
         if has_w {
             wn.clear();
             wn.resize(n, 0.0);
-            self.rng.fill_normal(&mut wn, 0.0, sigma_w);
+            ns.fill_normal(wn, 0.0, sigma_w);
         }
         if has_o {
             on.clear();
             on.resize(n, 0.0);
-            self.rng.fill_normal(&mut on, 0.0, self.config.out_noise);
+            ns.fill_normal(on, 0.0, self.config.out_noise);
         }
         let mut saturated = 0usize;
         for (j, v) in z.iter_mut().enumerate() {
@@ -1046,22 +1224,27 @@ impl AnalogTile {
             saturated += sat as usize;
             *v = code;
         }
-        self.scratch.wn = wn;
-        self.scratch.on = on;
         saturated
     }
 
     /// Multi-level analog input drive: one DAC conversion per input.
-    fn convert_analog(&mut self, x_s: &[f32], alpha: f32, z: &mut Vec<f32>) -> (usize, usize) {
+    fn convert_analog_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
+        x_s: &[f32],
+        alpha: f32,
+        z: &mut Vec<f32>,
+    ) -> (usize, usize) {
         // DAC stage.
-        let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+        let mut x_hat = std::mem::take(&mut sc.x_hat);
         x_hat.clear();
         x_hat.extend(x_s.iter().map(|&v| v / alpha));
         let clipped = self.dac.convert_slice(&mut x_hat);
         // Additive input noise (mixed-signal components after the DAC).
         if self.config.in_noise > 0.0 {
             let sigma = self.config.in_noise;
-            self.add_noise(&mut x_hat, sigma);
+            Self::add_noise_ex(ns, &mut sc.wn, &mut x_hat, sigma);
         }
         // S-shape transfer of the input drivers.
         crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
@@ -1072,8 +1255,8 @@ impl AnalogTile {
 
         let sigma_w = self.read_noise_sigma(&x_hat);
         let u = self.mean_drive(&x_hat);
-        self.scratch.x_hat = x_hat;
-        let saturated = self.fused_epilogue(z, sigma_w, u);
+        sc.x_hat = x_hat;
+        let saturated = self.fused_epilogue_ex(ns, sc, z, sigma_w, u);
         (clipped, saturated)
     }
 
@@ -1090,19 +1273,21 @@ impl AnalogTile {
     /// matches the unhoisted chain, so the noise stream is untouched and
     /// the averaged codes are bit-identical to running the full chain
     /// `repeats` times.
-    fn convert_analog_averaged(
-        &mut self,
+    fn convert_analog_averaged_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         z: &mut Vec<f32>,
         repeats: usize,
     ) -> (usize, usize) {
-        let mut x_dac = std::mem::take(&mut self.scratch.x_dac);
+        let mut x_dac = std::mem::take(&mut sc.x_dac);
         x_dac.clear();
         x_dac.extend(x_s.iter().map(|&v| v / alpha));
         let clipped = self.dac.convert_slice(&mut x_dac);
 
-        let mut zr = std::mem::take(&mut self.scratch.z_rep);
+        let mut zr = std::mem::take(&mut sc.z_rep);
         let mut saturated = 0usize;
         if self.config.in_noise > 0.0 {
             // Partial hoist: input noise makes the driven vector (and so
@@ -1110,16 +1295,16 @@ impl AnalogTile {
             // cached DAC output and runs a full MVM.
             let sigma_in = self.config.in_noise;
             for rep in 0..repeats {
-                let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+                let mut x_hat = std::mem::take(&mut sc.x_hat);
                 x_hat.clear();
                 x_hat.extend_from_slice(&x_dac);
-                self.add_noise(&mut x_hat, sigma_in);
+                Self::add_noise_ex(ns, &mut sc.wn, &mut x_hat, sigma_in);
                 crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
                 self.w_eff.vecmat_into(&x_hat, &mut zr);
                 let sigma_w = self.read_noise_sigma(&x_hat);
                 let u = self.mean_drive(&x_hat);
-                self.scratch.x_hat = x_hat;
-                let sat = self.fused_epilogue(&mut zr, sigma_w, u);
+                sc.x_hat = x_hat;
+                let sat = self.fused_epilogue_ex(ns, sc, &mut zr, sigma_w, u);
                 saturated = saturated.max(sat);
                 Self::accumulate_repeat(z, &zr, rep);
             }
@@ -1127,21 +1312,21 @@ impl AnalogTile {
             // Full hoist: S-shape, clean MVM, read-noise σ and mean drive
             // once; `read_averaging = n` costs one GEMV instead of `n`.
             crate::nonlinearity::s_shape_slice(&mut x_dac, self.config.s_shape);
-            let mut z_clean = std::mem::take(&mut self.scratch.z_clean);
+            let mut z_clean = std::mem::take(&mut sc.z_clean);
             self.w_eff.vecmat_into(&x_dac, &mut z_clean);
             let sigma_w = self.read_noise_sigma(&x_dac);
             let u = self.mean_drive(&x_dac);
             for rep in 0..repeats {
                 zr.clear();
                 zr.extend_from_slice(&z_clean);
-                let sat = self.fused_epilogue(&mut zr, sigma_w, u);
+                let sat = self.fused_epilogue_ex(ns, sc, &mut zr, sigma_w, u);
                 saturated = saturated.max(sat);
                 Self::accumulate_repeat(z, &zr, rep);
             }
-            self.scratch.z_clean = z_clean;
+            sc.z_clean = z_clean;
         }
-        self.scratch.z_rep = zr;
-        self.scratch.x_dac = x_dac;
+        sc.z_rep = zr;
+        sc.x_dac = x_dac;
         let inv = 1.0 / repeats as f32;
         for v in z.iter_mut() {
             *v *= inv;
@@ -1168,8 +1353,10 @@ impl AnalogTile {
     /// IR-drop, output noise, ADC) and the planes are combined by a digital
     /// shift-add. Binary drivers see the S-shape nonlinearity only as a
     /// single calibrated gain, so it cancels exactly.
-    fn convert_bit_serial(
-        &mut self,
+    fn convert_bit_serial_ex(
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         bits: u32,
@@ -1182,7 +1369,7 @@ impl AnalogTile {
         // path.
         let bound = self.config.dac_bound;
         let mut clipped = 0usize;
-        let mut levels = std::mem::take(&mut self.scratch.levels);
+        let mut levels = std::mem::take(&mut sc.levels);
         levels.clear();
         levels.extend(x_s.iter().map(|&v| {
             let scaled = v / alpha;
@@ -1204,10 +1391,10 @@ impl AnalogTile {
         z.clear();
         z.resize(cols, 0.0);
         let mut saturated = 0usize;
-        let mut plane = std::mem::take(&mut self.scratch.plane);
+        let mut plane = std::mem::take(&mut sc.plane);
         plane.clear();
         plane.resize(levels.len(), 0.0);
-        let mut zk = std::mem::take(&mut self.scratch.zk);
+        let mut zk = std::mem::take(&mut sc.zk);
         for k in 0..planes {
             let mask = 1i32 << k;
             for (p, &m) in plane.iter_mut().zip(&levels) {
@@ -1221,7 +1408,7 @@ impl AnalogTile {
             // (batched draw — same per-line sequence as the scalar loop).
             if self.config.in_noise > 0.0 {
                 let sigma = self.config.in_noise;
-                self.add_noise(&mut plane, sigma);
+                Self::add_noise_ex(ns, &mut sc.wn, &mut plane, sigma);
             }
             // Wordline planes are genuinely sparse (≈half the lines idle per
             // bit position when in_noise is zero), so the sparse-aware
@@ -1231,16 +1418,16 @@ impl AnalogTile {
             // exactly as in the analog path (the plane is the drive vector).
             let sigma_w = self.read_noise_sigma(&plane);
             let u = self.mean_drive(&plane);
-            saturated += self.fused_epilogue(&mut zk, sigma_w, u);
+            saturated += self.fused_epilogue_ex(ns, sc, &mut zk, sigma_w, u);
             // Digital shift-add, undoing the calibrated binary drive gain.
             let weight = (mask as f32) / full_scale * bound / drive_gain;
             for (acc, &v) in z.iter_mut().zip(&zk) {
                 *acc += v * weight;
             }
         }
-        self.scratch.levels = levels;
-        self.scratch.plane = plane;
-        self.scratch.zk = zk;
+        sc.levels = levels;
+        sc.plane = plane;
+        sc.zk = zk;
         (clipped, saturated)
     }
 
@@ -1346,23 +1533,25 @@ impl AnalogTile {
     }
 
     fn convert_once_reference(
-        &mut self,
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         z: &mut Vec<f32>,
     ) -> (usize, usize) {
         let repeats = self.config.read_averaging.max(1);
-        let (clipped, mut saturated) = self.convert_single_reference(x_s, alpha, z);
+        let (clipped, mut saturated) = self.convert_single_reference(ns, sc, x_s, alpha, z);
         if repeats > 1 {
-            let mut zr = std::mem::take(&mut self.scratch.z_rep);
+            let mut zr = std::mem::take(&mut sc.z_rep);
             for _ in 1..repeats {
-                let (_, sat) = self.convert_single_reference(x_s, alpha, &mut zr);
+                let (_, sat) = self.convert_single_reference(ns, sc, x_s, alpha, &mut zr);
                 for (a, &b) in z.iter_mut().zip(&zr) {
                     *a += b;
                 }
                 saturated = saturated.max(sat);
             }
-            self.scratch.z_rep = zr;
+            sc.z_rep = zr;
             let inv = 1.0 / repeats as f32;
             for v in z.iter_mut() {
                 *v *= inv;
@@ -1375,33 +1564,39 @@ impl AnalogTile {
     }
 
     fn convert_single_reference(
-        &mut self,
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         z: &mut Vec<f32>,
     ) -> (usize, usize) {
         match self.config.input_encoding {
-            crate::config::InputEncoding::Analog => self.convert_analog_reference(x_s, alpha, z),
+            crate::config::InputEncoding::Analog => {
+                self.convert_analog_reference(ns, sc, x_s, alpha, z)
+            }
             crate::config::InputEncoding::BitSerial { bits } => {
-                self.convert_bit_serial_reference(x_s, alpha, bits, z)
+                self.convert_bit_serial_reference(ns, sc, x_s, alpha, bits, z)
             }
         }
     }
 
     fn convert_analog_reference(
-        &mut self,
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         z: &mut Vec<f32>,
     ) -> (usize, usize) {
-        let mut x_hat = std::mem::take(&mut self.scratch.x_hat);
+        let mut x_hat = std::mem::take(&mut sc.x_hat);
         x_hat.clear();
         x_hat.extend(x_s.iter().map(|&v| v / alpha));
         let clipped = self.dac.convert_slice(&mut x_hat);
         if self.config.in_noise > 0.0 {
             let sigma = self.config.in_noise;
             for v in &mut x_hat {
-                *v += self.rng.normal(0.0, sigma);
+                *v += ns.normal(0.0, sigma);
             }
         }
         crate::nonlinearity::s_shape_slice(&mut x_hat, self.config.s_shape);
@@ -1415,7 +1610,7 @@ impl AnalogTile {
             if x_l2 > 0.0 {
                 let sigma = self.config.w_noise * x_l2;
                 for v in z.iter_mut() {
-                    *v += self.rng.normal(0.0, sigma);
+                    *v += ns.normal(0.0, sigma);
                 }
             }
         }
@@ -1426,16 +1621,18 @@ impl AnalogTile {
         if self.config.out_noise > 0.0 {
             let sigma = self.config.out_noise;
             for v in z.iter_mut() {
-                *v += self.rng.normal(0.0, sigma);
+                *v += ns.normal(0.0, sigma);
             }
         }
         let saturated = self.adc.convert_slice(z);
-        self.scratch.x_hat = x_hat;
+        sc.x_hat = x_hat;
         (clipped, saturated)
     }
 
     fn convert_bit_serial_reference(
-        &mut self,
+        &self,
+        ns: &mut NoiseStream<'_>,
+        sc: &mut Scratch,
         x_s: &[f32],
         alpha: f32,
         bits: u32,
@@ -1445,7 +1642,7 @@ impl AnalogTile {
         let full_scale = ((1u32 << planes) - 1) as f32;
         let bound = self.config.dac_bound;
         let mut clipped = 0usize;
-        let mut levels = std::mem::take(&mut self.scratch.levels);
+        let mut levels = std::mem::take(&mut sc.levels);
         levels.clear();
         levels.extend(x_s.iter().map(|&v| {
             let scaled = v / alpha;
@@ -1464,10 +1661,10 @@ impl AnalogTile {
         z.clear();
         z.resize(cols, 0.0);
         let mut saturated = 0usize;
-        let mut plane = std::mem::take(&mut self.scratch.plane);
+        let mut plane = std::mem::take(&mut sc.plane);
         plane.clear();
         plane.resize(levels.len(), 0.0);
-        let mut zk = std::mem::take(&mut self.scratch.zk);
+        let mut zk = std::mem::take(&mut sc.zk);
         for k in 0..planes {
             let mask = 1i32 << k;
             for (p, &m) in plane.iter_mut().zip(&levels) {
@@ -1477,7 +1674,7 @@ impl AnalogTile {
                     0.0
                 };
                 if self.config.in_noise > 0.0 {
-                    *p += self.rng.normal(0.0, self.config.in_noise);
+                    *p += ns.normal(0.0, self.config.in_noise);
                 }
             }
             self.w_eff.vecmat_sparse_into(&plane, &mut zk);
@@ -1490,7 +1687,7 @@ impl AnalogTile {
                 if l2 > 0.0 {
                     let sigma = self.config.w_noise * l2;
                     for v in &mut zk {
-                        *v += self.rng.normal(0.0, sigma);
+                        *v += ns.normal(0.0, sigma);
                     }
                 }
             }
@@ -1500,7 +1697,7 @@ impl AnalogTile {
             }
             if self.config.out_noise > 0.0 {
                 for v in &mut zk {
-                    *v += self.rng.normal(0.0, self.config.out_noise);
+                    *v += ns.normal(0.0, self.config.out_noise);
                 }
             }
             saturated += self.adc.convert_slice(&mut zk);
@@ -1509,9 +1706,9 @@ impl AnalogTile {
                 *acc += v * weight;
             }
         }
-        self.scratch.levels = levels;
-        self.scratch.plane = plane;
-        self.scratch.zk = zk;
+        sc.levels = levels;
+        sc.plane = plane;
+        sc.zk = zk;
         (clipped, saturated)
     }
 }

@@ -9,9 +9,13 @@
 //! bench reports.
 
 use nora_nn::corpus::Corpus;
+use nora_nn::deploy::AnalogTransformerLm;
 use nora_nn::generate::{generate_digital_cached, Sampling};
 use nora_nn::TransformerLm;
-use nora_serve::{Backend, DigitalBackend, EngineConfig, GenRequest, GenResult, GenerationEngine};
+use nora_serve::{
+    AnalogBackend, AnalogKeying, Backend, DigitalBackend, EngineConfig, GenRequest, GenResult,
+    GenerationEngine,
+};
 use nora_tensor::rng::Rng;
 
 /// A reproducible batch of generation requests.
@@ -44,6 +48,50 @@ impl ServingWorkload {
                 GenRequest::new(tokens[..prompt_len].to_vec(), new_tokens)
                     .with_sampling(sampling)
                     .with_seed(i as u64)
+            })
+            .collect();
+        Self { requests }
+    }
+
+    /// Derives `n` requests mixing tenants, priorities, deadlines, and
+    /// generation lengths — the admission-frontend stress shape used by the
+    /// `serve_analog_mixed_*` benches. Request `i` belongs to tenant
+    /// `i % tenants`, asks for `lengths[i % lengths.len()]` tokens at
+    /// priority `i % 3`, carries a deadline hint on every fifth request,
+    /// and samples with seed `i`. Fully deterministic: the same corpus
+    /// state and arguments always build the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` or `tenants` is zero, `lengths` is empty, or
+    /// `prompt_len` exceeds the corpus episode length.
+    pub fn mixed_from_corpus(
+        corpus: &mut Corpus,
+        n: usize,
+        prompt_len: usize,
+        lengths: &[usize],
+        tenants: u32,
+        sampling: Sampling,
+    ) -> Self {
+        assert!(prompt_len >= 1, "prompt_len must be at least 1");
+        assert!(tenants >= 1, "tenants must be at least 1");
+        assert!(!lengths.is_empty(), "lengths must be non-empty");
+        let requests = (0..n)
+            .map(|i| {
+                let tokens = corpus.episode().tokens;
+                assert!(prompt_len <= tokens.len(), "prompt_len beyond episode");
+                let mut request = GenRequest::new(
+                    tokens[..prompt_len].to_vec(),
+                    lengths[i % lengths.len()],
+                )
+                .with_sampling(sampling)
+                .with_seed(i as u64)
+                .with_tenant(i as u32 % tenants)
+                .with_priority((i % 3) as u8);
+                if i % 5 == 0 {
+                    request = request.with_deadline(i as u64);
+                }
+                request
             })
             .collect();
         Self { requests }
@@ -144,6 +192,40 @@ pub fn digital_serving_consistency(
                 &mut Rng::seed_from(request.seed),
             );
             result.tokens != solo
+        })
+        .count();
+    summary
+}
+
+/// Serves `workload` on the analog deployment with counter-keyed noise
+/// streams and verifies every request against its own solo run (batch of
+/// one) on the same deployment. Under the keyed contract each request's
+/// noise is a pure function of its own identity, so batching must not
+/// change a single bit — `mismatches == 0` at any batch width and any
+/// `NORA_THREADS`.
+pub fn analog_serving_consistency(
+    analog: &mut AnalogTransformerLm,
+    workload: &ServingWorkload,
+    max_batch: usize,
+) -> ServingSummary {
+    let (batched, mut summary) = serve_workload(
+        AnalogBackend::with_keying(analog, AnalogKeying::Keyed),
+        workload,
+        max_batch,
+    );
+    summary.mismatches = batched
+        .iter()
+        .zip(&workload.requests)
+        .filter(|(result, request)| {
+            let solo_workload = ServingWorkload {
+                requests: vec![(*request).clone()],
+            };
+            let (solo, _) = serve_workload(
+                AnalogBackend::with_keying(analog, AnalogKeying::Keyed),
+                &solo_workload,
+                1,
+            );
+            result.tokens != solo[0].tokens
         })
         .count();
     summary

@@ -13,7 +13,8 @@
 use crate::attention::AttnProj;
 use crate::model::{KvCache, LinearId, LinearKind, TransformerLm};
 use nora_cim::{
-    AnalogLinear, CimError, DriftCompensation, ForwardStats, TileConfig, TileEvent, TileHealth,
+    AnalogLinear, CimError, DriftCompensation, ForwardStats, KeyedCtx, TileConfig, TileEffect,
+    TileEvent, TileHealth,
 };
 use nora_tensor::Matrix;
 use std::collections::HashMap;
@@ -22,6 +23,15 @@ use std::collections::HashMap;
 ///
 /// Layers absent from the map deploy naively (`s = 1`).
 pub type SmoothingMap = HashMap<LinearId, Vec<f32>>;
+
+/// Per-slot scratch arena for [`AnalogTransformerLm::decode_step_keyed`]:
+/// the tile-level conversion scratch plus the per-layer effect sink. One
+/// per concurrent serving slot, reused across layers and decode steps.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCtx {
+    cim: KeyedCtx,
+    fx: Vec<TileEffect>,
+}
 
 /// A transformer LM whose linears execute on simulated analog CIM tiles.
 ///
@@ -305,6 +315,111 @@ impl AnalogTransformerLm {
         cache.advance();
         let x = model.final_ln.forward_inference(&x);
         model.head.forward(&x).into_vec()
+    }
+
+    /// Stateless variant of [`AnalogTransformerLm::decode_step`] on
+    /// **counter-keyed** noise streams: the deployment is shared immutably
+    /// across concurrent serving slots, and every tile's noise sequence is
+    /// a pure function of `(layer seed, tile grid coordinates, noise_seed,
+    /// position)` — independent of admission order, batch composition and
+    /// thread count.
+    ///
+    /// `noise_seed` identifies the request (its sampling seed), `position`
+    /// is the request's cumulative decode-step counter (prefill and rebase
+    /// refills included), so successive steps of one request draw distinct
+    /// streams. Tile statistics and ABFT flags are *not* applied to the
+    /// deployment here: they are appended to `effects` (tagged with the
+    /// layer id, in traversal order) for the caller to replay serially via
+    /// [`AnalogTransformerLm::absorb_effects`] after the parallel round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is mismatched or `token` is out of vocabulary.
+    pub fn decode_step_keyed(
+        &self,
+        token: usize,
+        cache: &mut KvCache,
+        noise_seed: u64,
+        position: u64,
+        ctx: &mut DecodeCtx,
+        effects: &mut Vec<(LinearId, TileEffect)>,
+    ) -> Vec<f32> {
+        use nora_tensor::Matrix as M;
+        let model = &self.model;
+        let pos = cache.next_position();
+        let d = model.config().d_model;
+        let mut x = M::zeros(1, d);
+        {
+            assert!(token < model.config().vocab, "token out of vocab");
+            let te = model.embedding.tokens.value.row(token);
+            let pe = model.embedding.positions.value.row(pos);
+            for (o, (&a, &b)) in x.row_mut(0).iter_mut().zip(te.iter().zip(pe)) {
+                *o = a + b;
+            }
+        }
+        let analog = &self.analog;
+        let run = |b: usize,
+                   kind: LinearKind,
+                   digital: &crate::DigitalLinear,
+                   input: &M,
+                   ctx: &mut DecodeCtx,
+                   effects: &mut Vec<(LinearId, TileEffect)>| {
+            let id = LinearId::new(b, kind);
+            match analog.get(&id) {
+                Some(layer) => {
+                    let mut out = M::zeros(1, layer.d_out());
+                    ctx.fx.clear();
+                    layer.forward_single_keyed(
+                        input.row(0),
+                        out.row_mut(0),
+                        noise_seed,
+                        position,
+                        &mut ctx.cim,
+                        &mut ctx.fx,
+                    );
+                    effects.extend(ctx.fx.drain(..).map(|e| (id, e)));
+                    out
+                }
+                None => digital.forward(input),
+            }
+        };
+        for (b, block) in model.blocks.iter().enumerate() {
+            let ln1_out = block.ln1.forward_inference(&x);
+            let q = run(b, LinearKind::Q, &block.attn.wq, &ln1_out, ctx, effects);
+            let k = run(b, LinearKind::K, &block.attn.wk, &ln1_out, ctx, effects);
+            let v = run(b, LinearKind::V, &block.attn.wv, &ln1_out, ctx, effects);
+            cache.append(b, k.row(0), v.row(0));
+            let (kc, vc) = cache.view(b);
+
+            let context = block.attn.attend_one(q.row(0), kc, vc);
+            let context = M::from_vec(1, d, context);
+            let attn_out = run(b, LinearKind::Out, &block.attn.wo, &context, ctx, effects);
+            let mut x1 = x;
+            x1.add_assign(&attn_out);
+            let ln2_out = block.ln2.forward_inference(&x1);
+            let mut h = run(b, LinearKind::Fc1, &block.fc1, &ln2_out, ctx, effects);
+            h.map_assign(|v| v.max(0.0));
+            let f = run(b, LinearKind::Fc2, &block.fc2, &h, ctx, effects);
+            x = x1;
+            x.add_assign(&f);
+        }
+        cache.advance();
+        let x = model.final_ln.forward_inference(&x);
+        model.head.forward(&x).into_vec()
+    }
+
+    /// Replays the deferred tile effects of one or more keyed decode steps
+    /// into the deployment: statistics deltas merge into their tiles and
+    /// ABFT flags feed the maintenance work list. Callers invoke this
+    /// serially after a parallel round, in (slot, traversal) order, so the
+    /// deployment state — and everything exported from it — is
+    /// thread-count invariant.
+    pub fn absorb_effects(&mut self, effects: &[(LinearId, TileEffect)]) {
+        for (id, effect) in effects {
+            if let Some(layer) = self.analog.get_mut(id) {
+                layer.absorb_tile_effect(effect);
+            }
+        }
     }
 
     /// Greedy argmax prediction at the last position.

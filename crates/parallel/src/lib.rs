@@ -102,6 +102,33 @@ pub fn max_threads() -> usize {
     default_threads()
 }
 
+/// Total per-call work (in rough flop units) below which fanning out across
+/// the pool costs more than it saves.
+///
+/// Bench-backed: at `NORA_THREADS=4` the latch handshake plus cross-core
+/// cache traffic added ~35% to `tile_forward_averaged/16` (3.60ms → 4.97ms
+/// in BENCH_pr6.json) whose per-dispatch work sits well under this line,
+/// while the serving-round fan-outs (hundreds of thousands of flops per
+/// slot) amortize it easily. The same cutoff already governs
+/// `Matrix::try_matmul`'s row-chunk dispatch.
+pub const MIN_PARALLEL_WORK: u64 = 1 << 20;
+
+/// Picks the participant count for a fan-out of `items` tasks costing
+/// roughly `work_per_item` flops each: 1 (serial, the exact legacy loop)
+/// when the total work is below [`MIN_PARALLEL_WORK`], otherwise
+/// [`max_threads`] capped at the item count.
+///
+/// Call sites gate their dispatch with this so tiny fan-outs — a 1×64
+/// decode row over a 2-tile grid — skip the pool handshake entirely;
+/// results are bit-identical either way under the determinism contract.
+pub fn threads_for_work(items: usize, work_per_item: u64) -> usize {
+    if (items as u64).saturating_mul(work_per_item) < MIN_PARALLEL_WORK {
+        1
+    } else {
+        max_threads().min(items.max(1))
+    }
+}
+
 /// Runs `f` with the thread count pinned to `n` on the current thread.
 ///
 /// This is the race-free alternative to mutating `NORA_THREADS` from inside
@@ -139,6 +166,21 @@ mod tests {
         // Nested overrides stack.
         let nested = with_threads(5, || with_threads(2, max_threads));
         assert_eq!(nested, 2);
+    }
+
+    #[test]
+    fn threads_for_work_gates_on_total_work() {
+        with_threads(8, || {
+            // Tiny fan-out: a 16-tile grid of 64×64 decode rows (≈65k flops
+            // total) must run serial.
+            assert_eq!(threads_for_work(16, 64 * 64), 1);
+            // Heavy fan-out amortizes the pool handshake.
+            assert_eq!(threads_for_work(8, 1 << 20), 8);
+            // Participants never exceed the item count.
+            assert_eq!(threads_for_work(2, 1 << 20), 2);
+            // Zero items degrade gracefully.
+            assert_eq!(threads_for_work(0, u64::MAX), 1);
+        });
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Decode backends: how one batched round of per-sequence steps executes.
 
-use nora_cim::DriftCompensation;
-use nora_nn::deploy::AnalogTransformerLm;
+use nora_cim::{DriftCompensation, TileEffect};
+use nora_nn::deploy::{AnalogTransformerLm, DecodeCtx};
 use nora_nn::{KvCache, LinearId, TransformerLm};
 
 /// Handle naming one analog tile slot for maintenance operations: the
@@ -28,6 +28,15 @@ pub struct SlotStep<'a> {
     /// Decode steps executed for this item (1 + refill length), filled in
     /// by the backend; feeds per-request latency accounting.
     pub decoded: u64,
+    /// Request identity component of the counter-keyed noise streams
+    /// (the request's sampling seed). Ignored by the digital backend and
+    /// by compat-keyed analog serving.
+    pub noise_seed: u64,
+    /// The request's cumulative decode-step counter before this round
+    /// (prefill and rebase refills included): refill token `i` decodes at
+    /// position `pos0 + i`, `token` at `pos0 + refill_len`. Ignored by the
+    /// digital backend and by compat-keyed analog serving.
+    pub pos0: u64,
 }
 
 impl SlotStep<'_> {
@@ -55,6 +64,33 @@ impl SlotStep<'_> {
         }
         self.logits = analog.decode_step(self.token, self.cache);
         self.decoded = decoded + 1;
+    }
+
+    /// Counter-keyed variant of `run_analog` against a *shared* deployment:
+    /// every decode step derives its noise streams from
+    /// `(deployment, tile, noise_seed, position)`, so concurrent slots
+    /// never contend on RNG state. Deferred tile effects are returned for
+    /// the caller to absorb in slot order.
+    fn run_analog_keyed(
+        &mut self,
+        analog: &AnalogTransformerLm,
+        ctx: &mut DecodeCtx,
+    ) -> Vec<(LinearId, TileEffect)> {
+        let mut effects = Vec::new();
+        let mut decoded = 0u64;
+        let mut pos = self.pos0;
+        if let Some(context) = self.refill {
+            self.cache.reset();
+            for &t in context {
+                analog.decode_step_keyed(t, self.cache, self.noise_seed, pos, ctx, &mut effects);
+                decoded += 1;
+                pos += 1;
+            }
+        }
+        self.logits =
+            analog.decode_step_keyed(self.token, self.cache, self.noise_seed, pos, ctx, &mut effects);
+        self.decoded = decoded + 1;
+        effects
     }
 }
 
@@ -127,22 +163,74 @@ impl Backend for DigitalBackend<'_> {
     }
 }
 
-/// Analog backend: the deployment's tile RNG streams advance as a side
-/// effect of every forward, so the round runs **serially in slot order** —
-/// the noise each sequence sees is then a pure function of the admission
-/// order, independent of thread count. Each step is a single-token decode,
-/// which rides `AnalogLinear::forward`'s batch-of-1 fast path: tiles read
-/// their input band in place and reuse one scratch buffer per layer instead
-/// of allocating per-tile submatrices every step, and the per-tile results
-/// still combine in grid order under the bit-identity contract.
+/// How the analog backend derives each decode step's noise streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalogKeying {
+    /// Counter-keyed streams (the default): every draw sequence is a pure
+    /// function of `(deployment seed, tile grid coordinates, request seed,
+    /// decode position)`, so a request's noise is independent of admission
+    /// order, batch composition and thread count — and the round fans out
+    /// across [`nora_parallel`] workers like the digital backend.
+    #[default]
+    Keyed,
+    /// Legacy sequential streams: tile RNG state advances as a side effect
+    /// of every forward and the round runs serially in slot order. This
+    /// reproduces pre-keying serving bits exactly; single-request eval
+    /// paths (`generate_analog*`) always use these streams.
+    Compat,
+}
+
+impl AnalogKeying {
+    /// Resolves the keying mode from the `NORA_ANALOG_KEYING` environment
+    /// variable: `compat` (case-insensitive) selects [`AnalogKeying::Compat`],
+    /// anything else — including unset — the keyed default.
+    pub fn from_env() -> Self {
+        match std::env::var("NORA_ANALOG_KEYING") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("compat") => AnalogKeying::Compat,
+            _ => AnalogKeying::Keyed,
+        }
+    }
+}
+
+/// Analog backend over a tile deployment.
+///
+/// In the default **keyed** mode ([`AnalogKeying::Keyed`]) slot steps are
+/// independent pure functions of the shared `&AnalogTransformerLm` — each
+/// noise draw sequence is derived from its counter key — so the round fans
+/// out across [`nora_parallel`] workers with one scratch arena per slot,
+/// and the deferred tile effects (statistics, ABFT flags) are absorbed
+/// serially in (slot, traversal) order afterwards, keeping the nora-obs
+/// transparency contract. In **compat** mode the legacy serial loop runs
+/// instead: tile RNG streams advance in admission order, reproducing
+/// pre-keying serving bits exactly. Each step is a single-token decode on
+/// the batch-of-1 fast path either way.
 pub struct AnalogBackend<'m> {
     analog: &'m mut AnalogTransformerLm,
+    keying: AnalogKeying,
+    /// Per-slot scratch arenas for keyed rounds, grown to the widest round
+    /// seen and reused across rounds.
+    arenas: Vec<DecodeCtx>,
 }
 
 impl<'m> AnalogBackend<'m> {
-    /// A backend serving the analog deployment `analog`.
+    /// A backend serving the analog deployment `analog`, with the keying
+    /// mode resolved from the environment ([`AnalogKeying::from_env`]).
     pub fn new(analog: &'m mut AnalogTransformerLm) -> Self {
-        Self { analog }
+        Self::with_keying(analog, AnalogKeying::from_env())
+    }
+
+    /// A backend serving `analog` with an explicit keying mode.
+    pub fn with_keying(analog: &'m mut AnalogTransformerLm, keying: AnalogKeying) -> Self {
+        Self {
+            analog,
+            keying,
+            arenas: Vec::new(),
+        }
+    }
+
+    /// The active keying mode.
+    pub fn keying(&self) -> AnalogKeying {
+        self.keying
     }
 }
 
@@ -152,8 +240,32 @@ impl Backend for AnalogBackend<'_> {
     }
 
     fn run_round(&mut self, steps: &mut [SlotStep<'_>]) {
-        for step in steps {
-            step.run_analog(self.analog);
+        match self.keying {
+            AnalogKeying::Compat => {
+                for step in steps {
+                    step.run_analog(self.analog);
+                }
+            }
+            AnalogKeying::Keyed => {
+                if self.arenas.len() < steps.len() {
+                    self.arenas.resize_with(steps.len(), DecodeCtx::default);
+                }
+                let analog = &*self.analog;
+                // Fan the slots out; zipping each with its own arena keeps
+                // the parallel closure free of shared mutable state.
+                let mut work: Vec<(&mut SlotStep<'_>, &mut DecodeCtx)> = steps
+                    .iter_mut()
+                    .zip(self.arenas.iter_mut())
+                    .collect();
+                let effects = nora_parallel::map_slice_mut(&mut work, |_, (step, ctx)| {
+                    step.run_analog_keyed(analog, ctx)
+                });
+                // Deferred tile effects replay serially in (slot, traversal)
+                // order — deterministic at any thread count.
+                for slot_effects in &effects {
+                    self.analog.absorb_effects(slot_effects);
+                }
+            }
         }
     }
 

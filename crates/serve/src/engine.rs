@@ -1,6 +1,5 @@
 //! Continuous-batching generation engine over a shared deployment.
 
-use std::collections::VecDeque;
 use std::time::Duration;
 
 use nora_cim::DriftCompensation;
@@ -10,6 +9,7 @@ use nora_obs::{edges, Metrics, Recorder, Stopwatch};
 use nora_tensor::rng::Rng;
 
 use crate::backend::{Backend, SlotStep, TileRef};
+use crate::queue::{AdmissionQueue, QueueConfig};
 
 /// One generation request: a prompt to continue for `max_new_tokens`.
 #[derive(Debug, Clone)]
@@ -20,21 +20,36 @@ pub struct GenRequest {
     pub max_new_tokens: usize,
     /// Sampling strategy (default greedy).
     pub sampling: Sampling,
-    /// Seed of the request's private sampler RNG. Greedy ignores it;
-    /// temperature sampling with the same seed reproduces
+    /// Seed of the request's private sampler RNG, and the request-identity
+    /// component of the analog backend's counter-keyed noise streams.
+    /// Greedy sampling ignores it for token choice; temperature sampling
+    /// with the same seed reproduces
     /// [`nora_nn::generate::generate_digital_cached`] run with
     /// `Rng::seed_from(seed)`.
     pub seed: u64,
+    /// Tenant id for weighted fair admission (default 0). Tenants share
+    /// the queue per their [`QueueConfig`] weights.
+    pub tenant: u32,
+    /// Admission priority (default 0); higher values are admitted strictly
+    /// first.
+    pub priority: u8,
+    /// Optional deadline hint (opaque units, lower = more urgent), used as
+    /// an admission tiebreak among equally scheduled requests. The engine
+    /// never drops a request for missing its deadline.
+    pub deadline: Option<u64>,
 }
 
 impl GenRequest {
-    /// A greedy request with sampler seed 0.
+    /// A greedy request with sampler seed 0, tenant 0 and priority 0.
     pub fn new(prompt: Vec<usize>, max_new_tokens: usize) -> Self {
         Self {
             prompt,
             max_new_tokens,
             sampling: Sampling::Greedy,
             seed: 0,
+            tenant: 0,
+            priority: 0,
+            deadline: None,
         }
     }
 
@@ -47,6 +62,24 @@ impl GenRequest {
     /// Sets the sampler RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the tenant id for weighted fair admission.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the admission priority (higher = admitted first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline hint (admission tiebreak, lower = more urgent).
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -64,6 +97,10 @@ pub struct EngineConfig {
     /// Drift-aware maintenance schedule. `None` (default) serves frozen
     /// conductances, exactly as before.
     pub maintenance: Option<MaintenanceConfig>,
+    /// Admission queue discipline: depth bound (backpressure) and
+    /// per-tenant fair-share weights. The default is unbounded with
+    /// uniform weights — exact FIFO for single-tenant workloads.
+    pub queue: QueueConfig,
 }
 
 impl EngineConfig {
@@ -73,6 +110,7 @@ impl EngineConfig {
             max_batch,
             window: None,
             maintenance: None,
+            queue: QueueConfig::new(),
         }
     }
 
@@ -85,6 +123,19 @@ impl EngineConfig {
     /// Enables the drift-aware maintenance scheduler.
     pub fn with_maintenance(mut self, maintenance: MaintenanceConfig) -> Self {
         self.maintenance = Some(maintenance);
+        self
+    }
+
+    /// Bounds the admission queue to `depth` pending requests; further
+    /// submissions are shed ([`RequestOutcome::Shed`]).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue = self.queue.with_depth(depth);
+        self
+    }
+
+    /// Sets a tenant's fair-share admission weight (default 1.0).
+    pub fn with_tenant_weight(mut self, tenant: u32, weight: f64) -> Self {
+        self.queue = self.queue.with_tenant_weight(tenant, weight);
         self
     }
 }
@@ -224,12 +275,27 @@ impl RequestLatency {
     }
 }
 
-/// One completed request.
+/// How a request left the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestOutcome {
+    /// Served to completion: `tokens` holds the full continuation.
+    #[default]
+    Completed,
+    /// Rejected at submission because the admission queue was at its depth
+    /// bound (backpressure). No model work was done.
+    Shed,
+    /// Cancelled while queued, before reaching a decode slot. No model
+    /// work was done.
+    Cancelled,
+}
+
+/// One retired request (completed, shed, or cancelled).
 #[derive(Debug, Clone)]
 pub struct GenResult {
     /// Engine-assigned request id (submission order, starting at 0).
     pub id: u64,
-    /// Prompt followed by the generated continuation.
+    /// Prompt followed by the generated continuation (just the prompt for
+    /// shed/cancelled requests).
     pub tokens: Vec<usize>,
     /// Length of the prompt prefix of `tokens`.
     pub prompt_len: usize,
@@ -238,6 +304,8 @@ pub struct GenResult {
     /// Model decode steps spent on this request (prefill + decode +
     /// sliding-window rebase work).
     pub decode_steps: u64,
+    /// How the request left the engine.
+    pub outcome: RequestOutcome,
 }
 
 impl GenResult {
@@ -283,7 +351,6 @@ impl EngineReport {
 }
 
 struct Pending {
-    id: u64,
     request: GenRequest,
     queued: Stopwatch,
 }
@@ -295,6 +362,9 @@ struct Slot {
     remaining: usize,
     sampling: Sampling,
     rng: Rng,
+    /// Request identity component of the analog backend's counter-keyed
+    /// noise streams (the request's `seed`).
+    noise_seed: u64,
     cache: KvCache,
     /// Next-token logits; empty until the slot's prefill round ran.
     logits: Vec<f32>,
@@ -314,14 +384,19 @@ struct Slot {
 /// and retires requests the moment their last token is sampled.
 ///
 /// Each [`GenerationEngine::step`] call performs one round: admit (prefill
-/// new slots), sample, retire, decode. Token outputs are deterministic —
-/// a fixed submission sequence yields the same results at any
+/// new slots), sample, retire, decode. Admission runs through the
+/// [`AdmissionQueue`] discipline — strict priorities, weighted per-tenant
+/// fair scheduling, deadline tiebreaks, optional depth-bound shedding and
+/// cancellation — which degenerates to exact FIFO for a single-tenant
+/// uniform-priority workload. Token outputs are deterministic — a fixed
+/// submission/cancellation sequence yields the same results at any
 /// `NORA_THREADS` and any interleaving of `submit` with `step` (admission
-/// is FIFO and each slot owns its cache and sampler RNG).
+/// order is a pure function of the submission sequence, and each slot owns
+/// its cache, sampler RNG, and counter-keyed noise identity).
 pub struct GenerationEngine<B: Backend> {
     backend: B,
     config: EngineConfig,
-    queue: VecDeque<Pending>,
+    queue: AdmissionQueue<Pending>,
     slots: Vec<Slot>,
     finished: Vec<GenResult>,
     next_id: u64,
@@ -356,10 +431,11 @@ impl<B: Backend> GenerationEngine<B> {
             m.validate();
             MaintenanceState::default()
         });
+        let queue = AdmissionQueue::new(config.queue.clone());
         Self {
             backend,
             config,
-            queue: VecDeque::new(),
+            queue,
             slots: Vec::new(),
             finished: Vec::new(),
             next_id: 0,
@@ -429,6 +505,11 @@ impl<B: Backend> GenerationEngine<B> {
 
     /// Enqueues `request` and returns its engine-assigned id.
     ///
+    /// When the admission queue is at its configured depth bound the
+    /// request is **shed** instead of queued: it retires immediately with
+    /// [`RequestOutcome::Shed`] (tokens = prompt, nothing generated) and
+    /// the `serve.shed` counter increments.
+    ///
     /// # Panics
     ///
     /// Panics if the prompt is empty or contains out-of-vocab tokens.
@@ -441,12 +522,51 @@ impl<B: Backend> GenerationEngine<B> {
         );
         let id = self.next_id;
         self.next_id += 1;
-        self.queue.push_back(Pending {
-            id,
+        let pending = Pending {
             request,
             queued: Stopwatch::start(),
-        });
+        };
+        let (tenant, priority, deadline, cost) = (
+            pending.request.tenant,
+            pending.request.priority,
+            pending.request.deadline,
+            pending.request.max_new_tokens as u64,
+        );
+        if let Err(shed) = self.queue.push(id, tenant, priority, deadline, cost, pending) {
+            self.metrics.add("serve.shed", 1);
+            self.retire_unserved(id, shed, RequestOutcome::Shed);
+        }
         id
+    }
+
+    /// Cancels a queued request by id. Returns `true` if the request was
+    /// still pending: it retires with [`RequestOutcome::Cancelled`] and the
+    /// `serve.cancelled` counter increments. Requests already decoding (or
+    /// already retired) are not interrupted and return `false`.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        let Some(pending) = self.queue.cancel(id) else {
+            return false;
+        };
+        self.metrics.add("serve.cancelled", 1);
+        self.retire_unserved(id, pending, RequestOutcome::Cancelled);
+        true
+    }
+
+    /// Retires a request that never reached a decode slot (shed at submit
+    /// or cancelled while queued).
+    fn retire_unserved(&mut self, id: u64, pending: Pending, outcome: RequestOutcome) {
+        let prompt_len = pending.request.prompt.len();
+        self.finished.push(GenResult {
+            id,
+            tokens: pending.request.prompt,
+            prompt_len,
+            latency: RequestLatency {
+                queue_wait: pending.queued.elapsed(),
+                service: Duration::ZERO,
+            },
+            decode_steps: 0,
+            outcome,
+        });
     }
 
     /// Requests admitted or queued but not yet completed.
@@ -513,6 +633,10 @@ impl<B: Backend> GenerationEngine<B> {
                 cache: &mut slot.cache,
                 logits: Vec::new(),
                 decoded: 0,
+                noise_seed: slot.noise_seed,
+                // Cumulative decode steps before this round: the request's
+                // position counter, independent of batch composition.
+                pos0: slot.decode_steps,
             });
         }
         let ran_round = !steps.is_empty();
@@ -586,18 +710,20 @@ impl<B: Backend> GenerationEngine<B> {
 
     fn admit(&mut self) {
         while self.slots.len() < self.config.max_batch {
-            let Some(pending) = self.queue.pop_front() else {
+            let Some((id, pending)) = self.queue.pop() else {
                 break;
             };
-            let Pending {
-                id,
-                request,
-                queued,
-            } = pending;
+            let Pending { request, queued } = pending;
+            let queue_wait = queued.elapsed();
+            self.metrics.observe(
+                &format!("serve.tenant.{}.queue_wait_secs", request.tenant),
+                edges::LATENCY_SECS,
+                queue_wait.as_secs_f64(),
+            );
             if request.max_new_tokens == 0 {
                 let prompt_len = request.prompt.len();
                 let latency = RequestLatency {
-                    queue_wait: queued.elapsed(),
+                    queue_wait,
                     service: Duration::ZERO,
                 };
                 self.record_finish(&latency, 0, 0);
@@ -607,6 +733,7 @@ impl<B: Backend> GenerationEngine<B> {
                     prompt_len,
                     latency,
                     decode_steps: 0,
+                    outcome: RequestOutcome::Completed,
                 });
                 self.completed += 1;
                 continue;
@@ -622,10 +749,11 @@ impl<B: Backend> GenerationEngine<B> {
                 remaining: request.max_new_tokens,
                 sampling: request.sampling,
                 rng: Rng::seed_from(request.seed),
+                noise_seed: request.seed,
                 cache,
                 logits: Vec::new(),
                 sampled: None,
-                queue_wait: queued.elapsed(),
+                queue_wait,
                 service: Stopwatch::start(),
                 prefill: None,
                 decode_steps: 0,
@@ -651,6 +779,7 @@ impl<B: Backend> GenerationEngine<B> {
             prompt_len: slot.prompt_len,
             latency,
             decode_steps: slot.decode_steps,
+            outcome: RequestOutcome::Completed,
         });
         self.completed += 1;
     }

@@ -9,14 +9,21 @@
 //! [`nora_nn::TransformerLm`]) serves all sequences, while each sequence
 //! keeps its own sliding-window [`nora_nn::KvCache`].
 //!
-//! The [`GenerationEngine`] admits N concurrent [`GenRequest`]s (FIFO, up
-//! to a configurable batch width), runs lockstep decode rounds over the
-//! active slots, retires finished requests mid-flight and back-fills their
-//! slots from the queue. Digital decode rounds fan the per-sequence steps
-//! out through [`nora_parallel`] under the workspace's bit-identity
+//! The [`GenerationEngine`] admits concurrent [`GenRequest`]s through an
+//! [`AdmissionQueue`] — strict priorities, weighted per-tenant fair
+//! scheduling, deadline tiebreaks, optional depth-bound backpressure
+//! (shedding) and cancellation; a single-tenant uniform-priority workload
+//! degenerates to exact FIFO. It runs lockstep decode rounds over the
+//! active slots (up to a configurable batch width), retires finished
+//! requests mid-flight and back-fills their slots from the queue. Both
+//! digital and (keyed-mode) analog decode rounds fan the per-sequence
+//! steps out through [`nora_parallel`] under the workspace's bit-identity
 //! contract: outputs are the same at any `NORA_THREADS` because every
-//! sequence's step is independent (own cache, own sampler RNG) and results
-//! land in slot order regardless of execution order.
+//! sequence's step is independent — own cache, own sampler RNG, and (for
+//! analog) counter-keyed noise streams derived from the request's own
+//! identity — and results land in slot order regardless of execution
+//! order. See [`AnalogKeying`] for the compat mode that reproduces the
+//! legacy sequential noise streams.
 //!
 //! Sliding-window semantics match [`nora_nn::generate::generate_digital`]'s
 //! truncation exactly: a batch of one greedy request reproduces
@@ -47,9 +54,11 @@
 
 mod backend;
 mod engine;
+mod queue;
 
-pub use backend::{AnalogBackend, Backend, DigitalBackend, SlotStep, TileRef};
+pub use backend::{AnalogBackend, AnalogKeying, Backend, DigitalBackend, SlotStep, TileRef};
 pub use engine::{
     EngineConfig, EngineReport, GenRequest, GenResult, GenerationEngine, MaintenanceConfig,
-    MaintenanceState, RequestLatency,
+    MaintenanceState, RequestLatency, RequestOutcome,
 };
+pub use queue::{AdmissionQueue, QueueConfig};

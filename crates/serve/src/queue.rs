@@ -1,0 +1,285 @@
+//! Admission frontend: a bounded priority/deadline queue with weighted
+//! per-tenant fair scheduling.
+//!
+//! The queue decides *which* pending request is admitted next; the engine's
+//! continuous batching decides *when* a slot frees up. Scheduling is a pure
+//! function of the submission sequence — no wall clock, no thread count —
+//! so admission order (and therefore every downstream token) stays
+//! deterministic under the workspace bit-identity contract.
+//!
+//! # Scheduling discipline
+//!
+//! Requests are ordered by, in turn:
+//!
+//! 1. **Priority** (higher value first). Priorities are strict: any queued
+//!    priority-2 request is admitted before every priority-1 request.
+//! 2. **Weighted fair virtual finish time** within a priority class:
+//!    start-time-fair queueing over virtual time, where each request costs
+//!    `max_new_tokens` and a tenant with weight `w` consumes virtual time
+//!    at rate `1/w`. A tenant with twice the weight gets roughly twice the
+//!    admission share under contention.
+//! 3. **Deadline** (earlier first, `None` last) as a tiebreak.
+//! 4. **Submission id** (FIFO) as the final tiebreak.
+//!
+//! With a single tenant and uniform priority the virtual finish times are
+//! strictly increasing in submission order, so the queue degenerates to
+//! exact FIFO — the engine's historical admission order.
+//!
+//! # Backpressure
+//!
+//! An optional depth bound sheds new submissions when the queue is full
+//! (the *new* request is rejected; queued work is never evicted).
+//! Cancellation removes a queued request before it reaches a slot.
+
+use std::collections::BTreeMap;
+
+/// Admission queue knobs: depth bound and per-tenant weights.
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Maximum queued (not yet admitted) requests; a submission that would
+    /// exceed this is shed. `None` (default) = unbounded.
+    pub depth: Option<usize>,
+    /// Per-tenant scheduling weights; tenants not listed get weight 1.
+    weights: BTreeMap<u32, f64>,
+}
+
+impl QueueConfig {
+    /// An unbounded queue with uniform tenant weights (exact FIFO for a
+    /// single tenant).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the queue to `depth` pending requests (backpressure:
+    /// submissions past the bound are shed).
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Sets `tenant`'s fair-share weight (default 1.0 for unlisted
+    /// tenants). Must be positive and finite.
+    pub fn with_tenant_weight(mut self, tenant: u32, weight: f64) -> Self {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "tenant weight must be positive and finite, got {weight}"
+        );
+        self.weights.insert(tenant, weight);
+        self
+    }
+
+    /// The scheduling weight of `tenant`.
+    pub fn weight(&self, tenant: u32) -> f64 {
+        self.weights.get(&tenant).copied().unwrap_or(1.0)
+    }
+}
+
+struct Entry<T> {
+    id: u64,
+    priority: u8,
+    deadline: Option<u64>,
+    /// Weighted fair virtual finish time within the priority class.
+    vft: f64,
+    item: T,
+}
+
+/// Deterministic weighted-fair admission queue (see the module docs for
+/// the scheduling discipline).
+pub struct AdmissionQueue<T> {
+    config: QueueConfig,
+    entries: Vec<Entry<T>>,
+    /// Virtual clock: advances to the finish time of each admitted request.
+    vnow: f64,
+    /// Last assigned virtual finish time per tenant (backlogged tenants
+    /// accumulate; idle tenants restart from `vnow`).
+    tenant_vft: BTreeMap<u32, f64>,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue with the given config.
+    pub fn new(config: QueueConfig) -> Self {
+        Self {
+            config,
+            entries: Vec::new(),
+            vnow: 0.0,
+            tenant_vft: BTreeMap::new(),
+        }
+    }
+
+    /// Pending requests currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueues a request, or returns it as `Err` when the depth bound is
+    /// reached (shed — backpressure rejects the newcomer, never evicts
+    /// queued work). `cost` is the request's virtual service demand
+    /// (generated tokens); it is clamped to at least 1 so zero-cost
+    /// requests still advance the tenant's virtual time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        id: u64,
+        tenant: u32,
+        priority: u8,
+        deadline: Option<u64>,
+        cost: u64,
+        item: T,
+    ) -> Result<(), T> {
+        if let Some(depth) = self.config.depth {
+            if self.entries.len() >= depth {
+                return Err(item);
+            }
+        }
+        let weight = self.config.weight(tenant);
+        let start = self
+            .tenant_vft
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.vnow)
+            .max(self.vnow);
+        let vft = start + cost.max(1) as f64 / weight;
+        self.tenant_vft.insert(tenant, vft);
+        self.entries.push(Entry {
+            id,
+            priority,
+            deadline,
+            vft,
+            item,
+        });
+        Ok(())
+    }
+
+    /// Admits the next request per the scheduling discipline, returning its
+    /// id and payload.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                b.priority
+                    .cmp(&a.priority) // higher priority first
+                    .then(a.vft.total_cmp(&b.vft))
+                    .then_with(|| match (a.deadline, b.deadline) {
+                        (Some(x), Some(y)) => x.cmp(&y),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    })
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)?;
+        let entry = self.entries.remove(best);
+        self.vnow = self.vnow.max(entry.vft);
+        Some((entry.id, entry.item))
+    }
+
+    /// Removes a queued request by id (cancellation), returning its payload
+    /// if it was still pending. The tenant's consumed virtual time is not
+    /// refunded — cancellation frees the slot, not the fair-share budget.
+    pub fn cancel(&mut self, id: u64) -> Option<T> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.remove(idx).item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut AdmissionQueue<&'static str>) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop()).map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn single_tenant_uniform_priority_is_fifo() {
+        let mut q = AdmissionQueue::new(QueueConfig::new());
+        for id in 0..6 {
+            // Varying costs must not reorder a single backlogged tenant.
+            q.push(id, 0, 0, None, 1 + (id % 3) * 7, "r").unwrap();
+        }
+        assert_eq!(drain(&mut q), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn higher_priority_jumps_the_queue() {
+        let mut q = AdmissionQueue::new(QueueConfig::new());
+        q.push(0, 0, 0, None, 4, "lo").unwrap();
+        q.push(1, 0, 2, None, 4, "hi").unwrap();
+        q.push(2, 0, 1, None, 4, "mid").unwrap();
+        assert_eq!(drain(&mut q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn weighted_tenants_share_by_weight() {
+        // Tenant 1 (weight 2) finishes two requests per tenant 0 request.
+        let cfg = QueueConfig::new().with_tenant_weight(1, 2.0);
+        let mut q = AdmissionQueue::new(cfg);
+        for id in 0..3 {
+            q.push(id, 0, 0, None, 4, "t0").unwrap();
+        }
+        for id in 3..9 {
+            q.push(id, 1, 0, None, 4, "t1").unwrap();
+        }
+        let order = drain(&mut q);
+        // First three admissions: two of tenant 1 for one of tenant 0.
+        let t1_in_first_3 = order[..3].iter().filter(|&&id| id >= 3).count();
+        assert_eq!(t1_in_first_3, 2, "order: {order:?}");
+        assert_eq!(order.len(), 9);
+    }
+
+    #[test]
+    fn deadline_breaks_vft_ties() {
+        let cfg = QueueConfig::new()
+            .with_tenant_weight(1, 1.0)
+            .with_tenant_weight(2, 1.0);
+        let mut q = AdmissionQueue::new(cfg);
+        // Different tenants, identical cost ⇒ identical vft.
+        q.push(0, 1, 0, None, 5, "no-deadline").unwrap();
+        q.push(1, 2, 0, Some(100), 5, "later").unwrap();
+        q.push(2, 3, 0, Some(10), 5, "urgent").unwrap();
+        assert_eq!(drain(&mut q), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn depth_bound_sheds_newcomers_only() {
+        let mut q = AdmissionQueue::new(QueueConfig::new().with_depth(2));
+        q.push(0, 0, 0, None, 1, "a").unwrap();
+        q.push(1, 0, 0, None, 1, "b").unwrap();
+        assert_eq!(q.push(2, 0, 9, None, 1, "shed"), Err("shed"));
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain(&mut q), vec![0, 1]);
+    }
+
+    #[test]
+    fn cancel_removes_pending_request() {
+        let mut q = AdmissionQueue::new(QueueConfig::new());
+        q.push(0, 0, 0, None, 1, "a").unwrap();
+        q.push(1, 0, 0, None, 1, "b").unwrap();
+        assert_eq!(q.cancel(1), Some("b"));
+        assert_eq!(q.cancel(1), None);
+        assert_eq!(drain(&mut q), vec![0]);
+    }
+
+    #[test]
+    fn idle_tenant_restarts_from_virtual_now() {
+        // A tenant that was idle while others ran must not bank its unused
+        // virtual time into a monopolizing burst.
+        let cfg = QueueConfig::new();
+        let mut q = AdmissionQueue::new(cfg);
+        q.push(0, 0, 0, None, 100, "t0-big").unwrap();
+        q.pop().unwrap(); // vnow advances to 100
+        q.push(1, 1, 0, None, 1, "t1-small").unwrap();
+        q.push(2, 0, 0, None, 1, "t0-small").unwrap();
+        // Tenant 1 starts at vnow=100 like tenant 0, not at 0.
+        let order = drain(&mut q);
+        assert_eq!(order, vec![1, 2]); // same vft ⇒ FIFO by id
+    }
+}

@@ -28,6 +28,18 @@ pub struct Rng {
     spare_normal: Option<f64>,
 }
 
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixing function.
+///
+/// Shared by [`Rng::seed_from`] (stream expansion) and [`Rng::from_key`]
+/// (counter-keyed derivation): every output bit depends on every input bit,
+/// so structured inputs (small integers, grid coordinates, decode positions)
+/// still yield decorrelated states.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     ///
@@ -37,16 +49,35 @@ impl Rng {
         let mut sm = seed;
         let mut next = || {
             sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+            mix64(sm)
         };
         let s = [next(), next(), next(), next()];
         Self {
             s,
             spare_normal: None,
         }
+    }
+
+    /// Derives a generator from a multi-component key — **stateless** stream
+    /// derivation, unlike [`Rng::fork`] which advances the parent.
+    ///
+    /// Each key component is absorbed through a SplitMix64 round, so the
+    /// resulting stream is a pure function of the component tuple: the same
+    /// key always yields the same stream, keys differing in any single
+    /// component (even by one counter tick) yield decorrelated streams, and
+    /// no shared generator state is consumed. This is the primitive behind
+    /// the serving stack's counter-keyed analog noise — a draw sequence
+    /// keyed by `(deployment stream, request seed, decode position)` is
+    /// reproducible under any admission order, batch composition, or thread
+    /// count.
+    pub fn from_key(parts: &[u64]) -> Self {
+        // Domain-separation constant ("norakeyd") keeps from_key streams
+        // disjoint from seed_from(p) even for a single-component key.
+        let mut acc: u64 = 0x6e6f_7261_6b65_7964;
+        for &p in parts {
+            acc = mix64(acc.wrapping_add(0x9E37_79B9_7F4A_7C15) ^ p);
+        }
+        Rng::seed_from(acc)
     }
 
     /// Derives an independent generator for a named sub-stream.
@@ -197,6 +228,57 @@ impl Rng {
         }
     }
 
+    /// Fills `buf` with `N(mean, std²)` samples via the inverse normal CDF
+    /// — one uniform draw and no transcendental pair per sample, making it
+    /// ~4× cheaper than the Box–Muller path on the analog decode hot loop.
+    ///
+    /// The draw sequence is **different** from [`Rng::fill_normal`]'s (one
+    /// `u64` per sample, no spare caching), so this sampler is reserved for
+    /// *new* noise streams — the serving stack's counter-keyed tile noise —
+    /// while every legacy stream keeps the bit-pinned Box–Muller sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or non-finite.
+    pub fn fill_normal_icdf(&mut self, buf: &mut [f32], mean: f32, std: f32) {
+        assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0");
+        // Chunked two-pass evaluation: the uniform draws are inherently
+        // sequential (one 53-bit draw per sample, stashed in `ps`), but the
+        // central-region rational polynomial is branch-free over the chunk,
+        // so the compiler can vectorize it. The rare tail samples (~4.85%)
+        // are then patched scalar from the stashed uniforms. Per-sample
+        // values are identical to the unchunked per-element loop.
+        const CHUNK: usize = 64;
+        let mut ps = [0.0f64; CHUNK];
+        for chunk in buf.chunks_mut(CHUNK) {
+            for p in ps[..chunk.len()].iter_mut() {
+                *p = Self::unit_open_f64(self.next_u64());
+            }
+            for (v, &p) in chunk.iter_mut().zip(ps.iter()) {
+                *v = mean + std * (inv_norm_cdf_central(p.clamp(P_LOW, 1.0 - P_LOW)) as f32);
+            }
+            for (v, &p) in chunk.iter_mut().zip(ps.iter()) {
+                if !(P_LOW..=1.0 - P_LOW).contains(&p) {
+                    *v = mean + std * (inv_norm_cdf(p) as f32);
+                }
+            }
+        }
+    }
+
+    /// Maps a raw `u64` draw to a uniform in the open interval `(0, 1)`:
+    /// offsetting the 53-bit integer by ½ keeps both CDF tails finite and
+    /// symmetric.
+    #[inline]
+    fn unit_open_f64(x: u64) -> f64 {
+        ((x >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One standard normal sample via the inverse-CDF sampler; same draw
+    /// cost and stream semantics as a length-1 [`Rng::fill_normal_icdf`].
+    pub fn standard_normal_icdf(&mut self) -> f32 {
+        inv_norm_cdf(Self::unit_open_f64(self.next_u64())) as f32
+    }
+
     /// Fills `buf` with uniform samples in `[lo, hi)`.
     pub fn fill_uniform(&mut self, buf: &mut [f32], lo: f32, hi: f32) {
         for v in buf {
@@ -268,6 +350,73 @@ impl Rng {
 impl Default for Rng {
     fn default() -> Self {
         Self::seed_from(0)
+    }
+}
+
+/// Inverse of the standard normal CDF (quantile function), Acklam's rational
+/// approximation: relative error below `1.15e-9` over the full open unit
+/// interval — far beneath `f32` noise-sample resolution, and validated
+/// against the erf-based reference in the noise-conformance suite.
+/// Central/tail split point of Acklam's approximation (both tails).
+const P_LOW: f64 = 0.02425;
+
+/// Acklam's central-region rational polynomial.
+///
+/// Valid for `p` in `[P_LOW, 1 - P_LOW]` only — callers must route tail
+/// samples through the full [`inv_norm_cdf`]. The branch-free body lets
+/// the batched inverse-CDF fill vectorize it over a whole chunk.
+#[inline]
+fn inv_norm_cdf_central(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    let q = p - 0.5;
+    let r = q * q;
+    (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+        / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+}
+
+fn inv_norm_cdf(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region: rational polynomial, no transcendentals.
+        inv_norm_cdf_central(p)
+    } else {
+        // Upper tail, by symmetry.
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
     }
 }
 
@@ -451,6 +600,81 @@ mod tests {
             }
         }
         assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn from_key_is_stateless_and_component_sensitive() {
+        // Same key, same stream — and deriving does not consume anything.
+        let mut a = Rng::from_key(&[1, 2, 3]);
+        let mut b = Rng::from_key(&[1, 2, 3]);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Any single component change (even a counter tick) decorrelates.
+        let base: Vec<u64> = (0..128).map(|_| Rng::from_key(&[1, 2, 3]).next_u64()).collect();
+        for variant in [[0, 2, 3], [1, 3, 3], [1, 2, 4]] {
+            let mut v = Rng::from_key(&variant);
+            let matches = base.iter().filter(|&&x| x == v.next_u64()).count();
+            assert_eq!(matches, 0, "variant {variant:?}");
+        }
+        // Component tuples are absorbed positionally, not merely XOR-folded.
+        assert_ne!(
+            Rng::from_key(&[5, 9]).next_u64(),
+            Rng::from_key(&[9, 5]).next_u64()
+        );
+        // Distinct from the plain seed expansion of the same value.
+        assert_ne!(
+            Rng::from_key(&[77]).next_u64(),
+            Rng::seed_from(77).next_u64()
+        );
+    }
+
+    #[test]
+    fn icdf_sampler_moments_and_tail_symmetry() {
+        let mut rng = Rng::seed_from(171);
+        let n = 200_000;
+        let mut buf = vec![0.0f32; n];
+        rng.fill_normal_icdf(&mut buf, 0.0, 1.0);
+        let mean = buf.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var = buf.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / n as f64
+            - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+        // |z| > 2.576 should cover ~1% of samples (tails engaged, both sides).
+        let lo = buf.iter().filter(|&&v| v < -2.576).count();
+        let hi = buf.iter().filter(|&&v| v > 2.576).count();
+        for tail in [lo, hi] {
+            // Expected n * 0.005 = 1000 per tail; allow generous slack.
+            assert!((700..=1300).contains(&tail), "tail counts {lo}/{hi}");
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_matches_known_quantiles() {
+        // (p, z_p) reference points from standard normal tables.
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.841_344_746_068_543, 1.0),
+            (0.975, 1.959_963_984_540_054),
+            (0.001, -3.090_232_306_167_813),
+            (0.999, 3.090_232_306_167_813),
+        ] {
+            let got = inv_norm_cdf(p);
+            assert!((got - z).abs() < 1e-6, "p={p}: {got} vs {z}");
+        }
+    }
+
+    #[test]
+    fn icdf_sampler_scales_and_shifts() {
+        let mut rng = Rng::seed_from(173);
+        let mut buf = vec![0.0f32; 50_000];
+        rng.fill_normal_icdf(&mut buf, 2.0, 0.5);
+        let mean = buf.iter().map(|&v| v as f64).sum::<f64>() / buf.len() as f64;
+        let var = buf.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>()
+            / buf.len() as f64
+            - mean * mean;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
     }
 
     #[test]

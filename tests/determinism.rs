@@ -172,9 +172,10 @@ fn tile_rng_streams_independent_of_execution_order() {
 
 /// Serving-engine check: a batched analog decode — continuous batching over
 /// a NORA deployment with noisy tiles, sliding windows engaged — yields the
-/// same token streams and tile statistics at any thread count. Slots run
-/// serially in slot order (the tile RNG advances per forward); only each
-/// step's internal tile grid fans out.
+/// same token streams and tile statistics at any thread count. In keyed
+/// mode (the default) the slots themselves fan out in parallel: every noise
+/// draw is derived from `(deployment, tile, request seed, position)` and
+/// the deferred tile statistics are absorbed in slot order afterwards.
 #[test]
 fn batched_analog_decode_bit_identical_across_thread_counts() {
     use nora::nn::generate::Sampling;
@@ -206,7 +207,7 @@ fn batched_analog_decode_bit_identical_across_thread_counts() {
     };
     let serial = run(1);
     assert_eq!(serial.0.len(), 10);
-    for threads in [2, 4] {
+    for threads in [2, 4, 8] {
         let par = run(threads);
         assert_eq!(serial.0, par.0, "token streams, threads={threads}");
         assert_eq!(serial.1, par.1, "tile stats, threads={threads}");

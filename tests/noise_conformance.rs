@@ -84,6 +84,54 @@ fn fill_normal_conforms_to_gaussian() {
     }
 }
 
+/// The inverse-CDF sampler behind counter-keyed serving draws from the
+/// same N(μ, σ²) family as the legacy Box–Muller path: one uniform per
+/// sample through the Acklam inverse normal CDF. Conformance is checked
+/// with the identical moment + KS machinery.
+#[test]
+fn fill_normal_icdf_conforms_to_gaussian() {
+    for seed in SEEDS {
+        let mut rng = Rng::seed_from(seed);
+        let mut buf = vec![0.0f32; 16384];
+        rng.fill_normal_icdf(&mut buf, 0.25, 2.0);
+        let samples = buf.iter().map(|&v| (f64::from(v) - 0.25) / 2.0).collect();
+        assert_standard_normal(samples, &format!("fill_normal_icdf seed {seed}"));
+    }
+}
+
+/// Counter-keyed streams: an `Rng::from_key` stream is itself a conforming
+/// Gaussian source, and streams whose keys differ in a single component
+/// (e.g. adjacent decode positions) are decorrelated — the property that
+/// makes per-request noise independent of batch composition.
+#[test]
+fn keyed_streams_conform_and_decorrelate() {
+    let n = 16384usize;
+    for seed in SEEDS {
+        let mut rng = Rng::from_key(&[seed, 7, 42, 3]);
+        let mut buf = vec![0.0f32; n];
+        rng.fill_normal_icdf(&mut buf, 0.0, 1.0);
+        let samples: Vec<f64> = buf.iter().map(|&v| f64::from(v)).collect();
+        assert_standard_normal(samples.clone(), &format!("from_key seed {seed}"));
+
+        // Same key except the position component: adjacent positions must
+        // not correlate.
+        let mut rng2 = Rng::from_key(&[seed, 7, 42, 4]);
+        let mut buf2 = vec![0.0f32; n];
+        rng2.fill_normal_icdf(&mut buf2, 0.0, 1.0);
+        let corr = samples
+            .iter()
+            .zip(&buf2)
+            .map(|(&a, &b)| a * f64::from(b))
+            .sum::<f64>()
+            / n as f64;
+        let tol = 4.0 / (n as f64).sqrt();
+        assert!(
+            corr.abs() < tol,
+            "seed {seed}: adjacent-position streams correlate ({corr:.4} beyond ±{tol:.4})"
+        );
+    }
+}
+
 /// A deterministic input row spanning `[-1, 1]` with `max |v| = 1`, so the
 /// AbsMax noise-management α is exactly 1 and output units equal input
 /// units on an identity-weight tile.

@@ -102,10 +102,11 @@ fn digital_engine_bit_identical_across_thread_counts() {
     }
 }
 
-/// Same property on an analog deployment with the paper's noisy tiles: the
-/// engine runs slots serially in slot order (tile RNG state is shared), and
-/// each decode step's internal tile fan-out is bit-identical at any thread
-/// count — so the full batched serve is too.
+/// Same property on an analog deployment with the paper's noisy tiles: in
+/// the default keyed mode every decode step's noise streams are derived
+/// from `(deployment, tile, request seed, position)`, so the parallel slot
+/// fan-out is bit-identical at any thread count — the full batched serve
+/// is too.
 #[test]
 fn analog_engine_bit_identical_across_thread_counts() {
     let m = model();
@@ -129,7 +130,7 @@ fn analog_engine_bit_identical_across_thread_counts() {
     };
     let serial = run(1);
     assert_eq!(serial.len(), 12);
-    for threads in [2, 4] {
+    for threads in [2, 4, 8] {
         assert_eq!(serial, run(threads), "threads={threads}");
     }
 }
