@@ -1,0 +1,51 @@
+//! Analytic fast-evaluator validation: predicted vs Monte-Carlo simulated
+//! accuracy on the Fig. 3 per-noise grid (naïve plan, MSE-matched
+//! severities) and the paper-default Table II/III points (naïve + NORA).
+//!
+//! Prints the comparison table and writes the raw grid as
+//! `results/analytic_validation.csv` — one row per point with both
+//! accuracies and the stated tolerance, so the ≥90%-within-tolerance
+//! claim of the analytic model is auditable offline.
+//!
+//! `NORA_FAST=1` shrinks the MSE grid for smoke runs;
+//! `NORA_AV_MSE_POINTS` overrides the grid depth directly.
+
+use nora_bench::{fast_mode, prepare_cached};
+use nora_eval::runner::{analytic_validation, AnalyticValidationConfig, AnalyticValidationRow};
+use nora_nn::zoo::opt_presets;
+
+fn main() {
+    let opt = &opt_presets()[0];
+    let prepared = vec![prepare_cached(opt)];
+
+    let mut cfg = AnalyticValidationConfig::default();
+    if fast_mode() {
+        cfg.mse_points = 2;
+    }
+    if let Some(p) = std::env::var("NORA_AV_MSE_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        cfg.mse_points = p;
+    }
+
+    let t0 = std::time::Instant::now();
+    let rows = analytic_validation(&prepared, &cfg);
+    println!("{}", AnalyticValidationRow::table(&rows).render());
+    let frac = AnalyticValidationRow::within_fraction(&rows);
+    println!(
+        "{} grid points in {:.1?}; {:.1}% within stated tolerance",
+        rows.len(),
+        t0.elapsed(),
+        100.0 * frac,
+    );
+
+    let csv_path = std::path::Path::new("results").join("analytic_validation.csv");
+    if let Some(dir) = csv_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&csv_path, AnalyticValidationRow::csv(&rows)) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", csv_path.display()),
+    }
+}

@@ -98,7 +98,12 @@ impl EnergyModel {
     /// conductance is `mean_rel_g` (mean of `|ŵ|`, in `[0, 1]`).
     ///
     /// Every bound-management retry repeats the full DAC→array→ADC chain,
-    /// so outlier-ridden naive deployments pay for their saturation.
+    /// so outlier-ridden naive deployments pay for their saturation — and
+    /// every read-averaging repeat is a full physical conversion too, so
+    /// the `1/√n` noise suppression is charged at `n×` analog energy.
+    /// `ForwardStats::read_repeats` already records exactly that product
+    /// (`read_averaging` per round, retries included); stats populated
+    /// without repeat accounting fall back to one pass per round.
     ///
     /// # Example
     ///
@@ -109,9 +114,16 @@ impl EnergyModel {
     /// assert!(report.adc_pj > report.dac_pj); // converters dominate
     /// ```
     pub fn estimate(&self, stats: &ForwardStats, rows: usize, cols: usize, mean_rel_g: f32) -> EnergyReport {
-        // One "round" = one complete conversion of one input vector.
+        // One "round" = one complete conversion of one input vector; each
+        // round executes `read_averaging` physical passes, all recorded in
+        // `read_repeats`.
         let rounds = stats.samples + stats.bound_mgmt_retries;
-        let r = rounds as f64;
+        let physical = if stats.read_repeats > 0 {
+            stats.read_repeats
+        } else {
+            rounds
+        };
+        let r = physical as f64;
         let dac_pj = r * rows as f64 * self.dac_pj;
         let array_pj = r * (rows * cols) as f64 * self.cell_read_pj * mean_rel_g.max(0.0) as f64;
         let adc_pj =
@@ -208,6 +220,81 @@ mod tests {
         assert!(retried.latency_ns > clean.latency_ns);
         assert_eq!(retried.digital_pj, clean.digital_pj);
         assert_eq!(retried.rounds, 150);
+    }
+
+    #[test]
+    fn read_averaging_repeats_are_charged_per_physical_pass() {
+        // Regression: `read_repeats` (read_averaging × rounds) used to be
+        // ignored — an n-repeat averaged read was billed like a single
+        // pass. Each repeat is a full DAC→array→ADC conversion.
+        let m = EnergyModel::default();
+        let single = m.estimate(
+            &ForwardStats {
+                samples: 100,
+                read_repeats: 100,
+                ..ForwardStats::default()
+            },
+            128,
+            128,
+            0.3,
+        );
+        let averaged = m.estimate(
+            &ForwardStats {
+                samples: 100,
+                read_repeats: 400, // read_averaging = 4
+                ..ForwardStats::default()
+            },
+            128,
+            128,
+            0.3,
+        );
+        assert!((averaged.dac_pj - 4.0 * single.dac_pj).abs() < 1e-9);
+        assert!((averaged.adc_pj - 4.0 * single.adc_pj).abs() < 1e-9);
+        assert!((averaged.array_pj - 4.0 * single.array_pj).abs() < 1e-9);
+        assert!(averaged.latency_ns > single.latency_ns);
+        // Digital accumulation happens once per sample, not per repeat.
+        assert_eq!(averaged.digital_pj, single.digital_pj);
+        assert_eq!(averaged.rounds, single.rounds);
+    }
+
+    #[test]
+    fn retried_forward_charges_more_than_clean_forward() {
+        // End-to-end regression on a real tile: force ADC saturation so
+        // bound management retries, and check the retry conversions are
+        // billed (matching the retry counter nora-obs exports).
+        use crate::{AnalogTile, BoundManagement, TileConfig};
+        use nora_tensor::{rng::Rng, Matrix};
+
+        let n = 16;
+        let mut w = Matrix::zeros(n, n);
+        for k in 0..n {
+            w[(k, k)] = 1.0;
+        }
+        let x = Matrix::from_vec(1, n, vec![1.0; n]);
+
+        let clean_cfg = TileConfig::ideal();
+        let mut clean_tile = AnalogTile::new(w.clone(), None, clean_cfg, Rng::seed_from(7));
+        clean_tile.forward(&x);
+        assert_eq!(clean_tile.stats().bound_mgmt_retries, 0);
+
+        // A tight ADC bound saturates the first round and forces retries.
+        let mut retry_cfg = TileConfig::ideal();
+        retry_cfg.adc = crate::Resolution::bits(7);
+        retry_cfg.adc_bound = 0.05;
+        retry_cfg.bound_management = BoundManagement::Iterative { max_rounds: 3 };
+        let mut retry_tile = AnalogTile::new(w, None, retry_cfg, Rng::seed_from(7));
+        retry_tile.forward(&x);
+        let retries = retry_tile.stats().bound_mgmt_retries;
+        assert!(retries > 0, "tight bound must trigger bound management");
+
+        let m = EnergyModel::default();
+        let clean = clean_tile.energy(&m);
+        let retried = retry_tile.energy(&m);
+        assert!(retried.dac_pj > clean.dac_pj);
+        assert!(retried.adc_pj > clean.adc_pj);
+        assert!(retried.latency_ns > clean.latency_ns);
+        assert_eq!(retried.digital_pj, clean.digital_pj);
+        assert_eq!(retried.rounds, clean.rounds + retries);
     }
 
     #[test]

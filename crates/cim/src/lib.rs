@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod converter;
 pub mod energy;
 pub mod ir_drop;
@@ -61,6 +62,7 @@ mod health;
 mod linear;
 mod tile;
 
+pub use budget::NoiseBudget;
 pub use config::{InputEncoding, Resolution, TileConfig, WeightSource};
 pub use energy::{AreaModel, EnergyModel, EnergyReport};
 pub use error::CimError;

@@ -518,10 +518,9 @@ impl AnalogTile {
 
         let dac = Dac::new(config.dac, config.dac_bound);
         let adc = Adc::new(config.adc, config.adc_bound);
-        let adc_lsb = match config.adc.steps() {
-            Some(n) if config.adc_bound.is_finite() => 2.0 * config.adc_bound / n as f32,
-            _ => 0.0,
-        };
+        // Single source of truth for the stage constants: the queryable
+        // budget — analytic consumers read the identical f32 values.
+        let adc_lsb = config.noise_budget(rows).adc_step;
         Ok(Self {
             dac,
             adc,

@@ -3,6 +3,9 @@
 //! This crate turns the substrates (`nora-tensor` … `nora-core`) into the
 //! paper's evaluation section:
 //!
+//! * [`analytic`] — closed-form per-layer noise/quantization-error
+//!   propagation: predicts analog eval accuracy and per-layer MSE without
+//!   tile forwards (the fast evaluator behind the `design_space` sweeps).
 //! * [`noise_level`] — reproduces Fig. 3's x-axis normalisation: binary-search
 //!   the severity of each non-ideality until it causes a target MSE on a
 //!   reference GEMV feature map.
@@ -21,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod noise_level;
 pub mod report;
 pub mod runner;

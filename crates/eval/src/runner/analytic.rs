@@ -1,0 +1,262 @@
+//! Analytic-model validation: predicted vs Monte-Carlo accuracy on the
+//! Fig. 3 (per-noise, MSE-matched) and Table II/III (full paper stack)
+//! grids.
+//!
+//! Every sweep point deploys the model through the full tile simulator
+//! (the ground truth) *and* scores the same `(plan, tile)` pair with
+//! [`crate::analytic::AnalyticEvaluator`]; the committed
+//! `results/analytic_validation.csv` records both numbers per point plus
+//! the stated tolerance, so the accuracy claim of the fast evaluator is
+//! auditable row by row.
+
+use crate::analytic::AnalyticEvaluator;
+use crate::noise_level::{paper_mse_grid, severity_for_mse, RefWorkload};
+use crate::report::{pct, sci, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::analog_accuracy;
+use nora_cim::{NonIdeality, TileConfig};
+use nora_core::RescalePlan;
+
+/// Configuration of the validation sweep.
+#[derive(Debug, Clone)]
+pub struct AnalyticValidationConfig {
+    /// Non-idealities for the Fig. 3 leg (default: all eight).
+    pub noises: Vec<NonIdeality>,
+    /// MSE-matched severity points per noise.
+    pub mse_points: usize,
+    /// Deployment seed (the simulator leg mirrors the sensitivity
+    /// runner's `seed ^ 0x11` derivation).
+    pub seed: u64,
+    /// Rows of clean activations captured per linear for the analytic
+    /// moments.
+    pub capture_rows: usize,
+}
+
+impl Default for AnalyticValidationConfig {
+    fn default() -> Self {
+        Self {
+            noises: NonIdeality::ALL.to_vec(),
+            mse_points: 8,
+            seed: 0x5e5e,
+            capture_rows: 16,
+        }
+    }
+}
+
+/// One predicted-vs-simulated comparison point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticValidationRow {
+    /// Model name.
+    pub model: String,
+    /// Sweep setting: a non-ideality name (Fig. 3 leg) or
+    /// `"paper_default"` (Table II/III leg).
+    pub setting: String,
+    /// Rescale plan: `"naive"` or `"nora"`.
+    pub plan: String,
+    /// Matched reference MSE (0 for the paper-default leg).
+    pub target_mse: f64,
+    /// Severity realising that MSE (0 for the paper-default leg).
+    pub severity: f32,
+    /// Analytic accuracy prediction.
+    pub predicted: f64,
+    /// Monte-Carlo simulated accuracy (ground truth).
+    pub simulated: f64,
+    /// FP32 digital baseline.
+    pub digital: f64,
+    /// Predicted logit-error σ.
+    pub sigma_logit: f64,
+    /// Stated tolerance for this point: ±10 pp plus two binomial standard
+    /// errors of the simulated estimate.
+    pub tolerance: f64,
+}
+
+impl AnalyticValidationRow {
+    /// Whether the prediction lands within the stated tolerance.
+    pub fn within(&self) -> bool {
+        (self.predicted - self.simulated).abs() <= self.tolerance
+    }
+
+    /// Fraction of rows within their stated tolerance.
+    pub fn within_fraction(rows: &[AnalyticValidationRow]) -> f64 {
+        if rows.is_empty() {
+            return 1.0;
+        }
+        rows.iter().filter(|r| r.within()).count() as f64 / rows.len() as f64
+    }
+
+    /// Renders rows as a report table.
+    pub fn table(rows: &[AnalyticValidationRow]) -> Table {
+        let mut t = Table::new(&[
+            "setting", "plan", "ref_mse", "severity", "pred%", "sim%", "tol_pp", "ok",
+        ])
+        .with_title("Analytic noise propagation — predicted vs simulated accuracy");
+        for r in rows {
+            t.row_owned(vec![
+                r.setting.clone(),
+                r.plan.clone(),
+                sci(r.target_mse),
+                format!("{:.4}", r.severity),
+                pct(r.predicted),
+                pct(r.simulated),
+                format!("{:.1}", 100.0 * r.tolerance),
+                if r.within() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[AnalyticValidationRow]) -> String {
+        let mut out = String::from(
+            "model,setting,plan,target_mse,severity,predicted,simulated,\
+             digital,sigma_logit,tolerance,within\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.setting,
+                r.plan,
+                r.target_mse,
+                r.severity,
+                r.predicted,
+                r.simulated,
+                r.digital,
+                r.sigma_logit,
+                r.tolerance,
+                r.within(),
+            ));
+        }
+        out
+    }
+}
+
+/// The stated tolerance of one comparison: ±10 percentage points of
+/// modelling error plus two binomial standard errors of the Monte-Carlo
+/// estimate over `episodes` episodes.
+fn stated_tolerance(simulated: f64, episodes: usize) -> f64 {
+    let p = simulated.clamp(0.0, 1.0);
+    0.10 + 2.0 * (p * (1.0 - p) / episodes.max(1) as f64).sqrt()
+}
+
+/// Runs the validation sweep: the Fig. 3 per-noise grid under the naïve
+/// plan plus the paper-default Table II/III points under both plans, each
+/// scored analytically and by full simulation.
+pub fn analytic_validation(
+    prepared: &[PreparedModel],
+    cfg: &AnalyticValidationConfig,
+) -> Vec<AnalyticValidationRow> {
+    let workload = RefWorkload::default_reference(cfg.seed);
+    let grid = paper_mse_grid(cfg.mse_points);
+    let evaluators: Vec<AnalyticEvaluator> = prepared
+        .iter()
+        .map(|p| AnalyticEvaluator::new(&p.zoo.model, &p.episodes, cfg.capture_rows))
+        .collect();
+
+    enum Leg {
+        Fig3 { noise: NonIdeality, target_mse: f64, severity: f32 },
+        Paper { nora: bool },
+    }
+    let mut tasks = Vec::new();
+    for &noise in &cfg.noises {
+        let severities: Vec<f32> = grid
+            .iter()
+            .map(|&mse| severity_for_mse(noise, mse, &workload))
+            .collect();
+        for (p, ev) in prepared.iter().zip(&evaluators) {
+            for (&target_mse, &severity) in grid.iter().zip(&severities) {
+                tasks.push((p, ev, Leg::Fig3 { noise, target_mse, severity }));
+            }
+        }
+    }
+    for (p, ev) in prepared.iter().zip(&evaluators) {
+        tasks.push((p, ev, Leg::Paper { nora: false }));
+        tasks.push((p, ev, Leg::Paper { nora: true }));
+    }
+
+    crate::sweep::parallel_sweep(&tasks, |(p, ev, leg)| {
+        let (setting, plan_name, target_mse, severity, tile, plan, seed) = match leg {
+            Leg::Fig3 { noise, target_mse, severity } => (
+                noise.name().to_string(),
+                "naive",
+                *target_mse,
+                *severity,
+                noise.configure(*severity),
+                RescalePlan::naive(),
+                cfg.seed ^ 0x11,
+            ),
+            Leg::Paper { nora } => (
+                "paper_default".to_string(),
+                if *nora { "nora" } else { "naive" },
+                0.0,
+                0.0,
+                TileConfig::paper_default(),
+                if *nora { p.nora_plan.clone() } else { RescalePlan::naive() },
+                cfg.seed,
+            ),
+        };
+        let prediction = ev.predict(&p.zoo.model, &plan, &tile);
+        let mut analog = plan.deploy(&p.zoo.model, tile, seed);
+        let simulated = analog_accuracy(&mut analog, &p.episodes);
+        AnalyticValidationRow {
+            model: p.zoo.name.clone(),
+            setting,
+            plan: plan_name.to_string(),
+            target_mse,
+            severity,
+            predicted: prediction.accuracy,
+            simulated,
+            digital: p.digital_acc,
+            sigma_logit: prediction.sigma_logit,
+            tolerance: stated_tolerance(simulated, p.episodes.len()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn sweep_covers_grid_and_paper_points() {
+        let prepared = vec![prepare(&tiny_spec(ModelFamily::OptLike, 91), 40, 4)];
+        let cfg = AnalyticValidationConfig {
+            noises: vec![NonIdeality::AdditiveOutputNoise, NonIdeality::DacQuantization],
+            mse_points: 2,
+            seed: 3,
+            capture_rows: 12,
+        };
+        let rows = analytic_validation(&prepared, &cfg);
+        // 2 noises × 2 MSE points + naive/nora paper points.
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.predicted)));
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.simulated)));
+        assert!(rows.iter().any(|r| r.setting == "paper_default" && r.plan == "nora"));
+        let table = AnalyticValidationRow::table(&rows).render();
+        assert!(table.contains("paper_default"));
+        // The tiny sweep should already agree on most points.
+        assert!(
+            AnalyticValidationRow::within_fraction(&rows) >= 0.5,
+            "tiny sweep disagrees badly:\n{}",
+            AnalyticValidationRow::csv(&rows)
+        );
+    }
+
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = AnalyticValidationRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/analytic_validation.csv"
+        ))
+        .expect("committed results/analytic_validation.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/analytic_validation.csv header drifted from AnalyticValidationRow::csv"
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! Design-space exploration: accuracy-vs-energy-vs-latency Pareto sweeps
+//! over tile geometry × converter resolution × device noise × NORA λ,
+//! scored entirely by the analytic fast evaluator
+//! ([`crate::analytic`]) plus the first-order energy/latency/area laws —
+//! no tile forwards, so thousands of configurations sweep in seconds.
+
+use crate::analytic::{layer_decode_cost, AnalyticEvaluator, LayerCost};
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use nora_cim::{AreaModel, EnergyModel, Resolution, TileConfig, WeightSource};
+use nora_core::{RescalePlan, SmoothingConfig};
+use nora_obs::Metrics;
+
+/// The sweep grid. The default spans 4 × 5 × 5 × 3 × 5 = 1500
+/// configurations.
+#[derive(Debug, Clone)]
+pub struct DesignSpaceConfig {
+    /// Square tile sizes (rows = cols) to sweep.
+    pub tile_sizes: Vec<usize>,
+    /// DAC resolutions, bits.
+    pub dac_bits: Vec<u32>,
+    /// ADC resolutions, bits.
+    pub adc_bits: Vec<u32>,
+    /// Device-noise scale applied to the paper-default output noise, read
+    /// noise, and PCM programming-noise scale.
+    pub noise_scales: Vec<f32>,
+    /// NORA migration strengths λ (one rescale plan per value).
+    pub lambdas: Vec<f32>,
+    /// Rows of clean activations captured per linear for the analytic
+    /// moments.
+    pub capture_rows: usize,
+}
+
+impl Default for DesignSpaceConfig {
+    fn default() -> Self {
+        Self {
+            tile_sizes: vec![16, 32, 64, 128],
+            dac_bits: vec![4, 5, 6, 7, 8],
+            adc_bits: vec![5, 6, 7, 8, 9],
+            noise_scales: vec![0.5, 1.0, 2.0],
+            lambdas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            capture_rows: 8,
+        }
+    }
+}
+
+impl DesignSpaceConfig {
+    /// Tiny grid for smoke tests and `NORA_FAST` runs (2 × 2 × 2 × 1 × 2 =
+    /// 16 configurations).
+    pub fn tiny() -> Self {
+        Self {
+            tile_sizes: vec![16, 64],
+            dac_bits: vec![5, 7],
+            adc_bits: vec![6, 8],
+            noise_scales: vec![1.0],
+            lambdas: vec![0.0, 0.5],
+            capture_rows: 6,
+        }
+    }
+
+    /// Number of grid points.
+    pub fn points(&self) -> usize {
+        self.tile_sizes.len()
+            * self.dac_bits.len()
+            * self.adc_bits.len()
+            * self.noise_scales.len()
+            * self.lambdas.len()
+    }
+}
+
+/// One scored configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpaceRow {
+    /// Model name.
+    pub model: String,
+    /// Square tile size.
+    pub tile: usize,
+    /// DAC bits.
+    pub dac_bits: u32,
+    /// ADC bits.
+    pub adc_bits: u32,
+    /// Device-noise scale.
+    pub noise_scale: f32,
+    /// NORA λ.
+    pub lambda: f32,
+    /// Predicted eval accuracy (analytic).
+    pub accuracy: f64,
+    /// Predicted logit-error σ.
+    pub sigma_logit: f64,
+    /// Decode energy, nJ per token.
+    pub energy_nj: f64,
+    /// Decode latency, µs per token.
+    pub latency_us: f64,
+    /// Analog array area, mm².
+    pub area_mm2: f64,
+    /// On the 3-objective (max accuracy, min energy, min latency) Pareto
+    /// frontier of its sweep.
+    pub pareto: bool,
+}
+
+impl DesignSpaceRow {
+    /// `a` dominates `b` when it is no worse on all three objectives and
+    /// strictly better on at least one.
+    fn dominates(a: &DesignSpaceRow, b: &DesignSpaceRow) -> bool {
+        let no_worse =
+            a.accuracy >= b.accuracy && a.energy_nj <= b.energy_nj && a.latency_us <= b.latency_us;
+        let better =
+            a.accuracy > b.accuracy || a.energy_nj < b.energy_nj || a.latency_us < b.latency_us;
+        no_worse && better
+    }
+
+    /// Marks the accuracy/energy/latency Pareto frontier in place.
+    pub fn mark_pareto(rows: &mut [DesignSpaceRow]) {
+        for i in 0..rows.len() {
+            rows[i].pareto =
+                !(0..rows.len()).any(|j| j != i && Self::dominates(&rows[j], &rows[i]));
+        }
+    }
+
+    /// Renders rows as a report table.
+    pub fn table(rows: &[DesignSpaceRow]) -> Table {
+        let mut t = Table::new(&[
+            "tile", "dac", "adc", "noise", "lambda", "acc%", "nJ/tok", "us/tok", "pareto",
+        ])
+        .with_title("Design space — analytic accuracy vs energy vs latency");
+        for r in rows {
+            t.row_owned(vec![
+                r.tile.to_string(),
+                r.dac_bits.to_string(),
+                r.adc_bits.to_string(),
+                format!("{:.2}", r.noise_scale),
+                format!("{:.2}", r.lambda),
+                pct(r.accuracy),
+                format!("{:.2}", r.energy_nj),
+                format!("{:.3}", r.latency_us),
+                if r.pareto { "*" } else { "" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[DesignSpaceRow]) -> String {
+        let mut out = String::from(
+            "model,tile,dac_bits,adc_bits,noise_scale,lambda,accuracy,\
+             sigma_logit,energy_nj,latency_us,area_mm2,pareto\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.tile,
+                r.dac_bits,
+                r.adc_bits,
+                r.noise_scale,
+                r.lambda,
+                r.accuracy,
+                r.sigma_logit,
+                r.energy_nj,
+                r.latency_us,
+                r.area_mm2,
+                r.pareto,
+            ));
+        }
+        out
+    }
+}
+
+/// The tile configuration of one grid point: paper defaults with the swept
+/// geometry, converter resolutions, and device-noise scale applied.
+fn point_config(tile: usize, dac_bits: u32, adc_bits: u32, noise_scale: f32) -> TileConfig {
+    let base = TileConfig::paper_default();
+    let mut cfg = base.clone().with_tile_size(tile, tile);
+    cfg.dac = Resolution::bits(dac_bits);
+    cfg.adc = Resolution::bits(adc_bits);
+    cfg.out_noise = base.out_noise * noise_scale;
+    cfg.w_noise = base.w_noise * noise_scale;
+    cfg.weight_source = match base.weight_source {
+        WeightSource::Pcm(s) => WeightSource::Pcm(s * noise_scale),
+        other => other,
+    };
+    cfg
+}
+
+/// Runs the sweep. One NORA rescale plan is calibrated per λ (shared
+/// across the geometry/resolution/noise axes); every grid point is then
+/// scored analytically through [`crate::sweep::parallel_sweep`].
+pub fn design_space(p: &PreparedModel, cfg: &DesignSpaceConfig) -> Vec<DesignSpaceRow> {
+    design_space_inner(p, cfg, None)
+}
+
+/// Like [`design_space`], additionally recording sweep telemetry
+/// (`eval.sweep.points` / `eval.sweep.point_secs`) into `metrics`.
+pub fn design_space_recorded(
+    p: &PreparedModel,
+    cfg: &DesignSpaceConfig,
+    metrics: &mut Metrics,
+) -> Vec<DesignSpaceRow> {
+    design_space_inner(p, cfg, Some(metrics))
+}
+
+fn design_space_inner(
+    p: &PreparedModel,
+    cfg: &DesignSpaceConfig,
+    metrics: Option<&mut Metrics>,
+) -> Vec<DesignSpaceRow> {
+    let evaluator = AnalyticEvaluator::new(&p.zoo.model, &p.episodes, cfg.capture_rows);
+    let plans: Vec<(f32, RescalePlan)> = cfg
+        .lambdas
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                RescalePlan::nora(
+                    &p.zoo.model,
+                    &p.calibration,
+                    SmoothingConfig::with_lambda(l),
+                ),
+            )
+        })
+        .collect();
+    let area = AreaModel::default();
+
+    let mut tasks = Vec::with_capacity(cfg.points());
+    for &tile in &cfg.tile_sizes {
+        for &dac in &cfg.dac_bits {
+            for &adc in &cfg.adc_bits {
+                for &noise in &cfg.noise_scales {
+                    for (lambda, plan) in &plans {
+                        tasks.push((tile, dac, adc, noise, *lambda, plan));
+                    }
+                }
+            }
+        }
+    }
+
+    let score = |&(tile, dac, adc, noise, lambda, plan): &(
+        usize,
+        u32,
+        u32,
+        f32,
+        f32,
+        &RescalePlan,
+    )| {
+        let tc = point_config(tile, dac, adc, noise);
+        // The ADC energy FOM charges per step: score with the swept
+        // resolution, not the model's 7-bit default.
+        let energy = EnergyModel {
+            adc_steps: tc.adc.steps().unwrap_or(128),
+            ..EnergyModel::default()
+        };
+        let prediction = evaluator.predict(&p.zoo.model, plan, &tc);
+        let mut cost = LayerCost::default();
+        for id in p.zoo.model.linear_ids() {
+            cost.accumulate(layer_decode_cost(
+                &p.zoo.model.linear(id).weight.value,
+                plan.smoothing_for(id),
+                &tc,
+                &energy,
+                &area,
+            ));
+        }
+        DesignSpaceRow {
+            model: p.zoo.name.clone(),
+            tile,
+            dac_bits: dac,
+            adc_bits: adc,
+            noise_scale: noise,
+            lambda,
+            accuracy: prediction.accuracy,
+            sigma_logit: prediction.sigma_logit,
+            energy_nj: cost.energy_pj / 1e3,
+            latency_us: cost.latency_ns / 1e3,
+            area_mm2: cost.area_um2 / 1e6,
+            pareto: false,
+        }
+    };
+    let mut rows = match metrics {
+        Some(m) => crate::sweep::parallel_sweep_recorded(&tasks, m, score),
+        None => crate::sweep::parallel_sweep(&tasks, score),
+    };
+    DesignSpaceRow::mark_pareto(&mut rows);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn tiny_sweep_scores_every_point_and_marks_a_frontier() {
+        let p = prepare(&tiny_spec(ModelFamily::OptLike, 95), 30, 4);
+        let cfg = DesignSpaceConfig::tiny();
+        let mut metrics = Metrics::new();
+        let rows = design_space_recorded(&p, &cfg, &mut metrics);
+        assert_eq!(rows.len(), cfg.points());
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
+        assert!(rows.iter().all(|r| r.energy_nj > 0.0 && r.latency_us > 0.0));
+        // The frontier is non-empty and actually non-dominated.
+        let frontier: Vec<_> = rows.iter().filter(|r| r.pareto).collect();
+        assert!(!frontier.is_empty());
+        for f in &frontier {
+            assert!(
+                !rows.iter().any(|r| DesignSpaceRow::dominates(r, f)),
+                "dominated row marked pareto"
+            );
+        }
+        // Higher ADC resolution costs more converter energy, all else equal.
+        let pick = |adc: u32| {
+            rows.iter()
+                .find(|r| {
+                    r.tile == 16 && r.dac_bits == 5 && r.adc_bits == adc && r.lambda == 0.0
+                })
+                .unwrap()
+                .energy_nj
+        };
+        assert!(pick(8) > pick(6));
+    }
+
+    #[test]
+    fn sweep_telemetry_counts_the_grid() {
+        let p = prepare(&tiny_spec(ModelFamily::OptLike, 96), 20, 4);
+        let cfg = DesignSpaceConfig {
+            tile_sizes: vec![32],
+            dac_bits: vec![7],
+            adc_bits: vec![7, 8],
+            noise_scales: vec![1.0],
+            lambdas: vec![0.5],
+            capture_rows: 4,
+        };
+        let mut metrics = Metrics::new();
+        let rows = design_space_recorded(&p, &cfg, &mut metrics);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(metrics.counter("eval.sweep.points"), 2);
+    }
+
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = DesignSpaceRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/design_space_pareto.csv"
+        ))
+        .expect("committed results/design_space_pareto.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/design_space_pareto.csv header drifted from DesignSpaceRow::csv"
+        );
+    }
+}

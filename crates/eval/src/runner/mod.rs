@@ -1,5 +1,7 @@
 //! Experiment drivers, one per paper table/figure.
 
+mod analytic;
+mod design_space;
 mod distributions;
 mod drift;
 mod drift_serving;
@@ -19,6 +21,10 @@ pub use extensions::{
 pub use layers::{layer_sensitivity, LayerSensitivityRow, LayerStudyMode};
 pub use management::{management_ablation, ManagementRow};
 
+pub use analytic::{analytic_validation, AnalyticValidationConfig, AnalyticValidationRow};
+pub use design_space::{
+    design_space, design_space_recorded, DesignSpaceConfig, DesignSpaceRow,
+};
 pub use distributions::{
     kde_report, kurtosis_report, rescale_report, KdeReport, KurtosisRow, RescaleRow,
 };

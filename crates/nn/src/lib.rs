@@ -56,7 +56,7 @@ pub mod serialize;
 pub mod trainer;
 pub mod zoo;
 
-pub use attention::MultiHeadAttention;
+pub use attention::{AttnProj, MultiHeadAttention};
 pub use block::TransformerBlock;
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;

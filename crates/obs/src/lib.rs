@@ -97,6 +97,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
     sum: f64,
+    nan_count: u64,
 }
 
 impl Histogram {
@@ -117,11 +118,20 @@ impl Histogram {
             counts: vec![0; edges.len() + 1],
             count: 0,
             sum: 0.0,
+            nan_count: 0,
         }
     }
 
     /// Records one observation.
+    ///
+    /// NaN is counted in [`Histogram::nan_count`] instead of a bucket:
+    /// every `<` comparison with NaN is false, so `partition_point` would
+    /// silently file it into the lowest bucket and poison `sum`.
     pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
         // partition_point: first bucket whose upper edge is >= value.
         let idx = self.edges.partition_point(|&e| e < value);
         self.counts[idx] += 1;
@@ -137,6 +147,12 @@ impl Histogram {
     /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Number of NaN observations rejected from the buckets (not included
+    /// in [`Histogram::count`] or [`Histogram::sum`]).
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
     }
 
     /// Mean observed value (0 when empty).
@@ -174,6 +190,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.nan_count += other.nan_count;
     }
 }
 
@@ -453,7 +470,7 @@ impl<W: Write> Recorder for JsonLinesRecorder<W> {
     fn histogram(&mut self, name: &str, hist: &Histogram) {
         self.write_line(format!(
             "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\
-             \"edges\":[{}],\"counts\":[{}]}}\n",
+             \"nan\":{},\"edges\":[{}],\"counts\":[{}]}}\n",
             json_escape(name),
             hist.count(),
             if hist.sum().is_finite() {
@@ -461,6 +478,7 @@ impl<W: Write> Recorder for JsonLinesRecorder<W> {
             } else {
                 "null".to_string()
             },
+            hist.nan_count(),
             join_f64(hist.edges()),
             join_u64(hist.bucket_counts()),
         ));
@@ -491,7 +509,8 @@ fn csv_escape(field: &str) -> String {
 }
 
 /// Streams events as CSV rows under a fixed `kind,name,value,count,sum`
-/// header (histogram bucket detail is JSON-lines-only).
+/// header (histogram bucket detail is JSON-lines-only). Histogram rows
+/// carry the NaN-observation count in the otherwise-unused `value` column.
 #[derive(Debug)]
 pub struct CsvRecorder<W: Write> {
     out: W,
@@ -546,8 +565,9 @@ impl<W: Write> Recorder for CsvRecorder<W> {
 
     fn histogram(&mut self, name: &str, hist: &Histogram) {
         self.write_row(format!(
-            "histogram,{},,{},{}\n",
+            "histogram,{},{},{},{}\n",
             csv_escape(name),
+            hist.nan_count(),
             hist.count(),
             hist.sum()
         ));
@@ -596,6 +616,41 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_edges() {
         Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn nan_observations_are_counted_apart_not_bucketed() {
+        // Regression: `partition_point(|&e| e < NaN)` is 0 (every NaN
+        // comparison is false), so NaN used to land silently in the lowest
+        // bucket and turn `sum` into NaN.
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket_counts(), &[1, 0, 0]);
+        assert!(h.sum().is_finite());
+        assert!((h.sum() - 0.5).abs() < 1e-12);
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+
+        // merge carries the NaN tally.
+        let mut other = Histogram::new(&[1.0, 2.0]);
+        other.observe(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.nan_count(), 3);
+        assert_eq!(h.count(), 1);
+
+        // Both exporters serialize the tally.
+        let mut jsonl = JsonLinesRecorder::new(Vec::new());
+        jsonl.histogram("h", &h);
+        let (buf, _) = jsonl.into_inner();
+        assert!(String::from_utf8(buf).unwrap().contains("\"nan\":3"));
+        let mut csv = CsvRecorder::new(Vec::new());
+        csv.histogram("h", &h);
+        let (buf, _) = csv.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().nth(1).unwrap().starts_with("histogram,h,3,1,"));
     }
 
     #[test]

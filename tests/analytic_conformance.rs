@@ -1,0 +1,280 @@
+//! Per-layer conformance of the analytic error-moment model against the
+//! Monte-Carlo tile simulator.
+//!
+//! `nora::eval::analytic::layer_error_moments` claims the first two moments
+//! of one `AnalogLinear`'s output error in closed form. These tests check
+//! that claim directly, per non-ideality, at the MSE-matched severities of
+//! the paper's Fig. 3 grid plus the full Table II paper-default stack:
+//!
+//! * deterministic stages (DAC/ADC quantization, S-shape, IR-drop) must
+//!   reproduce the simulated output exactly — same `f32` kernels, zero
+//!   predicted variance;
+//! * stochastic stages must match the Monte-Carlo sample moments within
+//!   tolerances derived from the sample count, never tuned per seed: the
+//!   pooled mean within `4σ/√n` and the pooled error power within
+//!   `4·√(2/n)` relative, with `n` the number of independent noise rows
+//!   (reps × batch rows — errors within a row share converter draws, so
+//!   per-element counts would overstate the resolution).
+//!
+//! All checks run over three seeds and are moment-level, not draw-level, so
+//! they stay green under any `NORA_THREADS` partitioning (CI runs them in
+//! the 1/4-thread matrix).
+
+use nora::cim::{AnalogLinear, NonIdeality, TileConfig};
+use nora::eval::analytic::layer_error_moments;
+use nora::eval::noise_level::{paper_mse_grid, severity_for_mse, RefWorkload};
+use nora::tensor::rng::Rng;
+use nora::tensor::Matrix;
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+
+/// A calibration-style workload: unit-variance Gaussian activations against
+/// variance-normalised weights, the same statistics `severity_for_mse`
+/// calibrates on.
+fn workload(seed: u64, rows: usize, d: usize) -> (Matrix, Matrix) {
+    let mut rng = Rng::seed_from(seed);
+    let x = Matrix::random_normal(rows, d, 0.0, 1.0, &mut rng);
+    let w = Matrix::random_normal(d, d, 0.0, 1.0 / (d as f32).sqrt(), &mut rng);
+    (x, w)
+}
+
+/// A NORA-style per-input-channel smoothing vector (strictly positive,
+/// spanning a decade) to exercise the rescale path of both the simulator
+/// and the analytic block model.
+fn smoothing_vector(seed: u64, d: usize) -> Vec<f32> {
+    let mut rng = Rng::seed_from(seed ^ 0x5100);
+    (0..d).map(|_| rng.uniform(0.4, 4.0)).collect()
+}
+
+struct McMoments {
+    /// Pooled signed mean error `mean(y − y_ideal)` over reps × elements.
+    mean_err: f64,
+    /// Pooled error power `mean((y − y_ideal)²)` over reps × elements.
+    power: f64,
+    /// Independent sample count: reps × batch rows.
+    n: f64,
+}
+
+/// Runs `reps` Monte-Carlo forwards and pools the error moments against the
+/// ideal product. `rebuild` re-programs the tile each rep (fresh
+/// programming-noise draw); otherwise the deployment is programmed once and
+/// only the cycle noises re-draw.
+fn mc_moments(
+    w: &Matrix,
+    smoothing: Option<&[f32]>,
+    x: &Matrix,
+    cfg: &TileConfig,
+    seed: u64,
+    reps: usize,
+    rebuild: bool,
+) -> McMoments {
+    let ideal = x.matmul(w);
+    let mut linear = AnalogLinear::try_with_smoothing(w.clone(), None, smoothing, cfg.clone(), seed)
+        .expect("deploy analog linear");
+    let mut sum = 0.0f64;
+    let mut sq = 0.0f64;
+    let elems = (x.rows() * w.cols()) as f64;
+    for rep in 0..reps {
+        if rebuild && rep > 0 {
+            linear = AnalogLinear::try_with_smoothing(
+                w.clone(),
+                None,
+                smoothing,
+                cfg.clone(),
+                seed.wrapping_add(rep as u64),
+            )
+            .expect("deploy analog linear");
+        }
+        let y = linear.forward(x);
+        for i in 0..x.rows() {
+            for (a, b) in y.row(i).iter().zip(ideal.row(i)) {
+                let d = f64::from(a - b);
+                sum += d;
+                sq += d * d;
+            }
+        }
+    }
+    McMoments {
+        mean_err: sum / (reps as f64 * elems),
+        power: sq / (reps as f64 * elems),
+        n: (reps * x.rows()) as f64,
+    }
+}
+
+/// Checks one (config, smoothing) pair: analytic moments vs Monte-Carlo,
+/// with sample-count tolerances.
+#[allow(clippy::too_many_arguments)]
+fn assert_moments_match(
+    w: &Matrix,
+    smoothing: Option<&[f32]>,
+    x: &Matrix,
+    cfg: &TileConfig,
+    seed: u64,
+    reps: usize,
+    rebuild: bool,
+    label: &str,
+) {
+    let pred = layer_error_moments(w, smoothing, x, cfg, None);
+    let mc = mc_moments(w, smoothing, x, cfg, seed, reps, rebuild);
+    let pred_power = pred.bias_power + pred.var_power;
+    let ideal = x.matmul(w);
+    let mut pred_mean = 0.0f64;
+    for i in 0..x.rows() {
+        for (a, b) in pred.mean.row(i).iter().zip(ideal.row(i)) {
+            pred_mean += f64::from(a - b);
+        }
+    }
+    pred_mean /= (x.rows() * w.cols()) as f64;
+
+    // Pooled-mean estimator: std ≤ √(var/n) with n independent rows.
+    let mean_tol = 4.0 * (pred.var_power / mc.n).sqrt() + 1e-6;
+    assert!(
+        (mc.mean_err - pred_mean).abs() < mean_tol,
+        "{label}: pooled mean error {:.4e} vs predicted {:.4e} beyond ±{:.4e}",
+        mc.mean_err,
+        pred_mean,
+        mean_tol
+    );
+    // Pooled-power estimator: relative 4·√(2/n) (Gaussian variance-of-
+    // variance bound; quantization errors are uniform, μ₄ < 3σ⁴, so the
+    // bound is conservative for them).
+    let power_tol = 4.0 * (2.0 / mc.n).sqrt() * pred_power + 1e-9;
+    assert!(
+        (mc.power - pred_power).abs() < power_tol,
+        "{label}: error power {:.4e} vs predicted {:.4e} beyond ±{:.4e}",
+        mc.power,
+        pred_power,
+        power_tol
+    );
+}
+
+/// Fig. 3 severities: each non-ideality matched to reference-workload MSE
+/// points spanning the paper's grid.
+fn fig3_severities(noise: NonIdeality, points: usize) -> Vec<f32> {
+    let workload = RefWorkload::new(16, 64, 64, 9);
+    paper_mse_grid(points)
+        .iter()
+        .map(|&mse| severity_for_mse(noise, mse, &workload))
+        .collect()
+}
+
+#[test]
+fn deterministic_stages_reproduce_the_simulator_exactly() {
+    // Pure quantization / deterministic-transfer configurations: the
+    // analytic mean replicates the forward chain with the simulator's own
+    // f32 kernels, so a single Monte-Carlo forward must land on the
+    // predicted mean to rounding, with zero predicted variance.
+    let (x, w) = workload(5, 12, 64);
+    for noise in [
+        NonIdeality::DacQuantization,
+        NonIdeality::AdcQuantization,
+        NonIdeality::SShapeNonlinearity,
+        NonIdeality::IrDrop,
+    ] {
+        for &severity in &fig3_severities(noise, 2) {
+            let cfg = noise.configure(severity);
+            for seed in SEEDS {
+                for smoothing in [None, Some(smoothing_vector(seed, 64))] {
+                    let s = smoothing.as_deref();
+                    let pred = layer_error_moments(&w, s, &x, &cfg, None);
+                    assert!(
+                        pred.var_power < 1e-12,
+                        "{noise}: deterministic stage predicts variance {:.3e}",
+                        pred.var_power
+                    );
+                    let mut linear = AnalogLinear::try_with_smoothing(
+                        w.clone(),
+                        None,
+                        s,
+                        cfg.clone(),
+                        seed,
+                    )
+                    .expect("deploy analog linear");
+                    let y = linear.forward(&x);
+                    for i in 0..x.rows() {
+                        for (j, (&a, &b)) in y.row(i).iter().zip(pred.mean.row(i)).enumerate() {
+                            assert!(
+                                (a - b).abs() <= 1e-5 * b.abs().max(1.0),
+                                "{noise} seed {seed} ({i},{j}): simulated {a} vs predicted {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gaussian_noise_stage_moments_match_monte_carlo() {
+    let (x, w) = workload(7, 16, 64);
+    for noise in [
+        NonIdeality::AdditiveInputNoise,
+        NonIdeality::AdditiveOutputNoise,
+        NonIdeality::ShortTermReadNoise,
+    ] {
+        for &severity in &fig3_severities(noise, 3) {
+            let cfg = noise.configure(severity);
+            for seed in SEEDS {
+                assert_moments_match(
+                    &w,
+                    None,
+                    &x,
+                    &cfg,
+                    seed,
+                    48,
+                    false,
+                    &format!("{noise} severity {severity:.4} seed {seed}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn programming_noise_moments_match_monte_carlo_across_redeployments() {
+    // Programming error is frozen at deployment, so each Monte-Carlo rep
+    // must re-program the tile for the sample moments to estimate the
+    // device-law ensemble the analytic model integrates over.
+    let (x, w) = workload(13, 16, 64);
+    for &severity in &fig3_severities(NonIdeality::ProgrammingNoise, 3) {
+        let cfg = NonIdeality::ProgrammingNoise.configure(severity);
+        for seed in SEEDS {
+            assert_moments_match(
+                &w,
+                None,
+                &x,
+                &cfg,
+                seed,
+                48,
+                true,
+                &format!("prog_noise severity {severity:.4} seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_default_stack_moments_match_monte_carlo_under_both_plans() {
+    // The Table II configuration stacks converters, output noise, read
+    // noise, IR-drop and PCM programming; reps re-program (the programming
+    // draw is part of the ensemble) and both the naïve and a NORA-style
+    // smoothed deployment are checked.
+    let (x, w) = workload(21, 16, 64);
+    let cfg = TileConfig::paper_default();
+    for seed in SEEDS {
+        for smoothing in [None, Some(smoothing_vector(seed, 64))] {
+            let plan = if smoothing.is_some() { "nora" } else { "naive" };
+            assert_moments_match(
+                &w,
+                smoothing.as_deref(),
+                &x,
+                &cfg,
+                seed,
+                48,
+                true,
+                &format!("paper_default {plan} seed {seed}"),
+            );
+        }
+    }
+}
