@@ -1,10 +1,10 @@
 //! Throughput of a single analog tile's noisy GEMV, across tile sizes and
 //! non-ideality configurations.
 
-use nora_bench::harness::{bench, bench_throughput};
+use nora_bench::harness::{bench, bench_throughput, set_sparsity};
 use nora_cim::{AnalogTile, TileConfig};
 use nora_tensor::rng::Rng;
-use nora_tensor::Matrix;
+use nora_tensor::{Matrix, NmPattern, PackedNmMatrix};
 
 fn tile_forward() {
     for &size in &[64usize, 128, 256] {
@@ -80,7 +80,61 @@ fn tile_programming_variants() {
     }
 }
 
+/// Digital GEMM across shapes straddling the `threads_for_work` gate:
+/// small batches (decode-shaped, `m·k·n` below `MIN_PARALLEL_WORK`) must
+/// run on the caller thread with zero pool overhead, while large batches
+/// fan out. Pins the `Matrix::try_matmul` gating of this PR — a regression
+/// back to unconditional fan-out shows up as a collapse of the small-shape
+/// ns/iter.
+fn digital_matmul() {
+    let mut rng = Rng::seed_from(9);
+    for &(m, k, n) in &[(1usize, 64usize, 64usize), (4, 256, 256), (32, 512, 512)] {
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 0.0, 0.2, &mut rng);
+        let elements = (m * k * n) as u64;
+        bench_throughput(&format!("digital_matmul/{m}x{k}x{n}"), elements, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+    }
+}
+
+/// Packed N:M sparse GEMM vs the dense kernel on the same masked weights:
+/// identical outputs bit for bit, so the ns/iter gap is pure kernel win
+/// (≈2× fewer multiply–accumulates at 2:4).
+fn sparse_matmul() {
+    let mut rng = Rng::seed_from(10);
+    // 8×64×256 and 8×256×64 are the serving model's decode shapes (batch-8
+    // FFN up/down projections); 8×512×512 is the register-tile sweet spot.
+    for &(m, k, n) in &[(8usize, 64usize, 256usize), (8, 256, 64), (8, 512, 512)] {
+        let x = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let w = Matrix::random_normal(k, n, 0.0, 0.2, &mut rng);
+        let elements = (m * k * n) as u64;
+        for &pattern in &[NmPattern::N4M8, NmPattern::N2M4, NmPattern::N1M4] {
+            let packed = PackedNmMatrix::pack(&w, pattern, None);
+            let masked = packed.to_dense();
+            set_sparsity(pattern.label());
+            bench_throughput(
+                &format!("sparse_matmul/{}/{m}x{k}x{n}", pattern.label()),
+                elements,
+                || {
+                    std::hint::black_box(packed.matmul(&x));
+                },
+            );
+            set_sparsity("dense");
+            bench_throughput(
+                &format!("sparse_matmul/dense_ref_{}/{m}x{k}x{n}", pattern.label()),
+                elements,
+                || {
+                    std::hint::black_box(x.matmul(&masked));
+                },
+            );
+        }
+    }
+}
+
 fn main() {
+    digital_matmul();
+    sparse_matmul();
     tile_forward();
     tile_forward_averaged();
     tile_programming_variants();

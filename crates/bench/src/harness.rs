@@ -10,19 +10,35 @@
 //! * `NORA_BENCH_FAST=1` — shrink the measurement window (smoke runs / CI).
 //! * `NORA_BENCH_MS=<n>` — explicit measurement window in milliseconds.
 //! * `NORA_BENCH_JSON=<path>` — append one JSON-lines record per
-//!   measurement (`{"name", "ns_per_iter", "iters", "threads", "cores"}` —
-//!   the schema is append-only, so older baselines stay diffable), so runs
-//!   at different thread counts can be committed and diffed as baselines.
-//!   `threads` is the effective `NORA_THREADS` cap; `cores` is the host's
-//!   available parallelism, recording how much headroom the cap actually
-//!   had on the measuring machine.
+//!   measurement (`{"name", "ns_per_iter", "iters", "threads", "cores",
+//!   "sparsity"}` — the schema is append-only, so older baselines stay
+//!   diffable), so runs at different thread counts can be committed and
+//!   diffed as baselines. `threads` is the effective `NORA_THREADS` cap;
+//!   `cores` is the host's available parallelism, recording how much
+//!   headroom the cap actually had on the measuring machine; `sparsity` is
+//!   the weight-sparsity label declared via [`set_sparsity`] (`"dense"`
+//!   unless a bench opts in).
 //! * `--metrics-out <path>` (or `NORA_METRICS_OUT=<path>`) — append the
 //!   operational metrics a bench collected (tile conversion stats, engine
 //!   latency histograms, …) as a JSON-lines sidecar next to the timing
 //!   records; see [`export_metrics`].
 
 use std::io::Write;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// The weight-sparsity label attached to subsequent JSON bench records.
+fn sparsity_slot() -> &'static Mutex<String> {
+    static SLOT: OnceLock<Mutex<String>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(String::from("dense")))
+}
+
+/// Declares the weight-sparsity pattern (e.g. `"2:4"`) of the benches that
+/// follow; every JSON record written by [`bench`] carries it in the
+/// append-only `"sparsity"` field. Call with `"dense"` to reset.
+pub fn set_sparsity(label: &str) {
+    *sparsity_slot().lock().unwrap() = label.to_string();
+}
 
 /// Measurement window per benchmark.
 fn window() -> Duration {
@@ -109,11 +125,12 @@ fn append_json_record(name: &str, m: &Measurement) {
         })
         .collect();
     let record = format!(
-        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.1},\"iters\":{},\"threads\":{},\"cores\":{}}}\n",
+        "{{\"name\":\"{escaped}\",\"ns_per_iter\":{:.1},\"iters\":{},\"threads\":{},\"cores\":{},\"sparsity\":\"{}\"}}\n",
         m.ns_per_iter,
         m.iters,
         nora_parallel::max_threads(),
-        nora_parallel::available()
+        nora_parallel::available(),
+        sparsity_slot().lock().unwrap()
     );
     let result = std::fs::OpenOptions::new()
         .create(true)
@@ -240,6 +257,11 @@ mod tests {
         assert!(lines[0].contains("\"iters\":"));
         assert!(lines[1].contains("\"threads\":"));
         assert!(lines[1].contains("\"cores\":"));
+        // Append-only schema extension: every record carries the sparsity
+        // label (tests may race on the global label, so only the field's
+        // presence is asserted here).
+        assert!(lines[0].contains("\"sparsity\":\""));
+        assert!(lines[1].contains("\"sparsity\":\""));
     }
 
     #[test]

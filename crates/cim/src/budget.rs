@@ -123,6 +123,10 @@ pub struct NoiseBudget {
     pub g_max: f32,
     /// The weight programming source.
     pub source: WeightSource,
+    /// Whether exact-zero weights are left unprogrammed (pruned N:M
+    /// cells): [`NoiseBudget::prog_moments`] then reports `(0, 0)` for
+    /// them instead of the zero-target censored draw.
+    pub prune_zero_cells: bool,
 }
 
 /// Mid-rise converter step: `2·bound / steps`, or 0 for ideal/unbounded
@@ -161,6 +165,10 @@ impl NoiseBudget {
     /// the single-slice mean and divide σ by `radix^(slices-1)`.
     pub fn prog_moments(&self, w_hat: f32) -> (f64, f64) {
         let w = if w_hat.is_nan() { 0.0 } else { w_hat.clamp(-1.0, 1.0) };
+        // Pruned cells are never programmed: exactly zero, exactly certain.
+        if self.prune_zero_cells && w == 0.0 && self.weight_slices <= 1 {
+            return (0.0, 0.0);
+        }
         let g_max = self.g_max as f64;
         let (mean, var) = match self.source {
             WeightSource::Ideal => return (f64::from(w), 0.0),
@@ -237,6 +245,7 @@ impl TileConfig {
             write_verify_iters: self.write_verify_iters,
             g_max: self.g_max,
             source: self.weight_source,
+            prune_zero_cells: self.prune_zero_cells,
         }
     }
 }
@@ -353,6 +362,23 @@ mod tests {
             // Zero weights stay exactly zero on ReRAM.
             let (m0, v0) = b.prog_moments(0.0);
             assert_eq!((m0, v0), (0.0, 0.0));
+        }
+    }
+
+    /// Pruned-cell budgets: zero weights carry no programming error at
+    /// all, while the legacy budget keeps the half-normal PCM floor — and
+    /// nonzero weights are untouched by the flag.
+    #[test]
+    fn pruned_budget_zeroes_the_zero_cell_floor() {
+        let cfg = TileConfig::paper_default(); // Pcm(1.0)
+        let legacy = cfg.noise_budget(256);
+        let pruned = cfg.clone().with_pruned_zeros(true).noise_budget(256);
+        let (m0, v0) = legacy.prog_moments(0.0);
+        assert!(v0 > 0.0, "legacy zero cell must keep the censored floor");
+        assert!(m0.abs() < 1e-12, "differential pair centers the mean");
+        assert_eq!(pruned.prog_moments(0.0), (0.0, 0.0));
+        for w in [0.3f32, -0.7, 1.0] {
+            assert_eq!(pruned.prog_moments(w), legacy.prog_moments(w));
         }
     }
 

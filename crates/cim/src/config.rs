@@ -145,6 +145,17 @@ pub struct TileConfig {
     pub noise_management: NoiseManagement,
     /// ADC saturation recovery policy (the paper's "bound management").
     pub bound_management: BoundManagement,
+    /// When `true`, weights that map to an exact-zero normalised value
+    /// (pruned N:M cells) are left genuinely *unprogrammed*: the device
+    /// draw is skipped, both pair sides stay at 0 µS forever, and
+    /// [`TileConfig::noise_budget`] reports zero programming error for
+    /// them — so pruning shrinks both the energy-driving conductance mass
+    /// and the analytic noise budget. Default `false` keeps the legacy
+    /// behaviour (a zero weight still burns RNG draws and carries the
+    /// half-normal PCM floor), preserving bit-compatibility of every
+    /// seeded result. Only the single-slice programming path prunes;
+    /// `weight_slices > 1` ignores the flag.
+    pub prune_zero_cells: bool,
     /// Hard-fault injection plan (`None` = pristine arrays). Defect maps are
     /// drawn per *physical* tile id, so they persist across re-programming
     /// and differ on spare tiles.
@@ -184,6 +195,7 @@ impl TileConfig {
             write_verify_iters: 1,
             noise_management: NoiseManagement::AbsMax,
             bound_management: BoundManagement::Iterative { max_rounds: 3 },
+            prune_zero_cells: false,
             fault_plan: None,
             fault_tolerance: FaultTolerance::off(),
         }
@@ -213,6 +225,7 @@ impl TileConfig {
             write_verify_iters: 1,
             noise_management: NoiseManagement::AbsMax,
             bound_management: BoundManagement::None,
+            prune_zero_cells: false,
             fault_plan: None,
             fault_tolerance: FaultTolerance::off(),
         }
@@ -239,6 +252,13 @@ impl TileConfig {
         assert!(rows > 0 && cols > 0, "tile size must be positive");
         self.tile_rows = rows;
         self.tile_cols = cols;
+        self
+    }
+
+    /// Returns this config with pruned-cell programming switched on or off
+    /// (see [`TileConfig::prune_zero_cells`]).
+    pub fn with_pruned_zeros(mut self, prune: bool) -> Self {
+        self.prune_zero_cells = prune;
         self
     }
 

@@ -297,6 +297,36 @@ mod tests {
         assert_eq!(retried.rounds, clean.rounds + retries);
     }
 
+    /// Unprogrammed (pruned N:M) cells carry no conductance at all, while
+    /// legacy zero-target programming leaves the censored half-normal
+    /// residue on every zero cell — so opting into pruning must shrink
+    /// both the tile's mean relative conductance and its array energy.
+    #[test]
+    fn pruned_cells_shrink_array_energy() {
+        use crate::{AnalogTile, TileConfig};
+        use nora_tensor::{rng::Rng, Matrix};
+
+        let n = 32;
+        let mut w = Matrix::random_uniform(n, n, -1.0, 1.0, &mut Rng::seed_from(30));
+        for k in (0..n).step_by(2) {
+            w.row_mut(k).fill(0.0);
+        }
+        let cfg = TileConfig::paper_default().with_tile_size(n, n);
+        let mut legacy = AnalogTile::new(w.clone(), None, cfg.clone(), Rng::seed_from(31));
+        let mut pruned = AnalogTile::new(w, None, cfg.with_pruned_zeros(true), Rng::seed_from(31));
+        let x = Matrix::from_vec(1, n, vec![0.5; n]);
+        legacy.forward(&x);
+        pruned.forward(&x);
+        assert!(
+            pruned.mean_rel_conductance() < legacy.mean_rel_conductance(),
+            "pruned {} vs legacy {}",
+            pruned.mean_rel_conductance(),
+            legacy.mean_rel_conductance()
+        );
+        let m = EnergyModel::default();
+        assert!(pruned.energy(&m).array_pj < legacy.energy(&m).array_pj);
+    }
+
     #[test]
     fn energy_scales_with_array_size_and_conductance() {
         let m = EnergyModel::default();

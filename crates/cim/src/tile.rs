@@ -471,12 +471,24 @@ impl AnalogTile {
                         nora_device::read_sliced_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
                     (eff, Some(ProgrammedWeights::Sliced(prog)))
                 } else {
-                    let prog = program_matrix_verified(
-                        &w_hat,
-                        device.as_ref(),
-                        config.write_verify_iters,
-                        &mut dev_rng,
-                    );
+                    // Pruned N:M cells (exact-zero normalised weights) stay
+                    // genuinely unprogrammed when the config opts in: no
+                    // device draw, zero conductance at every read time.
+                    let prog = if config.prune_zero_cells {
+                        nora_device::program_matrix_pruned(
+                            &w_hat,
+                            device.as_ref(),
+                            config.write_verify_iters,
+                            &mut dev_rng,
+                        )
+                    } else {
+                        program_matrix_verified(
+                            &w_hat,
+                            device.as_ref(),
+                            config.write_verify_iters,
+                            &mut dev_rng,
+                        )
+                    };
                     let eff = read_matrix_mean(&prog, device.as_ref(), REFERENCE_READ_TIME);
                     (eff, Some(ProgrammedWeights::Plain(prog)))
                 }

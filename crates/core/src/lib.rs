@@ -48,6 +48,7 @@
 mod calibrate;
 mod plan;
 mod smoothing;
+mod sparsity;
 
 pub mod diagnostics;
 pub mod lambda_search;
@@ -55,3 +56,4 @@ pub mod lambda_search;
 pub use calibrate::{calibrate, Calibration};
 pub use plan::RescalePlan;
 pub use smoothing::{smoothing_vector, SmoothingConfig};
+pub use sparsity::{outlier_density, select_sparsity, SparsityConfig, SparsityPlan};

@@ -1,0 +1,380 @@
+//! Outlier-aware layer-wise N:M sparsity selection.
+//!
+//! The rescale planner already calibrates per-channel activation maxima
+//! (`max|x_k|`, see [`calibrate`](crate::calibrate)) to fold outliers into
+//! the analog scaling factors. This module reuses those same statistics to
+//! decide **which layers tolerate structured pruning**: a linear whose
+//! calibrated activation scales are dominated by a few outlier channels
+//! concentrates its signal there — pruning it risks clipping exactly the
+//! channels NORA works to protect — while a linear with a flat activation
+//! profile spreads importance evenly and prunes safely.
+//!
+//! [`select_sparsity`] ranks layers by [`outlier_density`] (fraction of
+//! calibrated channels far above the median) and greedily upgrades the most
+//! prunable layers one pattern rung at a time (dense → 4:8 → 2:4 → 1:4),
+//! re-validating the whole model after each tentative upgrade and freezing
+//! any layer whose upgrade drops accuracy below the global budget. The
+//! validation callback is pluggable so callers can score with held-out
+//! episodes, the analytic noise evaluator, or both.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::calibrate::Calibration;
+use nora_nn::{LinearId, TransformerLm};
+use nora_tensor::stats::percentile;
+use nora_tensor::NmPattern;
+
+/// Knobs for [`select_sparsity`].
+#[derive(Debug, Clone)]
+pub struct SparsityConfig {
+    /// Global accuracy budget: a tentative upgrade is kept only if the
+    /// validation score stays within `max_accuracy_drop` of the dense
+    /// baseline (absolute, in the validator's units — e.g. 0.01 for "one
+    /// percentage point of episode accuracy").
+    pub max_accuracy_drop: f64,
+    /// Pattern ladder, mildest first. Each layer climbs at most one rung
+    /// per pass and freezes at the last rung that validated.
+    pub ladder: Vec<NmPattern>,
+    /// A calibrated channel counts as an outlier when its activation scale
+    /// exceeds `outlier_threshold × median(scales)`.
+    pub outlier_threshold: f32,
+}
+
+impl Default for SparsityConfig {
+    fn default() -> Self {
+        Self {
+            max_accuracy_drop: 0.01,
+            ladder: vec![NmPattern::N4M8, NmPattern::N2M4, NmPattern::N1M4],
+            outlier_threshold: 4.0,
+        }
+    }
+}
+
+/// Fraction of calibrated channel scales exceeding `threshold × median`.
+///
+/// Returns 0.0 for empty or all-zero inputs (nothing stands out), so
+/// uncalibrated layers rank as maximally prunable only when the caller
+/// chooses to treat missing statistics that way — [`select_sparsity`]
+/// instead ranks layers without calibration data last (density 1.0).
+pub fn outlier_density(scales: &[f32], threshold: f32) -> f64 {
+    if scales.is_empty() {
+        return 0.0;
+    }
+    let median = percentile(scales, 50.0);
+    if median <= 0.0 || median.is_nan() {
+        return 0.0;
+    }
+    let cut = threshold * median;
+    let n = scales.iter().filter(|&&s| s > cut).count();
+    n as f64 / scales.len() as f64
+}
+
+/// A per-layer assignment of N:M patterns. Layers absent from the map are
+/// dense. Keys are ordered (`BTreeMap`) so iteration, [`apply`] and the
+/// study CSVs are deterministic.
+///
+/// [`apply`]: SparsityPlan::apply
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparsityPlan {
+    patterns: BTreeMap<LinearId, NmPattern>,
+}
+
+impl SparsityPlan {
+    /// The all-dense (no-op) plan.
+    pub fn dense() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `pattern` to every linear in `model`.
+    pub fn uniform(model: &TransformerLm, pattern: NmPattern) -> Self {
+        let mut plan = Self::dense();
+        for id in model.linear_ids() {
+            plan.set(id, pattern);
+        }
+        plan
+    }
+
+    /// Sets the pattern for one layer. `Dense` removes the entry.
+    pub fn set(&mut self, id: LinearId, pattern: NmPattern) {
+        if pattern == NmPattern::Dense {
+            self.patterns.remove(&id);
+        } else {
+            self.patterns.insert(id, pattern);
+        }
+    }
+
+    /// Pattern assigned to `id` (`Dense` if unassigned).
+    pub fn pattern_for(&self, id: LinearId) -> NmPattern {
+        self.patterns.get(&id).copied().unwrap_or(NmPattern::Dense)
+    }
+
+    /// True when no layer is pruned.
+    pub fn is_dense(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterates the non-dense assignments in `LinearId` order.
+    pub fn assignments(&self) -> impl Iterator<Item = (LinearId, NmPattern)> + '_ {
+        self.patterns.iter().map(|(&id, &p)| (id, p))
+    }
+
+    /// Fraction of linear-layer weights kept under this plan, weighted by
+    /// parameter count across all of `model`'s analog-mappable linears.
+    pub fn density(&self, model: &TransformerLm) -> f64 {
+        let mut kept = 0.0f64;
+        let mut total = 0.0f64;
+        for id in model.linear_ids() {
+            let lin = model.linear(id);
+            let params = (lin.d_in() * lin.d_out()) as f64;
+            let pat = self.pattern_for(id);
+            // Tail rows (d_in % m) stay dense in the packed layout.
+            let m = pat.m();
+            let groups = lin.d_in() / m;
+            let kept_rows = groups * pat.n() + lin.d_in() % m;
+            kept += params * kept_rows as f64 / lin.d_in().max(1) as f64;
+            total += params;
+        }
+        if total > 0.0 {
+            kept / total
+        } else {
+            1.0
+        }
+    }
+
+    /// Applies the plan to `model`: masks each assigned layer's weights in
+    /// place and installs the packed sparse replica
+    /// ([`DigitalLinear::apply_sparsity`]). When `calibration` is given,
+    /// kept-row selection is importance-weighted by the calibrated
+    /// per-channel activation scales, protecting outlier channels.
+    ///
+    /// [`DigitalLinear::apply_sparsity`]: nora_nn::DigitalLinear::apply_sparsity
+    pub fn apply(&self, model: &mut TransformerLm, calibration: Option<&Calibration>) {
+        for (id, pattern) in self.assignments() {
+            let importance = calibration.and_then(|c| c.act_abs_max(id)).map(<[f32]>::to_vec);
+            model
+                .linear_mut(id)
+                .apply_sparsity(pattern, importance.as_deref());
+        }
+    }
+}
+
+/// Greedy outlier-aware N:M pattern selection under a global accuracy
+/// budget.
+///
+/// `validate` scores a candidate pruned model (higher is better; e.g.
+/// held-out episode accuracy, or the PR-8 analytic evaluator's predicted
+/// accuracy). It is first called on the unpruned `model` to establish the
+/// baseline; every tentative rung upgrade re-validates and is kept only if
+/// the score stays within `config.max_accuracy_drop` of that baseline.
+/// Layers are visited in ascending [`outlier_density`] order (flattest
+/// activation profile first); a layer that fails a rung is frozen at its
+/// current pattern for the remaining rungs.
+pub fn select_sparsity<F>(
+    model: &TransformerLm,
+    calibration: &Calibration,
+    config: &SparsityConfig,
+    mut validate: F,
+) -> SparsityPlan
+where
+    F: FnMut(&TransformerLm) -> f64,
+{
+    let baseline = validate(model);
+    let floor = baseline - config.max_accuracy_drop;
+
+    // Rank: fewest outlier channels first; uncalibrated layers last.
+    let mut order: Vec<(f64, LinearId)> = model
+        .linear_ids()
+        .into_iter()
+        .map(|id| {
+            let density = calibration
+                .act_abs_max(id)
+                .map(|s| outlier_density(s, config.outlier_threshold))
+                .unwrap_or(1.0);
+            (density, id)
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut plan = SparsityPlan::dense();
+    let mut frozen: HashSet<LinearId> = HashSet::new();
+    for &rung in &config.ladder {
+        for &(_, id) in &order {
+            if frozen.contains(&id) {
+                continue;
+            }
+            let mut trial = plan.clone();
+            trial.set(id, rung);
+            let mut pruned = model.clone();
+            trial.apply(&mut pruned, Some(calibration));
+            if validate(&pruned) >= floor {
+                plan = trial;
+            } else {
+                frozen.insert(id);
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use nora_nn::zoo::{inject_outliers, ModelFamily};
+    use nora_nn::ModelConfig;
+    use nora_tensor::rng::Rng;
+
+    fn outlier_model(seed: u64) -> TransformerLm {
+        let mut model =
+            TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(seed));
+        inject_outliers(&mut model, &ModelFamily::OptLike.outlier_spec(), seed);
+        model
+    }
+
+    fn sequences() -> Vec<Vec<usize>> {
+        (0..4)
+            .map(|i| (0..12).map(|t| 2 + (t * 3 + i) % 14).collect())
+            .collect()
+    }
+
+    #[test]
+    fn outlier_density_counts_heavy_channels() {
+        let flat = vec![1.0f32; 64];
+        assert_eq!(outlier_density(&flat, 4.0), 0.0);
+        let mut spiky = vec![1.0f32; 64];
+        spiky[3] = 100.0;
+        spiky[40] = 50.0;
+        let d = outlier_density(&spiky, 4.0);
+        assert!((d - 2.0 / 64.0).abs() < 1e-12, "density {d}");
+        assert_eq!(outlier_density(&[], 4.0), 0.0);
+        assert_eq!(outlier_density(&[0.0; 8], 4.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_plan_density_matches_pattern() {
+        let model = outlier_model(1);
+        let plan = SparsityPlan::uniform(&model, NmPattern::N2M4);
+        // tiny_for_tests dims are multiples of 4, so no dense tails.
+        let d = plan.density(&model);
+        assert!((d - 0.5).abs() < 1e-9, "density {d}");
+        assert!(SparsityPlan::dense().is_dense());
+        assert_eq!(SparsityPlan::dense().density(&model), 1.0);
+    }
+
+    #[test]
+    fn apply_masks_weights_and_installs_replicas() {
+        let model = outlier_model(2);
+        let calib = calibrate(&model, &sequences());
+        let plan = SparsityPlan::uniform(&model, NmPattern::N2M4);
+        let mut pruned = model.clone();
+        plan.apply(&mut pruned, Some(&calib));
+        for id in pruned.linear_ids() {
+            let lin = pruned.linear(id);
+            assert!(lin.sparse.is_some(), "{id:?} missing replica");
+            let zeros = lin
+                .weight
+                .value
+                .as_slice()
+                .iter()
+                .filter(|&&w| w == 0.0)
+                .count();
+            // At 2:4 at least ~half the entries are masked (init has no
+            // exact zeros, so every masked slot counts).
+            assert!(
+                zeros * 2 >= lin.weight.value.as_slice().len(),
+                "{id:?} only {zeros} zeros"
+            );
+        }
+        // The pruned forward still runs and differs from dense.
+        let tokens = &sequences()[0];
+        let dense_logits = model.forward(tokens);
+        let pruned_logits = pruned.forward(tokens);
+        assert_ne!(dense_logits.as_slice(), pruned_logits.as_slice());
+    }
+
+    #[test]
+    fn selector_respects_accuracy_floor() {
+        let model = outlier_model(3);
+        let calib = calibrate(&model, &sequences());
+        // Validator that tolerates 4:8 everywhere but nothing stronger:
+        // score = density of the candidate (1.0 dense, 0.5 at uniform 2:4).
+        let cfg = SparsityConfig {
+            max_accuracy_drop: 0.30,
+            ..SparsityConfig::default()
+        };
+        let plan = select_sparsity(&model, &calib, &cfg, |m| {
+            let kept: usize = m
+                .linear_ids()
+                .into_iter()
+                .map(|id| {
+                    m.linear(id)
+                        .weight
+                        .value
+                        .as_slice()
+                        .iter()
+                        .filter(|&&w| w != 0.0)
+                        .count()
+                })
+                .sum();
+            let total: usize = m
+                .linear_ids()
+                .into_iter()
+                .map(|id| m.linear(id).weight.value.as_slice().len())
+                .sum();
+            kept as f64 / total as f64
+        });
+        // Global density may not drop below 1.0 - 0.30; the greedy pass
+        // should therefore stop short of uniform 2:4 (density 0.5) but
+        // prune at least one layer to 4:8 (first upgrade costs < 0.30).
+        assert!(!plan.is_dense(), "budget allows at least one upgrade");
+        let d = plan.density(&model);
+        assert!(d >= 0.70 - 1e-9, "density {d} broke the floor");
+        assert!(d < 1.0, "selector pruned nothing");
+    }
+
+    #[test]
+    fn selector_with_zero_budget_stays_dense() {
+        let model = outlier_model(4);
+        let calib = calibrate(&model, &sequences());
+        let cfg = SparsityConfig {
+            max_accuracy_drop: 0.0,
+            ..SparsityConfig::default()
+        };
+        // Any pruning lowers the score → everything freezes immediately.
+        let plan = select_sparsity(&model, &calib, &cfg, |m| {
+            let zeros: usize = m
+                .linear_ids()
+                .into_iter()
+                .map(|id| {
+                    m.linear(id)
+                        .weight
+                        .value
+                        .as_slice()
+                        .iter()
+                        .filter(|&&w| w == 0.0)
+                        .count()
+                })
+                .sum();
+            -(zeros as f64)
+        });
+        assert!(plan.is_dense());
+    }
+
+    #[test]
+    fn importance_protects_outlier_channels() {
+        let model = outlier_model(5);
+        let calib = calibrate(&model, &sequences());
+        let plan = SparsityPlan::uniform(&model, NmPattern::N1M4);
+        let mut with_imp = model.clone();
+        plan.apply(&mut with_imp, Some(&calib));
+        let mut without = model.clone();
+        plan.apply(&mut without, None);
+        // Importance weighting must change kept-row selection somewhere
+        // (outlier channels are orders of magnitude above the rest).
+        let differs = with_imp.linear_ids().into_iter().any(|id| {
+            with_imp.linear(id).weight.value.as_slice()
+                != without.linear(id).weight.value.as_slice()
+        });
+        assert!(differs, "importance weighting had no effect");
+    }
+}

@@ -101,6 +101,56 @@ pub fn program_matrix_verified(
     }
 }
 
+/// Like [`program_matrix_verified`], but weights that are exactly `0.0`
+/// are left genuinely *unprogrammed*: both pair sides become
+/// [`ProgrammedCell::unprogrammed`] without consuming any RNG draws, so
+/// pruned N:M cells carry no programming error, no drift, and no read
+/// noise — the physical realisation of structured sparsity on an analog
+/// array.
+///
+/// Note the RNG stream consequence: skipping draws shifts the noise
+/// sequence of every *later* cell relative to [`program_matrix_verified`],
+/// so the two functions only agree bitwise on matrices with no exact
+/// zeros. Callers opt in via `TileConfig::prune_zero_cells`.
+///
+/// # Panics
+///
+/// Panics if `verify_iters == 0`.
+pub fn program_matrix_pruned(
+    weights: &Matrix,
+    model: &dyn NvmModel,
+    verify_iters: u32,
+    rng: &mut Rng,
+) -> ProgrammedMatrix {
+    assert!(verify_iters >= 1, "need at least one programming iteration");
+    let g_max = model.g_max();
+    let n = weights.rows() * weights.cols();
+    let mut plus = Vec::with_capacity(n);
+    let mut minus = Vec::with_capacity(n);
+    for &w in weights.as_slice() {
+        if w == 0.0 {
+            plus.push(ProgrammedCell::unprogrammed());
+            minus.push(ProgrammedCell::unprogrammed());
+            continue;
+        }
+        let pair = ConductancePair::encode(w, g_max);
+        if verify_iters == 1 {
+            plus.push(model.program(pair.g_plus, rng));
+            minus.push(model.program(pair.g_minus, rng));
+        } else {
+            plus.push(model.program_verified(pair.g_plus, verify_iters, rng));
+            minus.push(model.program_verified(pair.g_minus, verify_iters, rng));
+        }
+    }
+    ProgrammedMatrix {
+        rows: weights.rows(),
+        cols: weights.cols(),
+        plus,
+        minus,
+        g_max,
+    }
+}
+
 /// Reads a programmed array back `t_seconds` after programming.
 ///
 /// Returns the effective normalised weight matrix
@@ -238,6 +288,62 @@ mod tests {
         assert_eq!((prog.rows(), prog.cols()), (5, 9));
         let back = read_matrix(&prog, &pcm, 20.0, &mut rng);
         assert_eq!(back.shape(), (5, 9));
+    }
+
+    /// Pruned programming: exact-zero weights become unprogrammed cells
+    /// that read back exactly 0 at every time, consume no RNG draws, and
+    /// contribute no column conductance; nonzero weights still program
+    /// both pair sides through the full device law.
+    #[test]
+    fn pruned_zero_weights_stay_exactly_zero() {
+        let mut w = weight_block(8, 8, 20);
+        // 2:4-style mask: zero half of each group of four rows.
+        for k in [0usize, 1, 4, 5] {
+            w.row_mut(k).fill(0.0);
+        }
+        let pcm = PcmModel::default();
+        let mut rng = Rng::seed_from(21);
+        let prog = program_matrix_pruned(&w, &pcm, 1, &mut rng);
+        for t in [20.0, 3600.0, 1e6] {
+            let back = read_matrix(&prog, &pcm, t, &mut rng);
+            for k in [0usize, 1, 4, 5] {
+                assert!(
+                    back.row(k).iter().all(|&v| v == 0.0),
+                    "pruned row {k} drifted off zero at t={t}"
+                );
+            }
+        }
+        // Unpruned rows still carry programming noise.
+        let back = read_matrix(&prog, &pcm, 20.0, &mut rng);
+        assert!(back.row(2).iter().zip(w.row(2)).any(|(&b, &o)| b != o));
+        // Pruned cells add nothing to the IR-drop-driving column totals.
+        let mut dense_rows = w.clone();
+        for k in [0usize, 1, 4, 5] {
+            dense_rows.row_mut(k).fill(0.0);
+        }
+        let noiseless = PcmModel {
+            prog_noise_scale: 0.0,
+            ..PcmModel::default()
+        };
+        let p_pruned = program_matrix_pruned(&w, &noiseless, 1, &mut Rng::seed_from(1));
+        let p_zeroed = program_matrix(&dense_rows, &noiseless, &mut Rng::seed_from(1));
+        assert_eq!(
+            p_pruned.col_total_conductance(),
+            p_zeroed.col_total_conductance()
+        );
+    }
+
+    /// With no exact zeros in the block, pruned and plain programming are
+    /// bit-identical (same draws in the same order).
+    #[test]
+    fn pruned_programming_matches_plain_on_dense_blocks() {
+        let w = weight_block(6, 6, 22).map(|v| if v == 0.0 { 0.5 } else { v });
+        let pcm = PcmModel::default();
+        let plain = program_matrix_verified(&w, &pcm, 2, &mut Rng::seed_from(23));
+        let pruned = program_matrix_pruned(&w, &pcm, 2, &mut Rng::seed_from(23));
+        let a = read_matrix_mean(&plain, &pcm, 20.0);
+        let b = read_matrix_mean(&pruned, &pcm, 20.0);
+        assert_eq!(a, b);
     }
 
     /// The drift checkpoint/restore contract: programmed cell state is a

@@ -45,7 +45,8 @@ mod reram;
 mod sliced;
 
 pub use crossbar::{
-    program_matrix, program_matrix_verified, read_matrix, read_matrix_mean, ProgrammedMatrix,
+    program_matrix, program_matrix_pruned, program_matrix_verified, read_matrix,
+    read_matrix_mean, ProgrammedMatrix,
 };
 pub use fault::{CellFault, FaultPlan, TileFaultMap};
 pub use pair::ConductancePair;

@@ -181,6 +181,20 @@ pub struct ProgrammedCell {
 }
 
 impl ProgrammedCell {
+    /// A cell that was never programmed (pruned N:M weight): both target
+    /// and achieved conductance are exactly 0 µS with no drift exponent.
+    /// Unlike a cell *programmed to* 0 — which carries the half-normal
+    /// single-shot floor `σ_prog(0)` — an unprogrammed cell draws no noise
+    /// and reads back exactly 0 at every time (drift scales 0, and the 1/f
+    /// read-noise law vanishes at zero conductance).
+    pub const fn unprogrammed() -> Self {
+        Self {
+            g_prog: 0.0,
+            g_target: 0.0,
+            nu: 0.0,
+        }
+    }
+
     /// Reads the cell through `model` at `t_seconds` after programming.
     ///
     /// Equivalent to [`NvmModel::read_cell`] with the receiver flipped; kept

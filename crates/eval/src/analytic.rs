@@ -724,12 +724,20 @@ impl LayerCost {
 /// [`AreaModel`](nora_cim::AreaModel) laws — no tile construction.
 ///
 /// Each tile block is charged one conversion round of a single input row
-/// (`read_averaging` physical repeats); the array term uses the mean
+/// (`read_averaging` physical repeats, times the wordline-plane count
+/// under bit-serial input encoding); the array term uses the mean
 /// relative conductance of the γ-normalised, quantized weight block (the
 /// programming-law mean shift is a second-order correction to energy and
 /// is skipped here). Bound-management retries are load-dependent and
 /// excluded — the estimate is the retry-free floor, consistent across the
 /// whole design grid.
+///
+/// Pruned (all-zero) weight rows are never streamed: their DACs stay idle
+/// in every bit-serial plane and their unprogrammed cells draw no array
+/// current, so the DAC term charges only the active rows while the array
+/// term keeps charging exactly the programmed conductance mass `Σ|ŵ|` —
+/// for dense blocks both reduce to the unpruned estimate, so sparse-aware
+/// accounting is a strict refinement, not a recalibration.
 pub fn layer_decode_cost(
     weights: &Matrix,
     smoothing: Option<&[f32]>,
@@ -749,9 +757,15 @@ pub fn layer_decode_cost(
     };
     let tr = cfg.tile_rows;
     let tc = cfg.tile_cols - usize::from(cfg.fault_tolerance.abft);
+    // Bit-serial encoding rebuilds the full conversion chain once per
+    // wordline plane (`bits − 1` planes, matching the tile forward).
+    let planes = match cfg.input_encoding {
+        nora_cim::InputEncoding::BitSerial { bits } => u64::from(bits.max(2) - 1),
+        _ => 1,
+    };
     let stats = nora_cim::ForwardStats {
         samples: 1,
-        read_repeats: u64::from(cfg.read_averaging.max(1)),
+        read_repeats: planes * u64::from(cfg.read_averaging.max(1)),
         ..Default::default()
     };
     let mut cost = LayerCost::default();
@@ -773,9 +787,16 @@ pub fn layer_decode_cost(
                 nora_tensor::quant::Quantizer::new(steps, 1.0)
                     .quantize_slice(w_hat.as_mut_slice());
             }
-            let mean_rel_g = w_hat.as_slice().iter().map(|v| v.abs()).sum::<f32>()
-                / w_hat.len().max(1) as f32;
-            let report = energy.estimate(&stats, r1 - r0, c1 - c0, mean_rel_g);
+            let active_rows = (0..w_hat.rows())
+                .filter(|&i| w_hat.row(i).iter().any(|&v| v != 0.0))
+                .count();
+            let abs_sum = w_hat.as_slice().iter().map(|v| v.abs()).sum::<f32>();
+            // Charge DACs for active rows only; renormalise the mean
+            // conductance over those rows so the array term still sees the
+            // full programmed mass Σ|ŵ| (identical to the dense estimate
+            // when no row is pruned).
+            let mean_rel_g = abs_sum / (active_rows * (c1 - c0)).max(1) as f32;
+            let report = energy.estimate(&stats, active_rows, c1 - c0, mean_rel_g);
             cost.energy_pj += report.total_pj();
             cost.latency_ns = cost.latency_ns.max(report.latency_ns);
             cost.area_um2 +=
@@ -2087,5 +2108,44 @@ mod tests {
         // and every layer must inject a strictly positive power.
         assert!((0.0..=1.0).contains(&pq.accuracy) && (0.0..=1.0).contains(&pl.accuracy));
         assert!(pl.layers.iter().all(|l| l.power > 0.0));
+    }
+
+    /// Sparse-aware costing: pruned (all-zero) rows stop paying the DAC
+    /// term, dense inputs keep the exact unpruned estimate, and bit-serial
+    /// planes multiply the conversion rounds.
+    #[test]
+    fn pruned_rows_cost_less_than_dense() {
+        let mut rng = Rng::seed_from(11);
+        let dense = Matrix::random_normal(64, 48, 0.0, 1.0, &mut rng);
+        let mut pruned = dense.clone();
+        for i in (0..pruned.rows()).step_by(2) {
+            for v in pruned.row_mut(i) {
+                *v = 0.0;
+            }
+        }
+        let cfg = TileConfig::paper_default().with_tile_size(32, 32);
+        let energy = nora_cim::EnergyModel::default();
+        let area = nora_cim::AreaModel::default();
+        let dense_cost = layer_decode_cost(&dense, None, &cfg, &energy, &area);
+        let pruned_cost = layer_decode_cost(&pruned, None, &cfg, &energy, &area);
+        assert!(
+            pruned_cost.energy_pj < dense_cost.energy_pj,
+            "pruned {} !< dense {}",
+            pruned_cost.energy_pj,
+            dense_cost.energy_pj
+        );
+        // Tile occupancy and the conversion-round critical path are
+        // unchanged — only per-round charges shrink.
+        assert_eq!(pruned_cost.area_um2, dense_cost.area_um2);
+        assert_eq!(pruned_cost.latency_ns, dense_cost.latency_ns);
+
+        // Bit-serial input encoding charges one full chain per wordline
+        // plane (bits − 1 planes).
+        let mut bs = cfg.clone();
+        bs.input_encoding = nora_cim::InputEncoding::BitSerial { bits: 8 };
+        let bs_cost = layer_decode_cost(&dense, None, &bs, &energy, &area);
+        assert!(bs_cost.energy_pj > dense_cost.energy_pj);
+        let ratio = bs_cost.latency_ns / dense_cost.latency_ns;
+        assert!((ratio - 7.0).abs() < 1e-9, "plane latency ratio {ratio}");
     }
 }

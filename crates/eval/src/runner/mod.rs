@@ -13,6 +13,7 @@ mod mitigation;
 mod overall;
 mod prepare;
 mod sensitivity;
+mod sparsity;
 
 pub use extensions::{
     cross_device, digital_quant_baseline, energy_study, CrossDeviceRow, EnergyRow,
@@ -37,3 +38,4 @@ pub use mitigation::{mitigation, MitigationConfig, MitigationRow};
 pub use overall::{overall, OverallConfig, OverallRow};
 pub use prepare::{prepare, prepare_built, PreparedModel};
 pub use sensitivity::{sensitivity, SensitivityConfig, SensitivityPoint};
+pub use sparsity::{sparsity_study, SparsityStudyConfig, SparsityStudyRow};

@@ -1,0 +1,346 @@
+//! N:M sparsity study: accuracy vs pattern vs decode throughput vs energy.
+//!
+//! Each row prunes the prepared model to one block-wise N:M pattern
+//! (uniform across layers, plus one `auto` row from the outlier-aware
+//! selector validated by the analytic evaluator), then measures:
+//!
+//! * exact digital next-token accuracy on the held-out episodes,
+//! * the analytic evaluator's predicted accuracy on the study tile config
+//!   (the score the selector optimises; the evaluator is rebuilt on each
+//!   pruned candidate so its captured logits carry the pruning damage),
+//! * KV-cached greedy decode throughput through the packed sparse kernels
+//!   and through the dense reference on the *same masked weights* — the
+//!   speedup column is sparse/dense on identical numerics (the two paths
+//!   are bit-identical, so the ratio is pure kernel win),
+//! * first-order decode energy from [`layer_decode_cost`], which charges
+//!   only active (non-pruned) rows.
+
+use std::time::Instant;
+
+use crate::analytic::{layer_decode_cost, AnalyticEvaluator, LayerCost};
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::digital_accuracy;
+use nora_cim::{AreaModel, EnergyModel, TileConfig};
+use nora_core::{select_sparsity, SparsityConfig, SparsityPlan};
+use nora_nn::{KvCache, TransformerLm};
+use nora_tensor::NmPattern;
+
+/// Configuration of the sparsity sweep.
+#[derive(Debug, Clone)]
+pub struct SparsityStudyConfig {
+    /// Uniform patterns to sweep (one row each).
+    pub patterns: Vec<NmPattern>,
+    /// Accuracy budget handed to the `auto` selector row (absolute drop in
+    /// analytic predicted accuracy).
+    pub auto_budget: f64,
+    /// Tokens per timed greedy decode loop.
+    pub decode_tokens: usize,
+    /// Tile configuration used for the analytic prediction and the energy
+    /// column.
+    pub tile: TileConfig,
+}
+
+impl Default for SparsityStudyConfig {
+    fn default() -> Self {
+        Self {
+            patterns: vec![
+                NmPattern::Dense,
+                NmPattern::N4M8,
+                NmPattern::N2M4,
+                NmPattern::N1M4,
+            ],
+            auto_budget: 0.01,
+            decode_tokens: 512,
+            tile: TileConfig::paper_default(),
+        }
+    }
+}
+
+/// One (model, pattern) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsityStudyRow {
+    /// Model name.
+    pub model: String,
+    /// Pattern label (`dense`, `4:8`, `2:4`, `1:4`, or `auto`).
+    pub pattern: String,
+    /// Kept-weight fraction of the plan across all linears.
+    pub density: f64,
+    /// FP32 dense digital baseline accuracy.
+    pub digital: f64,
+    /// Digital next-token accuracy of the pruned model.
+    pub accuracy: f64,
+    /// Analytic predicted accuracy of the pruned model on the study tile.
+    pub predicted: f64,
+    /// Greedy decode throughput through the packed sparse kernels, tok/s.
+    pub tokens_per_sec: f64,
+    /// Same decode on the dense reference kernel (identical masked
+    /// weights), tok/s.
+    pub dense_tokens_per_sec: f64,
+    /// `tokens_per_sec / dense_tokens_per_sec`.
+    pub speedup: f64,
+    /// First-order decode energy (active rows only), nJ per token.
+    pub energy_nj: f64,
+}
+
+impl SparsityStudyRow {
+    /// Accuracy loss vs the dense digital baseline, percentage points.
+    pub fn loss_pp(&self) -> f64 {
+        100.0 * (self.digital - self.accuracy)
+    }
+
+    /// Renders rows as the sparsity-study table.
+    pub fn table(rows: &[SparsityStudyRow]) -> Table {
+        let mut t = Table::new(&[
+            "model", "pattern", "density", "digital%", "accuracy%", "loss_pp", "pred%",
+            "tok/s", "dense_tok/s", "speedup", "nJ/tok",
+        ])
+        .with_title("Sparsity study — accuracy vs N:M pattern vs decode throughput");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.pattern.clone(),
+                format!("{:.3}", r.density),
+                pct(r.digital),
+                pct(r.accuracy),
+                format!("{:+.1}", r.loss_pp()),
+                pct(r.predicted),
+                format!("{:.0}", r.tokens_per_sec),
+                format!("{:.0}", r.dense_tokens_per_sec),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}", r.energy_nj),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[SparsityStudyRow]) -> String {
+        let mut out = String::from(
+            "model,pattern,density,digital,accuracy,predicted,tokens_per_sec,\
+             dense_tokens_per_sec,speedup,energy_nj\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.pattern,
+                r.density,
+                r.digital,
+                r.accuracy,
+                r.predicted,
+                r.tokens_per_sec,
+                r.dense_tokens_per_sec,
+                r.speedup,
+                r.energy_nj,
+            ));
+        }
+        out
+    }
+}
+
+/// Greedy KV-cached decode throughput, tokens per wall-clock second.
+fn decode_tokens_per_sec(model: &TransformerLm, tokens: usize) -> f64 {
+    let vocab = model.config().vocab;
+    let mut cache = KvCache::new(model);
+    let mut tok = 1 % vocab;
+    let start = Instant::now();
+    for _ in 0..tokens.max(1) {
+        let logits = model.decode_step(tok, &mut cache);
+        tok = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+    }
+    std::hint::black_box(tok);
+    tokens.max(1) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn measure(
+    p: &PreparedModel,
+    cfg: &SparsityStudyConfig,
+    label: &str,
+    plan: &SparsityPlan,
+) -> SparsityStudyRow {
+    let mut pruned = p.zoo.model.clone();
+    plan.apply(&mut pruned, Some(&p.calibration));
+    let accuracy = digital_accuracy(&pruned, &p.episodes);
+    // The evaluator is rebuilt on the pruned model so its captured clean
+    // logits carry the pruning damage — an evaluator built on the dense
+    // model would predict near-baseline accuracy for any plan.
+    let predicted = AnalyticEvaluator::new(&pruned, &p.episodes, 8)
+        .predict(&pruned, &p.nora_plan, &cfg.tile)
+        .accuracy;
+    // Dense reference: strip the packed replicas, keep the masked weights —
+    // the dense kernel then computes the exact same numbers.
+    let mut dense_ref = pruned.clone();
+    for id in dense_ref.linear_ids() {
+        dense_ref.linear_mut(id).sparse = None;
+    }
+    // Best-of-3 alternating passes: peak throughput on each path, robust to
+    // frequency scaling and cache warmup drift between the two timings.
+    let mut tokens_per_sec = 0.0f64;
+    let mut dense_tokens_per_sec = 0.0f64;
+    for _ in 0..3 {
+        tokens_per_sec = tokens_per_sec.max(decode_tokens_per_sec(&pruned, cfg.decode_tokens));
+        dense_tokens_per_sec =
+            dense_tokens_per_sec.max(decode_tokens_per_sec(&dense_ref, cfg.decode_tokens));
+    }
+
+    let energy = EnergyModel {
+        adc_steps: cfg.tile.adc.steps().unwrap_or(128),
+        ..EnergyModel::default()
+    };
+    let area = AreaModel::default();
+    let mut cost = LayerCost::default();
+    for id in pruned.linear_ids() {
+        cost.accumulate(layer_decode_cost(
+            &pruned.linear(id).weight.value,
+            p.nora_plan.smoothing_for(id),
+            &cfg.tile,
+            &energy,
+            &area,
+        ));
+    }
+
+    SparsityStudyRow {
+        model: p.zoo.name.clone(),
+        pattern: label.to_string(),
+        density: plan.density(&p.zoo.model),
+        digital: p.digital_acc,
+        accuracy,
+        predicted,
+        tokens_per_sec,
+        dense_tokens_per_sec,
+        speedup: tokens_per_sec / dense_tokens_per_sec.max(1e-9),
+        energy_nj: cost.energy_pj / 1e3,
+    }
+}
+
+/// Runs the sparsity sweep for one prepared model: one row per uniform
+/// pattern in `cfg.patterns` plus the outlier-aware `auto` row, whose plan
+/// comes from [`select_sparsity`] scored by the analytic evaluator on
+/// `cfg.tile` (exactly the "validate before committing a plan" contract).
+///
+/// Rows measure sequentially — the throughput columns are wall-clock
+/// timings and must not contend with each other for cores.
+pub fn sparsity_study(
+    p: &PreparedModel,
+    cfg: &SparsityStudyConfig,
+) -> Vec<SparsityStudyRow> {
+    let mut plans: Vec<(String, SparsityPlan)> = cfg
+        .patterns
+        .iter()
+        .map(|&pat| {
+            (
+                pat.label().to_string(),
+                SparsityPlan::uniform(&p.zoo.model, pat),
+            )
+        })
+        .collect();
+    let sel_cfg = SparsityConfig {
+        max_accuracy_drop: cfg.auto_budget,
+        ..SparsityConfig::default()
+    };
+    // Validation rebuilds the analytic evaluator on every pruned candidate:
+    // the captured clean logits then reflect the candidate's own functional
+    // damage, so the selector sees real accuracy loss rather than the dense
+    // model's near-perfect score with noise folded in.
+    let auto = select_sparsity(&p.zoo.model, &p.calibration, &sel_cfg, |m| {
+        AnalyticEvaluator::new(m, &p.episodes, 8)
+            .predict(m, &p.nora_plan, &cfg.tile)
+            .accuracy
+    });
+    plans.push(("auto".to_string(), auto));
+
+    plans
+        .iter()
+        .map(|(label, plan)| measure(p, cfg, label, plan))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare;
+    use nora_nn::zoo::{tiny_spec, ModelFamily};
+
+    #[test]
+    fn study_rows_cover_patterns_and_stay_bit_identical_to_dense() {
+        let p = prepare(&tiny_spec(ModelFamily::OptLike, 88), 30, 4);
+        let cfg = SparsityStudyConfig {
+            patterns: vec![NmPattern::Dense, NmPattern::N2M4],
+            auto_budget: 0.02,
+            decode_tokens: 8,
+            ..SparsityStudyConfig::default()
+        };
+        let rows = sparsity_study(&p, &cfg);
+        assert_eq!(rows.len(), 3); // dense, 2:4, auto
+        assert_eq!(rows[0].pattern, "dense");
+        assert_eq!(rows[1].pattern, "2:4");
+        assert_eq!(rows[2].pattern, "auto");
+        assert!((rows[0].density - 1.0).abs() < 1e-12);
+        assert!((rows[1].density - 0.5).abs() < 1e-9);
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.accuracy), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.predicted), "{r:?}");
+            assert!(r.tokens_per_sec > 0.0 && r.dense_tokens_per_sec > 0.0);
+            assert!(r.energy_nj > 0.0);
+        }
+        // Pruning shrinks the active-row energy charge.
+        assert!(rows[1].energy_nj < rows[0].energy_nj);
+        // The auto plan respects its own validation budget.
+        assert!(rows[2].predicted >= rows[0].predicted - cfg.auto_budget - 1e-9);
+
+        // Packed decode must be bit-identical to the dense reference on the
+        // masked weights (the speedup column compares identical numerics).
+        let plan = SparsityPlan::uniform(&p.zoo.model, NmPattern::N2M4);
+        let mut pruned = p.zoo.model.clone();
+        plan.apply(&mut pruned, Some(&p.calibration));
+        let mut dense_ref = pruned.clone();
+        for id in dense_ref.linear_ids() {
+            dense_ref.linear_mut(id).sparse = None;
+        }
+        let mut c1 = KvCache::new(&pruned);
+        let mut c2 = KvCache::new(&dense_ref);
+        let mut tok = 1usize;
+        for _ in 0..6 {
+            let a = pruned.decode_step(tok, &mut c1);
+            let b = dense_ref.decode_step(tok, &mut c2);
+            assert_eq!(a, b, "sparse decode diverged from dense reference");
+            tok = a
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.total_cmp(y.1))
+                .map(|(i, _)| i)
+                .unwrap();
+        }
+
+        let table = SparsityStudyRow::table(&rows).render();
+        assert!(table.contains("speedup"));
+        let csv = SparsityStudyRow::csv(&rows);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("model,pattern,density"));
+    }
+
+    /// Golden-schema check: the committed `results/sparsity_study.csv` was
+    /// written with the current CSV schema. A column rename or reorder must
+    /// fail here until the results file is regenerated alongside it.
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = SparsityStudyRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/sparsity_study.csv"
+        ))
+        .expect("committed results/sparsity_study.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/sparsity_study.csv header drifted from SparsityStudyRow::csv"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::param::Param;
 use nora_tensor::rng::Rng;
-use nora_tensor::Matrix;
+use nora_tensor::{Matrix, NmPattern, PackedNmMatrix};
 
 /// A fully-connected layer `y = x · W + b` with weight shape
 /// `(d_in × d_out)` — the activation-side orientation used across the
@@ -14,6 +14,15 @@ pub struct DigitalLinear {
     pub weight: Param,
     /// Bias parameter, `(1 × d_out)`.
     pub bias: Param,
+    /// Packed block-wise N:M replica of `weight`, installed by
+    /// [`DigitalLinear::apply_sparsity`]. When present, [`forward`]
+    /// dispatches to the sparse kernel — bit-identical to the dense kernel
+    /// on the (masked) `weight`, just skipping the pruned rows. The
+    /// replica is a post-training deployment artifact: parameter updates
+    /// do not refresh it, so re-apply after any weight mutation.
+    ///
+    /// [`forward`]: DigitalLinear::forward
+    pub sparse: Option<PackedNmMatrix>,
 }
 
 impl DigitalLinear {
@@ -23,7 +32,29 @@ impl DigitalLinear {
         Self {
             weight: Param::new(Matrix::random_normal(d_in, d_out, 0.0, std, rng)),
             bias: Param::new(Matrix::zeros(1, d_out)),
+            sparse: None,
         }
+    }
+
+    /// Prunes `weight` in place to the block-wise `pattern` and installs
+    /// the packed sparse replica the forward pass will use.
+    ///
+    /// `row_importance` (length `d_in`, typically the calibrated
+    /// per-channel activation scale) biases kept-row selection toward
+    /// channels that carry outlier activations. The masked dense weights
+    /// are written back to `weight`, so every other consumer — analog
+    /// deployment, the analytic evaluator, training checkpoints — sees
+    /// exactly the weights the sparse kernel computes with.
+    /// [`NmPattern::Dense`] removes any installed replica and leaves the
+    /// weights untouched.
+    pub fn apply_sparsity(&mut self, pattern: NmPattern, row_importance: Option<&[f32]>) {
+        if pattern == NmPattern::Dense {
+            self.sparse = None;
+            return;
+        }
+        let packed = PackedNmMatrix::pack(&self.weight.value, pattern, row_importance);
+        self.weight.value = packed.to_dense();
+        self.sparse = Some(packed);
     }
 
     /// Input dimension.
@@ -37,8 +68,15 @@ impl DigitalLinear {
     }
 
     /// Forward pass: `x` is `(n × d_in)`, result `(n × d_out)`.
+    ///
+    /// With a sparse replica installed the product runs through the packed
+    /// N:M kernel (bit-identical to the dense product on the masked
+    /// `weight`, at the pattern's fraction of the multiply–accumulates).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.weight.value);
+        let mut y = match &self.sparse {
+            Some(packed) => packed.matmul(x),
+            None => x.matmul(&self.weight.value),
+        };
         let b = self.bias.value.row(0);
         for i in 0..y.rows() {
             for (v, &bv) in y.row_mut(i).iter_mut().zip(b) {
@@ -149,6 +187,29 @@ mod tests {
         let dy = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         lin.backward(&x, &dy);
         assert_eq!(lin.bias.grad.row(0), &[4.0, 6.0]);
+    }
+
+    /// The sparse decode contract at the layer level: after
+    /// `apply_sparsity`, the packed forward is bit-identical to the dense
+    /// forward on the masked weights, and `Dense` uninstalls the replica.
+    #[test]
+    fn sparse_forward_matches_dense_on_masked_weights() {
+        let mut rng = Rng::seed_from(5);
+        let mut lin = DigitalLinear::new(64, 48, &mut rng);
+        let dense_before = lin.weight.value.clone();
+        lin.apply_sparsity(NmPattern::N2M4, None);
+        assert!(lin.sparse.is_some());
+        assert_ne!(lin.weight.value, dense_before, "weights must be masked");
+        let x = Matrix::random_normal(3, 64, 0.0, 1.0, &mut rng);
+        let sparse_y = lin.forward(&x);
+        let mut dense_path = lin.clone();
+        dense_path.sparse = None;
+        assert_eq!(sparse_y.as_slice(), dense_path.forward(&x).as_slice());
+        // Dense pattern removes the replica without touching weights.
+        let masked = lin.weight.value.clone();
+        lin.apply_sparsity(NmPattern::Dense, None);
+        assert!(lin.sparse.is_none());
+        assert_eq!(lin.weight.value, masked);
     }
 
     #[test]

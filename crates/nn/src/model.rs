@@ -10,7 +10,7 @@ use nora_tensor::rng::Rng;
 use nora_tensor::Matrix;
 
 /// Which of the six analog-mappable linears of a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LinearKind {
     /// Attention query projection.
     Q,
@@ -51,7 +51,7 @@ impl LinearKind {
 }
 
 /// Identifies one analog-mappable linear in the model: block index + kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinearId {
     /// Block (layer) index.
     pub block: usize,

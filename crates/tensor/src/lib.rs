@@ -32,7 +32,9 @@ mod error;
 mod matrix;
 pub mod quant;
 pub mod rng;
+mod sparse;
 pub mod stats;
 
 pub use error::{Result, ShapeError};
 pub use matrix::Matrix;
+pub use sparse::{NmPattern, PackedNmMatrix};

@@ -223,10 +223,11 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        let threads = nora_parallel::max_threads();
-        // Below ~1 Mflop the latch handshake costs more than it saves.
-        let parallel = threads > 1 && m > 1 && m * k * n >= PAR_MIN_FLOPS;
-        if parallel {
+        // Shared work-threshold gate (`MIN_PARALLEL_WORK`): below ~1 Mflop
+        // the pool latch handshake costs more than it saves, so small
+        // matmuls stay on the exact serial loop.
+        let threads = nora_parallel::threads_for_work(m, (k * n) as u64);
+        if threads > 1 && m > 1 {
             // Small chunks (≈4 per thread) so a slow chunk can't stall the
             // section; each chunk owns whole output rows, so writes are
             // disjoint and per-element FP order is unchanged.
@@ -573,10 +574,6 @@ impl Matrix {
         crate::stats::mse(&self.data, &rhs.data)
     }
 }
-
-/// Minimum `m·k·n` product for parallel matmul — below this the pool latch
-/// handshake dominates the kernel time.
-const PAR_MIN_FLOPS: usize = 1 << 20;
 
 /// Register-tile width of the GEMM/GEMV kernel (f32 lanes kept live across
 /// the `k` loop).

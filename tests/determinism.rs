@@ -316,6 +316,55 @@ fn observed_serving_identical_across_thread_counts() {
     }
 }
 
+/// Sparse digital serving: a 2:4-pruned model decoding through the packed
+/// N:M kernels must emit bit-identical token streams at any thread count —
+/// and exactly the streams of the dense reference kernel on the same
+/// masked weights (the sparse path skips only exact-zero terms).
+#[test]
+fn sparse_digital_serving_bit_identical_across_thread_counts() {
+    use nora::core::SparsityPlan;
+    use nora::nn::generate::Sampling;
+    use nora::serve::{DigitalBackend, EngineConfig, GenRequest, GenerationEngine};
+    use nora::tensor::NmPattern;
+    let zoo = tiny_spec(ModelFamily::OptLike, 530).build();
+    let mut sparse = zoo.model.clone();
+    SparsityPlan::uniform(&sparse, NmPattern::N2M4).apply(&mut sparse, None);
+    let mut dense_ref = sparse.clone();
+    for id in dense_ref.linear_ids() {
+        dense_ref.linear_mut(id).sparse = None;
+    }
+    let run = |model: &nora::nn::TransformerLm, threads: usize| {
+        with_threads(threads, || {
+            let mut engine = GenerationEngine::new(
+                DigitalBackend::new(model),
+                EngineConfig::with_max_batch(4),
+            );
+            for i in 0..8u64 {
+                engine.submit(
+                    GenRequest::new(vec![1 + (i as usize) % 5], 16)
+                        .with_sampling(Sampling::Temperature(1.3))
+                        .with_seed(800 + i),
+                );
+            }
+            engine
+                .run_to_completion()
+                .into_iter()
+                .map(|r| r.tokens)
+                .collect::<Vec<_>>()
+        })
+    };
+    let serial = run(&sparse, 1);
+    assert_eq!(serial.len(), 8);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run(&sparse, threads), "threads={threads}");
+    }
+    assert_eq!(
+        serial,
+        run(&dense_ref, 1),
+        "sparse decode diverged from the dense reference"
+    );
+}
+
 /// Eval sweeps run points in parallel but merge rows in task order: a small
 /// drift study must produce identical rows at 1 and 4 threads.
 #[test]
