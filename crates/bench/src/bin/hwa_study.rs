@@ -1,0 +1,150 @@
+//! Hardware-aware STE training vs NORA rescaling, head-to-head.
+//!
+//! For each zoo model this builds (or loads from cache) the plain
+//! checkpoint and its STE trained-robust counterpart, then scores four arms
+//! — base, HWA alone, NORA alone, HWA+NORA composed — on the full Table II
+//! noise stack, the Fig. 3 MSE-matched sensitivity grid, and the hard-fault
+//! grid. Prints the table plus a table2-point summary per model and writes
+//! the raw sweep as `results/hwa_study.csv`.
+//!
+//! Expected shape: NORA alone recovers most of the base model's loss at the
+//! Table II point without any training; HWA alone hardens the weight side
+//! but leaves the IO side exposed; the composed arm is at least as good as
+//! either ingredient.
+//!
+//! Env knobs: `NORA_HWA_STEPS`, `NORA_HWA_LR`, `NORA_HWA_NOISE_SCALE`
+//! (robust fine-tuning stage), `NORA_HWA_MSE_POINTS`, `NORA_HWA_CELL_RATES`
+//! (comma-separated). `NORA_FAST=1` shrinks the model set, the fine-tuning
+//! stage and the grids for smoke runs. With `--metrics-out` /
+//! `NORA_METRICS_OUT` set, the sweep telemetry lands in the metrics sidecar
+//! under the `hwa_study` bench marker.
+
+use nora_bench::harness::export_metrics;
+use nora_bench::{calib_count, episode_count, fast_mode, prepare_cached};
+use nora_eval::runner::{
+    hwa_study_recorded, prepare_built, HwaPair, HwaStudyConfig, HwaStudyRow,
+};
+use nora_nn::zoo::{opt_presets, other_presets, robust_variant, RobustSpec, ZooSpec};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64_list(name: &str, default: &[f64]) -> Vec<f64> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn prepare_pair(spec: &ZooSpec, robust: RobustSpec) -> HwaPair {
+    let base = prepare_cached(spec);
+    let robust_spec = robust_variant(spec, Some(robust));
+    eprintln!(
+        "[nora-bench] preparing {} (STE {} steps) …",
+        robust_spec.name,
+        robust.steps
+    );
+    let t0 = std::time::Instant::now();
+    let zoo = robust_spec.build_cached(&nora_bench::cache_dir());
+    let prepared = prepare_built(zoo, episode_count(), calib_count());
+    eprintln!(
+        "[nora-bench] {} ready in {:.1?} (digital acc {:.2}%)",
+        robust_spec.name,
+        t0.elapsed(),
+        100.0 * prepared.digital_acc
+    );
+    HwaPair {
+        base,
+        robust: prepared,
+    }
+}
+
+fn main() {
+    let opt = &opt_presets()[2];
+    let mistral = &other_presets()[2];
+    let specs: Vec<&ZooSpec> = if fast_mode() {
+        vec![opt]
+    } else {
+        vec![opt, mistral]
+    };
+
+    let pairs: Vec<HwaPair> = specs
+        .iter()
+        .map(|spec| {
+            let default = RobustSpec::default_for(&spec.train);
+            let default_steps = if fast_mode() { 40 } else { default.steps };
+            let robust = RobustSpec {
+                steps: env_u64("NORA_HWA_STEPS", default_steps),
+                lr: env_f64("NORA_HWA_LR", default.lr as f64) as f32,
+                noise_scale: env_f64("NORA_HWA_NOISE_SCALE", default.noise_scale as f64) as f32,
+            };
+            prepare_pair(spec, robust)
+        })
+        .collect();
+
+    let mut cfg = HwaStudyConfig::default();
+    if fast_mode() {
+        cfg.noises.truncate(2);
+        cfg.mse_points = 2;
+        cfg.cell_rates = vec![0.02];
+    }
+    cfg.mse_points = env_u64("NORA_HWA_MSE_POINTS", cfg.mse_points as u64) as usize;
+    cfg.cell_rates = env_f64_list("NORA_HWA_CELL_RATES", &cfg.cell_rates);
+
+    let mut metrics = nora_obs::Metrics::new();
+    let t0 = std::time::Instant::now();
+    let rows = hwa_study_recorded(&pairs, &cfg, &mut metrics);
+    let elapsed = t0.elapsed();
+
+    println!("{}", HwaStudyRow::table(&rows).render());
+    println!("scored {} grid points in {:.1?}", rows.len(), elapsed);
+
+    // Table II headline: the composed arm against its ingredients.
+    for pair in &pairs {
+        let at = |arm: &str| {
+            rows.iter()
+                .find(|r| r.model == pair.base.zoo.name && r.grid == "table2" && r.arm == arm)
+        };
+        if let (Some(base), Some(hwa), Some(nora), Some(both)) =
+            (at("base"), at("hwa"), at("nora"), at("hwa+nora"))
+        {
+            println!(
+                "{}: table2 accuracy base {:.1}% | hwa {:.1}% | nora {:.1}% | \
+                 hwa+nora {:.1}% (digital {:.1}%)",
+                pair.base.zoo.name,
+                100.0 * base.accuracy,
+                100.0 * hwa.accuracy,
+                100.0 * nora.accuracy,
+                100.0 * both.accuracy,
+                100.0 * base.digital,
+            );
+        }
+    }
+
+    let csv_path = std::path::Path::new("results").join("hwa_study.csv");
+    if let Some(dir) = csv_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&csv_path, HwaStudyRow::csv(&rows)) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", csv_path.display()),
+    }
+
+    export_metrics("hwa_study", &metrics);
+}

@@ -274,6 +274,29 @@ impl TileConfig {
         self
     }
 
+    /// Builds the input DAC implied by this config (`dac` resolution over
+    /// `±dac_bound`).
+    ///
+    /// This is the single constructor for the deploy-path input grid: the
+    /// tile forward and the hardware-aware STE trainer both obtain their
+    /// DAC from here, so the training-time fake-quantization grid cannot
+    /// drift from the grid the simulator converts with.
+    pub fn input_dac(&self) -> crate::converter::Dac {
+        crate::converter::Dac::new(self.dac, self.dac_bound)
+    }
+
+    /// Builds the digital weight-programming quantizer implied by this
+    /// config, if any (`weight_quant` steps over the normalised `±1`
+    /// weight range), `None` when conductances are continuous.
+    ///
+    /// Shared by tile programming and the STE trainer for the same reason
+    /// as [`TileConfig::input_dac`].
+    pub fn weight_quantizer(&self) -> Option<nora_tensor::quant::Quantizer> {
+        self.weight_quant
+            .steps()
+            .map(|n| nora_tensor::quant::Quantizer::new(n, 1.0))
+    }
+
     /// Builds the NVM device model implied by this config, if any.
     pub fn device_model(&self) -> Option<Box<dyn NvmModel>> {
         match self.weight_source {

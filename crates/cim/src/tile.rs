@@ -446,8 +446,7 @@ impl AnalogTile {
 
         // Digital weight quantization (if configured) snaps the normalised
         // mapping to discrete levels before any device effects.
-        if let Some(steps) = config.weight_quant.steps() {
-            let q = nora_tensor::quant::Quantizer::new(steps, 1.0);
+        if let Some(q) = config.weight_quantizer() {
             q.quantize_slice(w_hat.as_mut_slice());
         }
 
@@ -528,7 +527,7 @@ impl AnalogTile {
             .collect();
         let ir_factors = ir.column_factors(&col_mean_rel_g, rows);
 
-        let dac = Dac::new(config.dac, config.dac_bound);
+        let dac = config.input_dac();
         let adc = Adc::new(config.adc, config.adc_bound);
         // Single source of truth for the stage constants: the queryable
         // budget — analytic consumers read the identical f32 values.

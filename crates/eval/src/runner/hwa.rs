@@ -1,0 +1,393 @@
+//! Hardware-aware training vs NORA, head-to-head.
+//!
+//! The paper's position is that hardware-aware (HWA) retraining — the
+//! established recipe for analog robustness — is "non-trivial, if not
+//! prohibitive for LLMs", and that NORA recovers most of the accuracy with
+//! no training at all. This study puts the two on the same axes. For every
+//! zoo model it scores four arms:
+//!
+//! * `base` — the plain checkpoint, naively deployed;
+//! * `hwa` — the STE trained-robust checkpoint
+//!   ([`nora_nn::ste::train_ste`]), naively deployed;
+//! * `nora` — the plain checkpoint under its NORA rescale plan;
+//! * `hwa+nora` — the trained-robust checkpoint under its own
+//!   (recalibrated) NORA plan — the two techniques composed.
+//!
+//! Each arm is measured on three grids: the full Table II noise stack (the
+//! paper's deployment point), the Fig. 3 MSE-matched single-noise
+//! sensitivity grid, and the hard-fault grid. All arms of a pair share the
+//! *base* model's held-out episodes, so accuracies are directly comparable
+//! across arms.
+
+use crate::noise_level::{paper_mse_grid, severity_for_mse, RefWorkload};
+use crate::report::{pct, Table};
+use crate::runner::PreparedModel;
+use crate::tasks::{analog_accuracy, digital_accuracy};
+use nora_cim::{FaultPlan, FaultTolerance, NonIdeality, TileConfig};
+use nora_core::RescalePlan;
+use nora_obs::Metrics;
+
+/// A base checkpoint and its hardware-aware trained-robust counterpart,
+/// each fully prepared (calibrated, baselined, NORA-planned).
+#[derive(Debug, Clone)]
+pub struct HwaPair {
+    /// The plain zoo checkpoint.
+    pub base: PreparedModel,
+    /// The same spec rebuilt with an STE fine-tuning stage
+    /// ([`nora_nn::zoo::robust_variant`]); its `nora_plan` is recalibrated
+    /// on the fine-tuned weights.
+    pub robust: PreparedModel,
+}
+
+/// Configuration of the HWA-vs-NORA study.
+#[derive(Debug, Clone)]
+pub struct HwaStudyConfig {
+    /// Deployment tile for the `table2` and `fault` grids (default: the
+    /// paper's Table II stack).
+    pub tile: TileConfig,
+    /// Non-idealities for the sensitivity grid (default: the IO and
+    /// weight-side noises the two techniques split on).
+    pub noises: Vec<NonIdeality>,
+    /// MSE-matched severity points per noise.
+    pub mse_points: usize,
+    /// Stuck-cell rates for the fault grid (line faults ride along at
+    /// `line_rate_ratio` of each).
+    pub cell_rates: Vec<f64>,
+    /// Dead-line / stuck-ADC rate as a fraction of the cell rate.
+    pub line_rate_ratio: f64,
+    /// Deployment seed.
+    pub seed: u64,
+}
+
+impl Default for HwaStudyConfig {
+    fn default() -> Self {
+        Self {
+            tile: TileConfig::paper_default(),
+            noises: vec![
+                NonIdeality::DacQuantization,
+                NonIdeality::AdditiveOutputNoise,
+                NonIdeality::ShortTermReadNoise,
+                NonIdeality::ProgrammingNoise,
+            ],
+            mse_points: 4,
+            cell_rates: vec![0.005, 0.02],
+            line_rate_ratio: 0.1,
+            seed: 0x48a7,
+        }
+    }
+}
+
+/// One (model, arm, grid point) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwaStudyRow {
+    /// Base model name (all four arms report under it).
+    pub model: String,
+    /// `"base"`, `"hwa"`, `"nora"` or `"hwa+nora"`.
+    pub arm: String,
+    /// `"table2"`, `"sensitivity"` or `"fault"`.
+    pub grid: String,
+    /// Active non-ideality on the sensitivity grid (`"all"` elsewhere).
+    pub noise: String,
+    /// Severity realising the matched MSE (0 off the sensitivity grid).
+    pub severity: f32,
+    /// Matched reference MSE (0 off the sensitivity grid).
+    pub mse: f64,
+    /// Stuck-cell rate (0 off the fault grid).
+    pub cell_rate: f64,
+    /// FP32 digital accuracy of this arm's checkpoint on the shared
+    /// episodes.
+    pub digital: f64,
+    /// Analog accuracy at this grid point.
+    pub accuracy: f64,
+}
+
+impl HwaStudyRow {
+    /// Accuracy loss vs this arm's digital baseline, percentage points.
+    pub fn loss_pp(&self) -> f64 {
+        100.0 * (self.digital - self.accuracy)
+    }
+
+    /// Renders rows as the study table.
+    pub fn table(rows: &[HwaStudyRow]) -> Table {
+        let mut t = Table::new(&[
+            "model", "arm", "grid", "noise", "severity", "cell_rate", "digital%", "accuracy%",
+            "loss_pp",
+        ])
+        .with_title("HWA training vs NORA — four arms on noise, sensitivity and fault grids");
+        for r in rows {
+            t.row_owned(vec![
+                r.model.clone(),
+                r.arm.clone(),
+                r.grid.clone(),
+                r.noise.clone(),
+                format!("{:.4}", r.severity),
+                format!("{:.3}", r.cell_rate),
+                pct(r.digital),
+                pct(r.accuracy),
+                format!("{:+.1}", r.loss_pp()),
+            ]);
+        }
+        t
+    }
+
+    /// Renders rows as a CSV document (header + one line per row).
+    pub fn csv(rows: &[HwaStudyRow]) -> String {
+        let mut out =
+            String::from("model,arm,grid,noise,severity,mse,cell_rate,digital,accuracy\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.model,
+                r.arm,
+                r.grid,
+                r.noise,
+                r.severity,
+                r.mse,
+                r.cell_rate,
+                r.digital,
+                r.accuracy,
+            ));
+        }
+        out
+    }
+}
+
+/// The four arms: which checkpoint runs, and under which plan.
+const ARMS: [&str; 4] = ["base", "hwa", "nora", "hwa+nora"];
+
+fn arm_parts<'a>(pair: &'a HwaPair, arm: &str) -> (&'a PreparedModel, RescalePlan) {
+    match arm {
+        "base" => (&pair.base, RescalePlan::naive()),
+        "hwa" => (&pair.robust, RescalePlan::naive()),
+        "nora" => (&pair.base, pair.base.nora_plan.clone()),
+        "hwa+nora" => (&pair.robust, pair.robust.nora_plan.clone()),
+        other => unreachable!("unknown arm {other}"),
+    }
+}
+
+struct HwaTask<'a> {
+    grid: &'static str,
+    noise: Option<NonIdeality>,
+    severity: f32,
+    mse: f64,
+    cell_rate: f64,
+    fault_seed: u64,
+    pair: &'a HwaPair,
+    arm: &'static str,
+    digital: f64,
+}
+
+/// Runs the four-arm study over every pair on all three grids.
+///
+/// Points are independent, so they run through
+/// [`crate::sweep::parallel_sweep`]; the task list is materialised in a
+/// fixed grid → (noise → mse | rate) → pair → arm nesting order, keeping
+/// the returned rows bit-identical at any thread count.
+pub fn hwa_study(pairs: &[HwaPair], cfg: &HwaStudyConfig) -> Vec<HwaStudyRow> {
+    hwa_study_inner(pairs, cfg, None)
+}
+
+/// Like [`hwa_study`], additionally recording sweep telemetry
+/// (`eval.sweep.points` / `eval.sweep.point_secs`) into `metrics`.
+pub fn hwa_study_recorded(
+    pairs: &[HwaPair],
+    cfg: &HwaStudyConfig,
+    metrics: &mut Metrics,
+) -> Vec<HwaStudyRow> {
+    hwa_study_inner(pairs, cfg, Some(metrics))
+}
+
+fn hwa_study_inner(
+    pairs: &[HwaPair],
+    cfg: &HwaStudyConfig,
+    metrics: Option<&mut Metrics>,
+) -> Vec<HwaStudyRow> {
+    // Digital baselines on the *shared* (base) episodes, one per arm
+    // checkpoint: `digital_acc` covers the base model; score the robust
+    // model on the same episodes here.
+    let robust_digital: Vec<f64> = pairs
+        .iter()
+        .map(|pair| digital_accuracy(&pair.robust.zoo.model, &pair.base.episodes))
+        .collect();
+    let digital_for = |pi: usize, arm: &str| -> f64 {
+        match arm {
+            "base" | "nora" => pairs[pi].base.digital_acc,
+            _ => robust_digital[pi],
+        }
+    };
+
+    let mut tasks: Vec<HwaTask> = Vec::new();
+    // Grid 1: the full Table II noise stack.
+    for (pi, pair) in pairs.iter().enumerate() {
+        for arm in ARMS {
+            tasks.push(HwaTask {
+                grid: "table2",
+                noise: None,
+                severity: 0.0,
+                mse: 0.0,
+                cell_rate: 0.0,
+                fault_seed: 0,
+                pair,
+                arm,
+                digital: digital_for(pi, arm),
+            });
+        }
+    }
+    // Grid 2: MSE-matched single-noise sensitivity (Fig. 3 axes).
+    let workload = RefWorkload::default_reference(cfg.seed);
+    let grid = paper_mse_grid(cfg.mse_points);
+    for &noise in &cfg.noises {
+        let severities: Vec<f32> = grid
+            .iter()
+            .map(|&mse| severity_for_mse(noise, mse, &workload))
+            .collect();
+        for (&mse, &severity) in grid.iter().zip(&severities) {
+            for (pi, pair) in pairs.iter().enumerate() {
+                for arm in ARMS {
+                    tasks.push(HwaTask {
+                        grid: "sensitivity",
+                        noise: Some(noise),
+                        severity,
+                        mse,
+                        cell_rate: 0.0,
+                        fault_seed: 0,
+                        pair,
+                        arm,
+                        digital: digital_for(pi, arm),
+                    });
+                }
+            }
+        }
+    }
+    // Grid 3: hard faults (shared defect draw per rate, no ABFT).
+    for (i, &cell_rate) in cfg.cell_rates.iter().enumerate() {
+        let fault_seed = cfg.seed ^ ((i as u64 + 1) << 32);
+        for (pi, pair) in pairs.iter().enumerate() {
+            for arm in ARMS {
+                tasks.push(HwaTask {
+                    grid: "fault",
+                    noise: None,
+                    severity: 0.0,
+                    mse: 0.0,
+                    cell_rate,
+                    fault_seed,
+                    pair,
+                    arm,
+                    digital: digital_for(pi, arm),
+                });
+            }
+        }
+    }
+
+    let score = |t: &HwaTask| {
+        let tile = match t.grid {
+            "sensitivity" => t.noise.expect("sensitivity task").configure(t.severity),
+            "fault" => cfg
+                .tile
+                .clone()
+                .with_fault_plan(FaultPlan::uniform(
+                    t.cell_rate,
+                    t.cell_rate * cfg.line_rate_ratio,
+                    t.fault_seed,
+                ))
+                .with_fault_tolerance(FaultTolerance::off()),
+            _ => cfg.tile.clone(),
+        };
+        let (model, plan) = arm_parts(t.pair, t.arm);
+        let mut analog = plan.deploy(&model.zoo.model, tile, cfg.seed ^ 0x33);
+        let accuracy = analog_accuracy(&mut analog, &t.pair.base.episodes);
+        HwaStudyRow {
+            model: t.pair.base.zoo.name.clone(),
+            arm: t.arm.to_string(),
+            grid: t.grid.to_string(),
+            noise: t.noise.map_or("all", NonIdeality::name).to_string(),
+            severity: t.severity,
+            mse: t.mse,
+            cell_rate: t.cell_rate,
+            digital: t.digital,
+            accuracy,
+        }
+    };
+    match metrics {
+        Some(m) => crate::sweep::parallel_sweep_recorded(&tasks, m, score),
+        None => crate::sweep::parallel_sweep(&tasks, score),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{prepare, prepare_built};
+    use nora_nn::zoo::{robust_variant, tiny_spec, ModelFamily, RobustSpec};
+
+    #[test]
+    fn study_covers_all_arms_and_grids() {
+        let spec = tiny_spec(ModelFamily::OptLike, 77);
+        let robust_spec = robust_variant(
+            &spec,
+            Some(RobustSpec {
+                steps: 80,
+                lr: 3e-4,
+                noise_scale: 1.0,
+            }),
+        );
+        let pairs = vec![HwaPair {
+            base: prepare(&spec, 40, 6),
+            robust: prepare_built(robust_spec.build(), 40, 6),
+        }];
+        let cfg = HwaStudyConfig {
+            tile: TileConfig::paper_default().with_tile_size(64, 64),
+            noises: vec![NonIdeality::AdditiveOutputNoise],
+            mse_points: 2,
+            cell_rates: vec![0.02],
+            line_rate_ratio: 0.1,
+            seed: 5,
+        };
+        let rows = hwa_study(&pairs, &cfg);
+        // table2: 4 arms; sensitivity: 1×2×4; fault: 1×4.
+        assert_eq!(rows.len(), 4 + 8 + 4);
+        for arm in ARMS {
+            assert!(rows.iter().any(|r| r.arm == arm), "missing arm {arm}");
+        }
+        for grid in ["table2", "sensitivity", "fault"] {
+            assert!(rows.iter().any(|r| r.grid == grid), "missing grid {grid}");
+        }
+        assert!(rows
+            .iter()
+            .all(|r| r.accuracy.is_finite() && (0.0..=1.0).contains(&r.accuracy)));
+        // All rows of one model share the base model name; digital
+        // baselines are per-arm but constant within an arm.
+        for arm in ARMS {
+            let digs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.arm == arm)
+                .map(|r| r.digital)
+                .collect();
+            assert!(digs.windows(2).all(|w| w[0] == w[1]), "{arm} digital drifted");
+        }
+        let table = HwaStudyRow::table(&rows).render();
+        assert!(table.contains("hwa+nora"));
+        let csv = HwaStudyRow::csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("model,arm,grid"));
+    }
+
+    /// Golden-schema check: the committed `results/hwa_study.csv` was
+    /// written with the current CSV schema. A column rename or reorder must
+    /// fail here until the results file is regenerated alongside it.
+    #[test]
+    fn csv_schema_matches_committed_results_file() {
+        let header = HwaStudyRow::csv(&[]);
+        let header = header.trim_end();
+        let committed = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/hwa_study.csv"
+        ))
+        .expect("committed results/hwa_study.csv");
+        let first = committed.lines().next().expect("non-empty results file");
+        assert_eq!(
+            first, header,
+            "results/hwa_study.csv header drifted from HwaStudyRow::csv"
+        );
+    }
+}

@@ -7,6 +7,7 @@ mod drift;
 mod drift_serving;
 mod extensions;
 mod faults;
+mod hwa;
 mod layers;
 mod management;
 mod mitigation;
@@ -34,6 +35,7 @@ pub use drift_serving::{
     drift_serving_study, drift_serving_study_recorded, DriftServingConfig, DriftServingRow,
 };
 pub use faults::{fault_study, FaultStudyConfig, FaultStudyRow};
+pub use hwa::{hwa_study, hwa_study_recorded, HwaPair, HwaStudyConfig, HwaStudyRow};
 pub use mitigation::{mitigation, MitigationConfig, MitigationRow};
 pub use overall::{overall, OverallConfig, OverallRow};
 pub use prepare::{prepare, prepare_built, PreparedModel};

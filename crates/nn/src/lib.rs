@@ -53,6 +53,7 @@ pub mod corpus;
 pub mod deploy;
 pub mod generate;
 pub mod serialize;
+pub mod ste;
 pub mod trainer;
 pub mod zoo;
 

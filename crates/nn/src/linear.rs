@@ -23,6 +23,17 @@ pub struct DigitalLinear {
     ///
     /// [`forward`]: DigitalLinear::forward
     pub sparse: Option<PackedNmMatrix>,
+    /// Deploy-grid fake quantization of this layer's *inputs*, installed by
+    /// [`crate::ste::train_ste`] for hardware-aware training. When present,
+    /// [`forward`] runs activations through the analog DAC mid-rise grid
+    /// before the product, and [`backward`] passes gradients straight
+    /// through the quantizer — exact at interior grid points, zeroed where
+    /// the DAC clipped at the rails. A training-time attachment only: it is
+    /// transient (never serialized) and takes precedence over `sparse`.
+    ///
+    /// [`forward`]: DigitalLinear::forward
+    /// [`backward`]: DigitalLinear::backward
+    pub ste: Option<crate::ste::SteQuant>,
 }
 
 impl DigitalLinear {
@@ -33,6 +44,7 @@ impl DigitalLinear {
             weight: Param::new(Matrix::random_normal(d_in, d_out, 0.0, std, rng)),
             bias: Param::new(Matrix::zeros(1, d_out)),
             sparse: None,
+            ste: None,
         }
     }
 
@@ -73,9 +85,10 @@ impl DigitalLinear {
     /// N:M kernel (bit-identical to the dense product on the masked
     /// `weight`, at the pattern's fraction of the multiply–accumulates).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = match &self.sparse {
-            Some(packed) => packed.matmul(x),
-            None => x.matmul(&self.weight.value),
+        let mut y = match (&self.ste, &self.sparse) {
+            (Some(ste), _) => ste.fake_quantize(x).matmul(&self.weight.value),
+            (None, Some(packed)) => packed.matmul(x),
+            (None, None) => x.matmul(&self.weight.value),
         };
         let b = self.bias.value.row(0);
         for i in 0..y.rows() {
@@ -91,6 +104,12 @@ impl DigitalLinear {
     /// Accumulates `dW = xᵀ · dy` and `db = Σ rows(dy)` into the parameter
     /// gradients and returns `dx = dy · Wᵀ`.
     ///
+    /// With an [`SteQuant`](crate::ste::SteQuant) installed, `dW` is taken
+    /// at the fake-quantized input the forward actually used (`dW = x̃ᵀ ·
+    /// dy`), and `dx` is the straight-through gradient: identical to the
+    /// clean `dy · Wᵀ` at interior grid points, zeroed exactly where the
+    /// DAC clipped the corresponding input at the rails.
+    ///
     /// # Panics
     ///
     /// Panics if the shapes of `x`/`dy` disagree with the layer.
@@ -98,14 +117,23 @@ impl DigitalLinear {
         assert_eq!(x.cols(), self.d_in(), "x width mismatch");
         assert_eq!(dy.cols(), self.d_out(), "dy width mismatch");
         assert_eq!(x.rows(), dy.rows(), "batch mismatch");
-        let dw = x.transpose().matmul(dy);
+        let dw = match &self.ste {
+            // The quantizer is deterministic, so recomputing x̃ here is
+            // bit-identical to caching it in the forward.
+            Some(ste) => ste.fake_quantize(x).transpose().matmul(dy),
+            None => x.transpose().matmul(dy),
+        };
         self.weight.grad.add_assign(&dw);
         for i in 0..dy.rows() {
             for (g, &d) in self.bias.grad.row_mut(0).iter_mut().zip(dy.row(i)) {
                 *g += d;
             }
         }
-        dy.matmul(&self.weight.value.transpose())
+        let mut dx = dy.matmul(&self.weight.value.transpose());
+        if let Some(ste) = &self.ste {
+            ste.mask_clipped(x, &mut dx);
+        }
+        dx
     }
 
     /// Mutable access to both parameters (for the optimizer).

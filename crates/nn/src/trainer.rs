@@ -1,7 +1,8 @@
 //! Training loop: Adam with global-norm gradient clipping.
 
 use crate::corpus::Corpus;
-use crate::model::TransformerLm;
+use crate::model::{LinearId, TransformerLm};
+use nora_tensor::Matrix;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +114,43 @@ pub fn train(model: &mut TransformerLm, corpus: &mut Corpus, cfg: &TrainConfig) 
     }
 }
 
+/// Scope guard that restores a stashed set of linear weights when it goes
+/// out of scope — **including by panic**. Noise-injection trainers
+/// ([`train_hwa`], [`crate::ste::train_ste`]) perturb weights for the
+/// duration of one batch; wrapping the perturb-and-batch section in this
+/// guard guarantees a poisoned episode (e.g. an out-of-vocab token panicking
+/// mid-batch) cannot leave perturbed weights behind in the caller's model.
+pub struct WeightRestore<'a> {
+    model: &'a mut TransformerLm,
+    ids: &'a [LinearId],
+    clean: Vec<Matrix>,
+}
+
+impl<'a> WeightRestore<'a> {
+    /// Stashes the current (clean) weights of `ids`, to be restored — in
+    /// `ids` order — when the guard drops.
+    pub fn stash(model: &'a mut TransformerLm, ids: &'a [LinearId]) -> Self {
+        let clean = ids
+            .iter()
+            .map(|&id| model.linear(id).weight.value.clone())
+            .collect();
+        Self { model, ids, clean }
+    }
+
+    /// The guarded model: perturb weights and run batches through this.
+    pub fn model(&mut self) -> &mut TransformerLm {
+        self.model
+    }
+}
+
+impl Drop for WeightRestore<'_> {
+    fn drop(&mut self) {
+        for (&id, w) in self.ids.iter().zip(self.clean.drain(..)) {
+            self.model.linear_mut(id).weight.value = w;
+        }
+    }
+}
+
 /// Configuration of hardware-aware (noise-injection) fine-tuning — the
 /// established HWA baseline the paper contrasts NORA against ("most
 /// previous works require hardware-aware training, which is non-trivial,
@@ -158,32 +196,28 @@ pub fn train_hwa(
     let ids = model.linear_ids();
     let mut losses = Vec::with_capacity(cfg.base.steps as usize);
     for t in 1..=cfg.base.steps {
-        // Perturb: stash clean weights, add scaled noise.
-        let mut clean = Vec::with_capacity(ids.len());
-        for &id in &ids {
-            let lin = model.linear_mut(id);
-            clean.push(lin.weight.value.clone());
-            // Per-column noise scale (the tile's γ_j normalisation).
-            let col_max = lin.weight.value.col_abs_max();
-            let cols = lin.weight.value.cols();
-            for (i, v) in lin.weight.value.as_mut_slice().iter_mut().enumerate() {
-                let sigma = cfg.weight_noise * col_max[i % cols].max(1e-12);
-                *v += noise_rng.normal(0.0, sigma);
-            }
-        }
-
         model.zero_grad();
         let mut step_loss = 0.0f64;
-        for _ in 0..cfg.base.batch_size {
-            let ep = corpus.episode();
-            step_loss += model.loss_and_backward(&ep.tokens);
+        {
+            // Perturb inside a restore guard: the clean weights come back
+            // when the scope ends, even if a batch panics mid-step.
+            let mut guard = WeightRestore::stash(model, &ids);
+            for &id in &ids {
+                let lin = guard.model().linear_mut(id);
+                // Per-column noise scale (the tile's γ_j normalisation).
+                let col_max = lin.weight.value.col_abs_max();
+                let cols = lin.weight.value.cols();
+                for (i, v) in lin.weight.value.as_mut_slice().iter_mut().enumerate() {
+                    let sigma = cfg.weight_noise * col_max[i % cols].max(1e-12);
+                    *v += noise_rng.normal(0.0, sigma);
+                }
+            }
+            for _ in 0..cfg.base.batch_size {
+                let ep = corpus.episode();
+                step_loss += guard.model().loss_and_backward(&ep.tokens);
+            }
         }
         step_loss /= cfg.base.batch_size as f64;
-
-        // Restore the clean weights before applying the update.
-        for (&id, w) in ids.iter().zip(clean) {
-            model.linear_mut(id).weight.value = w;
-        }
 
         let inv = 1.0 / cfg.base.batch_size as f32;
         for p in model.params_mut() {
@@ -341,6 +375,46 @@ mod tests {
             hwa_acc > std_acc,
             "hwa {hwa_acc} should beat std {std_acc} at heavy weight noise"
         );
+    }
+
+    /// A batch that panics mid-step (here: an out-of-vocab token from a
+    /// corpus wider than the model's vocabulary) must not leave the model
+    /// with perturbed weights — the [`WeightRestore`] guard restores them
+    /// during unwinding.
+    #[test]
+    fn poisoned_batch_cannot_leave_perturbed_weights_behind() {
+        let mut model =
+            TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(8));
+        // Model vocab is 16; a vocab-32 corpus emits tokens the embedding
+        // rejects, poisoning the very first batch.
+        let mut corpus = Corpus::new(CorpusConfig::new(32, 16, 3));
+        let before: Vec<_> = model
+            .linear_ids()
+            .iter()
+            .map(|&id| model.linear(id).weight.value.clone())
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            train_hwa(
+                &mut model,
+                &mut corpus,
+                &HwaConfig {
+                    base: TrainConfig {
+                        steps: 1,
+                        ..TrainConfig::default()
+                    },
+                    weight_noise: 0.5,
+                },
+                1,
+            )
+        }));
+        assert!(result.is_err(), "out-of-vocab token must panic the batch");
+        for (&id, w) in model.linear_ids().iter().zip(&before) {
+            assert_eq!(
+                model.linear(id).weight.value.as_slice(),
+                w.as_slice(),
+                "{id:?} left perturbed after a poisoned batch"
+            );
+        }
     }
 
     #[test]

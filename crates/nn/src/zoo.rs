@@ -24,6 +24,7 @@
 
 use crate::corpus::{Corpus, CorpusConfig};
 use crate::model::{ModelConfig, TransformerLm};
+use crate::ste::{train_ste, SteConfig};
 use crate::trainer::{train, TrainConfig, TrainReport};
 use nora_tensor::rng::Rng;
 
@@ -187,6 +188,31 @@ pub struct ZooModel {
     pub report: TrainReport,
 }
 
+/// Hardware-aware STE fine-tuning stage appended to a zoo build — produces
+/// a "trained-robust" checkpoint that has seen the deploy grids and noise
+/// laws during training (see [`crate::ste`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSpec {
+    /// STE fine-tuning steps (appended after the base training stream).
+    pub steps: u64,
+    /// Fine-tuning learning rate (typically ~10% of the base rate).
+    pub lr: f32,
+    /// Multiplier on the sampled programming/read noise σ.
+    pub noise_scale: f32,
+}
+
+impl RobustSpec {
+    /// The default fine-tuning recipe derived from a base training config:
+    /// half the steps, a tenth of the learning rate, deploy-exact noise.
+    pub fn default_for(base: &TrainConfig) -> Self {
+        Self {
+            steps: (base.steps / 2).max(1),
+            lr: base.lr * 0.1,
+            noise_scale: 1.0,
+        }
+    }
+}
+
 /// Build specification for one zoo model.
 #[derive(Debug, Clone)]
 pub struct ZooSpec {
@@ -200,6 +226,10 @@ pub struct ZooSpec {
     pub corpus: CorpusConfig,
     /// Training parameters.
     pub train: TrainConfig,
+    /// Optional hardware-aware STE fine-tuning stage, run after outlier
+    /// injection on the paper-default tile (continues the same corpus
+    /// stream).
+    pub robust: Option<RobustSpec>,
     /// Master seed.
     pub seed: u64,
 }
@@ -210,8 +240,24 @@ impl ZooSpec {
         let mut rng = Rng::seed_from(self.seed);
         let mut corpus = Corpus::new(self.corpus);
         let mut model = TransformerLm::new(self.model, &mut rng);
-        let report = train(&mut model, &mut corpus, &self.train);
+        let mut report = train(&mut model, &mut corpus, &self.train);
         inject_outliers(&mut model, &self.family.outlier_spec(), self.seed ^ 0xabcd);
+        if let Some(robust) = &self.robust {
+            // Hardware-aware fine-tuning into the deploy grids/noise, on
+            // the outlier-shaped model the analog mapping will actually see.
+            let ste_cfg = SteConfig {
+                base: TrainConfig {
+                    steps: robust.steps,
+                    lr: robust.lr,
+                    ..self.train
+                },
+                noise_scale: robust.noise_scale,
+                ..SteConfig::default()
+            };
+            let ste_report = train_ste(&mut model, &mut corpus, &ste_cfg, self.seed ^ 0x57e0);
+            report.final_loss = ste_report.final_loss;
+            report.losses.extend(ste_report.losses);
+        }
         ZooModel {
             name: self.name.clone(),
             family: self.family,
@@ -235,8 +281,14 @@ impl ZooSpec {
     /// (a corrupt or unreadable cache entry is silently rebuilt).
     pub fn build_cached(&self, dir: &std::path::Path) -> ZooModel {
         let c = &self.model;
+        // Robust (STE fine-tuned) builds get their own cache entries; the
+        // suffix is empty for plain builds so existing cache keys survive.
+        let robust_key = match &self.robust {
+            Some(r) => format!("-hwa{}lr{}ns{}", r.steps, r.lr, r.noise_scale),
+            None => String::new(),
+        };
         let key = format!(
-            "{}-v{}l{}d{}h{}f{}s{}-st{}b{}lr{}-seed{}.nora",
+            "{}-v{}l{}d{}h{}f{}s{}-st{}b{}lr{}-seed{}{}.nora",
             self.name,
             c.vocab,
             c.layers,
@@ -247,14 +299,19 @@ impl ZooSpec {
             self.train.steps,
             self.train.batch_size,
             self.train.lr,
-            self.seed
+            self.seed,
+            robust_key
         );
         let path = dir.join(key);
         if let Ok((model, meta)) = crate::serialize::load_from_path(&path) {
             if *model.config() == self.model {
                 let mut corpus = Corpus::new(self.corpus);
-                // Fast-forward past the training stream.
-                let consumed = self.train.steps as usize * self.train.batch_size;
+                // Fast-forward past the training stream (base + any STE
+                // fine-tuning stage).
+                let robust_steps =
+                    self.robust.map_or(0, |r| r.steps) as usize;
+                let consumed =
+                    (self.train.steps as usize + robust_steps) * self.train.batch_size;
                 for _ in 0..consumed {
                     corpus.episode();
                 }
@@ -313,8 +370,20 @@ fn preset(
             grad_clip: 1.0,
             warmup: 50,
         },
+        robust: None,
         seed,
     }
+}
+
+/// Derives the hardware-aware trained-robust variant of a zoo spec: the
+/// same architecture, corpus and seed, with an STE fine-tuning stage
+/// appended and `-robust` suffixed to the name. `robust = None` uses
+/// [`RobustSpec::default_for`] the spec's base training config.
+pub fn robust_variant(spec: &ZooSpec, robust: Option<RobustSpec>) -> ZooSpec {
+    let mut out = spec.clone();
+    out.name = format!("{}-robust", spec.name);
+    out.robust = Some(robust.unwrap_or_else(|| RobustSpec::default_for(&spec.train)));
+    out
 }
 
 /// The four OPT-like presets standing in for OPT-1.3b/2.7b/6.7b/13b.
@@ -362,6 +431,7 @@ pub fn tiny_spec(family: ModelFamily, seed: u64) -> ZooSpec {
             grad_clip: 1.0,
             warmup: 20,
         },
+        robust: None,
         seed,
     }
 }
@@ -463,6 +533,45 @@ mod tests {
         // Corpus fast-forward must leave both generators at the same point.
         assert_eq!(fresh.corpus.episode(), cached.corpus.episode());
         assert_eq!(fresh.report.final_loss, cached.report.final_loss);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The robust variant trains (STE stage included), still predicts well,
+    /// ends with no STE attachments, and round-trips through the cache with
+    /// the corpus fast-forwarded past both training stages.
+    #[test]
+    fn robust_variant_builds_and_caches() {
+        let dir = std::env::temp_dir().join("nora-zoo-robust-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = tiny_spec(ModelFamily::OptLike, 91);
+        let spec = robust_variant(
+            &base,
+            Some(RobustSpec {
+                steps: 120,
+                lr: 3e-4,
+                noise_scale: 1.0,
+            }),
+        );
+        assert_eq!(spec.name, "opt-like-tiny-robust");
+        let mut fresh = spec.build_cached(&dir);
+        assert!(fresh.report.final_loss < fresh.report.first_loss);
+        for id in fresh.model.linear_ids() {
+            assert!(fresh.model.linear(id).ste.is_none());
+        }
+        let eval = fresh.corpus.clone().episodes(60);
+        let acc = crate::trainer::eval_accuracy(&fresh.model, &eval);
+        assert!(acc > 0.4, "robust accuracy {acc}");
+        let mut cached = spec.build_cached(&dir);
+        let tokens = [1usize, 2, 3, 4];
+        assert_eq!(fresh.model.forward(&tokens), cached.model.forward(&tokens));
+        assert_eq!(fresh.corpus.episode(), cached.corpus.episode());
+        // The robust build must not collide with the base cache entry.
+        let plain = base.build_cached(&dir);
+        assert_ne!(
+            plain.model.forward(&tokens),
+            cached.model.forward(&tokens),
+            "robust fine-tuning must change the checkpoint"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -365,6 +365,120 @@ fn sparse_digital_serving_bit_identical_across_thread_counts() {
     );
 }
 
+// ---- STE hardware-aware training: deploy conformance + determinism ------
+
+/// The STE training forward's input fake-quantization must be bit-identical
+/// to the deploy path's DAC conversion on the same inputs: same `α` law,
+/// same mid-rise grid, via the *shared* [`TileConfig::input_dac`]
+/// constructor — no duplicated constants.
+#[test]
+fn ste_fake_quantize_bit_identical_to_deploy_dac() {
+    use nora::nn::ste::SteQuant;
+    let cfg = TileConfig::paper_default();
+    let sq = SteQuant::from_tile(&cfg);
+    let mut rng = Rng::seed_from(540);
+    let x = Matrix::random_normal(6, 32, 0.0, 2.0, &mut rng);
+    let fq = sq.fake_quantize(&x);
+    let dac = cfg.input_dac();
+    for i in 0..x.rows() {
+        let alpha = cfg.noise_management.alpha(x.row(i));
+        let mut row: Vec<f32> = x.row(i).iter().map(|v| v / alpha).collect();
+        dac.convert_slice(&mut row);
+        for (c, &converted) in row.iter().enumerate() {
+            assert_eq!(
+                fq[(i, c)].to_bits(),
+                (converted * alpha).to_bits(),
+                "row {i} col {c}: training grid diverged from deploy DAC"
+            );
+        }
+    }
+}
+
+/// The STE training forward's weight view must be bit-identical to what the
+/// tile actually programs: per-column `γ` normalisation and the shared
+/// [`TileConfig::weight_quantizer`] grid. With an ideal (zero-error) weight
+/// source the programmed conductances *are* the quantized weights, so the
+/// comparison is exact.
+#[test]
+fn ste_weight_grid_bit_identical_to_programmed_tile() {
+    use nora::cim::{Resolution, WeightSource};
+    let mut cfg = TileConfig::paper_default().with_tile_size(64, 64);
+    cfg.weight_source = WeightSource::Ideal;
+    cfg.weight_quant = Resolution::bits(6);
+    let mut rng = Rng::seed_from(541);
+    let w = Matrix::random_normal(32, 24, 0.0, 0.3, &mut rng);
+    let tile = AnalogTile::new(w.clone(), None, cfg.clone(), Rng::seed_from(542));
+
+    // The training-side transform (noise off): γ-normalise columns, snap to
+    // the shared programming grid.
+    let gamma = w.col_abs_max();
+    let mut train_view = w.clone();
+    for (j, &g) in gamma.iter().enumerate() {
+        if g > 0.0 {
+            train_view.scale_col(j, 1.0 / g);
+        }
+    }
+    cfg.weight_quantizer()
+        .expect("finite weight grid")
+        .quantize_slice(train_view.as_mut_slice());
+
+    assert_eq!(tile.gamma(), gamma.as_slice(), "γ law diverged");
+    assert_eq!(
+        tile.effective_weights().as_slice(),
+        train_view.as_slice(),
+        "training weight grid diverged from the programmed tile"
+    );
+}
+
+/// Hardware-aware STE training is bit-identical at any `NORA_THREADS`
+/// setting (the per-step noise comes from counter-keyed streams, a pure
+/// function of `(seed, step, layer)`), and attaching observation around the
+/// run does not perturb it: final parameters and the full loss trace
+/// compare bitwise.
+#[test]
+fn ste_training_bit_identical_across_thread_counts() {
+    use nora::nn::corpus::{Corpus, CorpusConfig};
+    use nora::nn::ste::{train_ste, SteConfig};
+    use nora::nn::trainer::TrainConfig;
+    use nora::nn::{ModelConfig, TransformerLm};
+    use nora::obs::{MemoryRecorder, Metrics};
+
+    let run = |threads: usize, observe: bool| {
+        with_threads(threads, || {
+            let mut corpus = Corpus::new(CorpusConfig::new(16, 16, 9));
+            let mut model =
+                TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(42));
+            let cfg = SteConfig {
+                base: TrainConfig {
+                    steps: 12,
+                    ..TrainConfig::default()
+                },
+                ..SteConfig::default()
+            };
+            let report = train_ste(&mut model, &mut corpus, &cfg, 17);
+            if observe {
+                // Recording around the run must be inert.
+                let mut m = Metrics::new();
+                m.add("test.ste.steps", report.losses.len() as u64);
+                let mut rec = MemoryRecorder::default();
+                m.emit(&mut rec);
+                assert_eq!(rec.counters.get("test.ste.steps"), Some(&12));
+            }
+            let params: Vec<Vec<u32>> = model
+                .params()
+                .iter()
+                .map(|p| p.value.as_slice().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (params, report.losses)
+        })
+    };
+    let serial = run(1, false);
+    assert_eq!(serial, run(1, true), "recorder perturbed STE training");
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, run(threads, true), "threads={threads}");
+    }
+}
+
 /// Eval sweeps run points in parallel but merge rows in task order: a small
 /// drift study must produce identical rows at 1 and 4 threads.
 #[test]

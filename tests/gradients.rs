@@ -1,0 +1,369 @@
+//! Finite-difference gradient checks for every layer of the manual-backprop
+//! stack, plus the straight-through (STE) hardware-aware training path.
+//!
+//! Each check drives a layer with the quadratic probe loss `L = Σ y² / 2`
+//! (so `dy = y`), compares the analytic gradients against central
+//! differences at `ε = 1e-3`, and repeats over three seeds. Tolerances are
+//! relative (`tol · (1 + |analytic|)`): 1e-2 for plain linears and the
+//! loss head, 2e-2 for LayerNorm (two nonlinear reductions per row), 3e-2
+//! for full attention.
+//!
+//! The STE path needs care: a fake-quantized forward is piecewise constant
+//! in `x`, so finite differences through a *coarse* grid measure zero.
+//! Interior/rail behaviour on a coarse grid is therefore asserted
+//! analytically (bitwise against the clean gradient, exact zeros at the
+//! rails), while the finite-difference comparison runs on a 20-bit grid
+//! whose step (≈2e-6) is far below `ε`.
+
+use nora::nn::ste::SteQuant;
+use nora::nn::trainer::TrainConfig;
+use nora::nn::{
+    cross_entropy, DigitalLinear, Embedding, LayerNorm, ModelConfig, MultiHeadAttention,
+    TransformerLm,
+};
+use nora::tensor::rng::Rng;
+use nora::tensor::Matrix;
+
+const EPS: f32 = 1e-3;
+
+/// Quadratic probe loss `Σ y² / 2` of a forward output.
+fn sq_loss(y: &Matrix) -> f64 {
+    y.as_slice()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64) / 2.0)
+        .sum()
+}
+
+fn assert_close(num: f64, ana: f64, tol: f64, what: &str) {
+    assert!(
+        (num - ana).abs() < tol * (1.0 + ana.abs()),
+        "{what}: numeric {num} vs analytic {ana}"
+    );
+}
+
+/// A few probe coordinates spread over an `r × c` matrix.
+fn probes(r: usize, c: usize) -> Vec<(usize, usize)> {
+    vec![(0, 0), (r / 2, c / 2), (r - 1, c - 1), (0, c - 1)]
+}
+
+#[test]
+fn linear_gradients_match_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let mut lin = DigitalLinear::new(6, 5, &mut rng);
+        let x = Matrix::random_normal(3, 6, 0.0, 1.0, &mut rng);
+        let y = lin.forward(&x);
+        let dx = lin.backward(&x, &y);
+
+        for (r, c) in probes(6, 5) {
+            let mut plus = lin.clone();
+            plus.weight.value[(r, c)] += EPS;
+            let mut minus = lin.clone();
+            minus.weight.value[(r, c)] -= EPS;
+            let num =
+                (sq_loss(&plus.forward(&x)) - sq_loss(&minus.forward(&x))) / (2.0 * EPS as f64);
+            assert_close(num, lin.weight.grad[(r, c)] as f64, 1e-2, "linear dW");
+        }
+        for (r, c) in probes(3, 6) {
+            let mut xp = x.clone();
+            xp[(r, c)] += EPS;
+            let mut xm = x.clone();
+            xm[(r, c)] -= EPS;
+            let num =
+                (sq_loss(&lin.forward(&xp)) - sq_loss(&lin.forward(&xm))) / (2.0 * EPS as f64);
+            assert_close(num, dx[(r, c)] as f64, 1e-2, "linear dx");
+        }
+        for c in [0usize, 4] {
+            let mut plus = lin.clone();
+            plus.bias.value[(0, c)] += EPS;
+            let mut minus = lin.clone();
+            minus.bias.value[(0, c)] -= EPS;
+            let num =
+                (sq_loss(&plus.forward(&x)) - sq_loss(&minus.forward(&x))) / (2.0 * EPS as f64);
+            assert_close(num, lin.bias.grad[(0, c)] as f64, 1e-2, "linear db");
+        }
+    }
+}
+
+#[test]
+fn layernorm_gradients_match_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let d = 8;
+        let mut ln = LayerNorm::new(d);
+        // Non-trivial gain/bias so their gradients are exercised.
+        ln.gain.value = Matrix::random_normal(1, d, 1.0, 0.2, &mut rng);
+        ln.bias.value = Matrix::random_normal(1, d, 0.0, 0.2, &mut rng);
+        let x = Matrix::random_normal(4, d, 0.0, 1.0, &mut rng);
+        let y = ln.forward(&x);
+        let dx = ln.backward(&y);
+
+        let loss_at = |ln: &LayerNorm, x: &Matrix| -> f64 {
+            sq_loss(&ln.clone().forward(x))
+        };
+        for (r, c) in probes(4, d) {
+            let mut xp = x.clone();
+            xp[(r, c)] += EPS;
+            let mut xm = x.clone();
+            xm[(r, c)] -= EPS;
+            let num = (loss_at(&ln, &xp) - loss_at(&ln, &xm)) / (2.0 * EPS as f64);
+            assert_close(num, dx[(r, c)] as f64, 2e-2, "layernorm dx");
+        }
+        for c in [0usize, d / 2, d - 1] {
+            let mut plus = ln.clone();
+            plus.gain.value[(0, c)] += EPS;
+            let mut minus = ln.clone();
+            minus.gain.value[(0, c)] -= EPS;
+            let num = (loss_at(&plus, &x) - loss_at(&minus, &x)) / (2.0 * EPS as f64);
+            assert_close(num, ln.gain.grad[(0, c)] as f64, 2e-2, "layernorm dgain");
+
+            let mut plus = ln.clone();
+            plus.bias.value[(0, c)] += EPS;
+            let mut minus = ln.clone();
+            minus.bias.value[(0, c)] -= EPS;
+            let num = (loss_at(&plus, &x) - loss_at(&minus, &x)) / (2.0 * EPS as f64);
+            assert_close(num, ln.bias.grad[(0, c)] as f64, 2e-2, "layernorm dbias");
+        }
+    }
+}
+
+#[test]
+fn attention_gradients_match_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let d = 8;
+        let mut attn = MultiHeadAttention::new(d, 2, &mut rng);
+        let x = Matrix::random_normal(4, d, 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x);
+        let dx = attn.backward(&y);
+
+        let loss_at = |attn: &MultiHeadAttention, x: &Matrix| -> f64 {
+            sq_loss(&attn.clone().forward(x))
+        };
+        for (r, c) in probes(4, d) {
+            let mut xp = x.clone();
+            xp[(r, c)] += EPS;
+            let mut xm = x.clone();
+            xm[(r, c)] -= EPS;
+            let num = (loss_at(&attn, &xp) - loss_at(&attn, &xm)) / (2.0 * EPS as f64);
+            assert_close(num, dx[(r, c)] as f64, 3e-2, "attention dx");
+        }
+        // One probe in each of the four projections.
+        for (name, grad_at) in [
+            ("wq", 0usize),
+            ("wk", 1),
+            ("wv", 2),
+            ("wo", 3),
+        ] {
+            let (r, c) = (d / 2, d / 2);
+            let pick = |a: &MultiHeadAttention| match grad_at {
+                0 => a.wq.weight.clone(),
+                1 => a.wk.weight.clone(),
+                2 => a.wv.weight.clone(),
+                _ => a.wo.weight.clone(),
+            };
+            let poke = |a: &mut MultiHeadAttention, delta: f32| match grad_at {
+                0 => a.wq.weight.value[(r, c)] += delta,
+                1 => a.wk.weight.value[(r, c)] += delta,
+                2 => a.wv.weight.value[(r, c)] += delta,
+                _ => a.wo.weight.value[(r, c)] += delta,
+            };
+            let mut plus = attn.clone();
+            poke(&mut plus, EPS);
+            let mut minus = attn.clone();
+            poke(&mut minus, -EPS);
+            let num = (loss_at(&plus, &x) - loss_at(&minus, &x)) / (2.0 * EPS as f64);
+            let ana = pick(&attn).grad[(r, c)] as f64;
+            assert_close(num, ana, 3e-2, &format!("attention d{name}"));
+        }
+    }
+}
+
+#[test]
+fn embedding_gradients_match_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let (vocab, max_seq, d) = (10, 8, 6);
+        let mut emb = Embedding::new(vocab, max_seq, d, &mut rng);
+        let tokens = [3usize, 1, 3, 7];
+        let y = emb.forward(&tokens);
+        emb.backward(&y);
+
+        let loss_at = |emb: &Embedding| -> f64 { sq_loss(&emb.forward_inference(&tokens)) };
+        // Token 3 appears twice — its gradient must be the scatter-add.
+        for (tok, k) in [(3usize, 0usize), (1, d - 1), (7, d / 2)] {
+            let mut plus = emb.clone();
+            plus.tokens.value[(tok, k)] += EPS;
+            let mut minus = emb.clone();
+            minus.tokens.value[(tok, k)] -= EPS;
+            let num = (loss_at(&plus) - loss_at(&minus)) / (2.0 * EPS as f64);
+            assert_close(num, emb.tokens.grad[(tok, k)] as f64, 1e-2, "embedding dtok");
+        }
+        for (pos, k) in [(0usize, 0usize), (3, d - 1)] {
+            let mut plus = emb.clone();
+            plus.positions.value[(pos, k)] += EPS;
+            let mut minus = emb.clone();
+            minus.positions.value[(pos, k)] -= EPS;
+            let num = (loss_at(&plus) - loss_at(&minus)) / (2.0 * EPS as f64);
+            assert_close(num, emb.positions.grad[(pos, k)] as f64, 1e-2, "embedding dpos");
+        }
+    }
+}
+
+#[test]
+fn softmax_cross_entropy_gradient_matches_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let (n, vocab) = (4, 9);
+        let logits = Matrix::random_normal(n, vocab, 0.0, 2.0, &mut rng);
+        let targets: Vec<usize> = (0..n).map(|i| (seed as usize + 2 * i) % vocab).collect();
+        let (_, grad) = cross_entropy(&logits, &targets);
+
+        for (r, c) in probes(n, vocab) {
+            let mut lp = logits.clone();
+            lp[(r, c)] += EPS;
+            let mut lm = logits.clone();
+            lm[(r, c)] -= EPS;
+            let (loss_p, _) = cross_entropy(&lp, &targets);
+            let (loss_m, _) = cross_entropy(&lm, &targets);
+            let num = (loss_p - loss_m) / (2.0 * EPS as f64);
+            assert_close(num, grad[(r, c)] as f64, 1e-2, "softmax+CE dlogits");
+        }
+    }
+}
+
+#[test]
+fn full_model_loss_gradient_matches_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut rng);
+        let tokens = [1usize, 5, 2, 9, 4, 1, 5];
+        model.zero_grad();
+        model.loss_and_backward(&tokens);
+
+        // Probe one entry in every parameter tensor of the model.
+        let shapes: Vec<(usize, usize)> =
+            model.params().iter().map(|p| p.value.shape()).collect();
+        for (pi, &(r, c)) in shapes.iter().enumerate() {
+            let probe = (r / 2, c / 2);
+            let ana = model.params()[pi].grad[probe] as f64;
+            let mut plus = model.clone();
+            plus.params_mut()[pi].value[probe] += EPS;
+            let mut minus = model.clone();
+            minus.params_mut()[pi].value[probe] -= EPS;
+            let num = (plus.loss_and_backward(&tokens) - minus.loss_and_backward(&tokens))
+                / (2.0 * EPS as f64);
+            assert_close(num, ana, 2e-2, &format!("model param {pi}"));
+        }
+    }
+}
+
+/// Builds a tile config with a fixed `α = 1` input mapping and the given
+/// DAC resolution, everything else at the paper defaults.
+fn ste_tile(dac_bits: u32) -> nora::cim::TileConfig {
+    let mut cfg = nora::cim::TileConfig::paper_default();
+    cfg.dac = nora::cim::Resolution::bits(dac_bits);
+    cfg.noise_management = nora::cim::NoiseManagement::None;
+    cfg
+}
+
+/// Coarse grid: the STE gradient is *defined*, not approximated — interior
+/// points pass the clean gradient through bitwise, rail points are exactly
+/// zero, and `dW` is taken at the fake-quantized input.
+#[test]
+fn ste_interior_gradients_exact_and_rail_points_masked() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let mut lin = DigitalLinear::new(4, 3, &mut rng);
+        // Row 0 strictly interior (|x| < 1), row 1 with two rail values.
+        let x = Matrix::from_rows(&[&[0.31, -0.62, 0.05, 0.9], &[1.5, -0.4, -2.0, 0.7]]);
+        let dy = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+
+        let mut clean = lin.clone();
+        let clean_dx = clean.backward(&x, &dy);
+
+        let ste = SteQuant::from_tile(&ste_tile(4));
+        lin.ste = Some(ste.clone());
+        let dx = lin.backward(&x, &dy);
+
+        // Interior entries: bitwise equal to the clean straight-through
+        // gradient. Rail entries: exactly zero.
+        for c in 0..4 {
+            assert_eq!(dx[(0, c)], clean_dx[(0, c)], "interior (0,{c})");
+        }
+        assert_eq!(dx[(1, 0)], 0.0, "rail +1.5 must be masked");
+        assert_eq!(dx[(1, 2)], 0.0, "rail -2.0 must be masked");
+        assert_eq!(dx[(1, 1)], clean_dx[(1, 1)], "interior (1,1)");
+        assert_eq!(dx[(1, 3)], clean_dx[(1, 3)], "interior (1,3)");
+
+        // dW is taken at the fake-quantized input the forward used.
+        let expected_dw = ste.fake_quantize(&x).transpose().matmul(&dy);
+        assert_eq!(
+            lin.weight.grad.as_slice(),
+            expected_dw.as_slice(),
+            "dW must be x̃ᵀ·dy"
+        );
+    }
+}
+
+/// Fine grid (20-bit DAC, step ≈ 2e-6 « ε): the quantizer is smooth at the
+/// finite-difference scale, so the straight-through gradients must agree
+/// with central differences like any other layer.
+#[test]
+fn ste_fine_grid_gradients_match_finite_differences() {
+    for seed in [1, 2, 3] {
+        let mut rng = Rng::seed_from(seed);
+        let mut lin = DigitalLinear::new(5, 4, &mut rng);
+        lin.ste = Some(SteQuant::from_tile(&ste_tile(20)));
+        // Interior inputs only: FD at a rail would straddle the clip.
+        let x = Matrix::random_normal(3, 5, 0.0, 0.3, &mut rng);
+        assert!(x.as_slice().iter().all(|v| v.abs() < 1.0));
+        let y = lin.forward(&x);
+        let dx = lin.backward(&x, &y);
+
+        for (r, c) in probes(5, 4) {
+            let mut plus = lin.clone();
+            plus.weight.value[(r, c)] += EPS;
+            let mut minus = lin.clone();
+            minus.weight.value[(r, c)] -= EPS;
+            let num =
+                (sq_loss(&plus.forward(&x)) - sq_loss(&minus.forward(&x))) / (2.0 * EPS as f64);
+            assert_close(num, lin.weight.grad[(r, c)] as f64, 1e-2, "ste dW");
+        }
+        for (r, c) in probes(3, 5) {
+            let mut xp = x.clone();
+            xp[(r, c)] += EPS;
+            let mut xm = x.clone();
+            xm[(r, c)] -= EPS;
+            let num =
+                (sq_loss(&lin.forward(&xp)) - sq_loss(&lin.forward(&xm))) / (2.0 * EPS as f64);
+            assert_close(num, dx[(r, c)] as f64, 1e-2, "ste dx");
+        }
+    }
+}
+
+/// The STE training loop's gradients drive real learning: a few steps of
+/// `train_ste` on the induction corpus lower the loss, with gradient checks
+/// guaranteeing those gradients are the true (straight-through) ones.
+#[test]
+fn ste_training_step_uses_consistent_gradients() {
+    let mut corpus = nora::nn::corpus::Corpus::new(nora::nn::corpus::CorpusConfig::new(16, 16, 2));
+    let mut model = TransformerLm::new(ModelConfig::tiny_for_tests(), &mut Rng::seed_from(7));
+    let cfg = nora::nn::ste::SteConfig {
+        base: TrainConfig {
+            steps: 60,
+            ..TrainConfig::default()
+        },
+        tile: nora::cim::TileConfig::paper_default(),
+        prog_noise: false,
+        read_noise: false,
+        noise_scale: 0.0,
+    };
+    let report = nora::nn::ste::train_ste(&mut model, &mut corpus, &cfg, 3);
+    assert!(
+        report.final_loss < report.first_loss,
+        "loss {} → {}",
+        report.first_loss,
+        report.final_loss
+    );
+}
